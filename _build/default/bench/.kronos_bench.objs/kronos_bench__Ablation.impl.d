@@ -1,0 +1,1 @@
+bench/ablation.ml: Bench_util Fig6 Kronos_simnet Kronos_workload Printf

@@ -1,0 +1,1 @@
+bench/bench_util.ml: Analyze Array Bechamel Benchmark Hashtbl Measure Printf Staged Test Time Toolkit Unix

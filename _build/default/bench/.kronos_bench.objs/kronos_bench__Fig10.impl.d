@@ -1,0 +1,1 @@
+bench/fig10.ml: Bench_util Engine Kronos List Printf

@@ -1,0 +1,1 @@
+bench/fig11.ml: Array Bench_util Engine Gc Kronos List Order Printf

@@ -1,0 +1,1 @@
+bench/fig12.ml: Array Bench_util Engine Graph Int64 Kronos Kronos_simnet Kronos_workload List Printf Unix

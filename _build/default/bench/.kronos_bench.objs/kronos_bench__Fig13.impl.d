@@ -1,0 +1,1 @@
+bench/fig13.ml: Array Bench_util Kronos Kronos_service Kronos_simnet Net Order Printf Rng Sim String

@@ -1,0 +1,1 @@
+bench/fig6.ml: Array Bench_util Float G_msg Kgraph Kronos Kronos_graphstore Kronos_service Kronos_simnet Kronos_workload Kshard Lgraph List Lshard Net Option Printf Rng Sim

@@ -1,0 +1,1 @@
+bench/fig7.ml: Array Bench_util Executor Kronos_kvstore Kronos_service Kronos_simnet Kronos_txn Kronos_workload Kv_client Kv_msg Net Printf Rng Router Shard Sim

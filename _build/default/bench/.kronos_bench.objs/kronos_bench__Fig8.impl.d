@@ -1,0 +1,1 @@
+bench/fig8.ml: Array Bench_util Engine Gc Graph Kronos Kronos_service Kronos_simnet Kronos_wire Kronos_workload List Net Printf Rng Sim Unix

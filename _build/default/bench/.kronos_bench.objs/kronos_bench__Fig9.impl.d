@@ -1,0 +1,1 @@
+bench/fig9.ml: Array Bench_util Engine Kronos Unix

@@ -1,0 +1,1 @@
+bench/micro.ml: Array Bench_util Engine Graph Hashtbl Kronos Kronos_simnet Kronos_workload List Order Printf Sparse_set Unix

@@ -1,0 +1,26 @@
+(* Ablation: the shard-side order cache with transitive pre-fill
+   (Section 3.2).  Re-runs the Figure 6 KronoGraph workload on the
+   Twitter-like graph with the cache effectively disabled (capacity 1), so
+   every per-vertex ordering requires a Kronos round trip. *)
+
+module Rng = Kronos_simnet.Rng
+module Graph_gen = Kronos_workload.Graph_gen
+
+let run () =
+  Bench_util.section "Ablation: KronoGraph shard order-cache on vs off";
+  let rng = Rng.create ~seed:21L in
+  let quick = not !Bench_util.full_scale in
+  let graph = Graph_gen.twitter_like ~rng ~scale:(if quick then 0.05 else 0.5) () in
+  let ops = Bench_util.scaled 400 2_000 in
+  let with_cache, _, frac_with =
+    Fig6.run_kronograph ~seed:3L ~graph ~ops ()
+  in
+  let without_cache, _, frac_without =
+    Fig6.run_kronograph ~shard_cache_capacity:1 ~seed:3L ~graph ~ops ()
+  in
+  Printf.printf "  cache on:   %8.0f ops/s  (traversal fraction %.1f%%)\n" with_cache
+    (100.0 *. frac_with);
+  Printf.printf "  cache off:  %8.0f ops/s  (traversal fraction %.1f%%)\n%!"
+    without_cache (100.0 *. frac_without);
+  Bench_util.ours "caching yields %.2fx throughput on the Twitter-like workload"
+    (with_cache /. without_cache)

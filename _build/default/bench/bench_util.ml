@@ -1,0 +1,62 @@
+(* Shared helpers for the benchmark harness. *)
+
+let section title =
+  Printf.printf "\n======================================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "======================================================================\n%!"
+
+let note fmt = Printf.printf (fmt ^^ "\n%!")
+
+let paper fmt =
+  Printf.printf "  paper:    ";
+  Printf.printf (fmt ^^ "\n%!")
+
+let ours fmt =
+  Printf.printf "  measured: ";
+  Printf.printf (fmt ^^ "\n%!")
+
+(* Full-scale runs are opt-in: `main.exe --full` or KRONOS_BENCH_FULL=1. *)
+let full_scale = ref false
+
+let scaled quick full = if !full_scale then full else quick
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else begin
+    let idx = int_of_float (p *. float_of_int (n - 1)) in
+    sorted.(max 0 (min (n - 1) idx))
+  end
+
+let time_s f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)
+
+(* Nanoseconds per operation via Bechamel's OLS estimator. *)
+let bechamel_ns_per_op ?(quota = 0.5) ~name f =
+  let open Bechamel in
+  let test = Test.make ~name (Staged.stage f) in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:3000 ~quota:(Time.second quota) ~kde:None () in
+  let raw = Benchmark.all cfg instances test in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Hashtbl.fold
+    (fun _ v acc ->
+      match Analyze.OLS.estimates v with
+      | Some (e :: _) -> e
+      | Some [] | None -> acc)
+    results nan
+
+let pp_ns ns =
+  if ns < 1e3 then Printf.sprintf "%.0f ns" ns
+  else if ns < 1e6 then Printf.sprintf "%.2f µs" (ns /. 1e3)
+  else Printf.sprintf "%.2f ms" (ns /. 1e6)
+
+let pp_ops ops =
+  if ops >= 1e6 then Printf.sprintf "%.2f M ops/s" (ops /. 1e6)
+  else if ops >= 1e3 then Printf.sprintf "%.1f k ops/s" (ops /. 1e3)
+  else Printf.sprintf "%.0f ops/s" ops

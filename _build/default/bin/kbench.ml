@@ -1,0 +1,60 @@
+(* Command-line front end for the benchmark harness: run any single
+   experiment with explicit parameters.
+
+     dune exec bin/kbench.exe -- run fig12
+     dune exec bin/kbench.exe -- run all --full
+     dune exec bin/kbench.exe -- list *)
+
+open Cmdliner
+
+let experiments =
+  [ ("fig6", Kronos_bench.Fig6.run);
+    ("fig7", Kronos_bench.Fig7.run);
+    ("fig8", Kronos_bench.Fig8.run);
+    ("fig9", Kronos_bench.Fig9.run);
+    ("fig10", Kronos_bench.Fig10.run);
+    ("fig11", Kronos_bench.Fig11.run);
+    ("fig12", Kronos_bench.Fig12.run);
+    ("fig13", Kronos_bench.Fig13.run);
+    ("micro", Kronos_bench.Micro.run);
+    ("ablation", Kronos_bench.Ablation.run);
+  ]
+
+let list_cmd =
+  let doc = "List available experiments." in
+  Cmd.v (Cmd.info "list" ~doc)
+    Term.(
+      const (fun () ->
+          List.iter (fun (name, _) -> print_endline name) experiments)
+      $ const ())
+
+let run_experiments names full =
+  Kronos_bench.Bench_util.full_scale := full;
+  let selected =
+    if names = [] || List.mem "all" names then List.map fst experiments
+    else names
+  in
+  let unknown = List.filter (fun n -> not (List.mem_assoc n experiments)) selected in
+  if unknown <> [] then begin
+    Printf.eprintf "unknown experiment(s): %s\n" (String.concat ", " unknown);
+    exit 2
+  end;
+  Printf.printf "Kronos benchmark harness (%s scale)\n"
+    (if full then "full" else "quick");
+  List.iter (fun n -> (List.assoc n experiments) ()) selected
+
+let run_cmd =
+  let doc = "Run one or more experiments (or 'all')." in
+  let names =
+    Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc:"experiment name")
+  in
+  let full =
+    Arg.(value & flag & info [ "full" ] ~doc:"use paper-scale parameters")
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run_experiments $ names $ full)
+
+let main =
+  let doc = "Kronos reproduction benchmark driver" in
+  Cmd.group (Cmd.info "kbench" ~doc ~version:"1.0") [ list_cmd; run_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/bank_transfer.ml: Array Executor Format Kronos_kvstore Kronos_service Kronos_simnet Kronos_txn Kronos_workload Kv_client Kv_msg Net Rng Router Shard Sim

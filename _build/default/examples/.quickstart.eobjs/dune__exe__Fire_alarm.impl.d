@@ -1,0 +1,1 @@
+examples/fire_alarm.ml: Fail_safe Fire_alarm Format Int64 Kronos_catocs Shop_floor

@@ -1,0 +1,1 @@
+examples/graph_traversal.ml: Array Format G_msg Kgraph Kronos_graphstore Kronos_service Kronos_simnet Kshard List Net Option Sim String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Engine Format Kronos List Order

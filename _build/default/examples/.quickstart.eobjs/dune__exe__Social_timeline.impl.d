@@ -1,0 +1,1 @@
+examples/social_timeline.ml: Engine Event_id Format Hashtbl Kronos List Option Order

@@ -1,0 +1,76 @@
+(* Quickstart: the whole Kronos API (Table 1 of the paper) in one minute.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Kronos
+
+let show_relation engine label (e1, e2) =
+  match Engine.query_order engine [ (e1, e2) ] with
+  | Ok [ relation ] ->
+    Format.printf "  %s: %a@." label Order.pp_relation relation
+  | Ok _ | Error _ -> assert false
+
+let () =
+  Format.printf "== Kronos quickstart ==@.";
+  let engine = Engine.create () in
+
+  (* 1. create events — opaque handles for "things that happened" *)
+  let alice_uploads = Engine.create_event engine in
+  let alice_tags_bob = Engine.create_event engine in
+  let bob_likes = Engine.create_event engine in
+  let unrelated = Engine.create_event engine in
+  Format.printf "created 4 events@.";
+
+  (* 2. everything starts out concurrent *)
+  show_relation engine "upload vs like (before ordering)" (alice_uploads, bob_likes);
+
+  (* 3. record happens-before relationships; the batch is atomic *)
+  (match
+     Engine.assign_order engine
+       [ (alice_uploads, Order.Happens_before, Order.Must, alice_tags_bob);
+         (alice_tags_bob, Order.Happens_before, Order.Must, bob_likes) ]
+   with
+   | Ok outcomes ->
+     Format.printf "assign_order: %a@."
+       (Format.pp_print_list ~pp_sep:Format.pp_print_space Order.pp_outcome)
+       outcomes
+   | Error e -> Format.printf "assign_order failed: %a@." Order.pp_assign_error e);
+
+  (* 4. queries now see the transitive order *)
+  show_relation engine "upload vs like" (alice_uploads, bob_likes);
+  show_relation engine "like vs upload" (bob_likes, alice_uploads);
+  show_relation engine "upload vs unrelated" (alice_uploads, unrelated);
+
+  (* 5. contradicting an established order aborts the whole batch *)
+  (match
+     Engine.assign_order engine
+       [ (bob_likes, Order.Happens_before, Order.Must, alice_uploads) ]
+   with
+   | Ok _ -> assert false
+   | Error e ->
+     Format.printf "contradiction rejected: %a@." Order.pp_assign_error e);
+
+  (* 6. prefer constraints reverse gracefully instead of aborting *)
+  (match
+     Engine.assign_order engine
+       [ (bob_likes, Order.Happens_before, Order.Prefer, alice_uploads) ]
+   with
+   | Ok [ outcome ] ->
+     Format.printf "prefer against the flow: %a@." Order.pp_outcome outcome
+   | Ok _ | Error _ -> assert false);
+
+  (* 7. reference counting drives garbage collection *)
+  (match Engine.release_ref engine unrelated with
+   | Ok collected -> Format.printf "released unrelated: %d collected@." collected
+   | Error _ -> assert false);
+  List.iter
+    (fun e -> ignore (Engine.release_ref engine e))
+    [ bob_likes; alice_tags_bob ];
+  Format.printf "live events after releasing two referenced ones: %d@."
+    (Engine.live_events engine);
+  (match Engine.release_ref engine alice_uploads with
+   | Ok collected ->
+     Format.printf "releasing the root collected the chain: %d events@." collected
+   | Error _ -> assert false);
+  Format.printf "live events at exit: %d@." (Engine.live_events engine);
+  Format.printf "engine stats: %a@." Engine.pp_stats (Engine.stats engine)

@@ -1,0 +1,1 @@
+lib/catocs/fail_safe.ml: Engine Event_id Hashtbl Kronos Kronos_simnet Order

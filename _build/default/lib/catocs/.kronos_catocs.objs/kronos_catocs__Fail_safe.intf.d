@@ -1,0 +1,1 @@
+lib/catocs/fail_safe.mli:

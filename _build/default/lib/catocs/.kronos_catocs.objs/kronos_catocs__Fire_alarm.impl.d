@@ -1,0 +1,1 @@
+lib/catocs/fire_alarm.ml: Engine Event_id Hashtbl Kronos Kronos_simnet List Option Order

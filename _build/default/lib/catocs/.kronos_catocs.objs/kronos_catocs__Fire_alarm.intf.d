@@ -1,0 +1,1 @@
+lib/catocs/fire_alarm.mli:

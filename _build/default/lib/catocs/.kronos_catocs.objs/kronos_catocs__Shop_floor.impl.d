@@ -1,0 +1,1 @@
+lib/catocs/shop_floor.ml: Engine Event_id Kronos Kronos_simnet Order

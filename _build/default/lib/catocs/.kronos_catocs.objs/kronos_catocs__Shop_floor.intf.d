@@ -1,0 +1,1 @@
+lib/catocs/shop_floor.mli:

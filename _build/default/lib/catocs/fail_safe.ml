@@ -1,0 +1,157 @@
+open Kronos
+module Sim = Kronos_simnet.Sim
+module Net = Kronos_simnet.Net
+
+type alarm_msg =
+  | Fire of { cycle : int; event : Event_id.t }
+  | Fire_out of { cycle : int; event : Event_id.t }
+
+type machine_msg = { event : Event_id.t; running : bool }
+
+type outcome = {
+  machine_running_at_end : bool;
+  ordering_correct : bool;
+  stops_issued : int;
+  starts_issued : int;
+}
+
+let alarm_addr = 0
+let fail_safe_addr = 1
+let machine_addr = 2
+
+let run ~seed ~cycles =
+  if cycles < 1 then invalid_arg "Fail_safe.run: need at least one cycle";
+  let sim = Sim.create ~seed () in
+  let alarm_net =
+    Net.create ~fifo:false
+      ~latency:{ Net.base = 1e-3; jitter = 40e-3; drop = 0.0 }
+      sim
+  in
+  let machine_net =
+    Net.create ~fifo:false
+      ~latency:{ Net.base = 1e-3; jitter = 40e-3; drop = 0.0 }
+      sim
+  in
+  let engine = Engine.create () in
+  (* machine: last-ordered-wins command application (as in Shop_floor) *)
+  let running = ref true in
+  let last_applied = ref None in
+  let machine (cmd : machine_msg) =
+    let stale =
+      match !last_applied with
+      | None -> false
+      | Some prev -> (
+          match Engine.query_order engine [ (prev, cmd.event) ] with
+          | Ok [ Order.Before ] -> false
+          | Ok _ | Error _ -> true)
+    in
+    if not stale then begin
+      running := cmd.running;
+      last_applied := Some cmd.event
+    end
+  in
+  Net.register machine_net machine_addr (fun ~src:_ cmd -> machine cmd);
+  (* fail-safe: reacts to alarm reports, issuing machine commands coupled
+     purely through the event dependency graph *)
+  let stops = ref 0 in
+  let starts = ref 0 in
+  let stop_events = Hashtbl.create 16 in   (* cycle -> stop event *)
+  let start_events = Hashtbl.create 16 in  (* cycle -> start event *)
+  let fire_events = Hashtbl.create 16 in
+  let out_events = Hashtbl.create 16 in
+  let pending_outs = Hashtbl.create 16 in  (* outs that raced their fire *)
+  let must before after =
+    match
+      Engine.assign_order engine
+        [ (before, Order.Happens_before, Order.Must, after) ]
+    with
+    | Ok _ -> ()
+    | Error _ -> assert false
+  in
+  (* The fail-safe also chains its own commands: the machine must apply
+     them in issue order even when cycles interleave on the wire. *)
+  let prev_command = ref None in
+  let chain_command event =
+    (match !prev_command with Some prev -> must prev event | None -> ());
+    prev_command := Some event
+  in
+  let handle_fire cycle event =
+    Hashtbl.replace fire_events cycle event;
+    let stop = Engine.create_event engine in
+    must event stop;
+    chain_command stop;
+    Hashtbl.replace stop_events cycle stop;
+    incr stops;
+    Net.send machine_net ~src:fail_safe_addr ~dst:machine_addr
+      { event = stop; running = false }
+  in
+  let handle_out cycle event =
+    Hashtbl.replace out_events cycle event;
+    let stop = Hashtbl.find stop_events cycle in
+    (* order this cycle's stop before the fire-out, then start after it *)
+    must stop event;
+    let start = Engine.create_event engine in
+    must event start;
+    chain_command start;
+    Hashtbl.replace start_events cycle start;
+    incr starts;
+    Net.send machine_net ~src:fail_safe_addr ~dst:machine_addr
+      { event = start; running = true }
+  in
+  let fail_safe msg =
+    match msg with
+    | Fire { cycle; event } ->
+      handle_fire cycle event;
+      (match Hashtbl.find_opt pending_outs cycle with
+       | Some out ->
+         Hashtbl.remove pending_outs cycle;
+         handle_out cycle out
+       | None -> ())
+    | Fire_out { cycle; event } ->
+      if Hashtbl.mem stop_events cycle then handle_out cycle event
+      else Hashtbl.replace pending_outs cycle event
+  in
+  Net.register alarm_net fail_safe_addr (fun ~src:_ msg -> fail_safe msg);
+  (* the alarm: [cycles] fire / fire-out pairs *)
+  for cycle = 0 to cycles - 1 do
+    ignore
+      (Sim.schedule sim ~delay:(float_of_int cycle *. 100e-3) (fun () ->
+           let fire = Engine.create_event engine in
+           Net.send alarm_net ~src:alarm_addr ~dst:fail_safe_addr
+             (Fire { cycle; event = fire });
+           ignore
+             (Sim.schedule sim ~delay:20e-3 (fun () ->
+                  let out = Engine.create_event engine in
+                  must fire out;
+                  Net.send alarm_net ~src:alarm_addr ~dst:fail_safe_addr
+                    (Fire_out { cycle; event = out })))))
+  done;
+  Sim.run sim;
+  (* audit: fire -> stop -> fire-out -> start for every cycle *)
+  let ordered a b =
+    match Engine.query_order engine [ (a, b) ] with
+    | Ok [ Order.Before ] -> true
+    | Ok _ | Error _ -> false
+  in
+  let ordering_correct = ref true in
+  for cycle = 0 to cycles - 1 do
+    match
+      ( Hashtbl.find_opt fire_events cycle,
+        Hashtbl.find_opt stop_events cycle,
+        Hashtbl.find_opt out_events cycle,
+        Hashtbl.find_opt start_events cycle )
+    with
+    | Some f, Some s, Some o, Some st ->
+      if not (ordered f s && ordered s o && ordered o st) then
+        ordering_correct := false
+    | _ -> ordering_correct := false
+  done;
+  {
+    machine_running_at_end = !running;
+    ordering_correct = !ordering_correct;
+    stops_issued = !stops;
+    starts_issued = !starts;
+  }
+
+let correct outcome =
+  outcome.machine_running_at_end && outcome.ordering_correct

@@ -1,0 +1,25 @@
+(** The fail-safe kill-switch of Section 3.4: a component that couples the
+    fire alarm with the shop-floor control units {e only} through the event
+    dependency graph, without modifying either.
+
+    For every fire cycle the fail-safe:
+    - on FIRE [f]: issues STOP [s] with [f -> s];
+    - on FIRE-OUT [o] (where the alarm recorded [f -> o]): records
+      [s -> o], then issues START [st] with [o -> st].
+
+    The machine applies commands with last-ordered-wins semantics, so it is
+    stopped during each fire and running after the last extinguishing, no
+    matter how the channel reorders deliveries. *)
+
+type outcome = {
+  machine_running_at_end : bool;
+  ordering_correct : bool;
+      (** every cycle satisfies fire -> stop -> fire-out -> start in the
+          event dependency graph *)
+  stops_issued : int;
+  starts_issued : int;
+}
+
+val run : seed:int64 -> cycles:int -> outcome
+
+val correct : outcome -> bool

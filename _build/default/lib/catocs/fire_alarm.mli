@@ -1,0 +1,26 @@
+(** The Cheriton–Skeen fire-alarm scenario (Section 3.4).
+
+    Sensors report FIRE and FIRE-OUT per location; each pair is connected by
+    one happens-before edge in Kronos (fire -> fire-out).  A monitor
+    receives the reports over an order-destroying channel and must always
+    know which fires still burn.
+
+    - With Kronos, the monitor matches a FIRE-OUT to exactly the fire
+      ordered before it, so a delayed FIRE-OUT can never extinguish a later
+      fire.
+    - Without Kronos, the monitor applies the CATOCS-paper failure mode: a
+      FIRE-OUT is taken to extinguish whatever fire at that location it
+      currently believes is burning. *)
+
+type outcome = {
+  burning_truth : int;     (** fires genuinely still burning at the end *)
+  burning_believed : int;  (** fires the monitor believes are burning *)
+  misattributions : int;   (** FIRE-OUTs matched to the wrong fire *)
+}
+
+val run : kronos:bool -> seed:int64 -> locations:int -> rounds:int -> outcome
+(** Each location goes through [rounds] fire / fire-out cycles; the last
+    fire of each odd-numbered location is left burning. *)
+
+val correct : outcome -> bool
+(** Monitor's belief matches ground truth. *)

@@ -1,0 +1,86 @@
+open Kronos
+module Sim = Kronos_simnet.Sim
+module Net = Kronos_simnet.Net
+
+type machine_state = Running | Stopped
+
+type outcome = {
+  final_state : machine_state;
+  expected_state : machine_state;
+  commands_discarded : int;
+  reordered_deliveries : int;
+}
+
+type command = { index : int; event : Event_id.t; target : machine_state }
+
+let control_addr = 0
+let machine_addr = 1
+
+let run ~kronos ~seed ~commands =
+  if commands < 1 then invalid_arg "Shop_floor.run: need at least one command";
+  let sim = Sim.create ~seed () in
+  (* an unordered channel: no FIFO, lots of jitter *)
+  let net =
+    Net.create ~fifo:false
+      ~latency:{ Net.base = 1e-3; jitter = 50e-3; drop = 0.0 }
+      sim
+  in
+  let engine = Engine.create () in
+  let state = ref Stopped in
+  let last_applied = ref None in
+  let last_index = ref (-1) in
+  let discarded = ref 0 in
+  let reordered = ref 0 in
+  let apply cmd =
+    if cmd.index < !last_index then incr reordered;
+    last_index := max !last_index cmd.index;
+    if kronos then begin
+      (* apply only commands ordered after the last applied one *)
+      let stale =
+        match !last_applied with
+        | None -> false
+        | Some prev -> (
+            match Engine.query_order engine [ (prev, cmd.event) ] with
+            | Ok [ Order.Before ] -> false
+            | Ok _ | Error _ -> true)
+      in
+      if stale then incr discarded
+      else begin
+        state := cmd.target;
+        last_applied := Some cmd.event
+      end
+    end
+    else state := cmd.target
+  in
+  Net.register net machine_addr (fun ~src:_ cmd -> apply cmd);
+  (* the control unit issues alternating commands, each must-ordered after
+     the previous one, spaced closely enough that the channel reorders *)
+  let prev_event = ref None in
+  for i = 0 to commands - 1 do
+    ignore
+      (Sim.schedule sim ~delay:(float_of_int i *. 5e-3) (fun () ->
+           let event = Engine.create_event engine in
+           (match !prev_event with
+            | Some prev ->
+              (match
+                 Engine.assign_order engine
+                   [ (prev, Order.Happens_before, Order.Must, event) ]
+               with
+               | Ok _ -> ()
+               | Error _ -> assert false)
+            | None -> ());
+           prev_event := Some event;
+           let target = if i mod 2 = 0 then Running else Stopped in
+           Net.send net ~src:control_addr ~dst:machine_addr
+             { index = i; event; target }))
+  done;
+  Sim.run sim;
+  let expected_state = if (commands - 1) mod 2 = 0 then Running else Stopped in
+  {
+    final_state = !state;
+    expected_state;
+    commands_discarded = !discarded;
+    reordered_deliveries = !reordered;
+  }
+
+let correct outcome = outcome.final_state = outcome.expected_state

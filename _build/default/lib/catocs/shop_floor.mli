@@ -1,0 +1,27 @@
+(** The Cheriton–Skeen shop-floor control scenario (Section 3.4).
+
+    A control unit issues alternating START/STOP commands to a machine
+    through a channel that does not preserve order (the "common database" of
+    the CATOCS paper).  Each command is a Kronos event, [must]-ordered after
+    the previous command.
+
+    - With Kronos, the machine discards any command whose event is ordered
+      before the last command it applied, so its final state always matches
+      the last command {e issued}.
+    - Without Kronos (the CATOCS baseline), the machine applies commands in
+      arrival order and can end up running when it should be stopped. *)
+
+type machine_state = Running | Stopped
+
+type outcome = {
+  final_state : machine_state;
+  expected_state : machine_state;  (** per the last command issued *)
+  commands_discarded : int;        (** stale commands ignored (Kronos mode) *)
+  reordered_deliveries : int;      (** deliveries out of issue order *)
+}
+
+val run : kronos:bool -> seed:int64 -> commands:int -> outcome
+(** Simulate [commands] alternating commands over a reordering channel. *)
+
+val correct : outcome -> bool
+(** Did the machine end in the state the control unit last commanded? *)

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Event_id Format Graph List Order

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Event_id Format Graph Order

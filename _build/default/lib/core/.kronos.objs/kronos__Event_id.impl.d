@@ -1,0 +1,1 @@
+lib/core/event_id.ml: Format Hashtbl Int Int64

@@ -1,0 +1,1 @@
+lib/core/event_id.mli: Format

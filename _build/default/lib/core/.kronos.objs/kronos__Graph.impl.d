@@ -1,0 +1,1 @@
+lib/core/graph.ml: Array Event_id Hashtbl Int_vec List Order Sparse_set Sys

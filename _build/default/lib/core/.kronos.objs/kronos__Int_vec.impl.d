@@ -1,0 +1,1 @@
+lib/core/int_vec.ml: Array List Sys

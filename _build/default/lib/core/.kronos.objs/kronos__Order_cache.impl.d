@@ -1,0 +1,1 @@
+lib/core/order_cache.ml: Event_id Hashtbl List Option Order

@@ -1,0 +1,1 @@
+lib/core/order_cache.mli: Event_id Order

@@ -1,0 +1,1 @@
+lib/core/sparse_set.ml: Array Sys

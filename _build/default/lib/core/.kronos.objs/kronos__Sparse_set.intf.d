@@ -1,0 +1,1 @@
+lib/core/sparse_set.mli:

@@ -1,0 +1,164 @@
+type config = { initial_capacity : int; traversal_cache : int }
+
+let default_config = { initial_capacity = 1024; traversal_cache = 0 }
+
+type t = {
+  g : Graph.t;
+  mutable creates : int;
+  mutable queries : int;
+  mutable assigns : int;
+  mutable aborted_batches : int;
+  mutable reversals : int;
+  mutable collected : int;
+}
+
+let create ?(config = default_config) () =
+  { g = Graph.create ~initial_capacity:config.initial_capacity
+      ~traversal_cache:config.traversal_cache ();
+    creates = 0; queries = 0; assigns = 0; aborted_batches = 0;
+    reversals = 0; collected = 0 }
+
+let graph t = t.g
+
+let create_event t =
+  t.creates <- t.creates + 1;
+  Graph.create_event t.g
+
+let acquire_ref t e =
+  if Graph.acquire_ref t.g e then Ok () else Error (Order.Unknown_event e)
+
+let release_ref t e =
+  match Graph.release_ref t.g e with
+  | Some n -> t.collected <- t.collected + n; Ok n
+  | None -> Error (Order.Unknown_event e)
+
+let query_order t pairs =
+  let rec check = function
+    | [] -> None
+    | (e1, e2) :: rest ->
+      if not (Graph.is_live t.g e1) then Some e1
+      else if not (Graph.is_live t.g e2) then Some e2
+      else check rest
+  in
+  match check pairs with
+  | Some e -> Error (Order.Unknown_event e)
+  | None ->
+    let answer (e1, e2) =
+      t.queries <- t.queries + 1;
+      match Graph.query t.g e1 e2 with
+      | Ok r -> r
+      | Error _ -> assert false (* all arguments were checked live *)
+    in
+    Ok (List.map answer pairs)
+
+(* A normalized constraint: [before] precedes [after]. *)
+type pending = {
+  index : int;
+  before : Event_id.t;
+  after : Event_id.t;
+  kind : Order.kind;
+}
+
+let normalize index (e1, direction, kind, e2) =
+  match (direction : Order.direction) with
+  | Happens_before -> { index; before = e1; after = e2; kind }
+  | Happens_after -> { index; before = e2; after = e1; kind }
+
+let assign_order t requests =
+  let n = List.length requests in
+  let pending = List.mapi normalize requests in
+  let stale =
+    List.find_opt
+      (fun p ->
+        not (Graph.is_live t.g p.before) || not (Graph.is_live t.g p.after))
+      pending
+  in
+  match stale with
+  | Some p ->
+    let e = if Graph.is_live t.g p.before then p.after else p.before in
+    Error (Order.Unknown_event e)
+  | None ->
+    let musts = List.filter (fun p -> p.kind = Order.Must) pending in
+    let prefers = List.filter (fun p -> p.kind = Order.Prefer) pending in
+    let outcomes = Array.make n Order.Already in
+    (* Edges added by this batch, most recent first, for rollback. *)
+    let added = ref [] in
+    let rollback () =
+      List.iter (fun (u, v) -> Graph.remove_last_edge t.g u v) !added;
+      t.aborted_batches <- t.aborted_batches + 1
+    in
+    let apply_edge p =
+      Graph.add_edge t.g p.before p.after;
+      added := (p.before, p.after) :: !added;
+      outcomes.(p.index) <- Order.Applied
+    in
+    let rec apply_musts = function
+      | [] -> Ok ()
+      | p :: rest ->
+        t.assigns <- t.assigns + 1;
+        if Event_id.equal p.before p.after then begin
+          rollback ();
+          Error (Order.Must_self p.index)
+        end
+        else if Graph.reachable t.g p.after p.before then begin
+          rollback ();
+          Error (Order.Must_violated p.index)
+        end
+        else begin
+          if Graph.reachable t.g p.before p.after then
+            outcomes.(p.index) <- Order.Already
+          else apply_edge p;
+          apply_musts rest
+        end
+    in
+    let apply_prefer p =
+      t.assigns <- t.assigns + 1;
+      if Event_id.equal p.before p.after then
+        outcomes.(p.index) <- Order.Already
+      else if Graph.reachable t.g p.after p.before then begin
+        t.reversals <- t.reversals + 1;
+        outcomes.(p.index) <- Order.Reversed
+      end
+      else if Graph.reachable t.g p.before p.after then
+        outcomes.(p.index) <- Order.Already
+      else apply_edge p
+    in
+    (match apply_musts musts with
+     | Error e -> Error e
+     | Ok () ->
+       List.iter apply_prefer prefers;
+       Ok (Array.to_list outcomes))
+
+let live_events t = Graph.live_count t.g
+let edges t = Graph.edge_count t.g
+let memory_bytes t = Graph.memory_bytes t.g
+
+type stats = {
+  creates : int;
+  queries : int;
+  assigns : int;
+  aborted_batches : int;
+  reversals : int;
+  collected : int;
+  traversals : int;
+  visited : int;
+}
+
+let stats (t : t) =
+  {
+    creates = t.creates;
+    queries = t.queries;
+    assigns = t.assigns;
+    aborted_batches = t.aborted_batches;
+    reversals = t.reversals;
+    collected = t.collected;
+    traversals = Graph.traversal_count t.g;
+    visited = Graph.visited_total t.g;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "@[<v>creates=%d queries=%d assigns=%d aborted=%d reversals=%d@ \
+     collected=%d traversals=%d visited=%d@]"
+    s.creates s.queries s.assigns s.aborted_batches s.reversals s.collected
+    s.traversals s.visited

@@ -1,0 +1,76 @@
+(** The Kronos API (Table 1 of the paper) over the event dependency graph.
+
+    All operations are deterministic, which is what lets the service layer
+    replicate an engine with a replicated state machine (Section 2.4). *)
+
+type t
+
+type config = {
+  initial_capacity : int;  (** starting number of vertex slots (doubles) *)
+  traversal_cache : int;
+      (** size of the internal positive-reachability memo (Section 2.5);
+          0 (the default) disables it *)
+}
+
+val default_config : config
+
+val create : ?config:config -> unit -> t
+
+(** {1 Event management} *)
+
+val create_event : t -> Event_id.t
+(** [create_event g] makes a fresh event with one reference held by the
+    caller and returns its unique identifier. *)
+
+val acquire_ref : t -> Event_id.t -> (unit, Order.assign_error) result
+
+val release_ref : t -> Event_id.t -> (int, Order.assign_error) result
+(** On success, the number of events garbage-collected by this release
+    (strict, topological; see Section 2.3). *)
+
+(** {1 Ordering} *)
+
+val query_order :
+  t -> (Event_id.t * Event_id.t) list ->
+  (Order.relation list, Order.assign_error) result
+(** Relation of each pair, in request order.  Fails atomically with
+    [Unknown_event] if any argument is stale. *)
+
+val assign_order :
+  t ->
+  (Event_id.t * Order.direction * Order.kind * Event_id.t) list ->
+  (Order.outcome list, Order.assign_error) result
+(** Atomically apply a batch of ordering constraints (Section 2.2):
+
+    - all [Must] pairs are applied before any [Prefer] pair, so a prefer can
+      never block a satisfiable must;
+    - if a [Must] pair contradicts the committed order (or relates an event
+      to itself), the whole batch aborts with no side effects;
+    - a [Prefer] pair contradicted by the committed order is reported as
+      [Reversed]; a prefer of an event with itself is a no-op ([Already]);
+    - a pair whose order is already implied adds no edge ([Already]).
+
+    Outcomes are returned in request order. *)
+
+(** {1 Introspection} *)
+
+val graph : t -> Graph.t
+(** The underlying dependency graph (read-only use expected). *)
+
+val live_events : t -> int
+val edges : t -> int
+val memory_bytes : t -> int
+
+type stats = {
+  creates : int;
+  queries : int;       (** individual pairs queried *)
+  assigns : int;       (** individual pairs assigned *)
+  aborted_batches : int;
+  reversals : int;
+  collected : int;     (** events reclaimed by GC *)
+  traversals : int;    (** BFS runs *)
+  visited : int;       (** total vertices visited by BFS *)
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,41 @@
+(* Layout within a 63-bit OCaml int: low 40 bits slot, next 22 bits
+   generation.  A packed value of -1 is the [none] sentinel. *)
+
+type t = int
+
+let slot_bits = 40
+let gen_bits = 22
+let max_slot = (1 lsl slot_bits) - 1
+let max_gen = (1 lsl gen_bits) - 1
+
+let none = -1
+
+let make ~slot ~gen =
+  if slot < 0 || slot > max_slot then invalid_arg "Event_id.make: bad slot";
+  if gen < 0 || gen > max_gen then invalid_arg "Event_id.make: bad generation";
+  (gen lsl slot_bits) lor slot
+
+let slot t = t land max_slot
+let gen t = (t lsr slot_bits) land max_gen
+let equal = Int.equal
+let compare = Int.compare
+let hash t = Hashtbl.hash t
+
+let to_int64 t = Int64.of_int t
+
+let of_int64 i =
+  if Int64.equal i (-1L) then none
+  else begin
+    if Int64.compare i 0L < 0 || Int64.compare i (Int64.of_int max_int) > 0 then
+      invalid_arg "Event_id.of_int64: out of range";
+    let t = Int64.to_int i in
+    if t lsr (slot_bits + gen_bits) <> 0 then
+      invalid_arg "Event_id.of_int64: out of range";
+    t
+  end
+
+let pp ppf t =
+  if t = none then Format.fprintf ppf "<none>"
+  else Format.fprintf ppf "e%d.%d" (slot t) (gen t)
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,289 @@
+type t = {
+  mutable refcount : int array;  (* -1 marks a free slot *)
+  mutable gen : int array;       (* generation of the current/next tenant *)
+  mutable indeg : int array;
+  mutable succ : Int_vec.t array;
+  free : Int_vec.t;              (* stack of reusable slots *)
+  mutable next_slot : int;       (* high-water mark of ever-used slots *)
+  mutable live : int;
+  mutable edges : int;
+  mutable visited : Sparse_set.t;
+  mutable queue : int array;     (* BFS frontier, capacity = slot capacity *)
+  mutable traversals : int;
+  mutable visited_total : int;
+  (* Positive reachability memo (Section 2.5 of the paper: "Kronos can
+     maintain an internal cache of traversal results").  Only reachable=true
+     results may be cached: monotonicity makes them stable forever, while a
+     negative result can be invalidated by any later edge.  Keys carry
+     generations, so slot reuse can never resurrect an entry. *)
+  reach_cache : (Event_id.t * Event_id.t, unit) Hashtbl.t;
+  reach_cache_capacity : int;  (* 0 disables caching *)
+  mutable reach_cache_hits : int;
+}
+
+let max_gen = (1 lsl 22) - 1
+
+let create ?(initial_capacity = 1024) ?(traversal_cache = 0) () =
+  let cap = max initial_capacity 16 in
+  {
+    reach_cache = Hashtbl.create (max 16 (min traversal_cache 4096));
+    reach_cache_capacity = max 0 traversal_cache;
+    reach_cache_hits = 0;
+    refcount = Array.make cap (-1);
+    gen = Array.make cap 0;
+    indeg = Array.make cap 0;
+    succ = Array.init cap (fun _ -> Int_vec.create ~capacity:2 ());
+    free = Int_vec.create ();
+    next_slot = 0;
+    live = 0;
+    edges = 0;
+    visited = Sparse_set.create cap;
+    queue = Array.make cap 0;
+    traversals = 0;
+    visited_total = 0;
+  }
+
+let capacity g = Array.length g.refcount
+let live_count g = g.live
+let edge_count g = g.edges
+let traversal_count g = g.traversals
+let visited_total g = g.visited_total
+let traversal_cache_hits g = g.reach_cache_hits
+
+let grow g =
+  let old = capacity g in
+  let cap = 2 * old in
+  let copy a fill =
+    let b = Array.make cap fill in
+    Array.blit a 0 b 0 old;
+    b
+  in
+  g.refcount <- copy g.refcount (-1);
+  g.gen <- copy g.gen 0;
+  g.indeg <- copy g.indeg 0;
+  let succ = Array.init cap (fun i ->
+    if i < old then g.succ.(i) else Int_vec.create ~capacity:2 ())
+  in
+  g.succ <- succ;
+  Sparse_set.grow g.visited cap;
+  g.queue <- Array.make cap 0
+
+(* Resolve an identifier to its slot, checking liveness and generation. *)
+let resolve g id =
+  let s = Event_id.slot id in
+  if id <> Event_id.none
+     && s < g.next_slot
+     && g.refcount.(s) >= 0
+     && g.gen.(s) = Event_id.gen id
+  then Some s
+  else None
+
+let id_of_slot g s = Event_id.make ~slot:s ~gen:g.gen.(s)
+
+let create_event g =
+  let s =
+    if not (Int_vec.is_empty g.free) then Int_vec.pop g.free
+    else begin
+      if g.next_slot = capacity g then grow g;
+      let s = g.next_slot in
+      g.next_slot <- s + 1;
+      s
+    end
+  in
+  g.refcount.(s) <- 1;
+  g.indeg.(s) <- 0;
+  Int_vec.clear g.succ.(s);
+  g.live <- g.live + 1;
+  id_of_slot g s
+
+let is_live g id = resolve g id <> None
+
+let refcount g id =
+  match resolve g id with Some s -> Some g.refcount.(s) | None -> None
+
+let acquire_ref g id =
+  match resolve g id with
+  | Some s -> g.refcount.(s) <- g.refcount.(s) + 1; true
+  | None -> false
+
+(* Reclaim the cascade of vertices reachable from slot [s] that have zero
+   references and zero in-degree.  Uses the BFS queue as a work stack: safe
+   because collection never runs concurrently with a traversal. *)
+let collect g s =
+  let stack = g.queue in
+  let top = ref 0 in
+  stack.(0) <- s;
+  incr top;
+  let collected = ref 0 in
+  while !top > 0 do
+    decr top;
+    let u = stack.(!top) in
+    g.refcount.(u) <- (-1);
+    g.live <- g.live - 1;
+    incr collected;
+    let kill w =
+      g.indeg.(w) <- g.indeg.(w) - 1;
+      g.edges <- g.edges - 1;
+      if g.indeg.(w) = 0 && g.refcount.(w) = 0 then begin
+        stack.(!top) <- w;
+        incr top
+      end
+    in
+    Int_vec.iter kill g.succ.(u);
+    Int_vec.clear g.succ.(u);
+    (* Retire the slot permanently if its generation space is exhausted. *)
+    if g.gen.(u) < max_gen then begin
+      g.gen.(u) <- g.gen.(u) + 1;
+      Int_vec.push g.free u
+    end
+  done;
+  !collected
+
+let release_ref g id =
+  match resolve g id with
+  | None -> None
+  | Some s when g.refcount.(s) = 0 ->
+    (* zero references: the caller holds no handle to release (the event is
+       only pinned by the graph itself) — treat like a stale identifier *)
+    None
+  | Some s ->
+    g.refcount.(s) <- g.refcount.(s) - 1;
+    if g.refcount.(s) = 0 && g.indeg.(s) = 0 then Some (collect g s)
+    else Some 0
+
+exception Found
+
+(* BFS over slots; allocation-free thanks to the preallocated sparse set and
+   queue.  Degree guards make the common fresh-event cases O(1): a source
+   with no outgoing edge reaches nothing, a destination with no incoming
+   edge is unreachable. *)
+let reachable_slots g src dst =
+  if src = dst then true
+  else if Int_vec.is_empty g.succ.(src) || g.indeg.(dst) = 0 then false
+  else begin
+    g.traversals <- g.traversals + 1;
+    let visited = g.visited in
+    Sparse_set.clear visited;
+    Sparse_set.add visited src;
+    let queue = g.queue in
+    queue.(0) <- src;
+    let head = ref 0 and tail = ref 1 in
+    try
+      while !head < !tail do
+        let u = queue.(!head) in
+        incr head;
+        let visit w =
+          if w = dst then raise Found;
+          if not (Sparse_set.mem visited w) then begin
+            Sparse_set.add visited w;
+            queue.(!tail) <- w;
+            incr tail
+          end
+        in
+        Int_vec.iter visit g.succ.(u)
+      done;
+      g.visited_total <- g.visited_total + !tail;
+      false
+    with Found ->
+      g.visited_total <- g.visited_total + !tail;
+      true
+  end
+
+let cache_reachable g u v su sv =
+  if Hashtbl.mem g.reach_cache (u, v) then begin
+    g.reach_cache_hits <- g.reach_cache_hits + 1;
+    true
+  end
+  else begin
+    let found = reachable_slots g su sv in
+    if found then begin
+      (* full: drop everything rather than track recency — the memo refills
+         from the hot working set almost immediately *)
+      if Hashtbl.length g.reach_cache >= g.reach_cache_capacity then
+        Hashtbl.reset g.reach_cache;
+      Hashtbl.replace g.reach_cache (u, v) ()
+    end;
+    found
+  end
+
+let reachable_ids g u v su sv =
+  if su = sv then false
+  else if g.reach_cache_capacity = 0 then reachable_slots g su sv
+  else cache_reachable g u v su sv
+
+let reachable g u v =
+  match resolve g u, resolve g v with
+  | Some su, Some sv -> reachable_ids g u v su sv
+  | (None | Some _), _ -> false
+
+let query g e1 e2 =
+  match resolve g e1, resolve g e2 with
+  | None, _ -> Error e1
+  | _, None -> Error e2
+  | Some s1, Some s2 ->
+    if s1 = s2 then Ok Order.Same
+    else if reachable_ids g e1 e2 s1 s2 then Ok Order.Before
+    else if reachable_ids g e2 e1 s2 s1 then Ok Order.After
+    else Ok Order.Concurrent
+
+let add_edge g u v =
+  match resolve g u, resolve g v with
+  | Some su, Some sv ->
+    Int_vec.push g.succ.(su) sv;
+    g.indeg.(sv) <- g.indeg.(sv) + 1;
+    g.edges <- g.edges + 1
+  | (None | Some _), _ -> invalid_arg "Graph.add_edge: stale event"
+
+let remove_last_edge g u v =
+  match resolve g u, resolve g v with
+  | Some su, Some sv ->
+    if Int_vec.is_empty g.succ.(su) || Int_vec.last g.succ.(su) <> sv then
+      invalid_arg "Graph.remove_last_edge: not the last edge";
+    ignore (Int_vec.pop g.succ.(su));
+    g.indeg.(sv) <- g.indeg.(sv) - 1;
+    g.edges <- g.edges - 1;
+    (* a rolled-back edge may have witnessed memoized reachability facts:
+       drop the memo wholesale (rollbacks are rare) *)
+    if g.reach_cache_capacity > 0 then Hashtbl.reset g.reach_cache
+  | (None | Some _), _ -> invalid_arg "Graph.remove_last_edge: stale event"
+
+let out_degree g id =
+  match resolve g id with
+  | Some s -> Some (Int_vec.length g.succ.(s))
+  | None -> None
+
+let in_degree g id =
+  match resolve g id with Some s -> Some g.indeg.(s) | None -> None
+
+let successors g id =
+  match resolve g id with
+  | Some s -> List.map (id_of_slot g) (Int_vec.to_list g.succ.(s))
+  | None -> []
+
+let iter_live g f =
+  for s = 0 to g.next_slot - 1 do
+    if g.refcount.(s) >= 0 then f (id_of_slot g s)
+  done
+
+let fold_edges g f init =
+  let acc = ref init in
+  for s = 0 to g.next_slot - 1 do
+    if g.refcount.(s) >= 0 then begin
+      let u = id_of_slot g s in
+      Int_vec.iter (fun w -> acc := f !acc u (id_of_slot g w)) g.succ.(s)
+    end
+  done;
+  !acc
+
+let memory_bytes g =
+  let word = Sys.word_size / 8 in
+  let array_bytes a = (Array.length a + 2) * word in
+  let adjacency =
+    Array.fold_left (fun acc v -> acc + Int_vec.capacity_bytes v) 0 g.succ
+  in
+  array_bytes g.refcount + array_bytes g.gen + array_bytes g.indeg
+  + array_bytes g.queue
+  + (capacity g + 2) * word (* succ pointer array *)
+  + adjacency
+  + Sparse_set.memory_bytes g.visited
+  + Int_vec.capacity_bytes g.free

@@ -1,0 +1,102 @@
+(** The event dependency graph (Section 2 of the paper).
+
+    Vertices are events; a directed edge [u -> v] records that [u] happens
+    before [v].  The structure maintains the paper's two invariants:
+
+    - {b coherency}: the graph is acyclic — an edge is only added after a
+      reachability check shows it cannot close a cycle;
+    - {b monotonicity}: no public operation removes a path; edges disappear
+      only when their source vertex is garbage collected, at which point no
+      client-visible traversal can start from it.
+
+    Slots are reused after collection; identifiers carry a generation so
+    stale identifiers are detected rather than silently re-bound.
+
+    All memory needed to traverse (visited sparse set, BFS queue) is
+    preallocated and grows with the vertex capacity, so queries allocate
+    nothing. *)
+
+type t
+
+val create : ?initial_capacity:int -> ?traversal_cache:int -> unit -> t
+(** [create ()] is an empty graph.  [initial_capacity] (default 1024) sizes
+    the initial slot arrays; they double on demand.
+
+    [traversal_cache] (default 0 = off) bounds an internal memo of
+    {e positive} reachability results (Section 2.5 of the paper): a
+    [u ->* v] fact is stable forever by monotonicity, so it may be cached;
+    negative results never are.  Entries key on full identifiers
+    (slot + generation), so garbage collection cannot resurrect them. *)
+
+(** {1 Events and references} *)
+
+val create_event : t -> Event_id.t
+(** Allocate a new event with reference count 1. *)
+
+val is_live : t -> Event_id.t -> bool
+
+val refcount : t -> Event_id.t -> int option
+(** [None] when the identifier does not name a live event. *)
+
+val acquire_ref : t -> Event_id.t -> bool
+(** Increment the reference count.  Returns [false] (and does nothing) when
+    the identifier is stale. *)
+
+val release_ref : t -> Event_id.t -> int option
+(** Decrement the reference count and run strict garbage collection from this
+    vertex.  Returns the number of events collected (0 when the event stays),
+    or [None] when the identifier is stale or its reference count is already
+    zero (no handle to release).
+
+    Collection is topological: a vertex is reclaimed when its reference count
+    is zero and every vertex ordered before it has been reclaimed (in-degree
+    zero).  Reclaiming it removes its outgoing edges, which may cascade. *)
+
+(** {1 Ordering} *)
+
+val query : t -> Event_id.t -> Event_id.t -> (Order.relation, Event_id.t) result
+(** [query g e1 e2] finds the committed relation between two events by BFS.
+    [Error e] reports a stale/unknown identifier. *)
+
+val reachable : t -> Event_id.t -> Event_id.t -> bool
+(** [reachable g u v] is [true] iff a happens-before path [u ->* v] exists.
+    Returns [false] on stale identifiers and when [u = v]. *)
+
+val add_edge : t -> Event_id.t -> Event_id.t -> unit
+(** [add_edge g u v] unconditionally records [u -> v].  {b Caller must have
+    established} that [v] is live, [u] is live, [u <> v] and [v ->* u] does
+    not hold; used by {!Engine} which performs those checks (and may roll the
+    edge back with {!remove_last_edge} while aborting an atomic batch). *)
+
+val remove_last_edge : t -> Event_id.t -> Event_id.t -> unit
+(** Roll back the most recent [add_edge g u v].  Only valid in LIFO order on
+    edges added by the current (not yet exposed) batch.
+    @raise Invalid_argument if the last edge out of [u] is not [v]. *)
+
+(** {1 Introspection} *)
+
+val live_count : t -> int
+val edge_count : t -> int
+val capacity : t -> int
+
+val out_degree : t -> Event_id.t -> int option
+val in_degree : t -> Event_id.t -> int option
+
+val successors : t -> Event_id.t -> Event_id.t list
+(** Direct happens-after neighbours; [[]] for stale identifiers. *)
+
+val iter_live : t -> (Event_id.t -> unit) -> unit
+
+val fold_edges : t -> ('a -> Event_id.t -> Event_id.t -> 'a) -> 'a -> 'a
+
+val memory_bytes : t -> int
+(** Approximate resident footprint of all internal arrays, in bytes. *)
+
+val traversal_count : t -> int
+(** Number of BFS traversals performed so far. *)
+
+val visited_total : t -> int
+(** Total vertices visited across all traversals (work accounting). *)
+
+val traversal_cache_hits : t -> int
+(** Queries answered from the positive-reachability memo. *)

@@ -1,0 +1,177 @@
+type key = Event_id.t * Event_id.t
+
+type node = {
+  key : key;
+  mutable rel : Order.relation;  (* relation of the normalized pair *)
+  mutable prev : node;           (* intrusive LRU list; self-linked when out *)
+  mutable next : node;
+}
+
+type t = {
+  table : (key, node) Hashtbl.t;
+  mutable head : node option;  (* most recently used *)
+  mutable tail : node option;  (* least recently used *)
+  mutable size : int;
+  capacity : int;
+  prefill_fanout : int;
+  (* adjacency over cached stable edges: afters e = events known after e *)
+  afters : (Event_id.t, Event_id.t list) Hashtbl.t;
+  befores : (Event_id.t, Event_id.t list) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable prefills : int;
+}
+
+let create ?(prefill_fanout = 16) ~capacity () =
+  if capacity <= 0 then invalid_arg "Order_cache.create: capacity";
+  {
+    table = Hashtbl.create (min capacity 4096);
+    head = None;
+    tail = None;
+    size = 0;
+    capacity;
+    prefill_fanout;
+    afters = Hashtbl.create 256;
+    befores = Hashtbl.create 256;
+    hits = 0;
+    misses = 0;
+    prefills = 0;
+  }
+
+let size t = t.size
+let capacity t = t.capacity
+let hits t = t.hits
+let misses t = t.misses
+let prefills t = t.prefills
+
+(* Normalize so the smaller identifier comes first; the stored relation is
+   expressed for the normalized pair. *)
+let normalize e1 e2 rel =
+  if Event_id.compare e1 e2 <= 0 then (e1, e2), rel
+  else (e2, e1), Order.flip_relation rel
+
+let unlink t node =
+  let was_head = match t.head with Some h -> h == node | None -> false in
+  let was_tail = match t.tail with Some l -> l == node | None -> false in
+  if node.prev != node then node.prev.next <- node.next;
+  if node.next != node then node.next.prev <- node.prev;
+  if was_head then t.head <- (if node.next == node then None else Some node.next);
+  if was_tail then t.tail <- (if node.prev == node then None else Some node.prev);
+  node.prev <- node;
+  node.next <- node
+
+let push_front t node =
+  (match t.head with
+   | Some h ->
+     node.next <- h;
+     h.prev <- node
+   | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let touch t node =
+  (match t.head with Some h when h == node -> () | _ ->
+    unlink t node;
+    push_front t node)
+
+let adj_remove table k v =
+  match Hashtbl.find_opt table k with
+  | None -> ()
+  | Some vs ->
+    let vs = List.filter (fun x -> not (Event_id.equal x v)) vs in
+    if vs = [] then Hashtbl.remove table k else Hashtbl.replace table k vs
+
+let adj_add table k v =
+  let vs = Option.value ~default:[] (Hashtbl.find_opt table k) in
+  if not (List.exists (Event_id.equal v) vs) then
+    Hashtbl.replace table k (v :: vs)
+
+(* Every cached Before edge (a, b) with a before b is indexed both ways. *)
+let index_edge t a b = adj_add t.afters a b; adj_add t.befores b a
+
+let unindex_node t node =
+  let a, b = node.key in
+  match node.rel with
+  | Order.Before -> adj_remove t.afters a b; adj_remove t.befores b a
+  | Order.After -> adj_remove t.afters b a; adj_remove t.befores a b
+  | Order.Same | Order.Concurrent -> ()
+
+let evict t =
+  match t.tail with
+  | None -> ()
+  | Some node ->
+    unlink t node;
+    Hashtbl.remove t.table node.key;
+    unindex_node t node;
+    t.size <- t.size - 1
+
+(* Insert a stable [before -> after] fact; when [hop] is true, also pre-fill
+   one transitive hop in each direction (never recursively, so a single
+   service answer costs at most 2 * fanout extra entries). *)
+let rec insert_stable t ~hop before after =
+  if not (Event_id.equal before after) then begin
+    let key, rel = normalize before after Order.Before in
+    match Hashtbl.find_opt t.table key with
+    | Some node -> node.rel <- rel; touch t node
+    | None ->
+      if t.size >= t.capacity then evict t;
+      let rec node = { key; rel; prev = node; next = node } in
+      Hashtbl.replace t.table key node;
+      push_front t node;
+      t.size <- t.size + 1;
+      index_edge t before after;
+      if hop then prefill t before after
+  end
+
+and prefill t before after =
+  let take limit xs =
+    let rec loop n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | x :: rest -> x :: loop (n - 1) rest
+    in
+    loop limit xs
+  in
+  let forward = take t.prefill_fanout
+      (Option.value ~default:[] (Hashtbl.find_opt t.afters after))
+  and backward = take t.prefill_fanout
+      (Option.value ~default:[] (Hashtbl.find_opt t.befores before))
+  in
+  let fill b a =
+    let key, _ = normalize b a Order.Before in
+    if not (Hashtbl.mem t.table key) && not (Event_id.equal b a) then begin
+      t.prefills <- t.prefills + 1;
+      insert_stable t ~hop:false b a
+    end
+  in
+  List.iter (fun w -> fill before w) forward;
+  List.iter (fun u -> fill u after) backward
+
+let insert t e1 e2 rel =
+  match (rel : Order.relation) with
+  | Concurrent -> ()
+  | Same -> ()
+  | Before -> insert_stable t ~hop:true e1 e2
+  | After -> insert_stable t ~hop:true e2 e1
+
+let find t e1 e2 =
+  if Event_id.equal e1 e2 then Some Order.Same
+  else begin
+    let key, _ = normalize e1 e2 Order.Before in
+    match Hashtbl.find_opt t.table key with
+    | Some node ->
+      touch t node;
+      t.hits <- t.hits + 1;
+      let rel = node.rel in
+      Some (if Event_id.compare e1 e2 <= 0 then rel else Order.flip_relation rel)
+    | None ->
+      t.misses <- t.misses + 1;
+      None
+  end
+
+let clear t =
+  Hashtbl.reset t.table;
+  Hashtbl.reset t.afters;
+  Hashtbl.reset t.befores;
+  t.head <- None;
+  t.tail <- None;
+  t.size <- 0

@@ -1,0 +1,35 @@
+(** Client-side LRU cache of pairwise event orders (Section 3.2).
+
+    The monotonicity invariant makes [Before]/[After]/[Same] answers stable
+    forever, so they may be cached and shared freely.  [Concurrent] answers
+    are {e not} stable (a later [assign_order] can order the pair) and are
+    rejected by {!insert}.
+
+    On insertion of [u -> v] the cache pre-fills one transitive hop in each
+    direction: for every cached [v -> w] it also records [u -> w], and for
+    every cached [t -> u] it records [t -> v], saving future service calls. *)
+
+type t
+
+val create : ?prefill_fanout:int -> capacity:int -> unit -> t
+(** [capacity] bounds the number of cached pairs (LRU eviction).
+    [prefill_fanout] (default 16) bounds how many transitive pre-fills a
+    single insertion may generate per direction. *)
+
+val find : t -> Event_id.t -> Event_id.t -> Order.relation option
+(** Cached relation of [(e1, e2)], if any.  Refreshes recency. *)
+
+val insert : t -> Event_id.t -> Event_id.t -> Order.relation -> unit
+(** Record a stable relation.  [Concurrent] insertions are ignored. *)
+
+val size : t -> int
+val capacity : t -> int
+
+val hits : t -> int
+val misses : t -> int
+(** {!find} outcome counters. *)
+
+val prefills : t -> int
+(** Number of entries added by transitive pre-fill. *)
+
+val clear : t -> unit

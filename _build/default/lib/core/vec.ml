@@ -1,0 +1,47 @@
+type 'a t = { dummy : 'a; mutable data : 'a array; mutable len : int }
+
+let create ~dummy ?(capacity = 4) () =
+  { dummy; data = Array.make (max capacity 1) dummy; len = 0 }
+
+let length v = v.len
+
+let check v i =
+  if i < 0 || i >= v.len then invalid_arg "Vec: index out of bounds"
+
+let get v i = check v i; v.data.(i)
+let set v i x = check v i; v.data.(i) <- x
+
+let grow v =
+  let data = Array.make (2 * Array.length v.data) v.dummy in
+  Array.blit v.data 0 data 0 v.len;
+  v.data <- data
+
+let push v x =
+  if v.len = Array.length v.data then grow v;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+let pop v =
+  if v.len = 0 then invalid_arg "Vec.pop: empty";
+  v.len <- v.len - 1;
+  let x = v.data.(v.len) in
+  v.data.(v.len) <- v.dummy;
+  x
+
+let clear v =
+  Array.fill v.data 0 v.len v.dummy;
+  v.len <- 0
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f v.data.(i)
+  done
+
+let iteri f v =
+  for i = 0 to v.len - 1 do
+    f i v.data.(i)
+  done
+
+let to_list v =
+  let rec loop i acc = if i < 0 then acc else loop (i - 1) (get v i :: acc) in
+  loop (v.len - 1) []

@@ -1,0 +1,28 @@
+(** Growable polymorphic vector.
+
+    The caller supplies a [dummy] element used to fill unused slots of the
+    backing array; elements past the length are reset to [dummy] so no stale
+    pointer is retained. *)
+
+type 'a t
+
+val create : dummy:'a -> ?capacity:int -> unit -> 'a t
+
+val length : 'a t -> int
+
+val get : 'a t -> int -> 'a
+
+val set : 'a t -> int -> 'a -> unit
+
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a
+(** @raise Invalid_argument if empty. *)
+
+val clear : 'a t -> unit
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+val to_list : 'a t -> 'a list

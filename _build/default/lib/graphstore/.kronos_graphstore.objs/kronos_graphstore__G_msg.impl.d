@@ -1,0 +1,1 @@
+lib/graphstore/g_msg.ml: Event_id Format Kronos Kronos_simnet List

@@ -1,0 +1,1 @@
+lib/graphstore/g_msg.mli: Event_id Format Kronos Kronos_simnet

@@ -1,0 +1,1 @@
+lib/graphstore/kgraph.ml: Array G_msg Hashtbl Int Kronos_service Kronos_simnet List Map Option

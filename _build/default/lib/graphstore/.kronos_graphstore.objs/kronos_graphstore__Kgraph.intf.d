@@ -1,0 +1,1 @@
+lib/graphstore/kgraph.mli: G_msg Kronos_service Kronos_simnet

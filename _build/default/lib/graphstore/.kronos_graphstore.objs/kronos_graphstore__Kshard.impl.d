@@ -1,0 +1,1 @@
+lib/graphstore/kshard.ml: Event_id G_msg Hashtbl Int Kronos Kronos_service Kronos_simnet List Option Order Order_cache Set

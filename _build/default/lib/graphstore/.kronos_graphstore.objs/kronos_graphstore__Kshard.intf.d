@@ -1,0 +1,1 @@
+lib/graphstore/kshard.mli: Event_id G_msg Kronos Kronos_service Kronos_simnet

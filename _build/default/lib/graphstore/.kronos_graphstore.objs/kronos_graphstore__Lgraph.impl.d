@@ -1,0 +1,1 @@
+lib/graphstore/lgraph.ml: Array G_msg Hashtbl Int Kronos_simnet List Map Option

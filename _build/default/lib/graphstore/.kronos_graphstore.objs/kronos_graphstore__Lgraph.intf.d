@@ -1,0 +1,1 @@
+lib/graphstore/lgraph.mli: G_msg Kronos_simnet

@@ -1,0 +1,1 @@
+lib/graphstore/lshard.ml: G_msg Hashtbl Int Kronos_simnet List Option

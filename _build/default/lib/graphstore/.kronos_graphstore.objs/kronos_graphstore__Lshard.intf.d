@@ -1,0 +1,1 @@
+lib/graphstore/lshard.mli: G_msg Kronos_simnet

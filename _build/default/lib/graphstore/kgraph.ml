@@ -1,0 +1,136 @@
+module Net = Kronos_simnet.Net
+module Client = Kronos_service.Client
+
+type t = {
+  net : G_msg.msg Net.t;
+  addr : Net.addr;
+  kronos : Client.t;
+  shards : Net.addr array;
+  mutable next_req : int;
+  pending : (int, G_msg.response -> unit) Hashtbl.t;
+  mutable queries : int;
+  mutable updates : int;
+}
+
+let queries t = t.queries
+let updates t = t.updates
+
+let handle t ~src:_ msg =
+  match (msg : G_msg.msg) with
+  | G_msg.Request _ -> ()
+  | G_msg.Response { req_id; body } -> (
+      match Hashtbl.find_opt t.pending req_id with
+      | Some callback ->
+        Hashtbl.remove t.pending req_id;
+        callback body
+      | None -> ())
+
+let create ~net ~addr ~kronos ~shards () =
+  let t =
+    { net; addr; kronos; shards; next_req = 0; pending = Hashtbl.create 64;
+      queries = 0; updates = 0 }
+  in
+  Net.register net addr (fun ~src msg -> handle t ~src msg);
+  t
+
+let request t ~shard body callback =
+  t.next_req <- t.next_req + 1;
+  Hashtbl.replace t.pending t.next_req callback;
+  Net.send t.net ~src:t.addr ~dst:shard
+    (G_msg.Request { client = t.addr; req_id = t.next_req; body })
+
+let shard_of t v = t.shards.(v mod Array.length t.shards)
+
+(* Apply one vertex-local mutation on each affected shard under a shared
+   event, completing when every shard confirmed. *)
+let send_updates t event ops k =
+  let remaining = ref (List.length ops) in
+  List.iter
+    (fun (vertex, op) ->
+      request t ~shard:(shard_of t vertex)
+        (G_msg.K_update { event; vertex; op })
+        (fun _ ->
+          decr remaining;
+          if !remaining = 0 then k ()))
+    ops
+
+let update t ops k =
+  t.updates <- t.updates + 1;
+  Client.create_event t.kronos (fun event -> send_updates t event ops k)
+
+let add_vertex t v k = update t [ (v, G_msg.Add_vertex) ] k
+
+let batch_update t ops k = update t ops k
+
+let add_friendship t u v k =
+  update t [ (u, G_msg.Add_edge v); (v, G_msg.Add_edge u) ] k
+
+let remove_friendship t u v k =
+  update t [ (u, G_msg.Remove_edge v); (v, G_msg.Remove_edge u) ] k
+
+(* Fetch adjacency of a vertex set at a given query event: one batched
+   request per shard touched. *)
+let fetch_neighbors t event vertices k =
+  let by_shard = Hashtbl.create 8 in
+  List.iter
+    (fun v ->
+      let s = v mod Array.length t.shards in
+      Hashtbl.replace by_shard s
+        (v :: Option.value ~default:[] (Hashtbl.find_opt by_shard s)))
+    vertices;
+  let groups = Hashtbl.fold (fun s vs acc -> (s, vs) :: acc) by_shard [] in
+  let remaining = ref (List.length groups) in
+  let collected = ref [] in
+  if groups = [] then k []
+  else
+    List.iter
+      (fun (s, vs) ->
+        request t ~shard:t.shards.(s)
+          (G_msg.K_neighbors { event; vertices = vs })
+          (function
+            | G_msg.K_neighbors_are answers ->
+              collected := answers @ !collected;
+              decr remaining;
+              if !remaining = 0 then k !collected
+            | _ -> invalid_arg "Kgraph: unexpected response"))
+      groups
+
+let neighbors t v k =
+  t.queries <- t.queries + 1;
+  Client.create_event t.kronos (fun event ->
+      fetch_neighbors t event [ v ] (fun answers ->
+          k (match answers with [ (_, ns) ] -> ns | _ -> [])))
+
+let recommend t v k =
+  t.queries <- t.queries + 1;
+  Client.create_event t.kronos (fun event ->
+      fetch_neighbors t event [ v ] (fun answers ->
+          let friends = match answers with [ (_, ns) ] -> ns | _ -> [] in
+          if friends = [] then k None
+          else
+            fetch_neighbors t event friends (fun hop2 ->
+                let module IM = Map.Make (Int) in
+                let friend_set = List.sort_uniq Int.compare friends in
+                let is_friend w = List.mem w friend_set in
+                let counts =
+                  List.fold_left
+                    (fun acc (_, ns) ->
+                      List.fold_left
+                        (fun acc w ->
+                          if w = v || is_friend w then acc
+                          else
+                            IM.update w
+                              (fun c -> Some (1 + Option.value ~default:0 c))
+                              acc)
+                        acc ns)
+                    IM.empty hop2
+                in
+                let best =
+                  IM.fold
+                    (fun w c best ->
+                      match best with
+                      | Some (_, bc) when bc >= c -> best
+                      | _ -> Some (w, c))
+                    counts None
+                in
+                k (Option.map fst best))))

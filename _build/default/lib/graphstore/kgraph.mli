@@ -1,0 +1,45 @@
+(** KronoGraph client: the application-facing API of the Kronos-backed graph
+    store (Section 3.2).
+
+    Every operation creates one Kronos event on entry and is then processed
+    by the shard servers without locking; isolation comes from late time
+    binding.  A friendship update touches both endpoint shards; a
+    recommendation query fans out over the 1-hop neighbourhood in one
+    batched request per shard, so its cost is bounded by shards touched, not
+    vertices touched. *)
+
+type t
+
+val create :
+  net:G_msg.msg Kronos_simnet.Net.t ->
+  addr:Kronos_simnet.Net.addr ->
+  kronos:Kronos_service.Client.t ->
+  shards:Kronos_simnet.Net.addr array ->
+  unit ->
+  t
+
+val add_vertex : t -> int -> (unit -> unit) -> unit
+
+val add_friendship : t -> int -> int -> (unit -> unit) -> unit
+(** Add the undirected edge (u, v) as one atomic event applied on both
+    endpoint shards. *)
+
+val remove_friendship : t -> int -> int -> (unit -> unit) -> unit
+
+val batch_update : t -> (int * G_msg.vop) list -> (unit -> unit) -> unit
+(** Apply several vertex-local mutations as {e one} event — e.g. the
+    paper's "remove A−B and add B−C as one update" scenario.  Queries
+    observe all of the batch or none of it. *)
+
+val neighbors : t -> int -> (int list -> unit) -> unit
+(** 1-hop adjacency, isolated at the query's event. *)
+
+val recommend : t -> int -> (int option -> unit) -> unit
+(** Friend recommendation by maximal mutual friendship: among
+    non-neighbours, the vertex sharing the most friends with the argument
+    (Figure 6's workload).  [None] when no candidate exists.  The whole
+    2-hop traversal runs at a single query event, so it observes a
+    consistent snapshot even under concurrent updates. *)
+
+val queries : t -> int
+val updates : t -> int

@@ -1,0 +1,209 @@
+module Net = Kronos_simnet.Net
+module Sim = Kronos_simnet.Sim
+module Rng = Kronos_simnet.Rng
+
+type ids = int ref
+
+let ids () = ref 0
+
+type t = {
+  net : G_msg.msg Net.t;
+  addr : Net.addr;
+  sim : Sim.t;
+  rng : Rng.t;
+  shards : Net.addr array;
+  ids : ids;
+  max_retries : int;
+  mutable next_req : int;
+  pending : (int, G_msg.response -> unit) Hashtbl.t;
+  mutable retries : int;
+}
+
+let retries t = t.retries
+
+let handle t ~src:_ msg =
+  match (msg : G_msg.msg) with
+  | G_msg.Request _ -> ()
+  | G_msg.Response { req_id; body } -> (
+      match Hashtbl.find_opt t.pending req_id with
+      | Some callback ->
+        Hashtbl.remove t.pending req_id;
+        callback body
+      | None -> ())
+
+let create ~net ~addr ~shards ~ids ?(max_retries = 100) () =
+  let sim = Net.sim net in
+  let t =
+    { net; addr; sim; rng = Rng.split (Sim.rng sim); shards; ids; max_retries;
+      next_req = 0; pending = Hashtbl.create 64; retries = 0 }
+  in
+  Net.register net addr (fun ~src msg -> handle t ~src msg);
+  t
+
+let request t ~shard body callback =
+  t.next_req <- t.next_req + 1;
+  Hashtbl.replace t.pending t.next_req callback;
+  Net.send t.net ~src:t.addr ~dst:shard
+    (G_msg.Request { client = t.addr; req_id = t.next_req; body })
+
+let shard_of t v = t.shards.(v mod Array.length t.shards)
+
+let fresh_txn t =
+  incr t.ids;
+  !(t.ids)
+
+(* Release every lock the transaction holds on the given shards, then
+   continue. *)
+let unlock_all t txn shards k =
+  let shards = List.sort_uniq Int.compare shards in
+  let remaining = ref (List.length shards) in
+  if shards = [] then k ()
+  else
+    List.iter
+      (fun s ->
+        request t ~shard:t.shards.(s) (G_msg.L_unlock_all { txn }) (fun _ ->
+            decr remaining;
+            if !remaining = 0 then k ()))
+      shards
+
+(* Acquire locks on [vertices] one at a time (they must be pre-sorted by the
+   caller's deadlock-avoidance policy).  On timeout: [on_fail] with the
+   shards already touched. *)
+let lock_vertices t txn ~write vertices ~on_fail k =
+  let rec loop touched = function
+    | [] -> k touched
+    | v :: rest ->
+      let s = v mod Array.length t.shards in
+      request t ~shard:(shard_of t v)
+        (G_msg.L_lock { txn; vertex = v; write })
+        (function
+          | G_msg.L_granted -> loop (s :: touched) rest
+          | G_msg.L_lock_timeout -> on_fail (s :: touched)
+          | _ -> invalid_arg "Lgraph: unexpected lock response")
+  in
+  loop [] vertices
+
+(* Run [body] as a 2PL transaction with timeout-retry.  [body] receives the
+   transaction id, a list of already-touched shards, and completion
+   continuations. *)
+let with_retries t body k =
+  let rec attempt n =
+    let txn = fresh_txn t in
+    body txn
+      ~abort:(fun touched ->
+        unlock_all t txn touched (fun () ->
+            if n >= t.max_retries then
+              invalid_arg "Lgraph: too many lock-timeout retries"
+            else begin
+              t.retries <- t.retries + 1;
+              let backoff = 1e-3 +. Rng.float t.rng (4e-3 *. float_of_int (n + 1)) in
+              ignore (Sim.schedule t.sim ~delay:backoff (fun () -> attempt (n + 1)))
+            end))
+      ~commit:(fun touched result ->
+        unlock_all t txn touched (fun () -> k result))
+  in
+  attempt 0
+
+let apply_updates t ops k =
+  let remaining = ref (List.length ops) in
+  List.iter
+    (fun (vertex, op) ->
+      request t ~shard:(shard_of t vertex) (G_msg.L_update { vertex; op })
+        (fun _ ->
+          decr remaining;
+          if !remaining = 0 then k ()))
+    ops
+
+let update_edge t u v op_of k =
+  with_retries t
+    (fun txn ~abort ~commit ->
+      let vertices = List.sort_uniq Int.compare [ u; v ] in
+      lock_vertices t txn ~write:true vertices ~on_fail:abort (fun touched ->
+          apply_updates t [ (u, op_of v); (v, op_of u) ] (fun () ->
+              commit touched ())))
+    k
+
+let add_friendship t u v k = update_edge t u v (fun w -> G_msg.Add_edge w) k
+
+let remove_friendship t u v k = update_edge t u v (fun w -> G_msg.Remove_edge w) k
+
+let add_vertex t v k =
+  with_retries t
+    (fun txn ~abort ~commit ->
+      lock_vertices t txn ~write:true [ v ] ~on_fail:abort (fun touched ->
+          apply_updates t [ (v, G_msg.Add_vertex) ] (fun () -> commit touched ())))
+    k
+
+(* Batched adjacency fetch (the caller already holds read locks). *)
+let fetch_neighbors t vertices k =
+  let by_shard = Hashtbl.create 8 in
+  List.iter
+    (fun v ->
+      let s = v mod Array.length t.shards in
+      Hashtbl.replace by_shard s
+        (v :: Option.value ~default:[] (Hashtbl.find_opt by_shard s)))
+    vertices;
+  let groups = Hashtbl.fold (fun s vs acc -> (s, vs) :: acc) by_shard [] in
+  let remaining = ref (List.length groups) in
+  let collected = ref [] in
+  if groups = [] then k []
+  else
+    List.iter
+      (fun (s, vs) ->
+        request t ~shard:t.shards.(s) (G_msg.L_neighbors { vertices = vs })
+          (function
+            | G_msg.L_neighbors_are answers ->
+              collected := answers @ !collected;
+              decr remaining;
+              if !remaining = 0 then k !collected
+            | _ -> invalid_arg "Lgraph: unexpected neighbors response"))
+      groups
+
+let neighbors t v k =
+  with_retries t
+    (fun txn ~abort ~commit ->
+      lock_vertices t txn ~write:false [ v ] ~on_fail:abort (fun touched ->
+          fetch_neighbors t [ v ] (fun answers ->
+              commit touched (match answers with [ (_, ns) ] -> ns | _ -> []))))
+    k
+
+let recommend t v k =
+  with_retries t
+    (fun txn ~abort ~commit ->
+      lock_vertices t txn ~write:false [ v ] ~on_fail:abort (fun touched ->
+          fetch_neighbors t [ v ] (fun answers ->
+              let friends = match answers with [ (_, ns) ] -> ns | _ -> [] in
+              if friends = [] then commit touched None
+              else
+                (* read-lock the whole 1-hop set: its adjacency is read *)
+                lock_vertices t txn ~write:false
+                  (List.sort_uniq Int.compare friends)
+                  ~on_fail:(fun more -> abort (more @ touched))
+                  (fun touched2 ->
+                    fetch_neighbors t friends (fun hop2 ->
+                        let module IM = Map.Make (Int) in
+                        let friend_set = List.sort_uniq Int.compare friends in
+                        let is_friend w = List.mem w friend_set in
+                        let counts =
+                          List.fold_left
+                            (fun acc (_, ns) ->
+                              List.fold_left
+                                (fun acc w ->
+                                  if w = v || is_friend w then acc
+                                  else
+                                    IM.update w
+                                      (fun c -> Some (1 + Option.value ~default:0 c))
+                                      acc)
+                                acc ns)
+                            IM.empty hop2
+                        in
+                        let best =
+                          IM.fold
+                            (fun w c best ->
+                              match best with
+                              | Some (_, bc) when bc >= c -> best
+                              | _ -> Some (w, c))
+                            counts None
+                        in
+                        commit (touched2 @ touched) (Option.map fst best))))))
+    k

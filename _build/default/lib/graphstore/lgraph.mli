@@ -1,0 +1,38 @@
+(** Lockgraph client — two-phase-locked graph operations over {!Lshard}.
+
+    Queries read-lock every vertex whose adjacency they read ({e v} and its
+    whole 1-hop neighbourhood), hold the locks across the traversal, and
+    release at the end; updates write-lock both endpoints.  Locks are
+    acquired one vertex at a time (sorted within each phase), so a query
+    pays one lock round trip per vertex it reads — precisely the
+    concurrency-inhibiting cost the paper attributes to Titan.  Lock
+    timeouts abort the operation, release everything, and retry. *)
+
+type t
+
+type ids = int ref
+(** Shared transaction-id source (one per simulation). *)
+
+val ids : unit -> ids
+
+val create :
+  net:G_msg.msg Kronos_simnet.Net.t ->
+  addr:Kronos_simnet.Net.addr ->
+  shards:Kronos_simnet.Net.addr array ->
+  ids:ids ->
+  ?max_retries:int ->
+  unit ->
+  t
+
+val add_vertex : t -> int -> (unit -> unit) -> unit
+val add_friendship : t -> int -> int -> (unit -> unit) -> unit
+val remove_friendship : t -> int -> int -> (unit -> unit) -> unit
+
+val neighbors : t -> int -> (int list -> unit) -> unit
+
+val recommend : t -> int -> (int option -> unit) -> unit
+(** Same recommendation semantics as {!Kgraph.recommend}, isolated by read
+    locks instead of event ordering. *)
+
+val retries : t -> int
+(** Operations restarted after a lock timeout. *)

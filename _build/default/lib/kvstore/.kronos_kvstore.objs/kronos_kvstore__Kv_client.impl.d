@@ -1,0 +1,1 @@
+lib/kvstore/kv_client.ml: Hashtbl Kronos_simnet Kv_msg

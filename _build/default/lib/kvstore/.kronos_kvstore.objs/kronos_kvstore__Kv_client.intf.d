@@ -1,0 +1,1 @@
+lib/kvstore/kv_client.mli: Kronos_simnet Kv_msg

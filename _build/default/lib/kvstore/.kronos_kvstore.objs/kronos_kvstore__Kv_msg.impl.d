@@ -1,0 +1,1 @@
+lib/kvstore/kv_msg.ml: Event_id Format Kronos Kronos_simnet List Option

@@ -1,0 +1,1 @@
+lib/kvstore/kv_msg.mli: Event_id Format Kronos Kronos_simnet

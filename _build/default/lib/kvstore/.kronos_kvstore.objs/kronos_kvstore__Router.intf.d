@@ -1,0 +1,1 @@
+lib/kvstore/router.mli:

@@ -1,0 +1,1 @@
+lib/kvstore/shard.ml: Event_id Hashtbl Kronos Kronos_simnet Kv_msg List String

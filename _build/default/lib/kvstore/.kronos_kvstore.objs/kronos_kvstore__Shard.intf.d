@@ -1,0 +1,1 @@
+lib/kvstore/shard.mli: Event_id Kronos Kronos_simnet Kv_msg

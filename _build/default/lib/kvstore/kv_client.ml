@@ -1,0 +1,32 @@
+module Net = Kronos_simnet.Net
+
+type t = {
+  net : Kv_msg.msg Net.t;
+  addr : Net.addr;
+  mutable next_req : int;
+  pending : (int, Kv_msg.response -> unit) Hashtbl.t;
+}
+
+let addr t = t.addr
+let outstanding t = Hashtbl.length t.pending
+
+let handle t ~src:_ msg =
+  match (msg : Kv_msg.msg) with
+  | Kv_msg.Request _ -> ()
+  | Kv_msg.Response { req_id; body } -> (
+      match Hashtbl.find_opt t.pending req_id with
+      | Some callback ->
+        Hashtbl.remove t.pending req_id;
+        callback body
+      | None -> ())
+
+let create ~net ~addr =
+  let t = { net; addr; next_req = 0; pending = Hashtbl.create 64 } in
+  Net.register net addr (fun ~src msg -> handle t ~src msg);
+  t
+
+let request t ~shard body callback =
+  t.next_req <- t.next_req + 1;
+  let req_id = t.next_req in
+  Hashtbl.replace t.pending req_id callback;
+  Net.send t.net ~src:t.addr ~dst:shard (Kv_msg.Request { client = t.addr; req_id; body })

@@ -1,0 +1,16 @@
+(** Thin request/response client for shard servers: matches responses to
+    callbacks by request id.  The simulated network is reliable (no drops)
+    for the application tier, so no retransmission is needed here. *)
+
+type t
+
+val create :
+  net:Kv_msg.msg Kronos_simnet.Net.t -> addr:Kronos_simnet.Net.addr -> t
+
+val addr : t -> Kronos_simnet.Net.addr
+
+val request :
+  t -> shard:Kronos_simnet.Net.addr -> Kv_msg.request ->
+  (Kv_msg.response -> unit) -> unit
+
+val outstanding : t -> int

@@ -1,0 +1,54 @@
+open Kronos
+
+type request =
+  | Get of { key : string }
+  | Put of { key : string; value : string }
+  | Lock of { txn : int; keys : string list }
+  | Unlock of { txn : int; keys : string list }
+  | Prepare of {
+      txn : int;
+      event : Event_id.t;
+      reads : string list;
+      writes : string list;
+    }
+  | Decide of { txn : int; commit : bool; writes : (string * string) list }
+
+type response =
+  | Value of { value : string option }
+  | Put_done
+  | Lock_granted
+  | Unlocked
+  | Prepared of {
+      constraints : (Event_id.t * Event_id.t) list;
+      values : (string * string option) list;
+    }
+  | Prepare_rejected
+  | Decided
+
+type msg =
+  | Request of { client : Kronos_simnet.Net.addr; req_id : int; body : request }
+  | Response of { req_id : int; body : response }
+
+let pp_request ppf = function
+  | Get { key } -> Format.fprintf ppf "get(%s)" key
+  | Put { key; _ } -> Format.fprintf ppf "put(%s)" key
+  | Lock { txn; keys } -> Format.fprintf ppf "lock(t%d,%d keys)" txn (List.length keys)
+  | Unlock { txn; keys } ->
+    Format.fprintf ppf "unlock(t%d,%d keys)" txn (List.length keys)
+  | Prepare { txn; reads; writes; _ } ->
+    Format.fprintf ppf "prepare(t%d,%dr/%dw)" txn (List.length reads)
+      (List.length writes)
+  | Decide { txn; commit; _ } ->
+    Format.fprintf ppf "decide(t%d,%s)" txn (if commit then "commit" else "abort")
+
+let pp_response ppf = function
+  | Value { value } ->
+    Format.fprintf ppf "value(%s)" (Option.value ~default:"<none>" value)
+  | Put_done -> Format.pp_print_string ppf "put_done"
+  | Lock_granted -> Format.pp_print_string ppf "lock_granted"
+  | Unlocked -> Format.pp_print_string ppf "unlocked"
+  | Prepared { constraints; values } ->
+    Format.fprintf ppf "prepared(%dc/%dv)" (List.length constraints)
+      (List.length values)
+  | Prepare_rejected -> Format.pp_print_string ppf "prepare_rejected"
+  | Decided -> Format.pp_print_string ppf "decided"

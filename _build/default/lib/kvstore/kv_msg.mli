@@ -1,0 +1,52 @@
+(** Messages of the sharded key-value store.
+
+    Three families of requests support the three transaction disciplines of
+    the Figure 7 comparison:
+    - [Get]/[Put]: uncoordinated single-key operations ("put-and-pray", the
+      MongoDB stand-in);
+    - [Lock]/[Unlock]: a per-shard lock manager for the Percolator-style
+      locking baseline;
+    - [Prepare]/[Decide]: the Kronos-ordered transaction protocol
+      (Section 3.3): prepare pins keys and reports ordering constraints and
+      read values; decide applies or discards the writes. *)
+
+open Kronos
+
+type request =
+  | Get of { key : string }
+  | Put of { key : string; value : string }
+  | Lock of { txn : int; keys : string list }
+  | Unlock of { txn : int; keys : string list }
+  | Prepare of {
+      txn : int;
+      event : Event_id.t;
+      reads : string list;   (** keys this shard should read and pin *)
+      writes : string list;  (** keys this shard will later write *)
+    }
+  | Decide of {
+      txn : int;
+      commit : bool;
+      writes : (string * string) list;  (** applied only when [commit] *)
+    }
+
+type response =
+  | Value of { value : string option }
+  | Put_done
+  | Lock_granted
+  | Unlocked
+  | Prepared of {
+      constraints : (Event_id.t * Event_id.t) list;
+          (** (before, after) pairs the transaction's event must respect *)
+      values : (string * string option) list;  (** reads at pin time *)
+    }
+  | Prepare_rejected
+      (** the prepare parked past its timeout (deadlock suspicion): the
+          client aborts and retries *)
+  | Decided
+
+type msg =
+  | Request of { client : Kronos_simnet.Net.addr; req_id : int; body : request }
+  | Response of { req_id : int; body : response }
+
+val pp_request : Format.formatter -> request -> unit
+val pp_response : Format.formatter -> response -> unit

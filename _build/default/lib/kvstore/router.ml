@@ -1,0 +1,14 @@
+let shard_of ~shards key =
+  if shards <= 0 then invalid_arg "Router.shard_of: shards must be positive";
+  Hashtbl.hash key mod shards
+
+let partition ~shards keys =
+  let groups = Hashtbl.create 8 in
+  List.iter
+    (fun key ->
+      let s = shard_of ~shards key in
+      let existing = Option.value ~default:[] (Hashtbl.find_opt groups s) in
+      Hashtbl.replace groups s (key :: existing))
+    keys;
+  Hashtbl.fold (fun s keys acc -> (s, List.rev keys) :: acc) groups []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)

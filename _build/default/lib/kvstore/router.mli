@@ -1,0 +1,10 @@
+(** Client-side key partitioning: keys are hash-distributed across a fixed
+    number of shards. *)
+
+val shard_of : shards:int -> string -> int
+(** Index in [0, shards) of the shard owning a key (deterministic).
+    @raise Invalid_argument if [shards <= 0]. *)
+
+val partition : shards:int -> string list -> (int * string list) list
+(** Group keys by owning shard; shards with no keys are omitted.  Key order
+    within a group follows the input. *)

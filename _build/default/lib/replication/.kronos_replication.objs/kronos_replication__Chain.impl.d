@@ -1,0 +1,1 @@
+lib/replication/chain.ml: Hashtbl Kronos Kronos_simnet List Logs Net Service_queue Sim String

@@ -1,0 +1,1 @@
+lib/replication/chain.mli: Kronos_simnet

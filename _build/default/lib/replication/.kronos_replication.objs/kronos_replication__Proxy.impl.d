@@ -1,0 +1,1 @@
+lib/replication/proxy.ml: Chain Hashtbl Kronos_simnet List Net Rng Sim

@@ -1,0 +1,1 @@
+lib/replication/proxy.mli: Chain Kronos_simnet

@@ -1,0 +1,356 @@
+open Kronos_simnet
+module Vec = Kronos.Vec
+
+type addr = Net.addr
+
+type config = { version : int; chain : addr list }
+
+type msg =
+  | Client_write of { client : addr; req_id : int; cmd : string }
+  | Client_read of { client : addr; req_id : int; cmd : string }
+  | Forward of { seq : int; client : addr; req_id : int; cmd : string }
+  | Ack of { seq : int }
+  | Reply of { req_id : int; resp : string }
+  | Get_config of { client : addr }
+  | Config_is of config
+  | New_config of { config : config; fresh : addr option }
+  | Ping
+  | Pong of { last_applied : int }
+  | Sync_state of { entries : (int * addr * int * string) list }
+
+let log_src = Logs.Src.create "kronos.chain" ~doc:"chain replication"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* Position helpers over a chain configuration. *)
+let head_of cfg = match cfg.chain with a :: _ -> Some a | [] -> None
+
+let successor_of cfg addr =
+  let rec loop = function
+    | a :: (b :: _ as rest) -> if a = addr then Some b else loop rest
+    | [ _ ] | [] -> None
+  in
+  loop cfg.chain
+
+let predecessor_of cfg addr =
+  let rec loop = function
+    | a :: (b :: _ as rest) -> if b = addr then Some a else loop rest
+    | [ _ ] | [] -> None
+  in
+  loop cfg.chain
+
+let is_tail cfg addr =
+  match List.rev cfg.chain with a :: _ -> a = addr | [] -> false
+
+module Replica = struct
+  type entry = { seq : int; client : addr; req_id : int; cmd : string }
+
+  type t = {
+    net : msg Net.t;
+    addr : addr;
+    apply : string -> string;
+    mutable cfg : config;
+    mutable last_applied : int;
+    log : entry Vec.t;                       (* full command history *)
+    responses : (int, string) Hashtbl.t;     (* seq -> response *)
+    dedup : (addr * int, int) Hashtbl.t;     (* (client, req_id) -> seq *)
+    mutable pending : entry list;            (* forwarded, unacked; seq asc *)
+    stash : (int, entry) Hashtbl.t;          (* out-of-order forwards *)
+    mutable removed : bool;
+  }
+
+  let addr t = t.addr
+  let last_applied t = t.last_applied
+  let config t = t.cfg
+  let pending_count t = List.length t.pending
+  let log_length t = Vec.length t.log
+
+  let crash t = Net.unregister t.net t.addr
+
+  let send t dst msg = Net.send t.net ~src:t.addr ~dst msg
+
+  let to_successor t msg =
+    match successor_of t.cfg t.addr with
+    | Some succ -> send t succ msg
+    | None -> ()
+
+  let to_predecessor t msg =
+    match predecessor_of t.cfg t.addr with
+    | Some pred -> send t pred msg
+    | None -> ()
+
+  (* Apply a command locally and record everything needed to re-reply,
+     deduplicate, and transfer state later. *)
+  let apply_entry t entry =
+    let resp = t.apply entry.cmd in
+    t.last_applied <- entry.seq;
+    Vec.push t.log entry;
+    Hashtbl.replace t.responses entry.seq resp;
+    Hashtbl.replace t.dedup (entry.client, entry.req_id) entry.seq;
+    resp
+
+  (* Post-application propagation: tail replies and acks; others forward and
+     track the entry as pending. *)
+  let propagate t entry resp =
+    if is_tail t.cfg t.addr then begin
+      send t entry.client (Reply { req_id = entry.req_id; resp });
+      to_predecessor t (Ack { seq = entry.seq })
+    end
+    else begin
+      t.pending <- t.pending @ [ entry ];
+      to_successor t
+        (Forward { seq = entry.seq; client = entry.client;
+                   req_id = entry.req_id; cmd = entry.cmd })
+    end
+
+  let rec drain_stash t =
+    match Hashtbl.find_opt t.stash (t.last_applied + 1) with
+    | None -> ()
+    | Some entry ->
+      Hashtbl.remove t.stash entry.seq;
+      let resp = apply_entry t entry in
+      propagate t entry resp;
+      drain_stash t
+
+  let handle_duplicate_forward t (entry : entry) =
+    if is_tail t.cfg t.addr then begin
+      (match Hashtbl.find_opt t.responses entry.seq with
+       | Some resp -> send t entry.client (Reply { req_id = entry.req_id; resp })
+       | None -> ());
+      to_predecessor t (Ack { seq = entry.seq })
+    end
+    else
+      to_successor t
+        (Forward { seq = entry.seq; client = entry.client;
+                   req_id = entry.req_id; cmd = entry.cmd })
+
+  let handle_forward t entry =
+    if entry.seq <= t.last_applied then handle_duplicate_forward t entry
+    else if entry.seq = t.last_applied + 1 then begin
+      let resp = apply_entry t entry in
+      propagate t entry resp;
+      drain_stash t
+    end
+    else Hashtbl.replace t.stash entry.seq entry
+
+  let handle_write t ~client ~req_id ~cmd =
+    match head_of t.cfg with
+    | None -> ()
+    | Some head when head <> t.addr ->
+      (* stale client: relay to the real head *)
+      send t head (Client_write { client; req_id; cmd })
+    | Some _ -> (
+        match Hashtbl.find_opt t.dedup (client, req_id) with
+        | Some seq ->
+          (* retransmission of an already-sequenced request *)
+          if is_tail t.cfg t.addr then begin
+            match Hashtbl.find_opt t.responses seq with
+            | Some resp -> send t client (Reply { req_id; resp })
+            | None -> ()
+          end
+          else to_successor t (Forward { seq; client; req_id; cmd })
+        | None ->
+          let entry = { seq = t.last_applied + 1; client; req_id; cmd } in
+          let resp = apply_entry t entry in
+          propagate t entry resp)
+
+  let handle_ack t seq =
+    t.pending <- List.filter (fun e -> e.seq > seq) t.pending;
+    to_predecessor t (Ack { seq })
+
+  let handle_new_config t new_cfg fresh =
+    if new_cfg.version > t.cfg.version then begin
+      let old_succ = successor_of t.cfg t.addr in
+      t.cfg <- new_cfg;
+      if not (List.mem t.addr new_cfg.chain) then t.removed <- true
+      else begin
+        let new_succ = successor_of new_cfg t.addr in
+        (match new_succ with
+         | Some succ when old_succ <> Some succ ->
+           (* A fresh tail needs the whole history before anything else on
+              this (FIFO) link; a surviving successor only needs our
+              unacknowledged entries. *)
+           if fresh = Some succ then begin
+             let entries =
+               Vec.to_list t.log
+               |> List.map (fun e -> (e.seq, e.client, e.req_id, e.cmd))
+             in
+             send t succ (Sync_state { entries })
+           end;
+           List.iter
+             (fun e ->
+               send t succ
+                 (Forward { seq = e.seq; client = e.client;
+                            req_id = e.req_id; cmd = e.cmd }))
+             t.pending
+         | Some _ | None -> ());
+        if is_tail new_cfg t.addr && t.pending <> [] then begin
+          (* We just became tail: close out the in-flight entries. *)
+          List.iter
+            (fun e ->
+              match Hashtbl.find_opt t.responses e.seq with
+              | Some resp -> send t e.client (Reply { req_id = e.req_id; resp })
+              | None -> ())
+            t.pending;
+          (match List.rev t.pending with
+           | last :: _ -> to_predecessor t (Ack { seq = last.seq })
+           | [] -> ());
+          t.pending <- []
+        end
+      end
+    end
+
+  let handle_sync t entries =
+    List.iter
+      (fun (seq, client, req_id, cmd) ->
+        if seq > t.last_applied then
+          ignore (apply_entry t { seq; client; req_id; cmd }))
+      entries;
+    drain_stash t
+
+  let handle t ~src:_ msg =
+    if not t.removed then
+      match msg with
+      | Client_write { client; req_id; cmd } -> handle_write t ~client ~req_id ~cmd
+      | Client_read { client; req_id; cmd } ->
+        send t client (Reply { req_id; resp = t.apply cmd })
+      | Forward { seq; client; req_id; cmd } ->
+        handle_forward t { seq; client; req_id; cmd }
+      | Ack { seq } -> handle_ack t seq
+      | New_config { config; fresh } -> handle_new_config t config fresh
+      | Ping -> () (* answered below, even when removed *)
+      | Sync_state { entries } -> handle_sync t entries
+      | Reply _ | Config_is _ | Get_config _ | Pong _ ->
+        Log.debug (fun m -> m "replica %d: unexpected message" t.addr)
+
+  let handle t ~src msg =
+    match msg with
+    | Ping -> send t src (Pong { last_applied = t.last_applied })
+    | _ -> handle t ~src msg
+
+  let create ~net ~addr ~apply ?(config = { version = 0; chain = [] }) ?service () =
+    let t =
+      {
+        net;
+        addr;
+        apply;
+        cfg = config;
+        last_applied = 0;
+        log = Vec.create ~dummy:{ seq = 0; client = 0; req_id = 0; cmd = "" } ();
+        responses = Hashtbl.create 1024;
+        dedup = Hashtbl.create 1024;
+        pending = [];
+        stash = Hashtbl.create 16;
+        removed = false;
+      }
+    in
+    let deliver =
+      match service with
+      | None -> fun ~src msg -> handle t ~src msg
+      | Some kind ->
+        let queue = Service_queue.create (Net.sim net) in
+        fun ~src msg ->
+          (* heartbeats bypass the work queue, as a dedicated heartbeat
+             thread would: saturation must not look like a crash *)
+          (match (msg : msg) with
+           | Ping -> handle t ~src msg
+           | _ -> (
+               match kind with
+               | `Fixed cost ->
+                 Service_queue.submit_fixed queue ~cost (fun () ->
+                     handle t ~src msg)
+               | `Measured scale ->
+                 Service_queue.submit_measured queue ~scale (fun () ->
+                     handle t ~src msg)))
+    in
+    Net.register net addr deliver;
+    t
+end
+
+module Coordinator = struct
+  type t = {
+    net : msg Net.t;
+    addr : addr;
+    mutable cfg : config;
+    (* the fresh-join marker of the latest reconfiguration, kept so the
+       periodic re-broadcast stays identical to the original announcement *)
+    mutable last_fresh : addr option;
+    last_pong : (addr, float) Hashtbl.t;
+    ping_interval : float;
+    failure_timeout : float;
+  }
+
+  let addr t = t.addr
+  let config t = t.cfg
+
+  let broadcast t fresh =
+    t.last_fresh <- fresh;
+    List.iter
+      (fun a -> Net.send t.net ~src:t.addr ~dst:a (New_config { config = t.cfg; fresh }))
+      t.cfg.chain
+
+  let sim t = Net.sim t.net
+
+  let check_failures t =
+    let now = Sim.now (sim t) in
+    let dead =
+      List.filter
+        (fun a ->
+          match Hashtbl.find_opt t.last_pong a with
+          | Some seen -> now -. seen > t.failure_timeout
+          | None -> false)
+        t.cfg.chain
+    in
+    if dead <> [] then begin
+      Log.info (fun m ->
+          m "coordinator: removing %s from chain"
+            (String.concat "," (List.map string_of_int dead)));
+      t.cfg <-
+        { version = t.cfg.version + 1;
+          chain = List.filter (fun a -> not (List.mem a dead)) t.cfg.chain };
+      List.iter (Hashtbl.remove t.last_pong) dead;
+      broadcast t None
+    end
+
+  let tick t =
+    check_failures t;
+    (* Re-announce the configuration every tick: announcements can be lost
+       and replicas version-check them, so this is idempotent. *)
+    broadcast t t.last_fresh;
+    List.iter (fun a -> Net.send t.net ~src:t.addr ~dst:a Ping) t.cfg.chain
+
+  let handle t ~src msg =
+    match msg with
+    | Pong _ -> Hashtbl.replace t.last_pong src (Sim.now (sim t))
+    | Get_config { client } ->
+      Net.send t.net ~src:t.addr ~dst:client (Config_is t.cfg)
+    | Client_write _ | Client_read _ | Forward _ | Ack _ | Reply _
+    | Config_is _ | New_config _ | Ping | Sync_state _ ->
+      Log.debug (fun m -> m "coordinator: unexpected message")
+
+  let create ~net ~addr ~chain ?(ping_interval = 0.2) ?(failure_timeout = 1.0) () =
+    let t =
+      {
+        net;
+        addr;
+        cfg = { version = 1; chain };
+        last_fresh = None;
+        last_pong = Hashtbl.create 8;
+        ping_interval;
+        failure_timeout;
+      }
+    in
+    let now = Sim.now (Net.sim net) in
+    List.iter (fun a -> Hashtbl.replace t.last_pong a now) chain;
+    Net.register net addr (fun ~src msg -> handle t ~src msg);
+    broadcast t None;
+    ignore (Sim.every (Net.sim net) ~period:ping_interval (fun () -> tick t));
+    t
+
+  let join t replica =
+    let a = Replica.addr replica in
+    if List.mem a t.cfg.chain then invalid_arg "Coordinator.join: already a member";
+    t.cfg <- { version = t.cfg.version + 1; chain = t.cfg.chain @ [ a ] };
+    Hashtbl.replace t.last_pong a (Sim.now (sim t));
+    broadcast t (Some a)
+end

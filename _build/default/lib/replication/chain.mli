@@ -1,0 +1,107 @@
+(** Chain replication (van Renesse & Schneider, OSDI'04) over the simulated
+    network, replicating an arbitrary deterministic state machine whose
+    commands and responses are byte strings.
+
+    Topology and roles:
+    - writes enter at the {e head}, which assigns sequence numbers, applies
+      the command, and forwards down the chain; the {e tail} applies and
+      replies to the client, then acknowledges back up the chain so
+      predecessors can drop their pending entries;
+    - reads may be served locally by {e any} replica ([Client_read]); the
+      Kronos service layer exploits this for stale-replica queries
+      (Section 2.5 of the paper) because monotonicity makes ordered answers
+      from stale replicas indistinguishable from tail answers;
+    - a {e coordinator} process (standing in for the coordination service of
+      Section 2.4, e.g. ZooKeeper/Chubby) pings replicas, removes silent
+      ones from the chain, broadcasts new configurations, and integrates
+      fresh replicas at the tail with full state transfer.
+
+    Failure handling follows the standard protocol: on reconfiguration a
+    replica that gained a new successor re-sends its unacknowledged pending
+    entries (duplicates are discarded by sequence number); a replica that
+    became tail replies to the clients of its pending entries. *)
+
+type addr = Kronos_simnet.Net.addr
+
+type config = { version : int; chain : addr list }
+
+(** Messages exchanged by proxies, replicas and the coordinator. *)
+type msg =
+  | Client_write of { client : addr; req_id : int; cmd : string }
+  | Client_read of { client : addr; req_id : int; cmd : string }
+  | Forward of { seq : int; client : addr; req_id : int; cmd : string }
+  | Ack of { seq : int }
+  | Reply of { req_id : int; resp : string }
+  | Get_config of { client : addr }
+  | Config_is of config
+  | New_config of { config : config; fresh : addr option }
+  | Ping
+  | Pong of { last_applied : int }
+  | Sync_state of { entries : (int * addr * int * string) list }
+      (** (seq, client, req_id, cmd) log prefix for a joining replica *)
+
+(** {1 Chain position helpers} *)
+
+val head_of : config -> addr option
+val successor_of : config -> addr -> addr option
+val predecessor_of : config -> addr -> addr option
+val is_tail : config -> addr -> bool
+
+(** {1 Replicas} *)
+
+module Replica : sig
+  type t
+
+  val create :
+    net:msg Kronos_simnet.Net.t ->
+    addr:addr ->
+    apply:(string -> string) ->
+    ?config:config ->
+    ?service:[ `Fixed of float | `Measured of float ] ->
+    unit ->
+    t
+  (** Create a replica and register it on the network.  [apply] must be
+      deterministic.  [config] seeds the initial chain configuration (all
+      replicas and the coordinator must agree on it).
+
+      [service] models the replica's CPU: each non-heartbeat message
+      occupies the server for a fixed virtual duration, or — with
+      [`Measured scale] — for the scaled wall-clock time the handler
+      actually took, which charges the {e real} cost of the hosted state
+      machine (used by the scalability benchmark). *)
+
+  val addr : t -> addr
+  val last_applied : t -> int
+  val config : t -> config
+  val pending_count : t -> int
+  val log_length : t -> int
+
+  val crash : t -> unit
+  (** Unregister from the network; in-flight and future messages drop. *)
+end
+
+(** {1 Coordinator} *)
+
+module Coordinator : sig
+  type t
+
+  val create :
+    net:msg Kronos_simnet.Net.t ->
+    addr:addr ->
+    chain:addr list ->
+    ?ping_interval:float ->
+    ?failure_timeout:float ->
+    unit ->
+    t
+  (** Start the coordinator.  It immediately broadcasts the initial
+      configuration and begins pinging replicas.  A replica missing
+      [failure_timeout] seconds of pongs (default 1.0) is removed from the
+      chain. *)
+
+  val addr : t -> addr
+  val config : t -> config
+
+  val join : t -> Replica.t -> unit
+  (** Integrate a fresh replica at the tail: the current tail transfers its
+      log, then the coordinator broadcasts the extended chain. *)
+end

@@ -1,0 +1,134 @@
+open Kronos_simnet
+
+type read_target = Tail | Any | Nth of int
+
+type op = {
+  req_id : int;
+  cmd : string;
+  kind : [ `Write | `Read of read_target ];
+  callback : string -> unit;
+  mutable timer : Sim.timer option;
+}
+
+type t = {
+  net : Chain.msg Net.t;
+  addr : Net.addr;
+  coordinator : Net.addr;
+  request_timeout : float;
+  rng : Rng.t;
+  mutable cfg : Chain.config option;
+  mutable next_req : int;
+  outstanding : (int, op) Hashtbl.t;
+  mutable queued : op list;  (* ops waiting for the first configuration *)
+  mutable retries : int;
+}
+
+let outstanding t = Hashtbl.length t.outstanding
+let retries t = t.retries
+
+let config_version t =
+  match t.cfg with Some c -> c.Chain.version | None -> 0
+
+let sim t = Net.sim t.net
+
+let read_destination t target (cfg : Chain.config) =
+  match cfg.chain with
+  | [] -> None
+  | chain -> (
+      match target with
+      | Tail -> Some (List.nth chain (List.length chain - 1))
+      | Any -> Some (List.nth chain (Rng.int t.rng (List.length chain)))
+      | Nth i ->
+        let i = max 0 (min i (List.length chain - 1)) in
+        Some (List.nth chain i))
+
+let rec dispatch t op =
+  (match t.cfg with
+   | None ->
+     (* No configuration yet: park the op; the armed timeout below will
+        refresh the configuration and retry even if the initial
+        [Get_config] was lost. *)
+     if not (List.memq op t.queued) then t.queued <- op :: t.queued
+   | Some cfg ->
+     let destination =
+       match op.kind with
+       | `Write -> Chain.head_of cfg
+       | `Read target -> read_destination t target cfg
+     in
+     (match destination with
+      | None -> ()  (* empty chain: wait for a config with members *)
+      | Some dst ->
+        let msg =
+          match op.kind with
+          | `Write ->
+            Chain.Client_write { client = t.addr; req_id = op.req_id; cmd = op.cmd }
+          | `Read _ ->
+            Chain.Client_read { client = t.addr; req_id = op.req_id; cmd = op.cmd }
+        in
+        Net.send t.net ~src:t.addr ~dst msg));
+  arm_timeout t op
+
+and arm_timeout t op =
+  (match op.timer with Some timer -> Sim.cancel timer | None -> ());
+  let timer =
+    Sim.schedule (sim t) ~delay:t.request_timeout (fun () ->
+        if Hashtbl.mem t.outstanding op.req_id then begin
+          t.retries <- t.retries + 1;
+          (* The failure may be a dead replica: refresh the configuration
+             before retransmitting. *)
+          Net.send t.net ~src:t.addr ~dst:t.coordinator
+            (Chain.Get_config { client = t.addr });
+          dispatch t op
+        end)
+  in
+  op.timer <- Some timer
+
+let handle t ~src:_ msg =
+  match (msg : Chain.msg) with
+  | Config_is cfg ->
+    let fresh_config =
+      match t.cfg with Some old -> cfg.version > old.version | None -> true
+    in
+    if fresh_config then t.cfg <- Some cfg;
+    let queued = List.rev t.queued in
+    t.queued <- [];
+    List.iter (dispatch t) queued
+  | Reply { req_id; resp } -> (
+      match Hashtbl.find_opt t.outstanding req_id with
+      | Some op ->
+        Hashtbl.remove t.outstanding req_id;
+        (match op.timer with Some timer -> Sim.cancel timer | None -> ());
+        op.callback resp
+      | None -> () (* duplicate reply after a retransmission *))
+  | Client_write _ | Client_read _ | Forward _ | Ack _ | Get_config _
+  | New_config _ | Ping | Pong _ | Sync_state _ ->
+    ()
+
+let create ~net ~addr ~coordinator ?(request_timeout = 0.5) () =
+  let t =
+    {
+      net;
+      addr;
+      coordinator;
+      request_timeout;
+      rng = Rng.split (Sim.rng (Net.sim net));
+      cfg = None;
+      next_req = 0;
+      outstanding = Hashtbl.create 64;
+      queued = [];
+      retries = 0;
+    }
+  in
+  Net.register net addr (fun ~src msg -> handle t ~src msg);
+  Net.send net ~src:addr ~dst:coordinator (Chain.Get_config { client = addr });
+  t
+
+let submit t kind cmd callback =
+  t.next_req <- t.next_req + 1;
+  let op = { req_id = t.next_req; cmd; kind; callback; timer = None } in
+  Hashtbl.replace t.outstanding op.req_id op;
+  dispatch t op
+
+let write t cmd callback = submit t `Write cmd callback
+
+let read t ?(target = Tail) cmd callback = submit t (`Read target) cmd callback

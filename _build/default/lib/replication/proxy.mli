@@ -1,0 +1,43 @@
+(** Client proxy for a chain-replicated service.
+
+    The proxy discovers the chain configuration from the coordinator, routes
+    writes to the head and reads to a chosen replica, matches replies to
+    callbacks by request id, and retransmits after a timeout (refreshing the
+    configuration first, so it follows reconfigurations).  Requests carry
+    stable ids, and replicas deduplicate retransmitted writes, so a retried
+    write is applied exactly once. *)
+
+type t
+
+(** Which replica should serve a read. *)
+type read_target =
+  | Tail  (** linearizable: the committed prefix *)
+  | Any   (** possibly stale replica — safe for monotonic answers *)
+  | Nth of int  (** specific position in the chain (clamped) *)
+
+val create :
+  net:Chain.msg Kronos_simnet.Net.t ->
+  addr:Kronos_simnet.Net.addr ->
+  coordinator:Kronos_simnet.Net.addr ->
+  ?request_timeout:float ->
+  unit ->
+  t
+(** Register the proxy on the network and fetch the initial configuration.
+    [request_timeout] (default 0.5 s) triggers retransmission. *)
+
+val write : t -> string -> (string -> unit) -> unit
+(** Submit a state-mutating command; the callback fires once, with the
+    response computed by the replicated state machine. *)
+
+val read : t -> ?target:read_target -> string -> (string -> unit) -> unit
+(** Submit a read-only command to the chosen replica (default [Tail]). *)
+
+val outstanding : t -> int
+(** Requests sent but not yet answered. *)
+
+val retries : t -> int
+(** Total retransmissions performed (for tests and reporting). *)
+
+val config_version : t -> int
+(** Version of the configuration the proxy currently believes in; 0 before
+    the first [Config_is] arrives. *)

@@ -1,0 +1,1 @@
+lib/service/client.ml: Array Event_id Kronos Kronos_replication Kronos_wire List Message Order Order_cache

@@ -1,0 +1,1 @@
+lib/service/client.mli: Event_id Kronos Kronos_replication Kronos_simnet Order Order_cache

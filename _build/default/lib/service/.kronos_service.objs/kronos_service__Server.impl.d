@@ -1,0 +1,1 @@
+lib/service/server.ml: Codec Engine Event_id Kronos Kronos_replication Kronos_simnet Kronos_wire List Message Order

@@ -1,0 +1,1 @@
+lib/service/server.mli: Engine Kronos Kronos_replication Kronos_simnet

@@ -1,0 +1,160 @@
+open Kronos
+open Kronos_wire
+module Proxy = Kronos_replication.Proxy
+
+type t = {
+  proxy : Proxy.t;
+  cache : Order_cache.t option;
+  mutable server_queries : int;
+  mutable stale_revalidations : int;
+}
+
+let create ~net ~addr ~coordinator ?(cache_capacity = 65536) ?request_timeout () =
+  let proxy = Proxy.create ~net ~addr ~coordinator ?request_timeout () in
+  let cache =
+    if cache_capacity > 0 then Some (Order_cache.create ~capacity:cache_capacity ())
+    else None
+  in
+  { proxy; cache; server_queries = 0; stale_revalidations = 0 }
+
+let cache t = t.cache
+let server_queries t = t.server_queries
+let stale_revalidations t = t.stale_revalidations
+
+let unexpected = Order.Unknown_event Event_id.none
+
+let create_event t callback =
+  Proxy.write t.proxy (Message.encode_request Message.Create_event) (fun resp ->
+      match Message.decode_response resp with
+      | Message.Event_created e -> callback e
+      | _ -> invalid_arg "Client.create_event: unexpected response")
+
+let acquire_ref t e callback =
+  Proxy.write t.proxy (Message.encode_request (Message.Acquire_ref e)) (fun resp ->
+      match Message.decode_response resp with
+      | Message.Ref_acquired -> callback (Ok ())
+      | Message.Rejected err -> callback (Error err)
+      | _ -> callback (Error unexpected))
+
+let release_ref t e callback =
+  Proxy.write t.proxy (Message.encode_request (Message.Release_ref e)) (fun resp ->
+      match Message.decode_response resp with
+      | Message.Ref_released n -> callback (Ok n)
+      | Message.Rejected err -> callback (Error err)
+      | _ -> callback (Error unexpected))
+
+let cache_find t e1 e2 =
+  match t.cache with None -> None | Some c -> Order_cache.find c e1 e2
+
+let cache_insert t e1 e2 rel =
+  match t.cache with None -> () | Some c -> Order_cache.insert c e1 e2 rel
+
+(* Issue one Query_order to the service for [pairs]; [target] selects the
+   replica.  The callback receives the decoded result. *)
+let send_query t ~target pairs callback =
+  t.server_queries <- t.server_queries + 1;
+  Proxy.read t.proxy ~target
+    (Message.encode_request (Message.Query_order pairs))
+    (fun resp ->
+      match Message.decode_response resp with
+      | Message.Orders rels -> callback (Ok rels)
+      | Message.Rejected err -> callback (Error err)
+      | _ -> callback (Error unexpected))
+
+let query_order t ?(stale = false) ?(revalidate = true) pairs callback =
+  (* Resolve from the cache first. *)
+  let n = List.length pairs in
+  let answers = Array.make n None in
+  let misses =
+    List.concat
+      (List.mapi
+         (fun i (e1, e2) ->
+           match cache_find t e1 e2 with
+           | Some rel ->
+             answers.(i) <- Some rel;
+             []
+           | None -> [ (i, (e1, e2)) ])
+         pairs)
+  in
+  let finish () =
+    let rels =
+      Array.to_list answers
+      |> List.map (function Some r -> r | None -> assert false)
+    in
+    callback (Ok rels)
+  in
+  let record (i, (e1, e2)) rel =
+    answers.(i) <- Some rel;
+    cache_insert t e1 e2 rel
+  in
+  match misses with
+  | [] -> finish ()
+  | _ ->
+    let miss_pairs = List.map snd misses in
+    let target = if stale then Proxy.Any else Proxy.Tail in
+    send_query t ~target miss_pairs (fun result ->
+        match result with
+        | Error err -> callback (Error err)
+        | Ok rels ->
+          let answered = List.combine misses rels in
+          if (not stale) || not revalidate then begin
+            List.iter
+              (fun ((m, rel) : (int * (Event_id.t * Event_id.t)) * Order.relation) ->
+                match rel with
+                | Order.Concurrent when stale ->
+                  (* unvalidated concurrent answer: report, do not cache *)
+                  answers.(fst m) <- Some rel
+                | _ -> record m rel)
+              answered;
+            finish ()
+          end
+          else begin
+            (* Ordered answers from a stale replica are definitive; only
+               Concurrent needs tail validation (Section 2.5). *)
+            let unresolved =
+              List.filter_map
+                (fun (m, rel) ->
+                  match (rel : Order.relation) with
+                  | Concurrent -> Some m
+                  | Before | After | Same ->
+                    record m rel;
+                    None)
+                answered
+            in
+            match unresolved with
+            | [] -> finish ()
+            | _ ->
+              t.stale_revalidations <- t.stale_revalidations + List.length unresolved;
+              send_query t ~target:Proxy.Tail (List.map snd unresolved)
+                (fun result ->
+                  match result with
+                  | Error err -> callback (Error err)
+                  | Ok rels ->
+                    List.iter2 (fun m rel -> record m rel) unresolved rels;
+                    finish ())
+          end)
+
+let assign_order t reqs callback =
+  Proxy.write t.proxy (Message.encode_request (Message.Assign_order reqs))
+    (fun resp ->
+      match Message.decode_response resp with
+      | Message.Outcomes outs ->
+        (* Every pair of a successful batch now has a committed order we can
+           cache: Applied/Already mean the requested direction holds;
+           Reversed means the opposite one does. *)
+        List.iter2
+          (fun (e1, dir, _, e2) out ->
+            let before, after =
+              match (dir : Order.direction) with
+              | Happens_before -> (e1, e2)
+              | Happens_after -> (e2, e1)
+            in
+            match (out : Order.outcome) with
+            | Applied | Already ->
+              if not (Event_id.equal before after) then
+                cache_insert t before after Order.Before
+            | Reversed -> cache_insert t after before Order.Before)
+          reqs outs;
+        callback (Ok outs)
+      | Message.Rejected err -> callback (Error err)
+      | _ -> callback (Error unexpected))

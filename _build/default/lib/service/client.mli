@@ -1,0 +1,70 @@
+(** Typed Kronos client over the replicated service.
+
+    The client implements the optimizations of Sections 2.5 and 3.2 of the
+    paper:
+
+    - {b order caching}: stable answers ([Before]/[After]) are kept in an
+      LRU {!Kronos.Order_cache} with transitive pre-fill, so repeated
+      queries cost no network round trip;
+    - {b apportioned reads}: with [stale:true], [query_order] is served by a
+      randomly chosen replica.  Monotonicity makes ordered answers from a
+      stale replica definitive; only pairs the stale replica reports as
+      [Concurrent] are re-validated at the tail.
+
+    All operations are asynchronous: callbacks fire when the (simulated)
+    round trips complete.  Callbacks may fire synchronously when the cache
+    answers every pair. *)
+
+open Kronos
+
+type t
+
+val create :
+  net:Kronos_replication.Chain.msg Kronos_simnet.Net.t ->
+  addr:Kronos_simnet.Net.addr ->
+  coordinator:Kronos_simnet.Net.addr ->
+  ?cache_capacity:int ->
+  ?request_timeout:float ->
+  unit ->
+  t
+(** [cache_capacity] (default 65536) bounds the order cache; 0 disables
+    caching entirely (used by the cache ablation benchmark). *)
+
+val create_event : t -> (Event_id.t -> unit) -> unit
+
+val acquire_ref : t -> Event_id.t -> ((unit, Order.assign_error) result -> unit) -> unit
+
+val release_ref : t -> Event_id.t -> ((int, Order.assign_error) result -> unit) -> unit
+
+val query_order :
+  t ->
+  ?stale:bool ->
+  ?revalidate:bool ->
+  (Event_id.t * Event_id.t) list ->
+  ((Order.relation list, Order.assign_error) result -> unit) ->
+  unit
+(** [stale] (default false) picks a random replica and — when [revalidate]
+    (default true) — re-checks concurrent answers at the tail.  Disable
+    revalidation only when the caller knows replicas cannot be behind (e.g.
+    a read-only phase), as in the paper's scalability experiment. *)
+
+val assign_order :
+  t ->
+  (Event_id.t * Order.direction * Order.kind * Event_id.t) list ->
+  ((Order.outcome list, Order.assign_error) result -> unit) ->
+  unit
+(** Atomic ordering batch, applied by the replicated state machine.  On
+    success, every applied or implied pair is inserted into the local order
+    cache. *)
+
+(** {1 Introspection} *)
+
+val cache : t -> Order_cache.t option
+val server_queries : t -> int
+(** Number of [query_order] requests actually sent to the service (cache
+    hits excluded) — the "operations requiring a Kronos traversal" metric
+    the paper reports for KronoGraph. *)
+
+val stale_revalidations : t -> int
+(** Pairs a stale replica answered [Concurrent] that were re-validated at
+    the tail. *)

@@ -1,0 +1,74 @@
+open Kronos
+open Kronos_wire
+module Net = Kronos_simnet.Net
+module Chain = Kronos_replication.Chain
+
+let apply engine cmd =
+  let response =
+    match Message.decode_request cmd with
+    | exception Codec.Decode_error _ ->
+      (* a malformed command can never name a live event *)
+      Message.Rejected (Order.Unknown_event Event_id.none)
+    | Message.Create_event -> Message.Event_created (Engine.create_event engine)
+    | Message.Acquire_ref e -> (
+        match Engine.acquire_ref engine e with
+        | Ok () -> Message.Ref_acquired
+        | Error err -> Message.Rejected err)
+    | Message.Release_ref e -> (
+        match Engine.release_ref engine e with
+        | Ok n -> Message.Ref_released n
+        | Error err -> Message.Rejected err)
+    | Message.Query_order pairs -> (
+        match Engine.query_order engine pairs with
+        | Ok rels -> Message.Orders rels
+        | Error err -> Message.Rejected err)
+    | Message.Assign_order reqs -> (
+        match Engine.assign_order engine reqs with
+        | Ok outs -> Message.Outcomes outs
+        | Error err -> Message.Rejected err)
+  in
+  Message.encode_response response
+
+type cluster = {
+  net : Chain.msg Net.t;
+  coordinator : Chain.Coordinator.t;
+  mutable replicas : (Chain.Replica.t * Engine.t) list;
+}
+
+let start_replica ~net ~addr ~engine_config ~service =
+  let engine = Engine.create ?config:engine_config () in
+  let replica =
+    Chain.Replica.create ~net ~addr ~apply:(apply engine)
+      ~config:{ Chain.version = 0; chain = [] } ?service ()
+  in
+  (replica, engine)
+
+let deploy ~net ~coordinator ~replicas ?engine_config ?service
+    ?(ping_interval = 0.2) ?(failure_timeout = 1.0) () =
+  let started =
+    List.map (fun addr -> start_replica ~net ~addr ~engine_config ~service) replicas
+  in
+  let coordinator =
+    Chain.Coordinator.create ~net ~addr:coordinator ~chain:replicas
+      ~ping_interval ~failure_timeout ()
+  in
+  { net; coordinator; replicas = started }
+
+let crash cluster addr =
+  List.iter
+    (fun (replica, _) ->
+      if Chain.Replica.addr replica = addr then Chain.Replica.crash replica)
+    cluster.replicas
+
+let join cluster addr ?engine_config ?service () =
+  let replica, engine =
+    start_replica ~net:cluster.net ~addr ~engine_config ~service
+  in
+  Chain.Coordinator.join cluster.coordinator replica;
+  cluster.replicas <- cluster.replicas @ [ (replica, engine) ]
+
+let engine_of cluster addr =
+  List.find_map
+    (fun (replica, engine) ->
+      if Chain.Replica.addr replica = addr then Some engine else None)
+    cluster.replicas

@@ -1,0 +1,50 @@
+(** Kronos as a replicated service.
+
+    Each replica hosts a deterministic {!Kronos.Engine} and applies wire
+    commands to it; because every API call is deterministic, replicas stay
+    identical under chain replication (Section 2.4 of the paper). *)
+
+open Kronos
+
+val apply : Engine.t -> string -> string
+(** [apply engine cmd] decodes a {!Kronos_wire.Message.request}, executes it
+    on [engine] and returns the encoded response.  Malformed commands yield
+    an encoded [Rejected] response rather than raising. *)
+
+(** A running replicated Kronos deployment on a simulated network. *)
+type cluster = {
+  net : Kronos_replication.Chain.msg Kronos_simnet.Net.t;
+  coordinator : Kronos_replication.Chain.Coordinator.t;
+  mutable replicas : (Kronos_replication.Chain.Replica.t * Engine.t) list;
+}
+
+val deploy :
+  net:Kronos_replication.Chain.msg Kronos_simnet.Net.t ->
+  coordinator:Kronos_simnet.Net.addr ->
+  replicas:Kronos_simnet.Net.addr list ->
+  ?engine_config:Engine.config ->
+  ?service:[ `Fixed of float | `Measured of float ] ->
+  ?ping_interval:float ->
+  ?failure_timeout:float ->
+  unit ->
+  cluster
+(** Start one engine-backed replica per address plus the coordinator.
+    [service] models replica CPU capacity (see
+    {!Kronos_replication.Chain.Replica.create}); [`Measured scale] charges
+    the real wall-clock cost of each engine call as virtual busy time, so
+    throughput experiments reflect genuine graph-traversal work. *)
+
+val crash : cluster -> Kronos_simnet.Net.addr -> unit
+(** Crash the replica with the given address (no-op if absent). *)
+
+val join :
+  cluster ->
+  Kronos_simnet.Net.addr ->
+  ?engine_config:Engine.config ->
+  ?service:[ `Fixed of float | `Measured of float ] ->
+  unit ->
+  unit
+(** Start a fresh engine-backed replica and integrate it at the tail. *)
+
+val engine_of : cluster -> Kronos_simnet.Net.addr -> Engine.t option
+(** Direct handle on a replica's engine, for tests and experiments. *)

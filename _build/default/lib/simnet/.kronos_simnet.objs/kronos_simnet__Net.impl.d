@@ -1,0 +1,1 @@
+lib/simnet/net.ml: Hashtbl List Option Rng Sim

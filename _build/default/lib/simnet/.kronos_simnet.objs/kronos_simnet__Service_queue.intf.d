@@ -1,0 +1,1 @@
+lib/simnet/service_queue.mli: Sim

@@ -1,0 +1,60 @@
+type 'a entry = { time : float; seq : int; value : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let is_empty h = h.len = 0
+let size h = h.len
+
+let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap h i j =
+  let tmp = h.data.(i) in
+  h.data.(i) <- h.data.(j);
+  h.data.(j) <- tmp
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less h.data.(i) h.data.(parent) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.len && less h.data.(l) h.data.(!smallest) then smallest := l;
+  if r < h.len && less h.data.(r) h.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let push h ~time ~seq value =
+  let entry = { time; seq; value } in
+  if h.len = Array.length h.data then begin
+    let cap = max 8 (2 * Array.length h.data) in
+    let data = Array.make cap entry in
+    Array.blit h.data 0 data 0 h.len;
+    h.data <- data
+  end;
+  h.data.(h.len) <- entry;
+  h.len <- h.len + 1;
+  sift_up h (h.len - 1)
+
+let pop h =
+  if h.len = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.len <- h.len - 1;
+    if h.len > 0 then begin
+      h.data.(0) <- h.data.(h.len);
+      sift_down h 0
+    end;
+    Some (top.time, top.seq, top.value)
+  end
+
+let peek_time h = if h.len = 0 then None else Some h.data.(0).time

@@ -1,0 +1,20 @@
+(** Binary min-heap keyed by [(time, sequence)].
+
+    The sequence number breaks ties deterministically in insertion order, so
+    two actions scheduled for the same instant always run in the order they
+    were scheduled — a requirement for reproducible simulation. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val push : 'a t -> time:float -> seq:int -> 'a -> unit
+
+val pop : 'a t -> (float * int * 'a) option
+(** Remove and return the minimum element. *)
+
+val peek_time : 'a t -> float option
+(** Earliest scheduled time without removing. *)

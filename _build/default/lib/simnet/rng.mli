@@ -1,0 +1,36 @@
+(** Deterministic splittable PRNG (SplitMix64).
+
+    Every stochastic component of the simulator owns its own stream obtained
+    with {!split}, so adding randomness to one component never perturbs the
+    draws of another — a property plain [Random.State] sharing lacks. *)
+
+type t
+
+val create : seed:int64 -> t
+
+val split : t -> t
+(** A statistically independent stream derived from (and advancing) [t]. *)
+
+val next_int64 : t -> int64
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound).  @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed draw with the given mean. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array.  @raise Invalid_argument on an
+    empty array. *)

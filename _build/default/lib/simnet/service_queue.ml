@@ -1,0 +1,52 @@
+type job =
+  | Fixed of float * (unit -> unit)
+  | Measured of float * (unit -> unit)
+
+type t = {
+  sim : Sim.t;
+  queue : job Queue.t;
+  mutable running : bool;
+  mutable total_busy : float;
+  mutable jobs : int;
+}
+
+let create sim =
+  { sim; queue = Queue.create (); running = false; total_busy = 0.0; jobs = 0 }
+
+let total_busy t = t.total_busy
+let jobs t = t.jobs
+
+let busy_until t = if t.running then Sim.now t.sim else neg_infinity
+
+(* Serve jobs one at a time: a job runs when the server reaches it, then the
+   server stays busy for the job's cost before taking the next one. *)
+let rec pump t =
+  if (not t.running) && not (Queue.is_empty t.queue) then begin
+    t.running <- true;
+    let finish cost =
+      t.total_busy <- t.total_busy +. cost;
+      ignore
+        (Sim.schedule t.sim ~delay:cost (fun () ->
+             t.running <- false;
+             pump t))
+    in
+    match Queue.pop t.queue with
+    | Fixed (cost, run) ->
+      run ();
+      finish cost
+    | Measured (scale, run) ->
+      let t0 = Unix.gettimeofday () in
+      run ();
+      finish (scale *. (Unix.gettimeofday () -. t0))
+  end
+
+let submit_fixed t ~cost job =
+  if cost < 0.0 then invalid_arg "Service_queue.submit_fixed: negative cost";
+  t.jobs <- t.jobs + 1;
+  Queue.push (Fixed (cost, job)) t.queue;
+  pump t
+
+let submit_measured t ?(scale = 1.0) job =
+  t.jobs <- t.jobs + 1;
+  Queue.push (Measured (scale, job)) t.queue;
+  pump t

@@ -1,0 +1,34 @@
+(** Single-server work queue: models the CPU capacity of a simulated server.
+
+    Link latency alone cannot reproduce capacity effects (saturation,
+    queueing delay, load-dependent throughput).  A [Service_queue] serializes
+    jobs and charges each one a busy period, so a server's throughput is
+    bounded by [1 / cost] regardless of how many clients hit it.
+
+    Jobs run at the moment the server gets to them (queueing delay
+    included); their cost is either declared up front ({!submit_fixed}) or
+    measured as the scaled wall-clock time the job actually took
+    ({!submit_measured}) — the latter lets a simulated server charge the
+    {e real} computation of the Kronos engine it hosts. *)
+
+type t
+
+val create : Sim.t -> t
+
+val submit_fixed : t -> cost:float -> (unit -> unit) -> unit
+(** Run the job when the server is free and keep the server busy for
+    [cost] virtual seconds afterwards.  @raise Invalid_argument if [cost]
+    is negative. *)
+
+val submit_measured : t -> ?scale:float -> (unit -> unit) -> unit
+(** Run the job when the server is free; its busy period is the job's
+    measured wall-clock duration times [scale] (default 1.0). *)
+
+val busy_until : t -> float
+(** Current virtual time when the server is mid-job, [neg_infinity] when
+    idle. *)
+
+val total_busy : t -> float
+(** Accumulated busy time — divide by elapsed time for utilization. *)
+
+val jobs : t -> int

@@ -1,0 +1,81 @@
+type t = {
+  heap : timer Heap.t;
+  root_rng : Rng.t;
+  mutable clock : float;
+  mutable seq : int;
+  mutable live : int;  (* scheduled and not cancelled *)
+}
+
+and timer = {
+  mutable cancelled : bool;
+  mutable action : unit -> unit;
+  mutable in_heap : bool;  (* counted in [live]? *)
+  owner : t;
+}
+
+let create ?(seed = 1L) () =
+  { heap = Heap.create (); root_rng = Rng.create ~seed; clock = 0.0;
+    seq = 0; live = 0 }
+
+let rng t = t.root_rng
+let now t = t.clock
+let pending t = t.live
+
+let schedule_at t ~time action =
+  let time = if time < t.clock then t.clock else time in
+  let timer = { cancelled = false; action; in_heap = true; owner = t } in
+  t.seq <- t.seq + 1;
+  t.live <- t.live + 1;
+  Heap.push t.heap ~time ~seq:t.seq timer;
+  timer
+
+let schedule t ~delay action = schedule_at t ~time:(t.clock +. delay) action
+
+(* Cancellation is lazy in the heap (the entry is skipped when popped) but
+   eager in the [live] count. *)
+let cancel timer =
+  if not timer.cancelled then begin
+    timer.cancelled <- true;
+    timer.action <- ignore;
+    if timer.in_heap then timer.owner.live <- timer.owner.live - 1
+  end
+
+let every t ~period action =
+  if period <= 0.0 then invalid_arg "Sim.every: period must be positive";
+  (* The handle outlives each underlying one-shot timer: cancelling it stops
+     the recurrence because each tick checks the shared flag. *)
+  let handle = { cancelled = false; action = ignore; in_heap = false; owner = t } in
+  let rec tick () =
+    if not handle.cancelled then begin
+      action ();
+      if not handle.cancelled then ignore (schedule t ~delay:period tick)
+    end
+  in
+  ignore (schedule t ~delay:period tick);
+  handle
+
+let step t =
+  match Heap.pop t.heap with
+  | None -> false
+  | Some (time, _, timer) ->
+    t.clock <- max t.clock time;
+    if not timer.cancelled then begin
+      t.live <- t.live - 1;
+      timer.in_heap <- false;
+      timer.action ()
+    end;
+    true
+
+let run ?until t =
+  let continue () =
+    match until, Heap.peek_time t.heap with
+    | _, None -> false
+    | None, Some _ -> true
+    | Some limit, Some next -> next <= limit
+  in
+  while continue () do
+    ignore (step t)
+  done;
+  match until with
+  | Some limit -> if t.clock < limit then t.clock <- limit
+  | None -> ()

@@ -1,0 +1,44 @@
+(** Discrete-event scheduler with a virtual clock.
+
+    Actions are thunks scheduled at absolute or relative virtual times;
+    {!run} executes them in (time, scheduling-order) order.  The whole
+    simulation is single-threaded and, given a fixed seed for the attached
+    {!Rng}, bit-for-bit reproducible. *)
+
+type t
+
+type timer
+(** Handle for cancelling a scheduled action. *)
+
+val create : ?seed:int64 -> unit -> t
+(** [seed] (default 1) initializes the simulation's root PRNG. *)
+
+val rng : t -> Rng.t
+(** The root PRNG; components should take {!Rng.split}s of it. *)
+
+val now : t -> float
+(** Current virtual time, in seconds. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> timer
+(** Run a thunk [delay] seconds from now (clamped to now for negative
+    delays). *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> timer
+
+val cancel : timer -> unit
+(** Cancelled actions are skipped when their time arrives.  Idempotent. *)
+
+val every : t -> period:float -> (unit -> unit) -> timer
+(** Run a thunk periodically, starting one period from now.  Cancelling the
+    returned timer stops the recurrence. *)
+
+val step : t -> bool
+(** Execute the earliest pending action.  [false] when nothing is pending. *)
+
+val run : ?until:float -> t -> unit
+(** Execute actions until the queue empties or virtual time would exceed
+    [until].  With [until], the clock is advanced to exactly [until] before
+    returning. *)
+
+val pending : t -> int
+(** Number of scheduled (uncancelled) actions. *)

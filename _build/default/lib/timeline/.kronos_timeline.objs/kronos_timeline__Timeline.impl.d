@@ -1,0 +1,1 @@
+lib/timeline/timeline.ml: Engine Event_id Format Hashtbl Kronos List Option Order

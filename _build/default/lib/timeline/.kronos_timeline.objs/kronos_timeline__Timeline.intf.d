@@ -1,0 +1,1 @@
+lib/timeline/timeline.mli: Engine Event_id Kronos

@@ -1,0 +1,109 @@
+open Kronos
+
+type message = {
+  id : int;
+  author : string;
+  text : string;
+  event : Event_id.t;
+}
+
+type t = {
+  engine : Engine.t;
+  mutable next_id : int;
+  timelines : (string, message list) Hashtbl.t;  (* newest first *)
+  friends : (string, string list) Hashtbl.t;
+}
+
+let create ?engine () =
+  {
+    engine = (match engine with Some e -> e | None -> Engine.create ());
+    next_id = 0;
+    timelines = Hashtbl.create 32;
+    friends = Hashtbl.create 32;
+  }
+
+let engine t = t.engine
+
+let friends_of t user =
+  Option.value ~default:[] (Hashtbl.find_opt t.friends user)
+
+let add_friendship t a b =
+  let link x y =
+    let fs = friends_of t x in
+    if not (List.mem y fs) then Hashtbl.replace t.friends x (y :: fs)
+  in
+  if a <> b then begin
+    link a b;
+    link b a
+  end
+
+let enqueue t ~timeline message =
+  Hashtbl.replace t.timelines timeline
+    (message :: Option.value ~default:[] (Hashtbl.find_opt t.timelines timeline))
+
+let post t ~author ~text =
+  let event = Engine.create_event t.engine in
+  t.next_id <- t.next_id + 1;
+  let message = { id = t.next_id; author; text; event } in
+  List.iter
+    (fun timeline -> enqueue t ~timeline message)
+    (author :: friends_of t author);
+  message
+
+let reply t ~author ~text ~in_reply_to =
+  let message = post t ~author ~text in
+  match
+    Engine.assign_order t.engine
+      [ (in_reply_to.event, Order.Happens_before, Order.Must, message.event) ]
+  with
+  | Ok _ -> message
+  | Error e ->
+    invalid_arg
+      (Format.asprintf "Timeline.reply: ordering rejected (%a)"
+         Order.pp_assign_error e)
+
+let timeline_raw t ~user =
+  List.rev (Option.value ~default:[] (Hashtbl.find_opt t.timelines user))
+
+let render t ~user =
+  let messages = timeline_raw t ~user in
+  (* all-pairs query, as in the paper's pseudocode *)
+  let pairs =
+    List.concat_map
+      (fun a ->
+        List.filter_map
+          (fun b -> if a.id < b.id then Some (a, b) else None)
+          messages)
+      messages
+  in
+  let orderings =
+    match
+      Engine.query_order t.engine
+        (List.map (fun (a, b) -> (a.event, b.event)) pairs)
+    with
+    | Ok rels -> List.combine pairs rels
+    | Error _ -> []
+  in
+  let must_precede a b =
+    List.exists
+      (fun ((x, y), rel) ->
+        match (rel : Order.relation) with
+        | Order.Before -> x.id = a.id && y.id = b.id
+        | Order.After -> y.id = a.id && x.id = b.id
+        | Order.Concurrent | Order.Same -> false)
+      orderings
+  in
+  (* stable topological sort: repeatedly emit the earliest-arrived message
+     with no unemitted predecessor *)
+  let rec sort remaining acc =
+    match
+      List.find_opt
+        (fun m ->
+          not
+            (List.exists (fun p -> p.id <> m.id && must_precede p m) remaining))
+        remaining
+    with
+    | None -> List.rev acc @ remaining  (* unreachable: the order is acyclic *)
+    | Some m -> sort (List.filter (fun x -> x.id <> m.id) remaining) (m :: acc)
+  in
+  sort messages []

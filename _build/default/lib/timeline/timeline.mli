@@ -1,0 +1,50 @@
+(** The social-network timeline application of Section 3.1 (Figure 5).
+
+    Every post is a Kronos event; a reply is [must]-ordered after the
+    message it answers.  Rendering a user's timeline topologically sorts the
+    messages against the committed partial order, so a reply can never
+    appear above the message it replies to, while unrelated posts keep
+    their arrival order — no total order is imposed.
+
+    The module is parameterized only by the ordering engine, so the same
+    code runs against a local {!Kronos.Engine} (as here) or any transport
+    exposing the Table-1 API. *)
+
+open Kronos
+
+type t
+
+type message = {
+  id : int;            (** per-network sequence, reflects arrival order *)
+  author : string;
+  text : string;
+  event : Event_id.t;
+}
+
+val create : ?engine:Engine.t -> unit -> t
+(** A fresh network (optionally sharing an existing engine). *)
+
+val engine : t -> Engine.t
+
+val add_friendship : t -> string -> string -> unit
+(** Make two users see each other's posts.  Idempotent. *)
+
+val friends_of : t -> string -> string list
+
+val post : t -> author:string -> text:string -> message
+(** [post_message] from Figure 5: the message lands on the author's and all
+    friends' timelines. *)
+
+val reply : t -> author:string -> text:string -> in_reply_to:message -> message
+(** [reply_to_message] from Figure 5: also records
+    [in_reply_to.event -> (new message).event] as a [must] constraint.
+    @raise Invalid_argument if the constraint is rejected (can only happen
+    if the caller forged an ordering in the opposite direction). *)
+
+val render : t -> user:string -> message list
+(** [render_timeline] from Figure 5: all messages on the user's timeline in
+    a stable topological order of the committed happens-before relation —
+    ties (concurrent messages) resolve to arrival order. *)
+
+val timeline_raw : t -> user:string -> message list
+(** The unsorted timeline, in arrival order (for tests). *)

@@ -1,0 +1,1 @@
+lib/txn/checker.ml: Event_id Hashtbl Kronos Kronos_kvstore List Option Order Printf String

@@ -1,0 +1,1 @@
+lib/txn/checker.mli: Event_id Kronos Kronos_kvstore Order

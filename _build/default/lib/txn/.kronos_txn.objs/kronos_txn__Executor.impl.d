@@ -1,0 +1,1 @@
+lib/txn/executor.ml: Array Event_id Hashtbl Kronos Kronos_kvstore Kronos_service Kronos_simnet Kronos_workload List Option Order String

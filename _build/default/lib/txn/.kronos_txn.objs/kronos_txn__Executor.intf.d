@@ -1,0 +1,1 @@
+lib/txn/executor.mli: Event_id Kronos Kronos_kvstore Kronos_service Kronos_simnet Kronos_workload

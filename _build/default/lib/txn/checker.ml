@@ -1,0 +1,93 @@
+open Kronos
+module Shard = Kronos_kvstore.Shard
+
+type txn_record = Event_id.t * (string * string option) list * (string * string) list
+
+let serializable ~shards ~log ?query () =
+  let by_event = Hashtbl.create (List.length log) in
+  List.iter
+    (fun ((event, _, _) as record) -> Hashtbl.replace by_event event record)
+    log;
+  let check_key shard key =
+    let history = Shard.history shard key in
+    let committed =
+      List.filter (fun (e, _) -> not (Event_id.equal e Event_id.none)) history
+    in
+    (* seed value = last plain Put before any transactional write *)
+    let seed =
+      List.fold_left
+        (fun acc (e, v) -> if Event_id.equal e Event_id.none then Some v else acc)
+        None history
+    in
+    let rec walk prev_value prev_event = function
+      | [] -> Ok ()
+      | (event, value) :: rest ->
+        let reads_ok =
+          match Hashtbl.find_opt by_event event with
+          | None -> Ok () (* transaction from another executor: skip read check *)
+          | Some (_, reads, _) -> (
+              match List.assoc_opt key reads with
+              | None | Some None when prev_value = None -> Ok ()
+              | Some observed when observed = prev_value -> Ok ()
+              | Some observed ->
+                Error
+                  (Printf.sprintf
+                     "key %s: txn %s read %s but previous committed value was %s"
+                     key (Event_id.to_string event)
+                     (Option.value ~default:"<none>" observed)
+                     (Option.value ~default:"<none>" prev_value))
+              | None -> Ok ())
+        in
+        (match reads_ok with
+         | Error _ as e -> e
+         | Ok () -> (
+             match query, prev_event with
+             | Some query, Some prev
+               when not (Order.relation_equal (query prev event) Order.Before) ->
+               Error
+                 (Printf.sprintf
+                    "key %s: writers %s and %s not ordered in Kronos" key
+                    (Event_id.to_string prev) (Event_id.to_string event))
+             | _ -> walk (Some value) (Some event) rest))
+    in
+    walk seed None committed
+  in
+  let keys_of shard =
+    (* every key with at least one committed transactional write *)
+    List.concat_map
+      (fun ((_, _, writes) : txn_record) -> List.map fst writes)
+      log
+    |> List.sort_uniq String.compare
+    |> List.filter (fun key -> Shard.history shard key <> [])
+  in
+  List.fold_left
+    (fun acc shard ->
+      match acc with
+      | Error _ -> acc
+      | Ok () ->
+        List.fold_left
+          (fun acc key ->
+            match acc with Error _ -> acc | Ok () -> check_key shard key)
+          (Ok ()) (keys_of shard))
+    (Ok ()) shards
+
+let conservation ~shards ~keys ~expected_total =
+  let total =
+    List.fold_left
+      (fun acc key ->
+        let value =
+          List.fold_left
+            (fun found shard ->
+              match found with
+              | Some _ -> found
+              | None -> Shard.peek shard key)
+            None shards
+        in
+        acc + (match value with Some v -> int_of_string v | None -> 0))
+      0 keys
+  in
+  if total = expected_total then Ok ()
+  else
+    Error
+      (Printf.sprintf "conservation violated: expected %d, found %d"
+         expected_total total)

@@ -1,0 +1,35 @@
+(** Serializability checking for Kronos-ordered transaction runs.
+
+    For every key, the shard's committed write history defines the key's
+    version chain.  A run is serializable in our protocol iff:
+
+    - every transaction that read a key observed exactly the value written
+      by that key's immediately preceding committed writer (or the seed
+      value when none);
+    - consecutive writers of a key are ordered [Before] in the event
+      dependency graph (the Kronos chain mirrors the applied order).
+
+    Atomicity of the banking workload is checked separately with
+    {!conservation}. *)
+
+open Kronos
+
+type txn_record = Event_id.t * (string * string option) list * (string * string) list
+(** (event, reads-with-values, writes) of a committed transaction. *)
+
+val serializable :
+  shards:Kronos_kvstore.Shard.t list ->
+  log:txn_record list ->
+  ?query:(Event_id.t -> Event_id.t -> Order.relation) ->
+  unit ->
+  (unit, string) result
+(** [Error reason] pinpoints the first violation found.  [query], when
+    given, additionally verifies the Kronos ordering of consecutive
+    writers. *)
+
+val conservation :
+  shards:Kronos_kvstore.Shard.t list ->
+  keys:string list ->
+  expected_total:int ->
+  (unit, string) result
+(** Sum the integer values of [keys] across [shards] and compare. *)

@@ -1,0 +1,265 @@
+open Kronos
+module Sim = Kronos_simnet.Sim
+module Rng = Kronos_simnet.Rng
+module Net = Kronos_simnet.Net
+module Kv_client = Kronos_kvstore.Kv_client
+module Kv_msg = Kronos_kvstore.Kv_msg
+
+type mode = Put_and_pray | Locking | Kronos_ordered
+
+type id_source = int ref
+
+let id_source () = ref 0
+
+type result =
+  | Committed of {
+      event : Event_id.t option;
+      reads : (string * string option) list;
+    }
+  | Aborted
+
+type t = {
+  mode : mode;
+  sim : Sim.t;
+  kv : Kv_client.t;
+  shards : Net.addr array;
+  ids : id_source;
+  kronos : Kronos_service.Client.t option;
+  max_retries : int;
+  rng : Rng.t;
+  mutable committed : int;
+  mutable aborted : int;
+  mutable retries : int;
+  mutable log : (Event_id.t * (string * string option) list * (string * string) list) list;
+}
+
+let create ~mode ~sim ~kv ~shards ~ids ?kronos ?(max_retries = 50) () =
+  if mode = Kronos_ordered && kronos = None then
+    invalid_arg "Executor.create: Kronos_ordered requires a kronos client";
+  {
+    mode;
+    sim;
+    kv;
+    shards;
+    ids;
+    kronos;
+    max_retries;
+    rng = Rng.split (Sim.rng sim);
+    committed = 0;
+    aborted = 0;
+    retries = 0;
+    log = [];
+  }
+
+let committed t = t.committed
+let aborted t = t.aborted
+let retries t = t.retries
+let txn_log t = List.rev t.log
+
+let shard_addr t key =
+  t.shards.(Kronos_kvstore.Router.shard_of ~shards:(Array.length t.shards) key)
+
+let fresh_txn_id t =
+  incr t.ids;
+  !(t.ids)
+
+(* Read every key in parallel, then hand the assembled list to [k]. *)
+let read_all t keys k =
+  let n = List.length keys in
+  if n = 0 then k []
+  else begin
+    let results = Hashtbl.create n in
+    let remaining = ref n in
+    List.iter
+      (fun key ->
+        Kv_client.request t.kv ~shard:(shard_addr t key) (Kv_msg.Get { key })
+          (function
+            | Kv_msg.Value { value } ->
+              Hashtbl.replace results key value;
+              decr remaining;
+              if !remaining = 0 then
+                k (List.map (fun key -> (key, Hashtbl.find results key)) keys)
+            | _ -> invalid_arg "Executor.read_all: unexpected response"))
+      keys
+  end
+
+let write_all t writes k =
+  let n = List.length writes in
+  if n = 0 then k ()
+  else begin
+    let remaining = ref n in
+    List.iter
+      (fun (key, value) ->
+        Kv_client.request t.kv ~shard:(shard_addr t key)
+          (Kv_msg.Put { key; value })
+          (fun _ ->
+            decr remaining;
+            if !remaining = 0 then k ()))
+      writes
+  end
+
+(* {2 Put-and-pray} *)
+
+let execute_put_and_pray t ~reads ~writes_of callback =
+  read_all t reads (fun values ->
+      write_all t (writes_of values) (fun () ->
+          t.committed <- t.committed + 1;
+          callback (Committed { event = None; reads = values })))
+
+(* {2 Locking (Percolator-style 2PL)} *)
+
+(* Percolator-style 2PL: locks are acquired one key at a time in global key
+   order (deadlock-free), then reads, then writes committed primary-first
+   followed by the secondaries, then per-key unlocks — each a full round
+   trip, all while the locks are held.  This is the phase structure (and
+   cost) of the paper's locking baseline. *)
+let execute_locking t ~reads ~writes_of callback =
+  let txn = fresh_txn_id t in
+  let keys = List.sort_uniq String.compare reads in
+  let sequentially f xs k =
+    let rec loop = function
+      | [] -> k ()
+      | x :: rest -> f x (fun () -> loop rest)
+    in
+    loop xs
+  in
+  let lock key k =
+    Kv_client.request t.kv ~shard:(shard_addr t key)
+      (Kv_msg.Lock { txn; keys = [ key ] })
+      (function
+        | Kv_msg.Lock_granted -> k ()
+        | _ -> invalid_arg "Executor.execute_locking: unexpected response")
+  in
+  let put (key, value) k =
+    Kv_client.request t.kv ~shard:(shard_addr t key)
+      (Kv_msg.Put { key; value })
+      (fun _ -> k ())
+  in
+  let unlock key k =
+    Kv_client.request t.kv ~shard:(shard_addr t key)
+      (Kv_msg.Unlock { txn; keys = [ key ] })
+      (fun _ -> k ())
+  in
+  sequentially lock keys (fun () ->
+      read_all t reads (fun values ->
+          (* primary-first commit: the first write is the commit point, the
+             remaining writes follow sequentially (Percolator) *)
+          sequentially put (writes_of values) (fun () ->
+              sequentially unlock keys (fun () ->
+                  t.committed <- t.committed + 1;
+                  callback (Committed { event = None; reads = values })))))
+
+(* {2 Kronos-ordered transactions (Section 3.3)} *)
+
+let execute_kronos t ~reads ~writes_of callback =
+  let kronos = Option.get t.kronos in
+  let shard_count = Array.length t.shards in
+  let rec attempt retries_left =
+    let txn = fresh_txn_id t in
+    Kronos_service.Client.create_event kronos (fun event ->
+        let groups = Kronos_kvstore.Router.partition ~shards:shard_count reads in
+        let total = List.length groups in
+        let answered = ref 0 in
+        let rejected = ref false in
+        let prepared_shards = ref [] in
+        let all_constraints = ref [] in
+        let all_values = ref [] in
+        let decide ~commit ~writes k =
+          let remaining = ref (List.length !prepared_shards) in
+          if !remaining = 0 then k ()
+          else
+            List.iter
+              (fun shard ->
+                let shard_writes =
+                  List.filter
+                    (fun (key, _) ->
+                      Kronos_kvstore.Router.shard_of ~shards:shard_count key = shard)
+                    writes
+                in
+                Kv_client.request t.kv ~shard:t.shards.(shard)
+                  (Kv_msg.Decide { txn; commit; writes = shard_writes })
+                  (fun _ ->
+                    decr remaining;
+                    if !remaining = 0 then k ()))
+              !prepared_shards
+        in
+        let abort_and_retry () =
+          decide ~commit:false ~writes:[] (fun () ->
+              (* the abandoned event has no edges; drop our reference *)
+              Kronos_service.Client.release_ref kronos event (fun _ ->
+                  if retries_left = 0 then begin
+                    t.aborted <- t.aborted + 1;
+                    callback Aborted
+                  end
+                  else begin
+                    t.retries <- t.retries + 1;
+                    let backoff = 0.3e-3 +. Rng.float t.rng 0.7e-3 in
+                    ignore
+                      (Sim.schedule t.sim ~delay:backoff (fun () ->
+                           attempt (retries_left - 1)))
+                  end))
+        in
+        let commit () =
+          let values =
+            List.map (fun key -> (key, List.assoc key !all_values)) reads
+          in
+          let writes = writes_of values in
+          let musts =
+            List.map
+              (fun (before, after) ->
+                (before, Order.Happens_before, Order.Must, after))
+              !all_constraints
+          in
+          Kronos_service.Client.assign_order kronos musts (function
+              | Ok _ ->
+                decide ~commit:true ~writes (fun () ->
+                    t.committed <- t.committed + 1;
+                    t.log <- (event, values, writes) :: t.log;
+                    callback (Committed { event = Some event; reads = values }))
+              | Error _ ->
+                (* cannot happen: every constraint points into the fresh
+                   event, so no batch is cyclic — but fail safe *)
+                abort_and_retry ())
+        in
+        let on_prepare_reply shard reply =
+          incr answered;
+          (match (reply : Kv_msg.response) with
+           | Kv_msg.Prepared { constraints; values } ->
+             prepared_shards := shard :: !prepared_shards;
+             all_constraints := constraints @ !all_constraints;
+             all_values := values @ !all_values
+           | Kv_msg.Prepare_rejected -> rejected := true
+           | _ -> invalid_arg "Executor.execute_kronos: unexpected response");
+          if !answered = total then
+            if !rejected then abort_and_retry () else commit ()
+        in
+        List.iter
+          (fun (shard, shard_keys) ->
+            Kv_client.request t.kv ~shard:t.shards.(shard)
+              (Kv_msg.Prepare
+                 { txn; event; reads = shard_keys; writes = shard_keys })
+              (on_prepare_reply shard))
+          groups)
+  in
+  attempt t.max_retries
+
+let execute t ~reads ~writes_of callback =
+  match t.mode with
+  | Put_and_pray -> execute_put_and_pray t ~reads ~writes_of callback
+  | Locking -> execute_locking t ~reads ~writes_of callback
+  | Kronos_ordered -> execute_kronos t ~reads ~writes_of callback
+
+let transfer t tr callback =
+  let open Kronos_workload.Bank in
+  let from_key = account_key tr.from_account in
+  let to_key = account_key tr.to_account in
+  let writes_of values =
+    let balance key =
+      match List.assoc key values with
+      | Some v -> int_of_string v
+      | None -> 0
+    in
+    [ (from_key, string_of_int (balance from_key - tr.amount));
+      (to_key, string_of_int (balance to_key + tr.amount)) ]
+  in
+  execute t ~reads:[ from_key; to_key ] ~writes_of callback

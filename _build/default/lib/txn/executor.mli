@@ -1,0 +1,78 @@
+(** Transactional clients for the sharded key-value store — the three
+    disciplines compared in Figure 7 of the paper.
+
+    - {!Put_and_pray}: uncoordinated reads and writes (the MongoDB
+      stand-in).  Fast, but non-atomic and non-serializable: concurrent
+      transfers can lose money.
+    - {!Locking}: Percolator-style two-phase locking.  Locks are acquired
+      key by key in global key order (deadlock-free), held across the
+      read-compute-write round trips, then released.  Serializable but
+      slow: every transaction holds its locks for several network round
+      trips.
+    - {!Kronos_ordered}: the paper's Section 3.3 design.  Each transaction
+      is a Kronos event; shards pin the keys only for the prepare→decide
+      window and report "happens-after the last writer/readers" constraints,
+      which the client commits in a single atomic [assign_order] batch.
+      Conflicting prepares park at the shard (admitted oldest-first when the
+      pin clears) and time out if a cross-shard deadlock arises, in which
+      case the transaction aborts and retries — so there are no long-held
+      locks.
+
+    All executors are asynchronous over the simulated network; transaction
+    ids must be drawn from one shared {!id_source} per simulation so that
+    transaction ages (used for queueing order) are globally consistent. *)
+
+open Kronos
+
+type mode = Put_and_pray | Locking | Kronos_ordered
+
+type id_source = int ref
+
+val id_source : unit -> id_source
+
+type result =
+  | Committed of {
+      event : Event_id.t option;  (** the transaction's event (Kronos mode) *)
+      reads : (string * string option) list;
+    }
+  | Aborted  (** gave up after [max_retries] prepare rejections *)
+
+type t
+
+val create :
+  mode:mode ->
+  sim:Kronos_simnet.Sim.t ->
+  kv:Kronos_kvstore.Kv_client.t ->
+  shards:Kronos_simnet.Net.addr array ->
+  ids:id_source ->
+  ?kronos:Kronos_service.Client.t ->
+  ?max_retries:int ->
+  unit ->
+  t
+(** [kronos] is required for (and only used by) [Kronos_ordered].
+    [max_retries] (default 50) bounds prepare-timeout retry loops.
+    @raise Invalid_argument if [Kronos_ordered] without [kronos]. *)
+
+val execute :
+  t ->
+  reads:string list ->
+  writes_of:((string * string option) list -> (string * string) list) ->
+  (result -> unit) ->
+  unit
+(** Run one transaction: read [reads], derive the write set with
+    [writes_of] from the values read, apply.  [writes_of] may only write
+    keys in [reads] (the pin protocol pins the read set). *)
+
+val transfer : t -> Kronos_workload.Bank.transfer -> (result -> unit) -> unit
+(** The banking transaction: move money between two account keys. *)
+
+(** {1 Statistics} *)
+
+val committed : t -> int
+val aborted : t -> int
+val retries : t -> int
+(** Wait-die rejections that led to a retry. *)
+
+val txn_log : t -> (Event_id.t * (string * string option) list * (string * string) list) list
+(** Committed Kronos-mode transactions: (event, reads, writes), oldest
+    first — input for {!Checker.serializable}. *)

@@ -1,0 +1,24 @@
+type t = { process : int; mutable counter : int }
+
+type stamp = { counter : int; process : int }
+
+let create ~process : t = { process; counter = 0 }
+
+let tick (t : t) =
+  t.counter <- t.counter + 1;
+  { counter = t.counter; process = t.process }
+
+let send = tick
+
+let receive (t : t) stamp =
+  t.counter <- max t.counter stamp.counter;
+  tick t
+
+let compare_stamp a b =
+  match Int.compare a.counter b.counter with
+  | 0 -> Int.compare a.process b.process
+  | c -> c
+
+let before a b = compare_stamp a b < 0
+
+let pp_stamp ppf s = Format.fprintf ppf "%d@%d" s.counter s.process

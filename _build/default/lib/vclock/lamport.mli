@@ -1,0 +1,32 @@
+(** Lamport logical clocks (Lamport 1978) — the coarsest of the ordering
+    baselines the paper compares against.
+
+    A Lamport clock totally orders events by [(counter, process)] but can
+    only witness, never refute, happens-before: [a -> b] implies
+    [timestamp a < timestamp b], while the converse fails (the "false
+    positive" problem of Section 1). *)
+
+type t
+(** Per-process clock state. *)
+
+type stamp = { counter : int; process : int }
+
+val create : process:int -> t
+
+val tick : t -> stamp
+(** Local event: advance and return the new timestamp. *)
+
+val send : t -> stamp
+(** Timestamp for an outgoing message (advances the clock). *)
+
+val receive : t -> stamp -> stamp
+(** Merge an incoming message's timestamp (advances past it). *)
+
+val compare_stamp : stamp -> stamp -> int
+(** Total order: counter, then process id. *)
+
+val before : stamp -> stamp -> bool
+(** [before a b] in the induced total order.  NOTE: this is an
+    over-approximation of happens-before — see module description. *)
+
+val pp_stamp : Format.formatter -> stamp -> unit

@@ -1,0 +1,44 @@
+type t = { process : int; clock : int array }
+
+type stamp = int array
+
+let create ~processes ~process =
+  if process < 0 || process >= processes then
+    invalid_arg "Vector_clock.create: process out of range";
+  { process; clock = Array.make processes 0 }
+
+let tick t =
+  t.clock.(t.process) <- t.clock.(t.process) + 1;
+  Array.copy t.clock
+
+let send = tick
+
+let receive t stamp =
+  if Array.length stamp <> Array.length t.clock then
+    invalid_arg "Vector_clock.receive: dimension mismatch";
+  Array.iteri (fun i v -> if v > t.clock.(i) then t.clock.(i) <- v) stamp;
+  tick t
+
+type relation = Before | After | Concurrent | Equal
+
+let compare_stamp a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Vector_clock.compare_stamp: dimension mismatch";
+  let le = ref true and ge = ref true in
+  Array.iteri
+    (fun i av ->
+      if av > b.(i) then le := false;
+      if av < b.(i) then ge := false)
+    a;
+  match !le, !ge with
+  | true, true -> Equal
+  | true, false -> Before
+  | false, true -> After
+  | false, false -> Concurrent
+
+let dimension = Array.length
+let component s i = s.(i)
+
+let pp_stamp ppf s =
+  Format.fprintf ppf "[%s]"
+    (String.concat ";" (Array.to_list (Array.map string_of_int s)))

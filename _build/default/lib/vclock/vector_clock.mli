@@ -1,0 +1,30 @@
+(** Vector clocks (Fidge/Mattern) — the finer-grained ordering baseline.
+
+    Vector clocks capture the happens-before relation of a message-passing
+    execution exactly, but (a) cost one entry per process, (b) relate every
+    message a process received to everything it later sends (false positives
+    with respect to {e application-level} causality), and (c) assign the
+    order at timestamping time (the "early assignment" problem of
+    Section 1).  Kronos's event dependency graph avoids all three. *)
+
+type t
+(** Per-process clock state. *)
+
+type stamp
+(** An immutable vector timestamp. *)
+
+val create : processes:int -> process:int -> t
+(** @raise Invalid_argument unless [0 <= process < processes]. *)
+
+val tick : t -> stamp
+val send : t -> stamp
+val receive : t -> stamp -> stamp
+
+type relation = Before | After | Concurrent | Equal
+
+val compare_stamp : stamp -> stamp -> relation
+
+val dimension : stamp -> int
+val component : stamp -> int -> int
+
+val pp_stamp : Format.formatter -> stamp -> unit

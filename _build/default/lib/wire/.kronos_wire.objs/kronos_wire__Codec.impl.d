@@ -1,0 +1,1 @@
+lib/wire/codec.ml: Buffer Char Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/wire/frame.ml: Buffer Codec List Printf String

@@ -1,0 +1,1 @@
+lib/wire/message.ml: Codec Event_id Format Kronos List Order Printf

@@ -1,0 +1,1 @@
+lib/wire/message.mli: Event_id Format Kronos Order

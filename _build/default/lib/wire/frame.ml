@@ -1,0 +1,34 @@
+let max_frame = 16 * 1024 * 1024
+
+let encode payload =
+  let b = Codec.encoder () in
+  Codec.put_u32 b (String.length payload);
+  Buffer.add_string b payload;
+  Codec.to_string b
+
+module Reassembler = struct
+  type t = { mutable buf : string }
+
+  let create () = { buf = "" }
+
+  let pending_bytes t = String.length t.buf
+
+  let feed t chunk =
+    t.buf <- t.buf ^ chunk;
+    let rec extract acc =
+      if String.length t.buf < 4 then List.rev acc
+      else begin
+        let d = Codec.decoder t.buf in
+        let len = Codec.get_u32 d in
+        if len > max_frame then
+          raise (Codec.Decode_error (Printf.sprintf "frame too large: %d" len));
+        if String.length t.buf < 4 + len then List.rev acc
+        else begin
+          let payload = String.sub t.buf 4 len in
+          t.buf <- String.sub t.buf (4 + len) (String.length t.buf - 4 - len);
+          extract (payload :: acc)
+        end
+      end
+    in
+    extract []
+end

@@ -1,0 +1,27 @@
+(** Length-prefixed message framing for byte-stream transports.
+
+    A frame is a u32 big-endian length followed by that many payload bytes.
+    {!Reassembler} incrementally consumes arbitrary chunk boundaries and
+    yields complete payloads, as a real TCP receive loop would. *)
+
+val encode : string -> string
+(** [encode payload] is the framed bytes. *)
+
+val max_frame : int
+(** Maximum accepted payload size (16 MiB); larger frames are rejected to
+    bound memory under malformed input. *)
+
+module Reassembler : sig
+  type t
+
+  val create : unit -> t
+
+  val feed : t -> string -> string list
+  (** [feed t chunk] appends [chunk] to the internal buffer and returns the
+      payloads of all frames completed by it, in order.
+      @raise Codec.Decode_error if a frame announces more than {!max_frame}
+      bytes. *)
+
+  val pending_bytes : t -> int
+  (** Bytes buffered towards an incomplete frame. *)
+end

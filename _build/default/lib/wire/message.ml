@@ -1,0 +1,182 @@
+open Kronos
+
+type request =
+  | Create_event
+  | Acquire_ref of Event_id.t
+  | Release_ref of Event_id.t
+  | Query_order of (Event_id.t * Event_id.t) list
+  | Assign_order of (Event_id.t * Order.direction * Order.kind * Event_id.t) list
+
+type response =
+  | Event_created of Event_id.t
+  | Ref_acquired
+  | Ref_released of int
+  | Orders of Order.relation list
+  | Outcomes of Order.outcome list
+  | Rejected of Order.assign_error
+
+let put_event b e = Codec.put_i64 b (Event_id.to_int64 e)
+
+let get_event d =
+  let raw = Codec.get_i64 d in
+  match Event_id.of_int64 raw with
+  | id -> id
+  | exception Invalid_argument _ ->
+    raise (Codec.Decode_error (Printf.sprintf "bad event id %Ld" raw))
+
+let put_direction b = function
+  | Order.Happens_before -> Codec.put_u8 b 0
+  | Order.Happens_after -> Codec.put_u8 b 1
+
+let get_direction d =
+  match Codec.get_u8 d with
+  | 0 -> Order.Happens_before
+  | 1 -> Order.Happens_after
+  | n -> raise (Codec.Decode_error (Printf.sprintf "bad direction %d" n))
+
+let put_kind b = function
+  | Order.Must -> Codec.put_u8 b 0
+  | Order.Prefer -> Codec.put_u8 b 1
+
+let get_kind d =
+  match Codec.get_u8 d with
+  | 0 -> Order.Must
+  | 1 -> Order.Prefer
+  | n -> raise (Codec.Decode_error (Printf.sprintf "bad kind %d" n))
+
+let put_relation b = function
+  | Order.Before -> Codec.put_u8 b 0
+  | Order.After -> Codec.put_u8 b 1
+  | Order.Concurrent -> Codec.put_u8 b 2
+  | Order.Same -> Codec.put_u8 b 3
+
+let get_relation d =
+  match Codec.get_u8 d with
+  | 0 -> Order.Before
+  | 1 -> Order.After
+  | 2 -> Order.Concurrent
+  | 3 -> Order.Same
+  | n -> raise (Codec.Decode_error (Printf.sprintf "bad relation %d" n))
+
+let put_outcome b = function
+  | Order.Applied -> Codec.put_u8 b 0
+  | Order.Already -> Codec.put_u8 b 1
+  | Order.Reversed -> Codec.put_u8 b 2
+
+let get_outcome d =
+  match Codec.get_u8 d with
+  | 0 -> Order.Applied
+  | 1 -> Order.Already
+  | 2 -> Order.Reversed
+  | n -> raise (Codec.Decode_error (Printf.sprintf "bad outcome %d" n))
+
+let put_error b = function
+  | Order.Must_violated i -> Codec.put_u8 b 0; Codec.put_u32 b i
+  | Order.Must_self i -> Codec.put_u8 b 1; Codec.put_u32 b i
+  | Order.Unknown_event e -> Codec.put_u8 b 2; put_event b e
+
+let get_error d =
+  match Codec.get_u8 d with
+  | 0 -> Order.Must_violated (Codec.get_u32 d)
+  | 1 -> Order.Must_self (Codec.get_u32 d)
+  | 2 -> Order.Unknown_event (get_event d)
+  | n -> raise (Codec.Decode_error (Printf.sprintf "bad error tag %d" n))
+
+let encode_request r =
+  let b = Codec.encoder () in
+  (match r with
+   | Create_event -> Codec.put_u8 b 0
+   | Acquire_ref e -> Codec.put_u8 b 1; put_event b e
+   | Release_ref e -> Codec.put_u8 b 2; put_event b e
+   | Query_order pairs ->
+     Codec.put_u8 b 3;
+     Codec.put_list b (fun b (e1, e2) -> put_event b e1; put_event b e2) pairs
+   | Assign_order reqs ->
+     Codec.put_u8 b 4;
+     Codec.put_list b
+       (fun b (e1, dir, kind, e2) ->
+         put_event b e1; put_direction b dir; put_kind b kind; put_event b e2)
+       reqs);
+  Codec.to_string b
+
+let decode_request s =
+  let d = Codec.decoder s in
+  let r =
+    match Codec.get_u8 d with
+    | 0 -> Create_event
+    | 1 -> Acquire_ref (get_event d)
+    | 2 -> Release_ref (get_event d)
+    | 3 ->
+      Query_order
+        (Codec.get_list d (fun d ->
+             let e1 = get_event d in
+             let e2 = get_event d in
+             (e1, e2)))
+    | 4 ->
+      Assign_order
+        (Codec.get_list d (fun d ->
+             let e1 = get_event d in
+             let dir = get_direction d in
+             let kind = get_kind d in
+             let e2 = get_event d in
+             (e1, dir, kind, e2)))
+    | n -> raise (Codec.Decode_error (Printf.sprintf "bad request tag %d" n))
+  in
+  Codec.expect_end d;
+  r
+
+let encode_response r =
+  let b = Codec.encoder () in
+  (match r with
+   | Event_created e -> Codec.put_u8 b 0; put_event b e
+   | Ref_acquired -> Codec.put_u8 b 1
+   | Ref_released n -> Codec.put_u8 b 2; Codec.put_u32 b n
+   | Orders rels -> Codec.put_u8 b 3; Codec.put_list b put_relation rels
+   | Outcomes outs -> Codec.put_u8 b 4; Codec.put_list b put_outcome outs
+   | Rejected e -> Codec.put_u8 b 5; put_error b e);
+  Codec.to_string b
+
+let decode_response s =
+  let d = Codec.decoder s in
+  let r =
+    match Codec.get_u8 d with
+    | 0 -> Event_created (get_event d)
+    | 1 -> Ref_acquired
+    | 2 -> Ref_released (Codec.get_u32 d)
+    | 3 -> Orders (Codec.get_list d get_relation)
+    | 4 -> Outcomes (Codec.get_list d get_outcome)
+    | 5 -> Rejected (get_error d)
+    | n -> raise (Codec.Decode_error (Printf.sprintf "bad response tag %d" n))
+  in
+  Codec.expect_end d;
+  r
+
+let request_equal a b = encode_request a = encode_request b
+let response_equal a b = encode_response a = encode_response b
+
+let pp_request ppf = function
+  | Create_event -> Format.pp_print_string ppf "create_event"
+  | Acquire_ref e -> Format.fprintf ppf "acquire_ref(%a)" Event_id.pp e
+  | Release_ref e -> Format.fprintf ppf "release_ref(%a)" Event_id.pp e
+  | Query_order pairs -> Format.fprintf ppf "query_order(%d pairs)" (List.length pairs)
+  | Assign_order reqs -> Format.fprintf ppf "assign_order(%d pairs)" (List.length reqs)
+
+let pp_response ppf = function
+  | Event_created e -> Format.fprintf ppf "event_created(%a)" Event_id.pp e
+  | Ref_acquired -> Format.pp_print_string ppf "ref_acquired"
+  | Ref_released n -> Format.fprintf ppf "ref_released(%d collected)" n
+  | Orders rels ->
+    Format.fprintf ppf "orders(%a)"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+         Order.pp_relation)
+      rels
+  | Outcomes outs ->
+    Format.fprintf ppf "outcomes(%a)"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+         Order.pp_outcome)
+      outs
+  | Rejected e -> Format.fprintf ppf "rejected(%a)" Order.pp_assign_error e
+
+let is_read_only = function
+  | Query_order _ -> true
+  | Create_event | Acquire_ref _ | Release_ref _ | Assign_order _ -> false

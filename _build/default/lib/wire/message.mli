@@ -1,0 +1,40 @@
+(** Wire-level messages of the Kronos service: one request constructor per
+    API call (Table 1 of the paper) and the matching responses.
+
+    Encodings are self-delimiting, so messages can be concatenated inside a
+    framed transport stream (see {!Frame}). *)
+
+open Kronos
+
+type request =
+  | Create_event
+  | Acquire_ref of Event_id.t
+  | Release_ref of Event_id.t
+  | Query_order of (Event_id.t * Event_id.t) list
+  | Assign_order of (Event_id.t * Order.direction * Order.kind * Event_id.t) list
+
+type response =
+  | Event_created of Event_id.t
+  | Ref_acquired
+  | Ref_released of int   (** number of events garbage-collected *)
+  | Orders of Order.relation list
+  | Outcomes of Order.outcome list
+  | Rejected of Order.assign_error
+
+val encode_request : request -> string
+val decode_request : string -> request
+(** @raise Codec.Decode_error on malformed input. *)
+
+val encode_response : response -> string
+val decode_response : string -> response
+(** @raise Codec.Decode_error on malformed input. *)
+
+val request_equal : request -> request -> bool
+val response_equal : response -> response -> bool
+
+val pp_request : Format.formatter -> request -> unit
+val pp_response : Format.formatter -> response -> unit
+
+val is_read_only : request -> bool
+(** [true] for requests that never mutate the event dependency graph
+    ({!Query_order}); these may be served by stale replicas (Section 2.5). *)

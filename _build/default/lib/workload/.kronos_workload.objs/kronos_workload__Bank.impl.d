@@ -1,0 +1,1 @@
+lib/workload/bank.ml: Kronos_simnet Printf Zipf

@@ -1,0 +1,1 @@
+lib/workload/bank.mli: Kronos_simnet

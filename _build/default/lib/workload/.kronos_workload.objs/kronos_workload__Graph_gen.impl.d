@@ -1,0 +1,1 @@
+lib/workload/graph_gen.ml: Array Float Hashtbl Kronos_simnet

@@ -1,0 +1,1 @@
+lib/workload/graph_gen.mli: Kronos_simnet

@@ -1,0 +1,35 @@
+module Rng = Kronos_simnet.Rng
+
+type transfer = { from_account : int; to_account : int; amount : int }
+
+type t = {
+  rng : Rng.t;
+  accounts : int;
+  initial_balance : int;
+  zipf : Zipf.t option;
+}
+
+let create ~rng ~accounts ?(initial_balance = 1000) ?(skew = 0.0) () =
+  if accounts < 2 then invalid_arg "Bank.create: need at least two accounts";
+  let zipf = if skew > 0.0 then Some (Zipf.create ~n:accounts ~exponent:skew ()) else None in
+  { rng; accounts; initial_balance; zipf }
+
+let accounts t = t.accounts
+let initial_balance t = t.initial_balance
+let total_money t = t.accounts * t.initial_balance
+
+let pick_account t =
+  match t.zipf with
+  | Some z -> Zipf.sample z t.rng
+  | None -> Rng.int t.rng t.accounts
+
+let next_transfer t =
+  let from_account = pick_account t in
+  let rec pick_other () =
+    let a = pick_account t in
+    if a = from_account then pick_other () else a
+  in
+  let to_account = pick_other () in
+  { from_account; to_account; amount = 1 + Rng.int t.rng 100 }
+
+let account_key i = Printf.sprintf "acct-%06d" i

@@ -1,0 +1,28 @@
+(** The banking workload of Figure 7: accounts with balances and random
+    transfers between account pairs, optionally skewed so popular accounts
+    contend. *)
+
+type transfer = { from_account : int; to_account : int; amount : int }
+
+type t
+
+val create :
+  rng:Kronos_simnet.Rng.t ->
+  accounts:int ->
+  ?initial_balance:int ->
+  ?skew:float ->
+  unit ->
+  t
+(** [skew] is the Zipf exponent over accounts (default 0.0 = uniform,
+    matching independent random transfers). *)
+
+val accounts : t -> int
+val initial_balance : t -> int
+val total_money : t -> int
+(** [accounts * initial_balance] — conserved by correct transfers. *)
+
+val next_transfer : t -> transfer
+(** A random transfer between two distinct accounts, amount in [1, 100]. *)
+
+val account_key : int -> string
+(** Key under which an account's balance is stored. *)

@@ -1,0 +1,129 @@
+module Rng = Kronos_simnet.Rng
+
+type t = { n : int; edges : (int * int) array }
+
+let max_edges n = n * (n - 1) / 2
+
+(* Normalize an undirected edge so (u, v) with u < v is canonical. *)
+let canon u v = if u < v then (u, v) else (v, u)
+
+let erdos_renyi_gnm ~rng ~n ~m =
+  if n < 2 then invalid_arg "Graph_gen.erdos_renyi_gnm: need n >= 2";
+  if m < 0 || m > max_edges n then
+    invalid_arg "Graph_gen.erdos_renyi_gnm: m out of range";
+  let seen = Hashtbl.create (2 * m) in
+  let edges = Array.make m (0, 0) in
+  let count = ref 0 in
+  while !count < m do
+    let u = Rng.int rng n and v = Rng.int rng n in
+    if u <> v then begin
+      let e = canon u v in
+      if not (Hashtbl.mem seen e) then begin
+        Hashtbl.add seen e ();
+        edges.(!count) <- e;
+        incr count
+      end
+    end
+  done;
+  { n; edges }
+
+(* Binomial(max_edges, p) sampled as a sum of Bernoullis for small inputs and
+   by normal approximation for large ones; the Figure 12 sweep only needs the
+   expected edge count to be right. *)
+let binomial rng trials p =
+  if trials <= 10_000 then begin
+    let k = ref 0 in
+    for _ = 1 to trials do
+      if Rng.bernoulli rng p then incr k
+    done;
+    !k
+  end
+  else begin
+    let mean = float_of_int trials *. p in
+    let sigma = sqrt (mean *. (1.0 -. p)) in
+    (* Box–Muller *)
+    let u1 = max epsilon_float (Rng.float rng 1.0) in
+    let u2 = Rng.float rng 1.0 in
+    let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+    let k = int_of_float (Float.round (mean +. (sigma *. z))) in
+    max 0 (min trials k)
+  end
+
+let erdos_renyi_gnp ~rng ~n ~p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Graph_gen.erdos_renyi_gnp: bad p";
+  let m = binomial rng (max_edges n) p in
+  erdos_renyi_gnm ~rng ~n ~m
+
+let preferential_attachment ~rng ~n ~edges_per_vertex =
+  let m = edges_per_vertex in
+  if m < 1 then invalid_arg "Graph_gen.preferential_attachment: need m >= 1";
+  if n <= m then invalid_arg "Graph_gen.preferential_attachment: need n > m";
+  (* endpoint pool: each vertex appears once per incident edge, so a uniform
+     draw from the pool is degree-proportional *)
+  let pool = ref (Array.make (2 * m * n) 0) in
+  let pool_len = ref 0 in
+  let push x =
+    if !pool_len = Array.length !pool then begin
+      let bigger = Array.make (2 * Array.length !pool) 0 in
+      Array.blit !pool 0 bigger 0 !pool_len;
+      pool := bigger
+    end;
+    !pool.(!pool_len) <- x;
+    incr pool_len
+  in
+  let edges = ref [] in
+  let n_edges = ref 0 in
+  (* seed: a clique-ish core of m+1 vertices connected in a ring *)
+  for v = 0 to m do
+    let u = (v + 1) mod (m + 1) in
+    edges := canon u v :: !edges;
+    incr n_edges;
+    push u;
+    push v
+  done;
+  for v = m + 1 to n - 1 do
+    let targets = Hashtbl.create m in
+    while Hashtbl.length targets < m do
+      let u = !pool.(Rng.int rng !pool_len) in
+      if u <> v then Hashtbl.replace targets u ()
+    done;
+    Hashtbl.iter
+      (fun u () ->
+        edges := canon u v :: !edges;
+        incr n_edges;
+        push u;
+        push v)
+      targets
+  done;
+  { n; edges = Array.of_list !edges }
+
+let twitter_like ~rng ?(scale = 1.0) () =
+  if scale <= 0.0 || scale > 1.0 then
+    invalid_arg "Graph_gen.twitter_like: scale must be in (0, 1]";
+  let n = max 100 (int_of_float (81_306.0 *. scale)) in
+  (* paper's dataset: 1,768,149 links / 81,306 users ~ 21.7 average degree,
+     so ~11 attachments per arriving vertex *)
+  preferential_attachment ~rng ~n ~edges_per_vertex:11
+
+let degrees t =
+  let d = Array.make t.n 0 in
+  Array.iter
+    (fun (u, v) ->
+      d.(u) <- d.(u) + 1;
+      d.(v) <- d.(v) + 1)
+    t.edges;
+  d
+
+let average_degree t =
+  if t.n = 0 then 0.0 else 2.0 *. float_of_int (Array.length t.edges) /. float_of_int t.n
+
+let max_degree t = Array.fold_left max 0 (degrees t)
+
+let adjacency t =
+  let adj = Array.make t.n [] in
+  Array.iter
+    (fun (u, v) ->
+      adj.(u) <- v :: adj.(u);
+      adj.(v) <- u :: adj.(v))
+    t.edges;
+  adj

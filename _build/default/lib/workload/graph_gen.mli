@@ -1,0 +1,43 @@
+(** Random graph generators for the paper's workloads.
+
+    - {!erdos_renyi_gnm} / {!erdos_renyi_gnp}: the Erdős–Rényi model used to
+      pre-load the event dependency graph (Figures 8 and 12);
+    - {!preferential_attachment}: a Barabási–Albert graph standing in for
+      the Twitter ego-network subset of Figure 6 (81,306 vertices,
+      1,768,149 friendship links, heavy-tailed degrees) — the real dataset
+      is not redistributable, and the experiment depends on the degree
+      distribution, not on vertex identities. *)
+
+type t = {
+  n : int;                    (** number of vertices, labelled 0..n-1 *)
+  edges : (int * int) array;  (** undirected unless stated otherwise *)
+}
+
+val erdos_renyi_gnm : rng:Kronos_simnet.Rng.t -> n:int -> m:int -> t
+(** Exactly [m] distinct edges chosen uniformly (no self-loops).
+    @raise Invalid_argument if [m] exceeds the number of possible edges. *)
+
+val erdos_renyi_gnp : rng:Kronos_simnet.Rng.t -> n:int -> p:float -> t
+(** Each possible edge present independently with probability [p];
+    implemented by sampling a binomial edge count then delegating to
+    {!erdos_renyi_gnm}, which is equivalent and fast for small [p]. *)
+
+val preferential_attachment :
+  rng:Kronos_simnet.Rng.t -> n:int -> edges_per_vertex:int -> t
+(** Barabási–Albert: each arriving vertex attaches to [edges_per_vertex]
+    existing vertices chosen proportionally to their degree.  Average degree
+    approaches [2 * edges_per_vertex]. *)
+
+val twitter_like : rng:Kronos_simnet.Rng.t -> ?scale:float -> unit -> t
+(** The Figure 6 "Twitter" stand-in: preferential attachment sized to the
+    paper's dataset (81,306 vertices, average degree ~21.7), optionally
+    scaled down by [scale] in (0, 1] for faster runs. *)
+
+(** {1 Statistics} *)
+
+val degrees : t -> int array
+val average_degree : t -> float
+val max_degree : t -> int
+
+val adjacency : t -> int list array
+(** Undirected adjacency lists. *)

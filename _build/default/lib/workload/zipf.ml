@@ -1,0 +1,29 @@
+type t = { n : int; cdf : float array }
+
+let create ~n ?(exponent = 0.99) () =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if exponent < 0.0 then invalid_arg "Zipf.create: exponent must be >= 0";
+  let cdf = Array.make n 0.0 in
+  let total = ref 0.0 in
+  for i = 0 to n - 1 do
+    total := !total +. (1.0 /. Float.pow (float_of_int (i + 1)) exponent);
+    cdf.(i) <- !total
+  done;
+  for i = 0 to n - 1 do
+    cdf.(i) <- cdf.(i) /. !total
+  done;
+  { n; cdf }
+
+let n t = t.n
+
+let sample t rng =
+  let u = Kronos_simnet.Rng.float rng 1.0 in
+  (* first index whose cdf >= u *)
+  let rec search lo hi =
+    if lo >= hi then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      if t.cdf.(mid) >= u then search lo mid else search (mid + 1) hi
+    end
+  in
+  search 0 (t.n - 1)

@@ -1,0 +1,13 @@
+(** Zipf-distributed sampling over [0, n), used to generate skewed key
+    popularity in the key-value store workloads. *)
+
+type t
+
+val create : n:int -> ?exponent:float -> unit -> t
+(** [exponent] (default 0.99, YCSB-style) controls the skew; 0 is uniform.
+    @raise Invalid_argument if [n <= 0] or [exponent < 0]. *)
+
+val sample : t -> Kronos_simnet.Rng.t -> int
+(** Draw a rank in [0, n); rank 0 is the most popular. *)
+
+val n : t -> int

@@ -1,0 +1,1 @@
+test/test_catocs.ml: Alcotest Fail_safe Fire_alarm Int64 Kronos_catocs Printf Shop_floor

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Engine Event_id Gen Graph Kronos List Order QCheck2 QCheck_alcotest Result Test

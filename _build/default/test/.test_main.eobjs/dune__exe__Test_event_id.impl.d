@@ -1,0 +1,1 @@
+test/test_event_id.ml: Alcotest Event_id Gen Int64 Kronos List QCheck2 QCheck_alcotest Test

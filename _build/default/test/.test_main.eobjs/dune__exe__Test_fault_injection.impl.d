@@ -1,0 +1,1 @@
+test/test_fault_injection.ml: Alcotest Array Chain Gen Kronos_replication Kronos_simnet Kronos_wire List Net Proxy QCheck2 QCheck_alcotest Sim String Test

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Event_id Gen Graph Kronos List Order QCheck2 QCheck_alcotest Test

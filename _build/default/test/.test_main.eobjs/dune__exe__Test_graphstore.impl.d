@@ -1,0 +1,1 @@
+test/test_graphstore.ml: Alcotest Array G_msg Int Kgraph Kronos_graphstore Kronos_replication Kronos_service Kronos_simnet Kshard Lgraph List Lshard Net Sim

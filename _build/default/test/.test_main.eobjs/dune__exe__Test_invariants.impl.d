@@ -1,0 +1,1 @@
+test/test_invariants.ml: Alcotest Array Engine Event_id Fun Gen Graph Kronos List Order QCheck2 QCheck_alcotest Test

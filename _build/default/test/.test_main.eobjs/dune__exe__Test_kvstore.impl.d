@@ -1,0 +1,1 @@
+test/test_kvstore.ml: Alcotest Event_id Kronos Kronos_kvstore Kronos_simnet Kv_client Kv_msg List Net Router Shard Sim

@@ -1,0 +1,1 @@
+test/test_order_cache.ml: Alcotest Array Engine Event_id Gen Kronos List Order Order_cache QCheck2 QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_replication.ml: Alcotest Array Chain Kronos_replication Kronos_simnet List Net Printf Proxy Sim String

@@ -1,0 +1,1 @@
+test/test_service.ml: Alcotest Client Engine Event_id Kronos Kronos_service Kronos_simnet Kronos_wire List Net Order Server Sim

@@ -1,0 +1,1 @@
+test/test_service_queue.ml: Alcotest Kronos_simnet List Printf Service_queue Sim Unix

@@ -1,0 +1,1 @@
+test/test_simnet.ml: Alcotest Fun Heap Int64 Kronos_simnet List Net Rng Sim

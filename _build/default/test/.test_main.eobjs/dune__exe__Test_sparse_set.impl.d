@@ -1,0 +1,1 @@
+test/test_sparse_set.ml: Alcotest Gen Int Kronos List Printf QCheck2 QCheck_alcotest Set Sparse_set Test

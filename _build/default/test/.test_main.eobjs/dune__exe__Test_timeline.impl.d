@@ -1,0 +1,1 @@
+test/test_timeline.ml: Alcotest Array Engine Gen Kronos Kronos_timeline List Option Order QCheck2 QCheck_alcotest String Test Timeline

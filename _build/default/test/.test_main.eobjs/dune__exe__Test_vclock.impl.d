@@ -1,0 +1,1 @@
+test/test_vclock.ml: Alcotest Array Format Kronos_vclock Lamport Vector_clock

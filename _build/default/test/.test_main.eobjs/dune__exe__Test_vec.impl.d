@@ -1,0 +1,1 @@
+test/test_vec.ml: Alcotest Gen Int_vec Kronos List QCheck2 QCheck_alcotest Test Vec

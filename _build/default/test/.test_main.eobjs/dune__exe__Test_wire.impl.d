@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Codec Event_id Frame Gen Kronos Kronos_wire List Message Order QCheck2 QCheck_alcotest String Test

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Bank Float Graph_gen Hashtbl Int64 Kronos_simnet Kronos_workload List Printf QCheck2 QCheck_alcotest Rng Zipf

@@ -1,0 +1,84 @@
+open Kronos_catocs
+
+(* With Kronos, the shop-floor machine must end in the commanded state for
+   every seed; without it, the reordering channel breaks at least one. *)
+let test_shop_floor_kronos_always_correct () =
+  for seed = 1 to 20 do
+    let outcome =
+      Shop_floor.run ~kronos:true ~seed:(Int64.of_int seed) ~commands:25
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d correct" seed)
+      true
+      (Shop_floor.correct outcome)
+  done
+
+let test_shop_floor_baseline_fails_somewhere () =
+  let failures = ref 0 in
+  let reordering_observed = ref 0 in
+  for seed = 1 to 20 do
+    let outcome =
+      Shop_floor.run ~kronos:false ~seed:(Int64.of_int seed) ~commands:25
+    in
+    if not (Shop_floor.correct outcome) then incr failures;
+    reordering_observed := !reordering_observed + outcome.Shop_floor.reordered_deliveries
+  done;
+  Alcotest.(check bool) "channel reorders" true (!reordering_observed > 0);
+  Alcotest.(check bool) "baseline misbehaves on some seed" true (!failures > 0)
+
+let test_shop_floor_discards_stale () =
+  let outcome = Shop_floor.run ~kronos:true ~seed:5L ~commands:40 in
+  (* with heavy jitter, stale commands must actually have been discarded *)
+  Alcotest.(check bool) "stale commands discarded" true
+    (outcome.Shop_floor.commands_discarded > 0)
+
+let test_fire_alarm_kronos_always_correct () =
+  for seed = 1 to 20 do
+    let outcome =
+      Fire_alarm.run ~kronos:true ~seed:(Int64.of_int seed) ~locations:6 ~rounds:4
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d belief matches truth" seed)
+      true
+      (Fire_alarm.correct outcome);
+    Alcotest.(check int) "no misattributions" 0 outcome.Fire_alarm.misattributions
+  done
+
+let test_fire_alarm_baseline_fails_somewhere () =
+  let failures = ref 0 in
+  for seed = 1 to 20 do
+    let outcome =
+      Fire_alarm.run ~kronos:false ~seed:(Int64.of_int seed) ~locations:6 ~rounds:4
+    in
+    if not (Fire_alarm.correct outcome) then incr failures
+  done;
+  Alcotest.(check bool) "baseline monitor loses fires on some seed" true
+    (!failures > 0)
+
+let test_fail_safe () =
+  for seed = 1 to 20 do
+    let outcome = Fail_safe.run ~seed:(Int64.of_int seed) ~cycles:8 in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d fail-safe correct" seed)
+      true
+      (Fail_safe.correct outcome);
+    Alcotest.(check int) "one stop per cycle" 8 outcome.Fail_safe.stops_issued;
+    Alcotest.(check int) "one start per cycle" 8 outcome.Fail_safe.starts_issued
+  done
+
+let suites =
+  [ ( "catocs",
+      [
+        Alcotest.test_case "shop floor with kronos" `Quick
+          test_shop_floor_kronos_always_correct;
+        Alcotest.test_case "shop floor baseline fails" `Quick
+          test_shop_floor_baseline_fails_somewhere;
+        Alcotest.test_case "shop floor discards stale" `Quick
+          test_shop_floor_discards_stale;
+        Alcotest.test_case "fire alarm with kronos" `Quick
+          test_fire_alarm_kronos_always_correct;
+        Alcotest.test_case "fire alarm baseline fails" `Quick
+          test_fire_alarm_baseline_fails_somewhere;
+        Alcotest.test_case "fail-safe" `Quick test_fail_safe;
+      ] );
+  ]

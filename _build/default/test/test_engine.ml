@@ -1,0 +1,295 @@
+open Kronos
+
+let relation = Alcotest.testable Order.pp_relation Order.relation_equal
+let outcome = Alcotest.testable Order.pp_outcome Order.outcome_equal
+let assign_error = Alcotest.testable Order.pp_assign_error Order.assign_error_equal
+
+let ok = function
+  | Ok x -> x
+  | Error e -> Alcotest.failf "unexpected error: %a" Order.pp_assign_error e
+
+let err = function
+  | Ok _ -> Alcotest.fail "expected an error"
+  | Error e -> e
+
+let before e1 e2 kind = (e1, Order.Happens_before, kind, e2)
+let after e1 e2 kind = (e1, Order.Happens_after, kind, e2)
+
+let test_create_and_query () =
+  let t = Engine.create () in
+  let a = Engine.create_event t in
+  let b = Engine.create_event t in
+  let rels = ok (Engine.query_order t [ (a, b); (a, a) ]) in
+  Alcotest.(check (list relation)) "initial" [ Order.Concurrent; Order.Same ] rels
+
+let test_assign_then_query () =
+  let t = Engine.create () in
+  let a = Engine.create_event t in
+  let b = Engine.create_event t in
+  let c = Engine.create_event t in
+  let out = ok (Engine.assign_order t [ before a b Order.Must; before b c Order.Must ]) in
+  Alcotest.(check (list outcome)) "applied" [ Order.Applied; Order.Applied ] out;
+  let rels = ok (Engine.query_order t [ (a, c); (c, a); (a, b) ]) in
+  Alcotest.(check (list relation)) "query"
+    [ Order.Before; Order.After; Order.Before ] rels
+
+let test_direction_happens_after () =
+  let t = Engine.create () in
+  let a = Engine.create_event t in
+  let b = Engine.create_event t in
+  (* a <- b means b happens before a *)
+  let out = ok (Engine.assign_order t [ after a b Order.Must ]) in
+  Alcotest.(check (list outcome)) "applied" [ Order.Applied ] out;
+  Alcotest.(check (list relation)) "b before a" [ Order.After ]
+    (ok (Engine.query_order t [ (a, b) ]))
+
+let test_must_violation_aborts_batch () =
+  let t = Engine.create () in
+  let a = Engine.create_event t in
+  let b = Engine.create_event t in
+  let c = Engine.create_event t in
+  ignore (ok (Engine.assign_order t [ before a b Order.Must ]));
+  let edges_before = Engine.edges t in
+  (* Batch: c -> a is fine, b -> a contradicts a -> b.  Whole batch aborts;
+     the c -> a edge must be rolled back. *)
+  let e = err (Engine.assign_order t
+                 [ before c a Order.Must; before b a Order.Must ]) in
+  Alcotest.check assign_error "violated at index 1" (Order.Must_violated 1) e;
+  Alcotest.(check int) "no side effects" edges_before (Engine.edges t);
+  Alcotest.(check (list relation)) "c still concurrent with a"
+    [ Order.Concurrent ]
+    (ok (Engine.query_order t [ (c, a) ]))
+
+let test_must_self_aborts () =
+  let t = Engine.create () in
+  let a = Engine.create_event t in
+  let b = Engine.create_event t in
+  let e = err (Engine.assign_order t
+                 [ before a b Order.Must; before b b Order.Must ]) in
+  Alcotest.check assign_error "self at 1" (Order.Must_self 1) e;
+  Alcotest.(check int) "nothing applied" 0 (Engine.edges t)
+
+let test_prefer_reversal () =
+  let t = Engine.create () in
+  let a = Engine.create_event t in
+  let b = Engine.create_event t in
+  ignore (ok (Engine.assign_order t [ before a b Order.Must ]));
+  let out = ok (Engine.assign_order t [ before b a Order.Prefer ]) in
+  Alcotest.(check (list outcome)) "reversed" [ Order.Reversed ] out;
+  (* the committed order stands *)
+  Alcotest.(check (list relation)) "a before b" [ Order.Before ]
+    (ok (Engine.query_order t [ (a, b) ]))
+
+let test_prefer_self_is_noop () =
+  let t = Engine.create () in
+  let a = Engine.create_event t in
+  let out = ok (Engine.assign_order t [ before a a Order.Prefer ]) in
+  Alcotest.(check (list outcome)) "already" [ Order.Already ] out
+
+let test_musts_apply_before_prefers () =
+  let t = Engine.create () in
+  let a = Engine.create_event t in
+  let b = Engine.create_event t in
+  (* The prefer (b -> a) appears first in the batch; if applied naively in
+     order it would make the must (a -> b) impossible.  Kronos applies the
+     must first, so the batch succeeds and the prefer reverses. *)
+  let out = ok (Engine.assign_order t
+                  [ before b a Order.Prefer; before a b Order.Must ]) in
+  Alcotest.(check (list outcome)) "prefer reversed, must applied"
+    [ Order.Reversed; Order.Applied ] out
+
+let test_already_implied_adds_no_edge () =
+  let t = Engine.create () in
+  let a = Engine.create_event t in
+  let b = Engine.create_event t in
+  let c = Engine.create_event t in
+  ignore (ok (Engine.assign_order t
+                [ before a b Order.Must; before b c Order.Must ]));
+  let edges = Engine.edges t in
+  let out = ok (Engine.assign_order t [ before a c Order.Must ]) in
+  Alcotest.(check (list outcome)) "already" [ Order.Already ] out;
+  Alcotest.(check int) "no new edge" edges (Engine.edges t);
+  let out = ok (Engine.assign_order t [ before a b Order.Prefer ]) in
+  Alcotest.(check (list outcome)) "prefer already" [ Order.Already ] out;
+  Alcotest.(check int) "still no new edge" edges (Engine.edges t)
+
+let test_unknown_event () =
+  let t = Engine.create () in
+  let a = Engine.create_event t in
+  ignore (Engine.release_ref t a);
+  let b = Engine.create_event t in
+  (match Engine.query_order t [ (b, a) ] with
+   | Error (Order.Unknown_event e) ->
+     Alcotest.(check bool) "stale a" true (Event_id.equal e a)
+   | Error e -> Alcotest.failf "wrong error %a" Order.pp_assign_error e
+   | Ok _ -> Alcotest.fail "expected error");
+  (match Engine.assign_order t [ before a b Order.Must ] with
+   | Error (Order.Unknown_event e) ->
+     Alcotest.(check bool) "stale a" true (Event_id.equal e a)
+   | Error e -> Alcotest.failf "wrong error %a" Order.pp_assign_error e
+   | Ok _ -> Alcotest.fail "expected error")
+
+let test_acquire_release_api () =
+  let t = Engine.create () in
+  let a = Engine.create_event t in
+  Alcotest.(check bool) "acquire ok" true
+    (Result.is_ok (Engine.acquire_ref t a));
+  Alcotest.(check (result int assign_error)) "release" (Ok 0)
+    (Engine.release_ref t a);
+  Alcotest.(check (result int assign_error)) "final release" (Ok 1)
+    (Engine.release_ref t a);
+  Alcotest.(check bool) "stale acquire" true
+    (Result.is_error (Engine.acquire_ref t a))
+
+let test_batch_atomicity_mixed () =
+  (* Conditional test-and-set (Section 2.2): musts act as the condition for
+     the prefers in the same batch. *)
+  let t = Engine.create () in
+  let a = Engine.create_event t in
+  let b = Engine.create_event t in
+  let c = Engine.create_event t in
+  ignore (ok (Engine.assign_order t [ before b a Order.Must ]));
+  let e = err (Engine.assign_order t
+                 [ before a b Order.Must; before a c Order.Prefer ]) in
+  Alcotest.check assign_error "condition failed" (Order.Must_violated 0) e;
+  (* the prefer must not have been applied *)
+  Alcotest.(check (list relation)) "a/c untouched" [ Order.Concurrent ]
+    (ok (Engine.query_order t [ (a, c) ]))
+
+let test_stats () =
+  let t = Engine.create () in
+  let a = Engine.create_event t in
+  let b = Engine.create_event t in
+  ignore (ok (Engine.assign_order t [ before a b Order.Must ]));
+  ignore (ok (Engine.query_order t [ (a, b) ]));
+  ignore (ok (Engine.assign_order t [ before b a Order.Prefer ]));
+  ignore (Engine.release_ref t b);
+  let s = Engine.stats t in
+  Alcotest.(check int) "creates" 2 s.Engine.creates;
+  Alcotest.(check int) "queries" 1 s.Engine.queries;
+  Alcotest.(check int) "assigns" 2 s.Engine.assigns;
+  Alcotest.(check int) "reversals" 1 s.Engine.reversals;
+  Alcotest.(check bool) "traversals counted" true (s.Engine.traversals > 0);
+  Alcotest.(check bool) "memory" true (Engine.memory_bytes t > 0)
+
+(* Monotonicity property: answers of Before/After never change across any
+   sequence of further successful operations. *)
+let prop_monotonicity =
+  let open QCheck2 in
+  let n = 10 in
+  let gen_op =
+    Gen.(frequency
+           [ (5, map2 (fun u v -> `Assign (u, v, Order.Must))
+                (int_bound (n - 1)) (int_bound (n - 1)));
+             (5, map2 (fun u v -> `Assign (u, v, Order.Prefer))
+                (int_bound (n - 1)) (int_bound (n - 1)));
+             (1, map (fun u -> `Release u) (int_bound (n - 1)));
+           ])
+  in
+  Test.make ~name:"monotonicity: committed orders never change" ~count:200
+    Gen.(list_size (int_bound 60) gen_op)
+    (fun ops ->
+      let t = Engine.create () in
+      let ids = Array.init n (fun _ -> Engine.create_event t) in
+      let released = Array.make n false in
+      (* committed.(u).(v) = true once a query answered "u before v" *)
+      let committed = Array.make_matrix n n false in
+      let record_queries () =
+        for u = 0 to n - 1 do
+          for v = 0 to n - 1 do
+            if u <> v && (not released.(u)) && not released.(v) then
+              match Engine.query_order t [ (ids.(u), ids.(v)) ] with
+              | Ok [ Order.Before ] -> committed.(u).(v) <- true
+              | Ok _ -> ()
+              | Error _ -> ()
+          done
+        done
+      in
+      let check_committed () =
+        let ok = ref true in
+        for u = 0 to n - 1 do
+          for v = 0 to n - 1 do
+            if committed.(u).(v) && (not released.(u)) && not released.(v)
+            then
+              match Engine.query_order t [ (ids.(u), ids.(v)) ] with
+              | Ok [ Order.Before ] -> ()
+              | Ok _ | Error _ -> ok := false
+          done
+        done;
+        !ok
+      in
+      record_queries ();
+      List.for_all
+        (fun op ->
+          (match op with
+           | `Assign (u, v, kind) ->
+             if u <> v && (not released.(u)) && not released.(v) then
+               ignore (Engine.assign_order t
+                         [ (ids.(u), Order.Happens_before, kind, ids.(v)) ])
+           | `Release u ->
+             if not released.(u) then begin
+               released.(u) <- true;
+               ignore (Engine.release_ref t ids.(u))
+             end);
+          let good = check_committed () in
+          record_queries ();
+          good)
+        ops)
+
+(* Coherency property: after arbitrary assign batches, no pair is ordered in
+   both directions and the graph has no cycle through any live vertex. *)
+let prop_coherency =
+  let open QCheck2 in
+  let n = 8 in
+  let gen_batch =
+    Gen.(list_size (int_bound 5)
+           (map3 (fun u v k ->
+                (u, v, (if k then Order.Must else Order.Prefer)))
+              (int_bound (n - 1)) (int_bound (n - 1)) bool))
+  in
+  Test.make ~name:"coherency: never ordered both ways" ~count:200
+    Gen.(list_size (int_bound 20) gen_batch)
+    (fun batches ->
+      let t = Engine.create () in
+      let ids = Array.init n (fun _ -> Engine.create_event t) in
+      List.iter
+        (fun batch ->
+          let reqs =
+            List.map
+              (fun (u, v, k) -> (ids.(u), Order.Happens_before, k, ids.(v)))
+              batch
+          in
+          ignore (Engine.assign_order t reqs))
+        batches;
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          if u <> v then begin
+            let fwd = Graph.reachable (Engine.graph t) ids.(u) ids.(v) in
+            let bwd = Graph.reachable (Engine.graph t) ids.(v) ids.(u) in
+            if fwd && bwd then ok := false
+          end
+        done
+      done;
+      !ok)
+
+let suites =
+  [ ( "engine",
+      [
+        Alcotest.test_case "create and query" `Quick test_create_and_query;
+        Alcotest.test_case "assign then query" `Quick test_assign_then_query;
+        Alcotest.test_case "happens-after direction" `Quick test_direction_happens_after;
+        Alcotest.test_case "must violation aborts batch" `Quick test_must_violation_aborts_batch;
+        Alcotest.test_case "must self aborts" `Quick test_must_self_aborts;
+        Alcotest.test_case "prefer reversal" `Quick test_prefer_reversal;
+        Alcotest.test_case "prefer self noop" `Quick test_prefer_self_is_noop;
+        Alcotest.test_case "musts before prefers" `Quick test_musts_apply_before_prefers;
+        Alcotest.test_case "implied order adds no edge" `Quick test_already_implied_adds_no_edge;
+        Alcotest.test_case "unknown event" `Quick test_unknown_event;
+        Alcotest.test_case "acquire/release api" `Quick test_acquire_release_api;
+        Alcotest.test_case "conditional batch" `Quick test_batch_atomicity_mixed;
+        Alcotest.test_case "stats" `Quick test_stats;
+        QCheck_alcotest.to_alcotest prop_monotonicity;
+        QCheck_alcotest.to_alcotest prop_coherency;
+      ] );
+  ]

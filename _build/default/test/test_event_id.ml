@@ -1,0 +1,70 @@
+open Kronos
+
+let test_pack_roundtrip () =
+  let cases = [ (0, 0); (1, 0); (0, 1); (12345, 678); (Event_id.max_slot, 7) ] in
+  List.iter
+    (fun (slot, gen) ->
+      let id = Event_id.make ~slot ~gen in
+      Alcotest.(check int) "slot" slot (Event_id.slot id);
+      Alcotest.(check int) "gen" gen (Event_id.gen id))
+    cases
+
+let test_invalid_make () =
+  Alcotest.check_raises "neg slot" (Invalid_argument "Event_id.make: bad slot")
+    (fun () -> ignore (Event_id.make ~slot:(-1) ~gen:0));
+  Alcotest.check_raises "big slot" (Invalid_argument "Event_id.make: bad slot")
+    (fun () -> ignore (Event_id.make ~slot:(Event_id.max_slot + 1) ~gen:0));
+  Alcotest.check_raises "neg gen"
+    (Invalid_argument "Event_id.make: bad generation") (fun () ->
+      ignore (Event_id.make ~slot:0 ~gen:(-1)))
+
+let test_int64_roundtrip () =
+  let id = Event_id.make ~slot:42 ~gen:17 in
+  let id' = Event_id.of_int64 (Event_id.to_int64 id) in
+  Alcotest.(check bool) "equal" true (Event_id.equal id id');
+  let none' = Event_id.of_int64 (Event_id.to_int64 Event_id.none) in
+  Alcotest.(check bool) "none" true (Event_id.equal Event_id.none none')
+
+let test_int64_invalid () =
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Event_id.of_int64: out of range") (fun () ->
+      ignore (Event_id.of_int64 (-2L)));
+  Alcotest.check_raises "too large"
+    (Invalid_argument "Event_id.of_int64: out of range") (fun () ->
+      ignore (Event_id.of_int64 Int64.max_int))
+
+let test_compare_equal () =
+  let a = Event_id.make ~slot:1 ~gen:0 in
+  let b = Event_id.make ~slot:1 ~gen:1 in
+  Alcotest.(check bool) "neq" false (Event_id.equal a b);
+  Alcotest.(check bool) "eq" true (Event_id.equal a a);
+  Alcotest.(check bool) "ordered" true (Event_id.compare a b < 0);
+  Alcotest.(check bool) "hash eq" true (Event_id.hash a = Event_id.hash a)
+
+let test_pp () =
+  let id = Event_id.make ~slot:3 ~gen:2 in
+  Alcotest.(check string) "pp" "e3.2" (Event_id.to_string id);
+  Alcotest.(check string) "none" "<none>" (Event_id.to_string Event_id.none)
+
+let prop_roundtrip =
+  let open QCheck2 in
+  Test.make ~name:"event_id int64 roundtrip" ~count:500
+    Gen.(pair (int_bound 1_000_000) (int_bound 4_000_000))
+    (fun (slot, gen) ->
+      let id = Event_id.make ~slot ~gen in
+      Event_id.equal id (Event_id.of_int64 (Event_id.to_int64 id))
+      && Event_id.slot id = slot
+      && Event_id.gen id = gen)
+
+let suites =
+  [ ( "event_id",
+      [
+        Alcotest.test_case "pack roundtrip" `Quick test_pack_roundtrip;
+        Alcotest.test_case "invalid make" `Quick test_invalid_make;
+        Alcotest.test_case "int64 roundtrip" `Quick test_int64_roundtrip;
+        Alcotest.test_case "int64 invalid" `Quick test_int64_invalid;
+        Alcotest.test_case "compare/equal" `Quick test_compare_equal;
+        Alcotest.test_case "pp" `Quick test_pp;
+        QCheck_alcotest.to_alcotest prop_roundtrip;
+      ] );
+  ]

@@ -1,0 +1,172 @@
+(* Failure-injection tests beyond single crashes: partitions, double
+   failures, and fuzzed wire input. *)
+
+open Kronos_simnet
+open Kronos_replication
+
+let register_sm () =
+  let value = ref 0 in
+  fun cmd ->
+    match String.split_on_char ':' cmd with
+    | [ "add"; n ] ->
+      value := !value + int_of_string n;
+      string_of_int !value
+    | [ "get" ] -> string_of_int !value
+    | _ -> "error"
+
+let coordinator_addr = 1000
+
+type cluster = {
+  sim : Sim.t;
+  net : Chain.msg Net.t;
+  replicas : Chain.Replica.t array;
+  coordinator : Chain.Coordinator.t;
+}
+
+let make_cluster ?(n = 3) ?(seed = 7L) () =
+  let sim = Sim.create ~seed () in
+  let net = Net.create sim in
+  let chain = List.init n (fun i -> i) in
+  let config = { Chain.version = 0; chain = [] } in
+  let replicas =
+    Array.init n (fun i ->
+        Chain.Replica.create ~net ~addr:i ~apply:(register_sm ()) ~config ())
+  in
+  let coordinator =
+    Chain.Coordinator.create ~net ~addr:coordinator_addr ~chain
+      ~ping_interval:0.1 ~failure_timeout:0.35 ()
+  in
+  { sim; net; replicas; coordinator }
+
+let make_proxy ?(addr = 2000) cluster =
+  Proxy.create ~net:cluster.net ~addr ~coordinator:coordinator_addr
+    ~request_timeout:0.4 ()
+
+(* A replica partitioned away is removed from the chain; writes keep
+   committing on the majority side, and the client never observes an
+   error. *)
+let test_partitioned_replica_removed () =
+  let c = make_cluster ~n:3 () in
+  let proxy = make_proxy c in
+  let done1 = ref None in
+  Proxy.write proxy "add:1" (fun r -> done1 := Some r);
+  Sim.run ~until:1.0 c.sim;
+  Alcotest.(check (option string)) "first write" (Some "1") !done1;
+  (* cut replica 1 off from everyone, including the coordinator *)
+  Net.partition c.net [ 1 ] [ 0; 2; coordinator_addr; 2000 ];
+  Sim.run ~until:3.0 c.sim;
+  let cfg = Chain.Coordinator.config c.coordinator in
+  Alcotest.(check (list int)) "partitioned replica removed" [ 0; 2 ]
+    cfg.Chain.chain;
+  let done2 = ref None in
+  Proxy.write proxy "add:10" (fun r -> done2 := Some r);
+  Sim.run ~until:6.0 c.sim;
+  Alcotest.(check (option string)) "write after partition" (Some "11") !done2;
+  (* healing does not bring the removed replica back into the chain (it
+     must rejoin explicitly), and does not disturb the survivors *)
+  Net.heal c.net;
+  let done3 = ref None in
+  Proxy.write proxy "add:100" (fun r -> done3 := Some r);
+  Sim.run ~until:9.0 c.sim;
+  Alcotest.(check (option string)) "write after heal" (Some "111") !done3;
+  Alcotest.(check (list int)) "chain unchanged" [ 0; 2 ]
+    (Chain.Coordinator.config c.coordinator).Chain.chain
+
+(* Two of three replicas fail (the design point: f+1 replicas tolerate f):
+   the last replica carries the service alone. *)
+let test_double_failure () =
+  let c = make_cluster ~n:3 () in
+  let proxy = make_proxy c in
+  Proxy.write proxy "add:5" ignore;
+  Sim.run ~until:1.0 c.sim;
+  Chain.Replica.crash c.replicas.(0);
+  Chain.Replica.crash c.replicas.(2);
+  Sim.run ~until:3.0 c.sim;
+  Alcotest.(check (list int)) "one survivor" [ 1 ]
+    (Chain.Coordinator.config c.coordinator).Chain.chain;
+  let result = ref None in
+  Proxy.write proxy "add:2" (fun r -> result := Some r);
+  Sim.run ~until:6.0 c.sim;
+  Alcotest.(check (option string)) "single-replica chain serves" (Some "7") !result;
+  (* reads too *)
+  let answer = ref None in
+  Proxy.read proxy "get" (fun r -> answer := Some r);
+  Sim.run ~until:8.0 c.sim;
+  Alcotest.(check (option string)) "read" (Some "7") !answer
+
+(* Simultaneous crash + rejoin churn: the service must converge. *)
+let test_churn () =
+  let c = make_cluster ~n:3 ~seed:15L () in
+  let proxy = make_proxy c in
+  let completed = ref 0 in
+  let target = 30 in
+  let rec loop i =
+    if i < target then
+      Proxy.write proxy "add:1" (fun _ ->
+          incr completed;
+          loop (i + 1))
+  in
+  loop 0;
+  ignore
+    (Sim.schedule c.sim ~delay:0.5 (fun () -> Chain.Replica.crash c.replicas.(2)));
+  ignore
+    (Sim.schedule c.sim ~delay:2.5 (fun () ->
+         let fresh =
+           Chain.Replica.create ~net:c.net ~addr:9 ~apply:(register_sm ())
+             ~config:{ Chain.version = 0; chain = [] } ()
+         in
+         Chain.Coordinator.join c.coordinator fresh));
+  Sim.run ~until:30.0 c.sim;
+  Alcotest.(check int) "all writes completed" target !completed;
+  let answer = ref None in
+  Proxy.read proxy "get" (fun r -> answer := Some r);
+  Sim.run ~until:32.0 c.sim;
+  Alcotest.(check (option string)) "exactly-once through churn"
+    (Some (string_of_int target)) !answer
+
+(* Proxy behaviours not covered elsewhere. *)
+let test_proxy_nth_clamping () =
+  let c = make_cluster ~n:3 () in
+  let proxy = make_proxy c in
+  Proxy.write proxy "add:4" ignore;
+  Sim.run ~until:1.0 c.sim;
+  let answers = ref [] in
+  (* out-of-range Nth must clamp, not crash *)
+  Proxy.read proxy ~target:(Proxy.Nth 99) "get" (fun r -> answers := r :: !answers);
+  Proxy.read proxy ~target:(Proxy.Nth (-5)) "get" (fun r -> answers := r :: !answers);
+  Proxy.read proxy ~target:Proxy.Any "get" (fun r -> answers := r :: !answers);
+  Sim.run ~until:3.0 c.sim;
+  Alcotest.(check (list string)) "all clamped reads answered" [ "4"; "4"; "4" ]
+    !answers;
+  Alcotest.(check int) "config learned" 1 (Proxy.config_version proxy)
+
+(* Fuzz: decoding arbitrary bytes must never raise anything except
+   Codec.Decode_error, and valid encodings always survive a re-encode. *)
+let prop_decode_fuzz =
+  let open QCheck2 in
+  Test.make ~name:"wire decode never crashes on garbage" ~count:500
+    Gen.(string_size (int_bound 60))
+    (fun bytes ->
+      let safe decode =
+        match decode bytes with
+        | (_ : Kronos_wire.Message.request) -> true
+        | exception Kronos_wire.Codec.Decode_error _ -> true
+      in
+      let safe_resp () =
+        match Kronos_wire.Message.decode_response bytes with
+        | (_ : Kronos_wire.Message.response) -> true
+        | exception Kronos_wire.Codec.Decode_error _ -> true
+      in
+      safe Kronos_wire.Message.decode_request && safe_resp ())
+
+let suites =
+  [ ( "fault_injection",
+      [
+        Alcotest.test_case "partitioned replica removed" `Quick
+          test_partitioned_replica_removed;
+        Alcotest.test_case "double failure" `Quick test_double_failure;
+        Alcotest.test_case "churn" `Quick test_churn;
+        Alcotest.test_case "proxy nth clamping" `Quick test_proxy_nth_clamping;
+        QCheck_alcotest.to_alcotest prop_decode_fuzz;
+      ] );
+  ]

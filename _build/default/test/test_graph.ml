@@ -1,0 +1,286 @@
+open Kronos
+
+let relation = Alcotest.testable Order.pp_relation Order.relation_equal
+
+let query_exn g a b =
+  match Graph.query g a b with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "stale event %a" Event_id.pp e
+
+let test_create_refcount () =
+  let g = Graph.create () in
+  let a = Graph.create_event g in
+  Alcotest.(check (option int)) "initial ref" (Some 1) (Graph.refcount g a);
+  Alcotest.(check bool) "acquire" true (Graph.acquire_ref g a);
+  Alcotest.(check (option int)) "ref 2" (Some 2) (Graph.refcount g a);
+  Alcotest.(check (option int)) "release keeps" (Some 0) (Graph.release_ref g a);
+  Alcotest.(check (option int)) "ref 1" (Some 1) (Graph.refcount g a);
+  Alcotest.(check (option int)) "release collects" (Some 1) (Graph.release_ref g a);
+  Alcotest.(check bool) "dead" false (Graph.is_live g a);
+  Alcotest.(check int) "live" 0 (Graph.live_count g)
+
+let test_query_relations () =
+  let g = Graph.create () in
+  let a = Graph.create_event g in
+  let b = Graph.create_event g in
+  let c = Graph.create_event g in
+  Alcotest.check relation "same" Order.Same (query_exn g a a);
+  Alcotest.check relation "concurrent" Order.Concurrent (query_exn g a b);
+  Graph.add_edge g a b;
+  Graph.add_edge g b c;
+  Alcotest.check relation "direct" Order.Before (query_exn g a b);
+  Alcotest.check relation "flipped" Order.After (query_exn g b a);
+  Alcotest.check relation "transitive" Order.Before (query_exn g a c);
+  Alcotest.check relation "transitive flipped" Order.After (query_exn g c a)
+
+let test_stale_query () =
+  let g = Graph.create () in
+  let a = Graph.create_event g in
+  let b = Graph.create_event g in
+  ignore (Graph.release_ref g a);
+  (match Graph.query g a b with
+   | Error e -> Alcotest.(check bool) "stale is a" true (Event_id.equal e a)
+   | Ok _ -> Alcotest.fail "expected stale error");
+  Alcotest.(check bool) "reachable false on stale" false (Graph.reachable g a b)
+
+let test_slot_reuse_generation () =
+  let g = Graph.create () in
+  let a = Graph.create_event g in
+  ignore (Graph.release_ref g a);
+  let b = Graph.create_event g in
+  (* b reuses a's slot but has a new generation: a must stay invalid. *)
+  Alcotest.(check int) "slot reused" (Event_id.slot a) (Event_id.slot b);
+  Alcotest.(check bool) "different ids" false (Event_id.equal a b);
+  Alcotest.(check bool) "old id dead" false (Graph.is_live g a);
+  Alcotest.(check bool) "new id live" true (Graph.is_live g b);
+  Alcotest.(check bool) "acquire stale" false (Graph.acquire_ref g a);
+  Alcotest.(check (option int)) "release stale" None (Graph.release_ref g a)
+
+(* Figure 4 of the paper: A -> {B, D}, B -> C, D -> C, refs held only on A
+   and E (standalone).  Releasing unrelated E collects only E; releasing A
+   collects the whole pinned component. *)
+let test_gc_pinning_figure4 () =
+  let g = Graph.create () in
+  let a = Graph.create_event g in
+  let b = Graph.create_event g in
+  let c = Graph.create_event g in
+  let d = Graph.create_event g in
+  let e = Graph.create_event g in
+  Graph.add_edge g a b;
+  Graph.add_edge g a d;
+  Graph.add_edge g b c;
+  Graph.add_edge g d c;
+  (* Drop the refs on B, C, D: they stay pinned by A. *)
+  List.iter (fun x -> ignore (Graph.release_ref g x)) [ b; c; d ];
+  Alcotest.(check int) "still live" 5 (Graph.live_count g);
+  Alcotest.(check bool) "b pinned" true (Graph.is_live g b);
+  Alcotest.check relation "a before c" Order.Before (query_exn g a c);
+  (* Releasing E collects just E. *)
+  Alcotest.(check (option int)) "e collected" (Some 1) (Graph.release_ref g e);
+  Alcotest.(check int) "four live" 4 (Graph.live_count g);
+  (* Releasing A cascades through the whole component. *)
+  Alcotest.(check (option int)) "cascade" (Some 4) (Graph.release_ref g a);
+  Alcotest.(check int) "none live" 0 (Graph.live_count g);
+  Alcotest.(check int) "no edges" 0 (Graph.edge_count g)
+
+let test_gc_waits_for_predecessor () =
+  let g = Graph.create () in
+  let a = Graph.create_event g in
+  let b = Graph.create_event g in
+  Graph.add_edge g a b;
+  (* b's refcount drops to zero but a still points at it. *)
+  Alcotest.(check (option int)) "b pinned" (Some 0) (Graph.release_ref g b);
+  Alcotest.(check bool) "b live" true (Graph.is_live g b);
+  (* once a goes away, b follows *)
+  Alcotest.(check (option int)) "both" (Some 2) (Graph.release_ref g a)
+
+let test_gc_chain_linear () =
+  (* Collecting a chain a1 -> a2 -> ... -> an by one release. *)
+  let g = Graph.create () in
+  let n = 1000 in
+  let ids = Array.init n (fun _ -> Graph.create_event g) in
+  for i = 0 to n - 2 do
+    Graph.add_edge g ids.(i) ids.(i + 1)
+  done;
+  for i = 1 to n - 1 do
+    ignore (Graph.release_ref g ids.(i))
+  done;
+  Alcotest.(check int) "all live" n (Graph.live_count g);
+  Alcotest.(check (option int)) "collect whole chain" (Some n)
+    (Graph.release_ref g ids.(0));
+  Alcotest.(check int) "empty" 0 (Graph.live_count g)
+
+let test_gc_diamond_partial () =
+  (* a -> b, c -> b: b waits for both predecessors. *)
+  let g = Graph.create () in
+  let a = Graph.create_event g in
+  let b = Graph.create_event g in
+  let c = Graph.create_event g in
+  Graph.add_edge g a b;
+  Graph.add_edge g c b;
+  ignore (Graph.release_ref g b);
+  Alcotest.(check (option int)) "a out, b waits on c" (Some 1)
+    (Graph.release_ref g a);
+  Alcotest.(check bool) "b still pinned by c" true (Graph.is_live g b);
+  Alcotest.(check (option int)) "c releases b too" (Some 2)
+    (Graph.release_ref g c)
+
+let test_rollback () =
+  let g = Graph.create () in
+  let a = Graph.create_event g in
+  let b = Graph.create_event g in
+  Graph.add_edge g a b;
+  Alcotest.(check int) "one edge" 1 (Graph.edge_count g);
+  Graph.remove_last_edge g a b;
+  Alcotest.(check int) "rolled back" 0 (Graph.edge_count g);
+  Alcotest.check relation "concurrent again" Order.Concurrent (query_exn g a b);
+  Alcotest.(check (option int)) "in-degree restored" (Some 0)
+    (Graph.in_degree g b);
+  Alcotest.check_raises "wrong rollback"
+    (Invalid_argument "Graph.remove_last_edge: not the last edge") (fun () ->
+      Graph.remove_last_edge g a b)
+
+let test_growth () =
+  let g = Graph.create ~initial_capacity:16 () in
+  let ids = Array.init 200 (fun _ -> Graph.create_event g) in
+  for i = 0 to 198 do
+    Graph.add_edge g ids.(i) ids.(i + 1)
+  done;
+  Alcotest.(check int) "live" 200 (Graph.live_count g);
+  Alcotest.check relation "long path" Order.Before
+    (query_exn g ids.(0) ids.(199));
+  Alcotest.(check bool) "capacity grew" true (Graph.capacity g >= 200)
+
+let test_introspection () =
+  let g = Graph.create () in
+  let a = Graph.create_event g in
+  let b = Graph.create_event g in
+  let c = Graph.create_event g in
+  Graph.add_edge g a b;
+  Graph.add_edge g a c;
+  Alcotest.(check (option int)) "out" (Some 2) (Graph.out_degree g a);
+  Alcotest.(check (option int)) "in" (Some 1) (Graph.in_degree g b);
+  Alcotest.(check int) "successors" 2 (List.length (Graph.successors g a));
+  let live = ref 0 in
+  Graph.iter_live g (fun _ -> incr live);
+  Alcotest.(check int) "iter_live" 3 !live;
+  let edges = Graph.fold_edges g (fun acc _ _ -> acc + 1) 0 in
+  Alcotest.(check int) "fold_edges" 2 edges;
+  Alcotest.(check bool) "memory positive" true (Graph.memory_bytes g > 0)
+
+(* Model-based property: build a random graph through cycle-checked edge
+   additions; the graph must agree with a reference transitive closure and
+   must never contain a cycle. *)
+let prop_matches_closure =
+  let open QCheck2 in
+  let n = 12 in
+  let gen_edges = Gen.(list_size (int_bound 60) (pair (int_bound (n - 1)) (int_bound (n - 1)))) in
+  Test.make ~name:"graph matches reference transitive closure" ~count:150
+    gen_edges
+    (fun edges ->
+      let g = Graph.create () in
+      let ids = Array.init n (fun _ -> Graph.create_event g) in
+      let closure = Array.make_matrix n n false in
+      let reach u v =
+        let visited = Array.make n false in
+        let rec dfs x =
+          x = v
+          || (not visited.(x)
+              && begin
+                visited.(x) <- true;
+                let found = ref false in
+                for y = 0 to n - 1 do
+                  if closure.(x).(y) && dfs y then found := true
+                done;
+                !found
+              end)
+        in
+        dfs u
+      in
+      List.iter
+        (fun (u, v) ->
+          (* mimic the engine: add only when coherent and not implied *)
+          if u <> v && not (Graph.reachable g ids.(v) ids.(u))
+             && not (Graph.reachable g ids.(u) ids.(v))
+          then begin
+            Graph.add_edge g ids.(u) ids.(v);
+            closure.(u).(v) <- true
+          end)
+        edges;
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          if u <> v then begin
+            let expected = reach u v in
+            if Graph.reachable g ids.(u) ids.(v) <> expected then ok := false;
+            (* acyclicity: never both directions *)
+            if expected && reach v u then ok := false
+          end
+        done
+      done;
+      !ok)
+
+(* Property: GC never breaks an ordering between two still-referenced
+   events. *)
+let prop_gc_preserves_order =
+  let open QCheck2 in
+  let n = 10 in
+  let gen =
+    Gen.(pair
+           (list_size (int_bound 40) (pair (int_bound (n - 1)) (int_bound (n - 1))))
+           (list_size (int_bound 6) (int_bound (n - 1))))
+  in
+  Test.make ~name:"gc preserves order among live events" ~count:150 gen
+    (fun (edges, releases) ->
+      let g = Graph.create () in
+      let ids = Array.init n (fun _ -> Graph.create_event g) in
+      List.iter
+        (fun (u, v) ->
+          if u <> v && not (Graph.reachable g ids.(v) ids.(u)) then
+            if not (Graph.reachable g ids.(u) ids.(v)) then
+              Graph.add_edge g ids.(u) ids.(v))
+        edges;
+      (* record orders among all pairs *)
+      let before = Array.make_matrix n n false in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          before.(u).(v) <- Graph.reachable g ids.(u) ids.(v)
+        done
+      done;
+      let released = Array.make n false in
+      List.iter
+        (fun i ->
+          if not released.(i) then begin
+            released.(i) <- true;
+            ignore (Graph.release_ref g ids.(i))
+          end)
+        releases;
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          if (not released.(u)) && not released.(v) then
+            if before.(u).(v)
+               && not (Graph.reachable g ids.(u) ids.(v))
+            then ok := false
+        done
+      done;
+      !ok)
+
+let suites =
+  [ ( "graph",
+      [
+        Alcotest.test_case "create/refcount" `Quick test_create_refcount;
+        Alcotest.test_case "query relations" `Quick test_query_relations;
+        Alcotest.test_case "stale query" `Quick test_stale_query;
+        Alcotest.test_case "slot reuse generation" `Quick test_slot_reuse_generation;
+        Alcotest.test_case "gc pinning (fig 4)" `Quick test_gc_pinning_figure4;
+        Alcotest.test_case "gc waits for predecessor" `Quick test_gc_waits_for_predecessor;
+        Alcotest.test_case "gc chain" `Quick test_gc_chain_linear;
+        Alcotest.test_case "gc diamond" `Quick test_gc_diamond_partial;
+        Alcotest.test_case "edge rollback" `Quick test_rollback;
+        Alcotest.test_case "growth" `Quick test_growth;
+        Alcotest.test_case "introspection" `Quick test_introspection;
+        QCheck_alcotest.to_alcotest prop_matches_closure;
+        QCheck_alcotest.to_alcotest prop_gc_preserves_order;
+      ] );
+  ]

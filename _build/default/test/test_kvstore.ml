@@ -1,0 +1,218 @@
+open Kronos
+open Kronos_simnet
+open Kronos_kvstore
+
+type env = {
+  sim : Sim.t;
+  net : Kv_msg.msg Net.t;
+  shard : Shard.t;
+  client : Kv_client.t;
+}
+
+let make_env ?(seed = 3L) () =
+  let sim = Sim.create ~seed () in
+  let net = Net.create sim in
+  let shard = Shard.create ~net ~addr:0 () in
+  let client = Kv_client.create ~net ~addr:100 in
+  { sim; net; shard; client }
+
+let await env f =
+  let result = ref None in
+  f (fun x -> result := Some x);
+  Sim.run ~until:(Sim.now env.sim +. 10.0) env.sim;
+  match !result with Some x -> x | None -> Alcotest.fail "no response"
+
+let request env body = await env (Kv_client.request env.client ~shard:0 body)
+
+let test_get_put () =
+  let env = make_env () in
+  (match request env (Kv_msg.Get { key = "a" }) with
+   | Kv_msg.Value { value = None } -> ()
+   | _ -> Alcotest.fail "expected empty value");
+  (match request env (Kv_msg.Put { key = "a"; value = "1" }) with
+   | Kv_msg.Put_done -> ()
+   | _ -> Alcotest.fail "expected put_done");
+  match request env (Kv_msg.Get { key = "a" }) with
+  | Kv_msg.Value { value = Some "1" } -> ()
+  | _ -> Alcotest.fail "expected value 1"
+
+let test_history () =
+  let env = make_env () in
+  ignore (request env (Kv_msg.Put { key = "k"; value = "1" }));
+  ignore (request env (Kv_msg.Put { key = "k"; value = "2" }));
+  let history = Shard.history env.shard "k" in
+  Alcotest.(check (list string)) "values in order" [ "1"; "2" ]
+    (List.map snd history);
+  Alcotest.(check (option string)) "peek" (Some "2") (Shard.peek env.shard "k")
+
+let test_lock_fifo () =
+  let env = make_env () in
+  let order = ref [] in
+  let lock txn k =
+    Kv_client.request env.client ~shard:0 (Kv_msg.Lock { txn; keys = [ "x" ] })
+      (fun _ -> order := txn :: !order; k ())
+  in
+  lock 1 (fun () -> ());
+  lock 2 (fun () -> ());
+  lock 3 (fun () -> ());
+  Sim.run ~until:1.0 env.sim;
+  (* only txn 1 holds the lock *)
+  Alcotest.(check (list int)) "first granted" [ 1 ] (List.rev !order);
+  Alcotest.(check int) "two waiting" 2 (Shard.lock_queue_length env.shard);
+  ignore (request env (Kv_msg.Unlock { txn = 1; keys = [ "x" ] }));
+  Sim.run ~until:2.0 env.sim;
+  Alcotest.(check (list int)) "fifo grant" [ 1; 2 ] (List.rev !order);
+  ignore (request env (Kv_msg.Unlock { txn = 2; keys = [ "x" ] }));
+  ignore (request env (Kv_msg.Unlock { txn = 3; keys = [ "x" ] }));
+  Sim.run ~until:3.0 env.sim;
+  Alcotest.(check (list int)) "all granted" [ 1; 2; 3 ] (List.rev !order);
+  Alcotest.(check int) "queue empty" 0 (Shard.lock_queue_length env.shard)
+
+let test_lock_multi_key () =
+  let env = make_env () in
+  let granted = ref false in
+  Kv_client.request env.client ~shard:0
+    (Kv_msg.Lock { txn = 1; keys = [ "a"; "b"; "c" ] })
+    (fun _ -> granted := true);
+  Sim.run ~until:1.0 env.sim;
+  Alcotest.(check bool) "atomic multi-key grant" true !granted
+
+let event n = Event_id.make ~slot:n ~gen:0
+
+let prepare env ~txn ~event:e keys =
+  request env (Kv_msg.Prepare { txn; event = e; reads = keys; writes = keys })
+
+let decide env ~txn ~commit writes =
+  request env (Kv_msg.Decide { txn; commit; writes })
+
+let test_prepare_constraints_and_values () =
+  let env = make_env () in
+  ignore (request env (Kv_msg.Put { key = "k"; value = "seed" }));
+  (* first transaction: no prior writer, no constraints *)
+  (match prepare env ~txn:1 ~event:(event 1) [ "k" ] with
+   | Kv_msg.Prepared { constraints = []; values = [ ("k", Some "seed") ] } -> ()
+   | Kv_msg.Prepared _ -> Alcotest.fail "unexpected prepared contents"
+   | _ -> Alcotest.fail "expected prepared");
+  ignore (decide env ~txn:1 ~commit:true [ ("k", "v1") ]);
+  Alcotest.(check (option string)) "committed" (Some "v1") (Shard.peek env.shard "k");
+  (* second transaction must be ordered after the first *)
+  (match prepare env ~txn:2 ~event:(event 2) [ "k" ] with
+   | Kv_msg.Prepared { constraints = [ (before, after) ]; values = [ ("k", Some "v1") ] } ->
+     Alcotest.(check bool) "after first event" true
+       (Event_id.equal before (event 1) && Event_id.equal after (event 2))
+   | _ -> Alcotest.fail "expected one constraint");
+  ignore (decide env ~txn:2 ~commit:true [ ("k", "v2") ]);
+  let history = Shard.history env.shard "k" in
+  Alcotest.(check int) "three writes (seed + 2 txns)" 3 (List.length history)
+
+let test_abort_leaves_no_trace () =
+  let env = make_env () in
+  ignore (prepare env ~txn:1 ~event:(event 1) [ "k" ]);
+  ignore (decide env ~txn:1 ~commit:false [ ("k", "evil") ]);
+  Alcotest.(check (option string)) "no write" None (Shard.peek env.shard "k");
+  Alcotest.(check int) "nothing pinned" 0 (Shard.pinned_keys env.shard);
+  (* next transaction sees no constraint from the aborted event *)
+  match prepare env ~txn:2 ~event:(event 2) [ "k" ] with
+  | Kv_msg.Prepared { constraints = []; _ } -> ()
+  | _ -> Alcotest.fail "aborted txn must leave no ordering trace"
+
+let test_conflicting_prepare_parks () =
+  let env = make_env () in
+  (* txn 5 pins k *)
+  ignore (prepare env ~txn:5 ~event:(event 5) [ "k" ]);
+  (* a conflicting prepare parks instead of answering *)
+  let parked_reply = ref None in
+  Kv_client.request env.client ~shard:0
+    (Kv_msg.Prepare { txn = 9; event = event 9; reads = [ "k" ]; writes = [ "k" ] })
+    (fun r -> parked_reply := Some r);
+  Sim.run ~until:(Sim.now env.sim +. 2e-3) env.sim;
+  Alcotest.(check bool) "still parked" true (!parked_reply = None);
+  Alcotest.(check int) "one parked" 1 (Shard.parked_prepares env.shard);
+  (* the decision admits the parked prepare with the right constraint *)
+  ignore (decide env ~txn:5 ~commit:true [ ("k", "v5") ]);
+  Sim.run ~until:(Sim.now env.sim +. 1.0) env.sim;
+  (match !parked_reply with
+   | Some (Kv_msg.Prepared { constraints = [ (before, _) ]; values = [ (_, Some "v5") ] }) ->
+     Alcotest.(check bool) "ordered after decided txn" true
+       (Event_id.equal before (event 5))
+   | _ -> Alcotest.fail "parked prepare should have been admitted");
+  Alcotest.(check int) "none parked" 0 (Shard.parked_prepares env.shard)
+
+let test_parked_prepare_times_out () =
+  let env = make_env () in
+  ignore (prepare env ~txn:5 ~event:(event 5) [ "k" ]);
+  (* a conflicting prepare parks; the holder never decides *)
+  let reply = ref None in
+  Kv_client.request env.client ~shard:0
+    (Kv_msg.Prepare { txn = 9; event = event 9; reads = [ "k" ]; writes = [ "k" ] })
+    (fun r -> reply := Some r);
+  Sim.run ~until:(Sim.now env.sim +. 1.0) env.sim;
+  (match !reply with
+   | Some Kv_msg.Prepare_rejected -> ()
+   | _ -> Alcotest.fail "parked prepare should time out");
+  Alcotest.(check int) "rejection counted" 1 (Shard.rejections env.shard);
+  Alcotest.(check int) "no longer parked" 0 (Shard.parked_prepares env.shard);
+  (* age order: with two parked prepares, the older is admitted first *)
+  let order = ref [] in
+  let submit txn =
+    Kv_client.request env.client ~shard:0
+      (Kv_msg.Prepare { txn; event = event txn; reads = [ "k" ]; writes = [ "k" ] })
+      (function
+        | Kv_msg.Prepared _ -> order := txn :: !order
+        | _ -> ())
+  in
+  submit 20;
+  submit 12;
+  Sim.run ~until:(Sim.now env.sim +. 2e-3) env.sim;
+  ignore (decide env ~txn:5 ~commit:false []);
+  Sim.run ~until:(Sim.now env.sim +. 2e-3) env.sim;
+  Alcotest.(check (list int)) "older admitted first" [ 12 ] (List.rev !order)
+
+let test_reader_constraints () =
+  let env = make_env () in
+  (* txn 1 reads k only (no write) *)
+  ignore
+    (request env
+       (Kv_msg.Prepare { txn = 1; event = event 1; reads = [ "k" ]; writes = [] }));
+  ignore (decide env ~txn:1 ~commit:true []);
+  (* txn 2 writes k: must be ordered after the reader *)
+  match
+    request env
+      (Kv_msg.Prepare { txn = 2; event = event 2; reads = []; writes = [ "k" ] })
+  with
+  | Kv_msg.Prepared { constraints = [ (before, after) ]; _ } ->
+    Alcotest.(check bool) "write after reader" true
+      (Event_id.equal before (event 1) && Event_id.equal after (event 2))
+  | _ -> Alcotest.fail "expected reader constraint"
+
+let test_router () =
+  Alcotest.(check bool) "stable" true
+    (Router.shard_of ~shards:4 "abc" = Router.shard_of ~shards:4 "abc");
+  Alcotest.(check bool) "in range" true
+    (List.for_all
+       (fun k ->
+         let s = Router.shard_of ~shards:5 k in
+         s >= 0 && s < 5)
+       [ "a"; "b"; "c"; "d"; "e"; "f"; "g" ]);
+  let groups = Router.partition ~shards:3 [ "a"; "b"; "c"; "d" ] in
+  let total = List.fold_left (fun acc (_, ks) -> acc + List.length ks) 0 groups in
+  Alcotest.(check int) "partition covers all keys" 4 total;
+  Alcotest.check_raises "bad shards"
+    (Invalid_argument "Router.shard_of: shards must be positive") (fun () ->
+      ignore (Router.shard_of ~shards:0 "x"))
+
+let suites =
+  [ ( "kvstore",
+      [
+        Alcotest.test_case "get/put" `Quick test_get_put;
+        Alcotest.test_case "history" `Quick test_history;
+        Alcotest.test_case "lock fifo" `Quick test_lock_fifo;
+        Alcotest.test_case "lock multi-key" `Quick test_lock_multi_key;
+        Alcotest.test_case "prepare constraints" `Quick test_prepare_constraints_and_values;
+        Alcotest.test_case "abort leaves no trace" `Quick test_abort_leaves_no_trace;
+        Alcotest.test_case "conflicting prepare parks" `Quick test_conflicting_prepare_parks;
+        Alcotest.test_case "parked prepare times out" `Quick test_parked_prepare_times_out;
+        Alcotest.test_case "reader constraints" `Quick test_reader_constraints;
+        Alcotest.test_case "router" `Quick test_router;
+      ] );
+  ]

@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "kronos"
+    (Test_sparse_set.suites
+     @ Test_vec.suites
+     @ Test_event_id.suites
+     @ Test_graph.suites
+     @ Test_engine.suites
+     @ Test_order_cache.suites
+     @ Test_invariants.suites
+     @ Test_wire.suites
+     @ Test_simnet.suites
+     @ Test_service_queue.suites
+     @ Test_replication.suites
+     @ Test_service.suites
+     @ Test_kvstore.suites
+     @ Test_txn.suites
+     @ Test_workload.suites
+     @ Test_vclock.suites
+     @ Test_graphstore.suites
+     @ Test_catocs.suites
+     @ Test_timeline.suites
+     @ Test_fault_injection.suites)

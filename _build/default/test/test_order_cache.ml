@@ -1,0 +1,129 @@
+open Kronos
+
+let relation = Alcotest.testable Order.pp_relation Order.relation_equal
+
+let ids n = Array.init n (fun slot -> Event_id.make ~slot ~gen:0)
+
+let test_insert_find () =
+  let c = Order_cache.create ~capacity:16 () in
+  let e = ids 3 in
+  Order_cache.insert c e.(0) e.(1) Order.Before;
+  Alcotest.(check (option relation)) "hit" (Some Order.Before)
+    (Order_cache.find c e.(0) e.(1));
+  Alcotest.(check (option relation)) "flipped" (Some Order.After)
+    (Order_cache.find c e.(1) e.(0));
+  Alcotest.(check (option relation)) "miss" None
+    (Order_cache.find c e.(0) e.(2))
+
+let test_after_normalized () =
+  let c = Order_cache.create ~capacity:16 () in
+  let e = ids 2 in
+  Order_cache.insert c e.(0) e.(1) Order.After;
+  Alcotest.(check (option relation)) "stored as before of flipped pair"
+    (Some Order.Before)
+    (Order_cache.find c e.(1) e.(0))
+
+let test_same_identity () =
+  let c = Order_cache.create ~capacity:16 () in
+  let e = ids 1 in
+  Alcotest.(check (option relation)) "same for free" (Some Order.Same)
+    (Order_cache.find c e.(0) e.(0))
+
+let test_concurrent_not_cached () =
+  let c = Order_cache.create ~capacity:16 () in
+  let e = ids 2 in
+  Order_cache.insert c e.(0) e.(1) Order.Concurrent;
+  Alcotest.(check (option relation)) "not cached" None
+    (Order_cache.find c e.(0) e.(1));
+  Alcotest.(check int) "size 0" 0 (Order_cache.size c)
+
+let test_transitive_prefill () =
+  let c = Order_cache.create ~capacity:64 () in
+  let e = ids 4 in
+  (* cache v -> w first; then learn u -> v; u -> w should be inferred *)
+  Order_cache.insert c e.(1) e.(2) Order.Before;
+  Order_cache.insert c e.(0) e.(1) Order.Before;
+  Alcotest.(check (option relation)) "u -> w inferred" (Some Order.Before)
+    (Order_cache.find c e.(0) e.(2));
+  Alcotest.(check bool) "prefill counted" true (Order_cache.prefills c > 0);
+  (* backward direction: t -> u cached, insert u -> x, infer t -> x *)
+  Order_cache.insert c e.(1) e.(3) Order.Before;
+  Alcotest.(check (option relation)) "t -> x inferred" (Some Order.Before)
+    (Order_cache.find c e.(0) e.(3))
+
+let test_lru_eviction () =
+  let c = Order_cache.create ~capacity:2 () in
+  let e = ids 6 in
+  Order_cache.insert c e.(0) e.(1) Order.Before;
+  Order_cache.insert c e.(2) e.(3) Order.Before;
+  (* touch the first entry so the second is evicted *)
+  ignore (Order_cache.find c e.(0) e.(1));
+  Order_cache.insert c e.(4) e.(5) Order.Before;
+  Alcotest.(check int) "bounded" 2 (Order_cache.size c);
+  Alcotest.(check (option relation)) "lru kept" (Some Order.Before)
+    (Order_cache.find c e.(0) e.(1));
+  Alcotest.(check (option relation)) "evicted" None
+    (Order_cache.find c e.(2) e.(3))
+
+let test_counters_and_clear () =
+  let c = Order_cache.create ~capacity:8 () in
+  let e = ids 2 in
+  ignore (Order_cache.find c e.(0) e.(1));
+  Order_cache.insert c e.(0) e.(1) Order.Before;
+  ignore (Order_cache.find c e.(0) e.(1));
+  Alcotest.(check int) "hits" 1 (Order_cache.hits c);
+  Alcotest.(check int) "misses" 1 (Order_cache.misses c);
+  Order_cache.clear c;
+  Alcotest.(check int) "empty" 0 (Order_cache.size c);
+  Alcotest.(check (option relation)) "cleared" None
+    (Order_cache.find c e.(0) e.(1))
+
+(* Property: the cache never returns an answer that contradicts the engine
+   it was fed from, under random workloads. *)
+let prop_cache_consistent_with_engine =
+  let open QCheck2 in
+  let n = 8 in
+  let gen_op =
+    Gen.(frequency
+           [ (3, map2 (fun u v -> `Assign (u, v)) (int_bound (n - 1)) (int_bound (n - 1)));
+             (5, map2 (fun u v -> `Query (u, v)) (int_bound (n - 1)) (int_bound (n - 1)));
+           ])
+  in
+  Test.make ~name:"cache agrees with engine" ~count:200
+    Gen.(list_size (int_bound 80) gen_op)
+    (fun ops ->
+      let t = Engine.create () in
+      let ids = Array.init n (fun _ -> Engine.create_event t) in
+      let c = Order_cache.create ~capacity:32 () in
+      List.for_all
+        (function
+          | `Assign (u, v) ->
+            ignore (Engine.assign_order t
+                      [ (ids.(u), Order.Happens_before, Order.Prefer, ids.(v)) ]);
+            true
+          | `Query (u, v) -> (
+              match Order_cache.find c ids.(u) ids.(v) with
+              | Some cached ->
+                (* cached stable answers must match the engine *)
+                (match Engine.query_order t [ (ids.(u), ids.(v)) ] with
+                 | Ok [ live ] -> Order.relation_equal cached live
+                 | Ok _ | Error _ -> false)
+              | None -> (
+                  match Engine.query_order t [ (ids.(u), ids.(v)) ] with
+                  | Ok [ live ] -> Order_cache.insert c ids.(u) ids.(v) live; true
+                  | Ok _ | Error _ -> false)))
+        ops)
+
+let suites =
+  [ ( "order_cache",
+      [
+        Alcotest.test_case "insert/find" `Quick test_insert_find;
+        Alcotest.test_case "after normalized" `Quick test_after_normalized;
+        Alcotest.test_case "same identity" `Quick test_same_identity;
+        Alcotest.test_case "concurrent not cached" `Quick test_concurrent_not_cached;
+        Alcotest.test_case "transitive prefill" `Quick test_transitive_prefill;
+        Alcotest.test_case "lru eviction" `Quick test_lru_eviction;
+        Alcotest.test_case "counters and clear" `Quick test_counters_and_clear;
+        QCheck_alcotest.to_alcotest prop_cache_consistent_with_engine;
+      ] );
+  ]

@@ -1,0 +1,119 @@
+open Kronos
+
+let test_empty () =
+  let s = Sparse_set.create 8 in
+  Alcotest.(check int) "cardinal" 0 (Sparse_set.cardinal s);
+  for i = 0 to 7 do
+    Alcotest.(check bool) "mem" false (Sparse_set.mem s i)
+  done
+
+let test_add_mem () =
+  let s = Sparse_set.create 8 in
+  Sparse_set.add s 3;
+  Sparse_set.add s 5;
+  Alcotest.(check bool) "3 in" true (Sparse_set.mem s 3);
+  Alcotest.(check bool) "5 in" true (Sparse_set.mem s 5);
+  Alcotest.(check bool) "4 out" false (Sparse_set.mem s 4);
+  Alcotest.(check int) "cardinal" 2 (Sparse_set.cardinal s)
+
+let test_add_idempotent () =
+  let s = Sparse_set.create 4 in
+  Sparse_set.add s 2;
+  Sparse_set.add s 2;
+  Sparse_set.add s 2;
+  Alcotest.(check int) "cardinal" 1 (Sparse_set.cardinal s)
+
+let test_clear () =
+  let s = Sparse_set.create 4 in
+  Sparse_set.add s 0;
+  Sparse_set.add s 1;
+  Sparse_set.clear s;
+  Alcotest.(check int) "cardinal" 0 (Sparse_set.cardinal s);
+  Alcotest.(check bool) "0 out" false (Sparse_set.mem s 0);
+  (* re-add after clear works and does not see ghosts *)
+  Sparse_set.add s 1;
+  Alcotest.(check bool) "1 in" true (Sparse_set.mem s 1);
+  Alcotest.(check bool) "0 out" false (Sparse_set.mem s 0)
+
+let test_clear_is_constant_state () =
+  (* After many fill/clear cycles membership stays exact. *)
+  let s = Sparse_set.create 16 in
+  for round = 0 to 9 do
+    Sparse_set.clear s;
+    let member i = (i + round) mod 3 = 0 in
+    for i = 0 to 15 do
+      if member i then Sparse_set.add s i
+    done;
+    for i = 0 to 15 do
+      Alcotest.(check bool)
+        (Printf.sprintf "round %d elem %d" round i)
+        (member i) (Sparse_set.mem s i)
+    done
+  done
+
+let test_grow () =
+  let s = Sparse_set.create 4 in
+  Sparse_set.add s 1;
+  Sparse_set.add s 3;
+  Sparse_set.grow s 16;
+  Alcotest.(check int) "capacity" 16 (Sparse_set.capacity s);
+  Alcotest.(check bool) "1 kept" true (Sparse_set.mem s 1);
+  Alcotest.(check bool) "3 kept" true (Sparse_set.mem s 3);
+  Sparse_set.add s 12;
+  Alcotest.(check bool) "12 in" true (Sparse_set.mem s 12);
+  (* shrinking request is a no-op *)
+  Sparse_set.grow s 2;
+  Alcotest.(check int) "capacity kept" 16 (Sparse_set.capacity s)
+
+let test_iter_insertion_order () =
+  let s = Sparse_set.create 8 in
+  List.iter (Sparse_set.add s) [ 5; 1; 7; 1; 2 ];
+  let seen = ref [] in
+  Sparse_set.iter (fun i -> seen := i :: !seen) s;
+  Alcotest.(check (list int)) "order" [ 5; 1; 7; 2 ] (List.rev !seen)
+
+let test_out_of_range () =
+  let s = Sparse_set.create 4 in
+  Alcotest.check_raises "add" (Invalid_argument "Sparse_set: element out of range")
+    (fun () -> Sparse_set.add s 4);
+  Alcotest.check_raises "mem" (Invalid_argument "Sparse_set: element out of range")
+    (fun () -> ignore (Sparse_set.mem s (-1)))
+
+(* Model-based property: a sparse set behaves like a Set of ints under a
+   random program of add/clear operations. *)
+let prop_model =
+  let open QCheck2 in
+  let cap = 64 in
+  let op = Gen.(frequency [ (8, map (fun i -> `Add i) (int_bound (cap - 1)));
+                            (1, return `Clear) ]) in
+  Test.make ~name:"sparse_set matches Set model" ~count:300
+    Gen.(list_size (int_bound 200) op)
+    (fun ops ->
+      let s = Sparse_set.create cap in
+      let module IS = Set.Make (Int) in
+      let model = ref IS.empty in
+      List.iter
+        (function
+          | `Add i -> Sparse_set.add s i; model := IS.add i !model
+          | `Clear -> Sparse_set.clear s; model := IS.empty)
+        ops;
+      let ok = ref (Sparse_set.cardinal s = IS.cardinal !model) in
+      for i = 0 to cap - 1 do
+        if Sparse_set.mem s i <> IS.mem i !model then ok := false
+      done;
+      !ok)
+
+let suites =
+  [ ( "sparse_set",
+      [
+        Alcotest.test_case "empty" `Quick test_empty;
+        Alcotest.test_case "add/mem" `Quick test_add_mem;
+        Alcotest.test_case "add idempotent" `Quick test_add_idempotent;
+        Alcotest.test_case "clear" `Quick test_clear;
+        Alcotest.test_case "repeated clear cycles" `Quick test_clear_is_constant_state;
+        Alcotest.test_case "grow" `Quick test_grow;
+        Alcotest.test_case "iter insertion order" `Quick test_iter_insertion_order;
+        Alcotest.test_case "out of range" `Quick test_out_of_range;
+        QCheck_alcotest.to_alcotest prop_model;
+      ] );
+  ]

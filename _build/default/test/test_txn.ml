@@ -1,0 +1,220 @@
+open Kronos
+open Kronos_simnet
+open Kronos_kvstore
+open Kronos_txn
+module Bank = Kronos_workload.Bank
+
+(* A full transactional deployment: sharded KV store plus (for Kronos mode)
+   a replicated Kronos service, all on one simulation. *)
+type env = {
+  sim : Sim.t;
+  shards : Shard.t array;
+  shard_addrs : Net.addr array;
+  kv_net : Kv_msg.msg Net.t;
+  chain_net : Kronos_replication.Chain.msg Net.t option;
+  cluster : Kronos_service.Server.cluster option;
+  ids : Executor.id_source;
+}
+
+let make_env ?(seed = 11L) ?(shards = 4) ~kronos () =
+  let sim = Sim.create ~seed () in
+  let kv_net = Net.create sim in
+  let shard_addrs = Array.init shards (fun i -> i) in
+  let shard_servers = Array.map (fun a -> Shard.create ~net:kv_net ~addr:a ()) shard_addrs in
+  let chain_net, cluster =
+    if kronos then begin
+      let net = Net.create sim in
+      let cluster =
+        Kronos_service.Server.deploy ~net ~coordinator:1000
+          ~replicas:[ 0; 1; 2 ] ~ping_interval:0.2 ~failure_timeout:2.0 ()
+      in
+      (Some net, Some cluster)
+    end
+    else (None, None)
+  in
+  { sim; shards = shard_servers; shard_addrs; kv_net; chain_net; cluster;
+    ids = Executor.id_source () }
+
+let make_executor env ~mode ~client_addr =
+  let kv = Kv_client.create ~net:env.kv_net ~addr:client_addr in
+  let kronos =
+    match mode with
+    | Executor.Kronos_ordered ->
+      let net = Option.get env.chain_net in
+      Some
+        (Kronos_service.Client.create ~net ~addr:(5000 + client_addr)
+           ~coordinator:1000 ~request_timeout:1.0 ())
+    | Executor.Put_and_pray | Executor.Locking -> None
+  in
+  Executor.create ~mode ~sim:env.sim ~kv ~shards:env.shard_addrs ~ids:env.ids
+    ?kronos ()
+
+let seed_accounts env ~accounts ~balance =
+  let client = Kv_client.create ~net:env.kv_net ~addr:900 in
+  for i = 0 to accounts - 1 do
+    let key = Bank.account_key i in
+    let shard =
+      env.shard_addrs.(Router.shard_of ~shards:(Array.length env.shard_addrs) key)
+    in
+    Kv_client.request client ~shard
+      (Kv_msg.Put { key; value = string_of_int balance })
+      (fun _ -> ())
+  done;
+  Sim.run ~until:(Sim.now env.sim +. 5.0) env.sim
+
+let balances_total env ~accounts =
+  let total = ref 0 in
+  for i = 0 to accounts - 1 do
+    let key = Bank.account_key i in
+    Array.iter
+      (fun shard ->
+        match Shard.peek shard key with
+        | Some v -> total := !total + int_of_string v
+        | None -> ())
+      env.shards
+  done;
+  !total
+
+(* Drive [clients] concurrent closed-loop clients, each running transfers
+   back to back until [ops] transactions have been issued in total. *)
+let run_bank env ~mode ~clients ~ops ~accounts =
+  let bank =
+    Bank.create ~rng:(Rng.split (Sim.rng env.sim)) ~accounts ~skew:0.9 ()
+  in
+  let executors =
+    Array.init clients (fun i -> make_executor env ~mode ~client_addr:(100 + i))
+  in
+  let issued = ref 0 in
+  let completed = ref 0 in
+  let rec client_loop exec =
+    if !issued < ops then begin
+      incr issued;
+      Executor.transfer exec (Bank.next_transfer bank) (fun _ ->
+          incr completed;
+          client_loop exec)
+    end
+  in
+  Array.iter client_loop executors;
+  Sim.run ~until:(Sim.now env.sim +. 600.0) env.sim;
+  Alcotest.(check int) "all transactions finished" ops !completed;
+  executors
+
+let test_put_and_pray_loses_money () =
+  (* With many contended concurrent read-modify-writes and no coordination,
+     lost updates are essentially guaranteed; the deterministic seed makes
+     the outcome reproducible. *)
+  let env = make_env ~kronos:false () in
+  let accounts = 4 in
+  seed_accounts env ~accounts ~balance:1000;
+  ignore (run_bank env ~mode:Executor.Put_and_pray ~clients:16 ~ops:400 ~accounts);
+  let total = balances_total env ~accounts in
+  Alcotest.(check bool)
+    (Printf.sprintf "conservation violated (total = %d)" total)
+    true (total <> 4000)
+
+let test_locking_conserves_money () =
+  let env = make_env ~kronos:false () in
+  let accounts = 8 in
+  seed_accounts env ~accounts ~balance:1000;
+  let executors =
+    run_bank env ~mode:Executor.Locking ~clients:16 ~ops:300 ~accounts
+  in
+  Alcotest.(check int) "total conserved" 8000 (balances_total env ~accounts);
+  Array.iter
+    (fun e -> Alcotest.(check int) "no aborts" 0 (Executor.aborted e))
+    executors;
+  Alcotest.(check int) "no stuck locks" 0
+    (Array.fold_left (fun acc s -> acc + Shard.lock_queue_length s) 0 env.shards)
+
+let test_kronos_conserves_and_serializes () =
+  let env = make_env ~kronos:true () in
+  let accounts = 8 in
+  seed_accounts env ~accounts ~balance:1000;
+  let executors =
+    run_bank env ~mode:Executor.Kronos_ordered ~clients:16 ~ops:300 ~accounts
+  in
+  Alcotest.(check int) "total conserved" 8000 (balances_total env ~accounts);
+  let retries = Array.fold_left (fun acc e -> acc + Executor.retries e) 0 executors in
+  ignore retries;
+  (* serializability: read chains and Kronos order per key *)
+  let log = List.concat_map Executor.txn_log (Array.to_list executors) in
+  let tail_engine =
+    Option.get (Kronos_service.Server.engine_of (Option.get env.cluster) 2)
+  in
+  let query e1 e2 =
+    match Engine.query_order tail_engine [ (e1, e2) ] with
+    | Ok [ r ] -> r
+    | Ok _ | Error _ -> Alcotest.fail "query on tail engine failed"
+  in
+  (match
+     Checker.serializable ~shards:(Array.to_list env.shards) ~log ~query ()
+   with
+   | Ok () -> ()
+   | Error reason -> Alcotest.fail reason);
+  (* every committed event is live in the service (refs still held) *)
+  Alcotest.(check bool) "events recorded" true (List.length log = 300)
+
+let test_checker_detects_violation () =
+  (* Construct a fake log where a transaction claims to have read a value
+     other than its predecessor's write. *)
+  let env = make_env ~kronos:false () in
+  let e1 = Event_id.make ~slot:1 ~gen:0 in
+  let e2 = Event_id.make ~slot:2 ~gen:0 in
+  (* apply two committed writes through the pin protocol *)
+  let client = Kv_client.create ~net:env.kv_net ~addr:900 in
+  let key = "k" in
+  let shard_id = Router.shard_of ~shards:(Array.length env.shard_addrs) key in
+  let call body =
+    let result = ref None in
+    Kv_client.request client ~shard:env.shard_addrs.(shard_id) body (fun r ->
+        result := Some r);
+    Sim.run ~until:(Sim.now env.sim +. 5.0) env.sim;
+    Option.get !result
+  in
+  ignore (call (Kv_msg.Prepare { txn = 1; event = e1; reads = [ key ]; writes = [ key ] }));
+  ignore (call (Kv_msg.Decide { txn = 1; commit = true; writes = [ (key, "10") ] }));
+  ignore (call (Kv_msg.Prepare { txn = 2; event = e2; reads = [ key ]; writes = [ key ] }));
+  ignore (call (Kv_msg.Decide { txn = 2; commit = true; writes = [ (key, "20") ] }));
+  let good_log =
+    [ (e1, [ (key, None) ], [ (key, "10") ]);
+      (e2, [ (key, Some "10") ], [ (key, "20") ]) ]
+  in
+  (match Checker.serializable ~shards:(Array.to_list env.shards) ~log:good_log () with
+   | Ok () -> ()
+   | Error reason -> Alcotest.failf "good log rejected: %s" reason);
+  let bad_log =
+    [ (e1, [ (key, None) ], [ (key, "10") ]);
+      (e2, [ (key, Some "999") ], [ (key, "20") ]) ]
+  in
+  match Checker.serializable ~shards:(Array.to_list env.shards) ~log:bad_log () with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "checker must flag stale read"
+
+let test_conservation_checker () =
+  let env = make_env ~kronos:false () in
+  seed_accounts env ~accounts:3 ~balance:100;
+  let keys = List.init 3 Bank.account_key in
+  (match
+     Checker.conservation ~shards:(Array.to_list env.shards) ~keys
+       ~expected_total:300
+   with
+   | Ok () -> ()
+   | Error reason -> Alcotest.fail reason);
+  match
+    Checker.conservation ~shards:(Array.to_list env.shards) ~keys
+      ~expected_total:999
+  with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "wrong total must be flagged"
+
+let suites =
+  [ ( "txn",
+      [
+        Alcotest.test_case "put-and-pray loses money" `Quick test_put_and_pray_loses_money;
+        Alcotest.test_case "locking conserves money" `Quick test_locking_conserves_money;
+        Alcotest.test_case "kronos conserves and serializes" `Quick
+          test_kronos_conserves_and_serializes;
+        Alcotest.test_case "checker detects violations" `Quick test_checker_detects_violation;
+        Alcotest.test_case "conservation checker" `Quick test_conservation_checker;
+      ] );
+  ]

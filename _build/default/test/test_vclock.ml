@@ -1,0 +1,111 @@
+open Kronos_vclock
+
+let test_lamport_monotone () =
+  let c = Lamport.create ~process:0 in
+  let s1 = Lamport.tick c in
+  let s2 = Lamport.tick c in
+  Alcotest.(check bool) "monotone" true (Lamport.before s1 s2)
+
+let test_lamport_message_order () =
+  let a = Lamport.create ~process:0 in
+  let b = Lamport.create ~process:1 in
+  let sent = Lamport.send a in
+  let received = Lamport.receive b sent in
+  Alcotest.(check bool) "send before receive" true (Lamport.before sent received)
+
+let test_lamport_total_order () =
+  (* two stamps are never equal in the induced total order *)
+  let a = Lamport.create ~process:0 in
+  let b = Lamport.create ~process:1 in
+  let sa = Lamport.tick a in
+  let sb = Lamport.tick b in
+  Alcotest.(check bool) "tie broken by process" true
+    (Lamport.compare_stamp sa sb <> 0)
+
+(* The false-positive the paper describes: two causally unrelated events get
+   ordered anyway by Lamport clocks. *)
+let test_lamport_false_positive () =
+  let a = Lamport.create ~process:0 in
+  let b = Lamport.create ~process:1 in
+  let sa = Lamport.tick a in
+  ignore (Lamport.tick b);
+  let sb = Lamport.tick b in
+  (* no communication happened, yet Lamport orders sa before sb *)
+  Alcotest.(check bool) "spurious order" true (Lamport.before sa sb)
+
+let relation =
+  Alcotest.testable
+    (fun ppf -> function
+      | Vector_clock.Before -> Format.pp_print_string ppf "before"
+      | Vector_clock.After -> Format.pp_print_string ppf "after"
+      | Vector_clock.Concurrent -> Format.pp_print_string ppf "concurrent"
+      | Vector_clock.Equal -> Format.pp_print_string ppf "equal")
+    ( = )
+
+let test_vector_concurrent () =
+  let a = Vector_clock.create ~processes:2 ~process:0 in
+  let b = Vector_clock.create ~processes:2 ~process:1 in
+  let sa = Vector_clock.tick a in
+  let sb = Vector_clock.tick b in
+  Alcotest.check relation "independent ticks concurrent" Vector_clock.Concurrent
+    (Vector_clock.compare_stamp sa sb)
+
+let test_vector_happens_before () =
+  let a = Vector_clock.create ~processes:2 ~process:0 in
+  let b = Vector_clock.create ~processes:2 ~process:1 in
+  let sent = Vector_clock.send a in
+  let received = Vector_clock.receive b sent in
+  Alcotest.check relation "send before receive" Vector_clock.Before
+    (Vector_clock.compare_stamp sent received);
+  Alcotest.check relation "flipped" Vector_clock.After
+    (Vector_clock.compare_stamp received sent);
+  Alcotest.check relation "self equal" Vector_clock.Equal
+    (Vector_clock.compare_stamp sent sent)
+
+(* The early-assignment / false-positive weakness relative to Kronos: once a
+   process receives ANY message, everything it later does is ordered after
+   that message, even if causally unrelated at the application level. *)
+let test_vector_overapproximates () =
+  let a = Vector_clock.create ~processes:2 ~process:0 in
+  let b = Vector_clock.create ~processes:2 ~process:1 in
+  let sent = Vector_clock.send a in
+  ignore (Vector_clock.receive b sent);
+  (* an unrelated local event on b after the receive *)
+  let unrelated = Vector_clock.tick b in
+  Alcotest.check relation "spuriously ordered" Vector_clock.Before
+    (Vector_clock.compare_stamp sent unrelated)
+
+let test_vector_transitivity () =
+  let n = 3 in
+  let clocks = Array.init n (fun p -> Vector_clock.create ~processes:n ~process:p) in
+  let s0 = Vector_clock.send clocks.(0) in
+  let s1 = Vector_clock.receive clocks.(1) s0 in
+  let s1' = Vector_clock.send clocks.(1) in
+  let s2 = Vector_clock.receive clocks.(2) s1' in
+  Alcotest.check relation "transitive chain" Vector_clock.Before
+    (Vector_clock.compare_stamp s0 s2);
+  ignore s1
+
+let test_vector_dimension_mismatch () =
+  let a = Vector_clock.create ~processes:2 ~process:0 in
+  let b = Vector_clock.create ~processes:3 ~process:0 in
+  let sa = Vector_clock.tick a in
+  let sb = Vector_clock.tick b in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Vector_clock.compare_stamp: dimension mismatch")
+    (fun () -> ignore (Vector_clock.compare_stamp sa sb))
+
+let suites =
+  [ ( "vclock",
+      [
+        Alcotest.test_case "lamport monotone" `Quick test_lamport_monotone;
+        Alcotest.test_case "lamport message order" `Quick test_lamport_message_order;
+        Alcotest.test_case "lamport total order" `Quick test_lamport_total_order;
+        Alcotest.test_case "lamport false positive" `Quick test_lamport_false_positive;
+        Alcotest.test_case "vector concurrent" `Quick test_vector_concurrent;
+        Alcotest.test_case "vector happens-before" `Quick test_vector_happens_before;
+        Alcotest.test_case "vector over-approximates" `Quick test_vector_overapproximates;
+        Alcotest.test_case "vector transitivity" `Quick test_vector_transitivity;
+        Alcotest.test_case "vector dimension mismatch" `Quick test_vector_dimension_mismatch;
+      ] );
+  ]

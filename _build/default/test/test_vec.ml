@@ -1,0 +1,99 @@
+open Kronos
+
+let test_push_get () =
+  let v = Int_vec.create () in
+  for i = 0 to 99 do
+    Int_vec.push v (i * i)
+  done;
+  Alcotest.(check int) "length" 100 (Int_vec.length v);
+  for i = 0 to 99 do
+    Alcotest.(check int) "get" (i * i) (Int_vec.get v i)
+  done
+
+let test_pop_lifo () =
+  let v = Int_vec.of_list [ 1; 2; 3 ] in
+  Alcotest.(check int) "pop" 3 (Int_vec.pop v);
+  Alcotest.(check int) "last" 2 (Int_vec.last v);
+  Alcotest.(check int) "pop" 2 (Int_vec.pop v);
+  Alcotest.(check int) "pop" 1 (Int_vec.pop v);
+  Alcotest.check_raises "empty pop" (Invalid_argument "Int_vec.pop: empty")
+    (fun () -> ignore (Int_vec.pop v))
+
+let test_set_bounds () =
+  let v = Int_vec.of_list [ 7 ] in
+  Int_vec.set v 0 9;
+  Alcotest.(check int) "set" 9 (Int_vec.get v 0);
+  Alcotest.check_raises "oob" (Invalid_argument "Int_vec: index out of bounds")
+    (fun () -> Int_vec.set v 1 0)
+
+let test_remove_first () =
+  let v = Int_vec.of_list [ 4; 5; 6; 5 ] in
+  Alcotest.(check bool) "found" true (Int_vec.remove_first v 5);
+  Alcotest.(check int) "length" 3 (Int_vec.length v);
+  (* one 5 remains *)
+  Alcotest.(check bool) "still mem" true (Int_vec.mem v 5);
+  Alcotest.(check bool) "found again" true (Int_vec.remove_first v 5);
+  Alcotest.(check bool) "gone" false (Int_vec.mem v 5);
+  Alcotest.(check bool) "missing" false (Int_vec.remove_first v 42)
+
+let test_clear_reuse () =
+  let v = Int_vec.of_list [ 1; 2 ] in
+  Int_vec.clear v;
+  Alcotest.(check bool) "empty" true (Int_vec.is_empty v);
+  Int_vec.push v 9;
+  Alcotest.(check (list int)) "contents" [ 9 ] (Int_vec.to_list v)
+
+let prop_matches_list =
+  let open QCheck2 in
+  let op =
+    Gen.(frequency
+           [ (6, map (fun i -> `Push i) small_int);
+             (2, return `Pop);
+             (1, return `Clear) ])
+  in
+  Test.make ~name:"int_vec matches list model" ~count:300
+    Gen.(list_size (int_bound 100) op)
+    (fun ops ->
+      let v = Int_vec.create () in
+      let model = ref [] in
+      List.iter
+        (function
+          | `Push i -> Int_vec.push v i; model := i :: !model
+          | `Pop -> (
+              match !model with
+              | [] -> ()
+              | x :: rest ->
+                if Int_vec.pop v <> x then failwith "pop mismatch";
+                model := rest)
+          | `Clear -> Int_vec.clear v; model := [])
+        ops;
+      Int_vec.to_list v = List.rev !model)
+
+let test_poly_vec () =
+  let v = Vec.create ~dummy:"" () in
+  Vec.push v "a";
+  Vec.push v "b";
+  Vec.push v "c";
+  Alcotest.(check (list string)) "contents" [ "a"; "b"; "c" ] (Vec.to_list v);
+  Alcotest.(check string) "pop" "c" (Vec.pop v);
+  Vec.set v 0 "z";
+  Alcotest.(check string) "set" "z" (Vec.get v 0);
+  let collected = ref [] in
+  Vec.iteri (fun i x -> collected := (i, x) :: !collected) v;
+  Alcotest.(check (list (pair int string))) "iteri" [ (0, "z"); (1, "b") ]
+    (List.rev !collected);
+  Vec.clear v;
+  Alcotest.(check int) "cleared" 0 (Vec.length v)
+
+let suites =
+  [ ( "vec",
+      [
+        Alcotest.test_case "push/get" `Quick test_push_get;
+        Alcotest.test_case "pop lifo" `Quick test_pop_lifo;
+        Alcotest.test_case "set bounds" `Quick test_set_bounds;
+        Alcotest.test_case "remove_first" `Quick test_remove_first;
+        Alcotest.test_case "clear and reuse" `Quick test_clear_reuse;
+        Alcotest.test_case "polymorphic vec" `Quick test_poly_vec;
+        QCheck_alcotest.to_alcotest prop_matches_list;
+      ] );
+  ]

@@ -1,0 +1,133 @@
+open Kronos_simnet
+open Kronos_workload
+
+let rng () = Rng.create ~seed:17L
+
+let test_gnm_exact () =
+  let g = Graph_gen.erdos_renyi_gnm ~rng:(rng ()) ~n:50 ~m:200 in
+  Alcotest.(check int) "vertex count" 50 g.Graph_gen.n;
+  Alcotest.(check int) "edge count" 200 (Array.length g.Graph_gen.edges);
+  (* no self loops, no duplicates, canonical orientation *)
+  let seen = Hashtbl.create 256 in
+  Array.iter
+    (fun (u, v) ->
+      Alcotest.(check bool) "no self loop" true (u <> v);
+      Alcotest.(check bool) "canonical" true (u < v);
+      Alcotest.(check bool) "unique" false (Hashtbl.mem seen (u, v));
+      Hashtbl.add seen (u, v) ())
+    g.Graph_gen.edges
+
+let test_gnm_bounds () =
+  Alcotest.check_raises "too many edges"
+    (Invalid_argument "Graph_gen.erdos_renyi_gnm: m out of range") (fun () ->
+      ignore (Graph_gen.erdos_renyi_gnm ~rng:(rng ()) ~n:3 ~m:4))
+
+let test_gnp_expected_density () =
+  let n = 200 in
+  let p = 0.05 in
+  let g = Graph_gen.erdos_renyi_gnp ~rng:(rng ()) ~n ~p in
+  let expected = p *. float_of_int (n * (n - 1) / 2) in
+  let got = float_of_int (Array.length g.Graph_gen.edges) in
+  Alcotest.(check bool)
+    (Printf.sprintf "edge count near expectation (%f vs %f)" got expected)
+    true
+    (Float.abs (got -. expected) < 0.25 *. expected)
+
+let test_preferential_attachment () =
+  let g = Graph_gen.preferential_attachment ~rng:(rng ()) ~n:2000 ~edges_per_vertex:5 in
+  Alcotest.(check int) "vertices" 2000 g.Graph_gen.n;
+  let avg = Graph_gen.average_degree g in
+  Alcotest.(check bool)
+    (Printf.sprintf "average degree ~10 (got %f)" avg)
+    true
+    (avg > 8.0 && avg < 12.0);
+  (* heavy tail: hubs should greatly exceed the average degree *)
+  Alcotest.(check bool) "hubs exist" true
+    (float_of_int (Graph_gen.max_degree g) > 4.0 *. avg)
+
+let test_twitter_like_scaled () =
+  let g = Graph_gen.twitter_like ~rng:(rng ()) ~scale:0.02 () in
+  Alcotest.(check bool) "scaled size" true (g.Graph_gen.n > 1000 && g.Graph_gen.n < 2000);
+  let avg = Graph_gen.average_degree g in
+  Alcotest.(check bool)
+    (Printf.sprintf "average degree near paper's 21.7 (got %f)" avg)
+    true
+    (avg > 17.0 && avg < 26.0)
+
+let test_adjacency_consistent () =
+  let g = Graph_gen.erdos_renyi_gnm ~rng:(rng ()) ~n:30 ~m:60 in
+  let adj = Graph_gen.adjacency g in
+  let degree_sum = Array.fold_left (fun acc l -> acc + List.length l) 0 adj in
+  Alcotest.(check int) "degree sum = 2m" 120 degree_sum;
+  Array.iter
+    (fun (u, v) ->
+      Alcotest.(check bool) "u lists v" true (List.mem v adj.(u));
+      Alcotest.(check bool) "v lists u" true (List.mem u adj.(v)))
+    g.Graph_gen.edges
+
+let test_zipf_skew () =
+  let z = Zipf.create ~n:100 ~exponent:1.0 () in
+  let r = rng () in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 20_000 do
+    let k = Zipf.sample z r in
+    Alcotest.(check bool) "in range" true (k >= 0 && k < 100);
+    counts.(k) <- counts.(k) + 1
+  done;
+  Alcotest.(check bool) "rank 0 most popular" true (counts.(0) > counts.(50));
+  Alcotest.(check bool) "skew roughly harmonic" true
+    (float_of_int counts.(0) > 5.0 *. float_of_int (max 1 counts.(20)))
+
+let test_zipf_uniform () =
+  let z = Zipf.create ~n:10 ~exponent:0.0 () in
+  let r = rng () in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    counts.(Zipf.sample z r) <- counts.(Zipf.sample z r) + 1
+  done;
+  Array.iter
+    (fun c -> Alcotest.(check bool) "roughly uniform" true (c > 500 && c < 1500))
+    counts
+
+let test_bank_transfers () =
+  let bank = Bank.create ~rng:(rng ()) ~accounts:10 ~initial_balance:500 () in
+  Alcotest.(check int) "total" 5000 (Bank.total_money bank);
+  for _ = 1 to 1000 do
+    let t = Bank.next_transfer bank in
+    Alcotest.(check bool) "distinct accounts" true
+      (t.Bank.from_account <> t.Bank.to_account);
+    Alcotest.(check bool) "accounts in range" true
+      (t.Bank.from_account >= 0 && t.Bank.from_account < 10
+       && t.Bank.to_account >= 0 && t.Bank.to_account < 10);
+    Alcotest.(check bool) "amount positive" true (t.Bank.amount > 0)
+  done;
+  Alcotest.(check string) "key format" "acct-000003" (Bank.account_key 3)
+
+let prop_generators_deterministic =
+  QCheck2.Test.make ~name:"generators deterministic under seed" ~count:20
+    QCheck2.Gen.(int_range 1 1000)
+    (fun seed ->
+      let seed = Int64.of_int seed in
+      let g1 =
+        Graph_gen.erdos_renyi_gnm ~rng:(Rng.create ~seed) ~n:40 ~m:100
+      in
+      let g2 =
+        Graph_gen.erdos_renyi_gnm ~rng:(Rng.create ~seed) ~n:40 ~m:100
+      in
+      g1.Graph_gen.edges = g2.Graph_gen.edges)
+
+let suites =
+  [ ( "workload",
+      [
+        Alcotest.test_case "gnm exact" `Quick test_gnm_exact;
+        Alcotest.test_case "gnm bounds" `Quick test_gnm_bounds;
+        Alcotest.test_case "gnp density" `Quick test_gnp_expected_density;
+        Alcotest.test_case "preferential attachment" `Quick test_preferential_attachment;
+        Alcotest.test_case "twitter-like scaled" `Quick test_twitter_like_scaled;
+        Alcotest.test_case "adjacency consistent" `Quick test_adjacency_consistent;
+        Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
+        Alcotest.test_case "zipf uniform" `Quick test_zipf_uniform;
+        Alcotest.test_case "bank transfers" `Quick test_bank_transfers;
+        QCheck_alcotest.to_alcotest prop_generators_deterministic;
+      ] );
+  ]
