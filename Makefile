@@ -1,0 +1,17 @@
+# Tier-1 verification in one command: build every target (libraries,
+# executables, tests, benches) and run the full test suite.
+.PHONY: check build test bench clean
+
+check: build test
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

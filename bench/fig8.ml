@@ -28,6 +28,7 @@ let preload cluster ~graph =
   let ids = ref [||] in
   List.iter
     (fun (_, engine) ->
+      let engine = !engine in
       let eids = Array.init vertices (fun _ -> Engine.create_event engine) in
       let g = Engine.graph engine in
       Array.iter

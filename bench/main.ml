@@ -12,6 +12,7 @@ let experiments : (string * (unit -> unit)) list =
     ("fig12", Kronos_bench.Fig12.run);
     ("micro", Kronos_bench.Micro.run);
     ("ablation", Kronos_bench.Ablation.run);
+    ("durability", Kronos_bench.Durability_bench.run);
     ("fig6", Kronos_bench.Fig6.run);
     ("fig7", Kronos_bench.Fig7.run);
     ("fig8", Kronos_bench.Fig8.run);

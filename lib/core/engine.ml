@@ -129,6 +129,40 @@ let assign_order t requests =
        List.iter apply_prefer prefers;
        Ok (Array.to_list outcomes))
 
+type snapshot = {
+  snap_graph : Graph.snapshot;
+  snap_creates : int;
+  snap_queries : int;
+  snap_assigns : int;
+  snap_aborted_batches : int;
+  snap_reversals : int;
+  snap_collected : int;
+}
+
+let to_snapshot t =
+  {
+    snap_graph = Graph.to_snapshot t.g;
+    snap_creates = t.creates;
+    snap_queries = t.queries;
+    snap_assigns = t.assigns;
+    snap_aborted_batches = t.aborted_batches;
+    snap_reversals = t.reversals;
+    snap_collected = t.collected;
+  }
+
+let of_snapshot ?(config = default_config) s =
+  {
+    g =
+      Graph.of_snapshot ~initial_capacity:config.initial_capacity
+        ~traversal_cache:config.traversal_cache s.snap_graph;
+    creates = s.snap_creates;
+    queries = s.snap_queries;
+    assigns = s.snap_assigns;
+    aborted_batches = s.snap_aborted_batches;
+    reversals = s.snap_reversals;
+    collected = s.snap_collected;
+  }
+
 let live_events t = Graph.live_count t.g
 let edges t = Graph.edge_count t.g
 let memory_bytes t = Graph.memory_bytes t.g

@@ -52,6 +52,30 @@ val assign_order :
 
     Outcomes are returned in request order. *)
 
+(** {1 Serialization} *)
+
+(** Full logical state of an engine: the graph plus the API counters, so a
+    restored replica reports the same {!stats} as one that never crashed.
+    The encoding to bytes lives in the durability library; this type is the
+    stable in-memory contract between the two. *)
+type snapshot = {
+  snap_graph : Graph.snapshot;
+  snap_creates : int;
+  snap_queries : int;
+  snap_assigns : int;
+  snap_aborted_batches : int;
+  snap_reversals : int;
+  snap_collected : int;
+}
+
+val to_snapshot : t -> snapshot
+
+val of_snapshot : ?config:config -> snapshot -> t
+(** Rebuild an engine that behaves identically to the captured one under
+    any subsequent command sequence ([config] mirrors {!create}; the
+    traversal memo restarts cold).
+    @raise Invalid_argument on an internally inconsistent snapshot. *)
+
 (** {1 Introspection} *)
 
 val graph : t -> Graph.t

@@ -247,6 +247,72 @@ let remove_last_edge g u v =
     if g.reach_cache_capacity > 0 then Hashtbl.reset g.reach_cache
   | (None | Some _), _ -> invalid_arg "Graph.remove_last_edge: stale event"
 
+type snapshot = {
+  snap_next_slot : int;
+  snap_refcount : int array;
+  snap_gen : int array;
+  snap_succ : int array array;
+  snap_free : int array;
+  snap_traversals : int;
+  snap_visited_total : int;
+}
+
+let to_snapshot g =
+  let n = g.next_slot in
+  let int_vec_to_array v = Array.init (Int_vec.length v) (Int_vec.get v) in
+  {
+    snap_next_slot = n;
+    snap_refcount = Array.sub g.refcount 0 n;
+    snap_gen = Array.sub g.gen 0 n;
+    snap_succ = Array.init n (fun i -> int_vec_to_array g.succ.(i));
+    snap_free = int_vec_to_array g.free;
+    snap_traversals = g.traversals;
+    snap_visited_total = g.visited_total;
+  }
+
+let of_snapshot ?(initial_capacity = 1024) ?(traversal_cache = 0) s =
+  let fail what = invalid_arg ("Graph.of_snapshot: " ^ what) in
+  let n = s.snap_next_slot in
+  if n < 0 || n > Event_id.max_slot + 1 then fail "bad slot count";
+  if Array.length s.snap_refcount <> n
+     || Array.length s.snap_gen <> n
+     || Array.length s.snap_succ <> n
+  then fail "mismatched array lengths";
+  let g = create ~initial_capacity:(max initial_capacity n) ~traversal_cache () in
+  g.next_slot <- n;
+  let live = ref 0 in
+  for i = 0 to n - 1 do
+    let rc = s.snap_refcount.(i) and gen = s.snap_gen.(i) in
+    if rc < -1 then fail "bad refcount";
+    if gen < 0 || gen > max_gen then fail "bad generation";
+    g.refcount.(i) <- rc;
+    g.gen.(i) <- gen;
+    if rc >= 0 then incr live
+  done;
+  g.live <- !live;
+  let edges = ref 0 in
+  for i = 0 to n - 1 do
+    let outs = s.snap_succ.(i) in
+    if Array.length outs > 0 && g.refcount.(i) < 0 then
+      fail "edge out of a free slot";
+    Array.iter
+      (fun w ->
+        if w < 0 || w >= n || g.refcount.(w) < 0 then fail "edge to a free slot";
+        Int_vec.push g.succ.(i) w;
+        g.indeg.(w) <- g.indeg.(w) + 1;
+        incr edges)
+      outs
+  done;
+  g.edges <- !edges;
+  Array.iter
+    (fun f ->
+      if f < 0 || f >= n || g.refcount.(f) >= 0 then fail "bad free slot";
+      Int_vec.push g.free f)
+    s.snap_free;
+  g.traversals <- s.snap_traversals;
+  g.visited_total <- s.snap_visited_total;
+  g
+
 let out_degree g id =
   match resolve g id with
   | Some s -> Some (Int_vec.length g.succ.(s))

@@ -73,6 +73,40 @@ val remove_last_edge : t -> Event_id.t -> Event_id.t -> unit
     edges added by the current (not yet exposed) batch.
     @raise Invalid_argument if the last edge out of [u] is not [v]. *)
 
+(** {1 Serialization} *)
+
+(** A self-contained copy of the graph's logical state, for the durability
+    layer.  It captures everything that affects future behaviour:
+
+    - adjacency lists in {e insertion order} (BFS visits successors in that
+      order, so traversal statistics stay deterministic after a restore);
+    - the free-slot stack in order (slot reuse by [create_event] is LIFO);
+    - per-slot generations, including those of free slots, so restored
+      identifiers resolve exactly as before and stale ones stay stale;
+    - traversal counters, so work accounting continues rather than resets.
+
+    In-degrees, live/edge counts and the traversal memo are reconstructed
+    (the memo restarts cold: it is a cache, not state). *)
+type snapshot = {
+  snap_next_slot : int;          (** high-water mark of ever-used slots *)
+  snap_refcount : int array;     (** per slot; -1 marks a free slot *)
+  snap_gen : int array;          (** per slot *)
+  snap_succ : int array array;   (** successor slots, insertion order *)
+  snap_free : int array;         (** free stack, bottom to top *)
+  snap_traversals : int;
+  snap_visited_total : int;
+}
+
+val to_snapshot : t -> snapshot
+(** Deep copy; the snapshot does not alias the graph's arrays. *)
+
+val of_snapshot :
+  ?initial_capacity:int -> ?traversal_cache:int -> snapshot -> t
+(** Rebuild a graph behaviourally identical to the one captured.  The
+    options mirror {!create}; capacity is raised to fit the snapshot.
+    @raise Invalid_argument if the snapshot is internally inconsistent
+    (mismatched array lengths, edges to free slots, out-of-range values). *)
+
 (** {1 Introspection} *)
 
 val live_count : t -> int

@@ -1,0 +1,9 @@
+(** CRC-32 (IEEE 802.3, polynomial 0xEDB88320), the checksum guarding WAL
+    record frames and snapshot bodies against torn writes and bit rot. *)
+
+val string : ?off:int -> ?len:int -> string -> int32
+(** Checksum of a substring (defaults: the whole string).
+    @raise Invalid_argument if the range is out of bounds. *)
+
+val update : int32 -> ?off:int -> ?len:int -> string -> int32
+(** Incremental form: extend a running checksum with more bytes. *)

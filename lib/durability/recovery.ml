@@ -1,0 +1,31 @@
+open Kronos
+
+type outcome = {
+  engine : Engine.t;
+  wal : Wal.t;
+  snapshot_seq : int;
+  next_seq : int;
+  replayed : int;
+}
+
+let run ?engine_config ?wal_config ~replay storage =
+  let wal, records = Wal.open_ ?config:wal_config storage in
+  let snapshot_seq, engine =
+    match Snapshot.load_latest ?config:engine_config storage with
+    | Some (seq, engine) -> (seq, engine)
+    | None -> (0, Engine.create ?config:engine_config ())
+  in
+  let next = ref (snapshot_seq + 1) in
+  let replayed = ref 0 in
+  (try
+     List.iter
+       (fun (r : Wal.record) ->
+         if r.seq >= !next then begin
+           if r.seq > !next then raise Exit; (* gap: stop replay *)
+           replay engine r;
+           incr next;
+           incr replayed
+         end)
+       records
+   with Exit -> ());
+  { engine; wal; snapshot_seq; next_seq = !next; replayed = !replayed }

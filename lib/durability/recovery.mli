@@ -1,0 +1,29 @@
+(** Crash-restart recovery: rebuild an engine from local storage.
+
+    [run] opens the directory, loads the newest valid snapshot (or starts
+    from an empty engine), then replays the WAL records that extend it —
+    the contiguous run of sequence numbers starting just after the snapshot.
+    Records at or below the snapshot's sequence number are skipped; a gap
+    ends replay (everything past a gap is unusable, and cannot occur unless
+    storage was tampered with, since segments are only truncated below the
+    snapshot). *)
+
+open Kronos
+
+type outcome = {
+  engine : Engine.t;
+  wal : Wal.t;  (** open, positioned to append at [next_seq] *)
+  snapshot_seq : int;  (** 0 when no snapshot was found *)
+  next_seq : int;  (** 1 + the last recovered sequence number *)
+  replayed : int;  (** WAL records replayed on top of the snapshot *)
+}
+
+val run :
+  ?engine_config:Engine.config ->
+  ?wal_config:Wal.config ->
+  replay:(Engine.t -> Wal.record -> unit) ->
+  Storage.t ->
+  outcome
+(** [replay] applies one logged command to the engine; the caller owns the
+    payload format (the service layer stores wire-encoded commands plus
+    client bookkeeping). *)

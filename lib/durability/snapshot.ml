@@ -1,0 +1,165 @@
+open Kronos
+module Codec = Kronos_wire.Codec
+
+let version = 1
+
+let magic = "KSNP"
+
+let header_bytes = 10 (* magic + u16 version + u32 crc *)
+
+let put_int_array e a =
+  Codec.put_u32 e (Array.length a);
+  Array.iter (fun x -> Codec.put_u32 e x) a
+
+let get_int_array d = Array.of_list (Codec.get_list d Codec.get_u32)
+
+let encode ~seq (s : Engine.snapshot) =
+  let e = Codec.encoder () in
+  Codec.put_i64 e (Int64.of_int seq);
+  let g = s.Engine.snap_graph in
+  Codec.put_u32 e g.Graph.snap_next_slot;
+  (* refcounts include -1 for free slots: bias by one to stay unsigned *)
+  Codec.put_u32 e (Array.length g.Graph.snap_refcount);
+  Array.iter (fun rc -> Codec.put_u32 e (rc + 1)) g.Graph.snap_refcount;
+  put_int_array e g.Graph.snap_gen;
+  Codec.put_u32 e (Array.length g.Graph.snap_succ);
+  Array.iter (put_int_array e) g.Graph.snap_succ;
+  put_int_array e g.Graph.snap_free;
+  Codec.put_i64 e (Int64.of_int g.Graph.snap_traversals);
+  Codec.put_i64 e (Int64.of_int g.Graph.snap_visited_total);
+  Codec.put_i64 e (Int64.of_int s.Engine.snap_creates);
+  Codec.put_i64 e (Int64.of_int s.Engine.snap_queries);
+  Codec.put_i64 e (Int64.of_int s.Engine.snap_assigns);
+  Codec.put_i64 e (Int64.of_int s.Engine.snap_aborted_batches);
+  Codec.put_i64 e (Int64.of_int s.Engine.snap_reversals);
+  Codec.put_i64 e (Int64.of_int s.Engine.snap_collected);
+  let body = Codec.to_string e in
+  let b = Buffer.create (String.length body + header_bytes) in
+  Buffer.add_string b magic;
+  Buffer.add_uint16_be b version;
+  Buffer.add_int32_be b (Crc32.string body);
+  Buffer.add_string b body;
+  Buffer.contents b
+
+(* Header check shared by [decode] and [load_latest_bytes]: returns the body
+   on success. *)
+let validate data =
+  if String.length data < header_bytes then
+    raise (Codec.Decode_error "snapshot: truncated header");
+  if String.sub data 0 4 <> magic then
+    raise (Codec.Decode_error "snapshot: bad magic");
+  let v = String.get_uint16_be data 4 in
+  if v <> version then
+    raise (Codec.Decode_error (Printf.sprintf "snapshot: unsupported version %d" v));
+  let crc = String.get_int32_be data 6 in
+  let body = String.sub data header_bytes (String.length data - header_bytes) in
+  if Crc32.string body <> crc then
+    raise (Codec.Decode_error "snapshot: checksum mismatch");
+  body
+
+let get_int64 d = Int64.to_int (Codec.get_i64 d)
+
+let decode data =
+  let body = validate data in
+  let d = Codec.decoder body in
+  let seq = get_int64 d in
+  let snap_next_slot = Codec.get_u32 d in
+  let snap_refcount =
+    Array.map (fun x -> x - 1) (get_int_array d)
+  in
+  let snap_gen = get_int_array d in
+  let n = Codec.get_u32 d in
+  if n > String.length body then
+    raise (Codec.Decode_error "snapshot: absurd adjacency count");
+  let snap_succ = Array.init n (fun _ -> get_int_array d) in
+  let snap_free = get_int_array d in
+  let snap_traversals = get_int64 d in
+  let snap_visited_total = get_int64 d in
+  let snap_creates = get_int64 d in
+  let snap_queries = get_int64 d in
+  let snap_assigns = get_int64 d in
+  let snap_aborted_batches = get_int64 d in
+  let snap_reversals = get_int64 d in
+  let snap_collected = get_int64 d in
+  Codec.expect_end d;
+  ( seq,
+    {
+      Engine.snap_graph =
+        {
+          Graph.snap_next_slot;
+          snap_refcount;
+          snap_gen;
+          snap_succ;
+          snap_free;
+          snap_traversals;
+          snap_visited_total;
+        };
+      snap_creates;
+      snap_queries;
+      snap_assigns;
+      snap_aborted_batches;
+      snap_reversals;
+      snap_collected;
+    } )
+
+let filename ~seq = Printf.sprintf "snap-%010d.snap" seq
+
+let parse_filename name =
+  if String.length name = 20
+     && String.sub name 0 5 = "snap-"
+     && Filename.check_suffix name ".snap"
+  then int_of_string_opt (String.sub name 5 10)
+  else None
+
+let write_bytes storage ~seq data =
+  let final = filename ~seq in
+  let tmp = Printf.sprintf "snap-%010d.tmp" seq in
+  storage.Storage.remove_file tmp;
+  let w = storage.Storage.open_append tmp in
+  w.Storage.append data;
+  w.Storage.sync ();
+  w.Storage.close ();
+  storage.Storage.rename_file tmp final
+
+let write storage ~seq engine =
+  write_bytes storage ~seq (encode ~seq (Engine.to_snapshot engine))
+
+let list_snapshots storage =
+  storage.Storage.list_files ()
+  |> List.filter_map (fun n -> Option.map (fun s -> (s, n)) (parse_filename n))
+  |> List.sort (fun a b -> compare b a) (* newest first *)
+
+let load_latest_bytes storage =
+  List.find_map
+    (fun (seq, name) ->
+      match storage.Storage.read_file name with
+      | None -> None
+      | Some data -> (
+          match validate data with
+          | (_ : string) -> Some (seq, data)
+          | exception Codec.Decode_error _ -> None))
+    (list_snapshots storage)
+
+let load_latest ?config storage =
+  List.find_map
+    (fun (_, name) ->
+      match storage.Storage.read_file name with
+      | None -> None
+      | Some data -> (
+          match decode data with
+          | seq, snap -> Some (seq, Engine.of_snapshot ?config snap)
+          | exception (Codec.Decode_error _ | Invalid_argument _) -> None))
+    (list_snapshots storage)
+
+let truncate_old storage ~keep =
+  let keep = max keep 1 in
+  list_snapshots storage
+  |> List.iteri (fun i (_, name) ->
+         if i >= keep then storage.Storage.remove_file name);
+  (* stray temporaries from interrupted writes *)
+  storage.Storage.list_files ()
+  |> List.iter (fun n ->
+         if String.length n >= 5
+            && String.sub n 0 5 = "snap-"
+            && Filename.check_suffix n ".tmp"
+         then storage.Storage.remove_file n)

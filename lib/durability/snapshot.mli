@@ -1,0 +1,41 @@
+(** Versioned binary snapshots of full engine state.
+
+    A snapshot file ([snap-<seq>.snap]) holds the engine as of sequence
+    number [seq]: magic, a format version, a CRC-32 of the body, then the
+    {!Kronos.Engine.snapshot} encoded with the wire codec.  Files are
+    written to a temporary name, synced, then renamed, so a crash mid-write
+    never leaves a readable-but-bogus newest snapshot; readers skip corrupt
+    files and fall back to the next older one. *)
+
+open Kronos
+
+val version : int
+
+(** {1 Pure encoding} *)
+
+val encode : seq:int -> Engine.snapshot -> string
+
+val decode : string -> int * Engine.snapshot
+(** @raise Kronos_wire.Codec.Decode_error on bad magic, unsupported
+    version, checksum mismatch or malformed body. *)
+
+(** {1 Snapshot files} *)
+
+val filename : seq:int -> string
+
+val write : Storage.t -> seq:int -> Engine.t -> unit
+(** Capture [engine] and persist it atomically as the snapshot for [seq]. *)
+
+val write_bytes : Storage.t -> seq:int -> string -> unit
+(** Persist already-encoded snapshot bytes (state transfer receive path). *)
+
+val load_latest : ?config:Engine.config -> Storage.t -> (int * Engine.t) option
+(** Decode the newest valid snapshot, skipping corrupt ones. *)
+
+val load_latest_bytes : Storage.t -> (int * string) option
+(** The newest checksum-valid snapshot without decoding it (state transfer
+    send path). *)
+
+val truncate_old : Storage.t -> keep:int -> unit
+(** Delete all but the newest [keep] snapshot files (and stray temporary
+    files from interrupted writes). *)

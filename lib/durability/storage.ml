@@ -1,0 +1,141 @@
+type writer = {
+  append : string -> unit;
+  sync : unit -> unit;
+  size : unit -> int;
+  close : unit -> unit;
+}
+
+type t = {
+  list_files : unit -> string list;
+  read_file : string -> string option;
+  open_append : string -> writer;
+  remove_file : string -> unit;
+  rename_file : string -> string -> unit;
+  truncate_file : string -> int -> unit;
+}
+
+module Memory = struct
+  type file = { mutable data : Buffer.t; mutable synced : int }
+
+  type dir = (string, file) Hashtbl.t
+
+  let create () : dir = Hashtbl.create 8
+
+  let find_or_create dir name =
+    match Hashtbl.find_opt dir name with
+    | Some f -> f
+    | None ->
+      let f = { data = Buffer.create 256; synced = 0 } in
+      Hashtbl.add dir name f;
+      f
+
+  let storage dir =
+    {
+      list_files =
+        (fun () ->
+          Hashtbl.fold (fun name _ acc -> name :: acc) dir []
+          |> List.sort String.compare);
+      read_file =
+        (fun name ->
+          Option.map (fun f -> Buffer.contents f.data) (Hashtbl.find_opt dir name));
+      open_append =
+        (fun name ->
+          let f = find_or_create dir name in
+          {
+            append = (fun s -> Buffer.add_string f.data s);
+            sync = (fun () -> f.synced <- Buffer.length f.data);
+            size = (fun () -> Buffer.length f.data);
+            close = (fun () -> ());
+          });
+      remove_file = (fun name -> Hashtbl.remove dir name);
+      rename_file =
+        (fun src dst ->
+          match Hashtbl.find_opt dir src with
+          | None -> invalid_arg "Storage.Memory.rename_file: no such file"
+          | Some f ->
+            Hashtbl.remove dir src;
+            Hashtbl.replace dir dst f;
+            (* a rename is a metadata operation; treat it as durable *)
+            f.synced <- Buffer.length f.data);
+      truncate_file =
+        (fun name len ->
+          match Hashtbl.find_opt dir name with
+          | None -> invalid_arg "Storage.Memory.truncate_file: no such file"
+          | Some f ->
+            let keep = min len (Buffer.length f.data) in
+            let contents = Buffer.sub f.data 0 keep in
+            let data = Buffer.create (max 256 keep) in
+            Buffer.add_string data contents;
+            f.data <- data;
+            f.synced <- min f.synced keep);
+    }
+
+  let crash dir =
+    Hashtbl.iter
+      (fun _ f ->
+        if f.synced < Buffer.length f.data then begin
+          let contents = Buffer.sub f.data 0 f.synced in
+          let data = Buffer.create (max 256 f.synced) in
+          Buffer.add_string data contents;
+          f.data <- data
+        end)
+      dir
+
+  let files dir =
+    Hashtbl.fold (fun name f acc -> (name, Buffer.contents f.data) :: acc) dir []
+    |> List.sort compare
+end
+
+let rec mkdir_p path =
+  if path <> "/" && path <> "." && not (Sys.file_exists path) then begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let check_name name =
+  if name = "" || String.contains name '/' then
+    invalid_arg "Storage.files: file names must be plain names"
+
+let files ~dir =
+  mkdir_p dir;
+  let path name = check_name name; Filename.concat dir name in
+  {
+    list_files =
+      (fun () ->
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun n -> not (Sys.is_directory (Filename.concat dir n)))
+        |> List.sort String.compare);
+    read_file =
+      (fun name ->
+        let p = path name in
+        if not (Sys.file_exists p) then None
+        else begin
+          let ic = open_in_bin p in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> Some (really_input_string ic (in_channel_length ic)))
+        end);
+    open_append =
+      (fun name ->
+        let fd =
+          Unix.openfile (path name) [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+        in
+        let write s =
+          let b = Bytes.unsafe_of_string s in
+          let n = Bytes.length b in
+          let written = ref 0 in
+          while !written < n do
+            written := !written + Unix.write fd b !written (n - !written)
+          done
+        in
+        {
+          append = write;
+          sync = (fun () -> Unix.fsync fd);
+          size = (fun () -> (Unix.fstat fd).Unix.st_size);
+          close = (fun () -> try Unix.close fd with Unix.Unix_error _ -> ());
+        });
+    remove_file =
+      (fun name -> try Sys.remove (path name) with Sys_error _ -> ());
+    rename_file = (fun src dst -> Sys.rename (path src) (path dst));
+    truncate_file = (fun name len -> Unix.truncate (path name) len);
+  }

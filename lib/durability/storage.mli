@@ -1,0 +1,46 @@
+(** Abstract durable storage: a flat directory of named byte files.
+
+    The WAL and snapshot layers are written against this record-of-closures
+    interface so the same code runs over real files (for [bin/] processes)
+    and over an in-memory directory (for deterministic simnet tests, which
+    can also simulate the OS dropping un-fsynced bytes at a crash). *)
+
+(** An open append handle on one file. *)
+type writer = {
+  append : string -> unit;  (** append bytes at the end (buffered by the OS) *)
+  sync : unit -> unit;      (** force appended bytes to durable media (fsync) *)
+  size : unit -> int;       (** current file size in bytes *)
+  close : unit -> unit;
+}
+
+type t = {
+  list_files : unit -> string list;  (** sorted file names *)
+  read_file : string -> string option;  (** whole contents; [None] if absent *)
+  open_append : string -> writer;  (** create the file if needed *)
+  remove_file : string -> unit;  (** no-op if absent *)
+  rename_file : string -> string -> unit;  (** atomic within the directory *)
+  truncate_file : string -> int -> unit;  (** shrink to the given length *)
+}
+
+(** {1 In-memory backend} *)
+
+module Memory : sig
+  type dir
+
+  val create : unit -> dir
+  val storage : dir -> t
+
+  val crash : dir -> unit
+  (** Simulate a machine crash: every file loses the bytes appended since
+      its last [sync].  (Renames and truncations are treated as durable,
+      as the snapshot layer orders them after an explicit sync.) *)
+
+  val files : dir -> (string * string) list
+  (** Current contents, sorted by name, for test assertions. *)
+end
+
+(** {1 Real-file backend} *)
+
+val files : dir:string -> t
+(** Storage rooted at a real directory, created (with parents) if missing.
+    File names must be plain names, not paths. *)

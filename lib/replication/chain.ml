@@ -13,10 +13,15 @@ type msg =
   | Reply of { req_id : int; resp : string }
   | Get_config of { client : addr }
   | Config_is of config
-  | New_config of { config : config; fresh : addr option }
+  | New_config of { config : config; fresh : (addr * int) option }
   | Ping
   | Pong of { last_applied : int }
   | Sync_state of { entries : (int * addr * int * string) list }
+  | Sync_snapshot of {
+      seq : int;
+      snapshot : string;
+      entries : (int * addr * int * string) list;
+    }
 
 let log_src = Logs.Src.create "kronos.chain" ~doc:"chain replication"
 
@@ -42,13 +47,37 @@ let predecessor_of cfg addr =
 let is_tail cfg addr =
   match List.rev cfg.chain with a :: _ -> a = addr | [] -> false
 
+let encode_entry_payload ~client ~req_id ~cmd =
+  let e = Kronos_wire.Codec.encoder () in
+  Kronos_wire.Codec.put_i64 e (Int64.of_int client);
+  Kronos_wire.Codec.put_i64 e (Int64.of_int req_id);
+  Kronos_wire.Codec.put_string e cmd;
+  Kronos_wire.Codec.to_string e
+
+let decode_entry_payload s =
+  let d = Kronos_wire.Codec.decoder s in
+  let client = Int64.to_int (Kronos_wire.Codec.get_i64 d) in
+  let req_id = Int64.to_int (Kronos_wire.Codec.get_i64 d) in
+  let cmd = Kronos_wire.Codec.get_string d in
+  Kronos_wire.Codec.expect_end d;
+  (client, req_id, cmd)
+
 module Replica = struct
   type entry = { seq : int; client : addr; req_id : int; cmd : string }
+
+  type persist = {
+    log_entry : seq:int -> client:addr -> req_id:int -> cmd:string -> unit;
+    commit : upto:int -> unit;
+    snapshot : unit -> (int * string) option;
+    tail : since:int -> (int * addr * int * string) list option;
+    install : seq:int -> string -> unit;
+  }
 
   type t = {
     net : msg Net.t;
     addr : addr;
     apply : string -> string;
+    persist : persist option;
     mutable cfg : config;
     mutable last_applied : int;
     log : entry Vec.t;                       (* full command history *)
@@ -57,6 +86,7 @@ module Replica = struct
     mutable pending : entry list;            (* forwarded, unacked; seq asc *)
     stash : (int, entry) Hashtbl.t;          (* out-of-order forwards *)
     mutable removed : bool;
+    mutable installs : int;                  (* Sync_snapshot transfers taken *)
   }
 
   let addr t = t.addr
@@ -64,6 +94,7 @@ module Replica = struct
   let config t = t.cfg
   let pending_count t = List.length t.pending
   let log_length t = Vec.length t.log
+  let snapshot_installs t = t.installs
 
   let crash t = Net.unregister t.net t.addr
 
@@ -80,13 +111,20 @@ module Replica = struct
     | None -> ()
 
   (* Apply a command locally and record everything needed to re-reply,
-     deduplicate, and transfer state later. *)
+     deduplicate, and transfer state later.  With a durability layer, the
+     command is also logged at its sequence number (group-committed once the
+     current message is fully handled). *)
   let apply_entry t entry =
     let resp = t.apply entry.cmd in
     t.last_applied <- entry.seq;
     Vec.push t.log entry;
     Hashtbl.replace t.responses entry.seq resp;
     Hashtbl.replace t.dedup (entry.client, entry.req_id) entry.seq;
+    (match t.persist with
+     | Some p ->
+       p.log_entry ~seq:entry.seq ~client:entry.client ~req_id:entry.req_id
+         ~cmd:entry.cmd
+     | None -> ());
     resp
 
   (* Post-application propagation: tail replies and acks; others forward and
@@ -158,6 +196,34 @@ module Replica = struct
     t.pending <- List.filter (fun e -> e.seq > seq) t.pending;
     to_predecessor t (Ack { seq })
 
+  (* State transfer to a joining successor that has already applied
+     [applied] commands.  Preference order: the smallest sufficient log
+     tail (from the WAL when one is attached, else the in-memory log);
+     otherwise — the needed range was truncated under a snapshot — the
+     latest snapshot plus the log above it. *)
+  let send_sync t succ ~applied =
+    let from_memory () =
+      Vec.to_list t.log
+      |> List.filter_map (fun e ->
+             if e.seq > applied then Some (e.seq, e.client, e.req_id, e.cmd)
+             else None)
+    in
+    match t.persist with
+    | None -> send t succ (Sync_state { entries = from_memory () })
+    | Some p -> (
+        match p.tail ~since:applied with
+        | Some entries -> send t succ (Sync_state { entries })
+        | None -> (
+            match p.snapshot () with
+            | Some (seq, snapshot) when seq > applied ->
+              let entries = Option.value (p.tail ~since:seq) ~default:[] in
+              send t succ (Sync_snapshot { seq; snapshot; entries })
+            | Some _ | None ->
+              (* no snapshot that helps; the in-memory log is the last
+                 resort (complete unless this replica itself recovered
+                 from a snapshot, which implies one exists) *)
+              send t succ (Sync_state { entries = from_memory () })))
+
   let handle_new_config t new_cfg fresh =
     if new_cfg.version > t.cfg.version then begin
       let old_succ = successor_of t.cfg t.addr in
@@ -167,16 +233,12 @@ module Replica = struct
         let new_succ = successor_of new_cfg t.addr in
         (match new_succ with
          | Some succ when old_succ <> Some succ ->
-           (* A fresh tail needs the whole history before anything else on
-              this (FIFO) link; a surviving successor only needs our
+           (* A fresh tail needs its missing history before anything else
+              on this (FIFO) link; a surviving successor only needs our
               unacknowledged entries. *)
-           if fresh = Some succ then begin
-             let entries =
-               Vec.to_list t.log
-               |> List.map (fun e -> (e.seq, e.client, e.req_id, e.cmd))
-             in
-             send t succ (Sync_state { entries })
-           end;
+           (match fresh with
+            | Some (a, applied) when a = succ -> send_sync t succ ~applied
+            | Some _ | None -> ());
            List.iter
              (fun e ->
                send t succ
@@ -208,6 +270,28 @@ module Replica = struct
       entries;
     drain_stash t
 
+  (* A snapshot transfer: jump the local state machine to [seq], then apply
+     the log entries above it.  Only meaningful with an [install] hook (a
+     deployment mixing durable and non-durable replicas would need full-log
+     transfer; we log and ignore rather than corrupt state). *)
+  let handle_sync_snapshot t ~seq ~snapshot ~entries =
+    (match t.persist with
+     | Some p when seq > t.last_applied ->
+       p.install ~seq snapshot;
+       t.installs <- t.installs + 1;
+       t.last_applied <- seq;
+       (* bookkeeping for the snapshotted prefix is gone with the old
+          engine; it is no longer replayable, so drop it *)
+       Vec.clear t.log;
+       Hashtbl.reset t.responses;
+       Hashtbl.reset t.dedup;
+       Hashtbl.reset t.stash;
+       handle_sync t entries
+     | Some _ -> handle_sync t entries
+     | None ->
+       Log.err (fun m ->
+           m "replica %d: dropped snapshot transfer (no install hook)" t.addr))
+
   let handle t ~src:_ msg =
     if not t.removed then
       match msg with
@@ -220,20 +304,42 @@ module Replica = struct
       | New_config { config; fresh } -> handle_new_config t config fresh
       | Ping -> () (* answered below, even when removed *)
       | Sync_state { entries } -> handle_sync t entries
+      | Sync_snapshot { seq; snapshot; entries } ->
+        handle_sync_snapshot t ~seq ~snapshot ~entries
       | Reply _ | Config_is _ | Get_config _ | Pong _ ->
         Log.debug (fun m -> m "replica %d: unexpected message" t.addr)
 
   let handle t ~src msg =
     match msg with
     | Ping -> send t src (Pong { last_applied = t.last_applied })
-    | _ -> handle t ~src msg
+    | _ ->
+      let before = t.last_applied in
+      handle t ~src msg;
+      (* group commit: one durability flush per delivered message, however
+         many commands it applied (forward bursts, stash drains, syncs) *)
+      match t.persist with
+      | Some p when t.last_applied > before -> p.commit ~upto:t.last_applied
+      | Some _ | None -> ()
 
-  let create ~net ~addr ~apply ?(config = { version = 0; chain = [] }) ?service () =
+  let restore t ~last_applied ~entries =
+    if t.last_applied <> 0 || Vec.length t.log > 0 then
+      invalid_arg "Replica.restore: replica already has state";
+    t.last_applied <- last_applied;
+    List.iter
+      (fun (seq, client, req_id, cmd, resp) ->
+        Vec.push t.log { seq; client; req_id; cmd };
+        Hashtbl.replace t.responses seq resp;
+        Hashtbl.replace t.dedup (client, req_id) seq)
+      entries
+
+  let create ~net ~addr ~apply ?(config = { version = 0; chain = [] }) ?service
+      ?persist () =
     let t =
       {
         net;
         addr;
         apply;
+        persist;
         cfg = config;
         last_applied = 0;
         log = Vec.create ~dummy:{ seq = 0; client = 0; req_id = 0; cmd = "" } ();
@@ -242,6 +348,7 @@ module Replica = struct
         pending = [];
         stash = Hashtbl.create 16;
         removed = false;
+        installs = 0;
       }
     in
     let deliver =
@@ -274,7 +381,7 @@ module Coordinator = struct
     mutable cfg : config;
     (* the fresh-join marker of the latest reconfiguration, kept so the
        periodic re-broadcast stays identical to the original announcement *)
-    mutable last_fresh : addr option;
+    mutable last_fresh : (addr * int) option;
     last_pong : (addr, float) Hashtbl.t;
     ping_interval : float;
     failure_timeout : float;
@@ -325,7 +432,7 @@ module Coordinator = struct
     | Get_config { client } ->
       Net.send t.net ~src:t.addr ~dst:client (Config_is t.cfg)
     | Client_write _ | Client_read _ | Forward _ | Ack _ | Reply _
-    | Config_is _ | New_config _ | Ping | Sync_state _ ->
+    | Config_is _ | New_config _ | Ping | Sync_state _ | Sync_snapshot _ ->
       Log.debug (fun m -> m "coordinator: unexpected message")
 
   let create ~net ~addr ~chain ?(ping_interval = 0.2) ?(failure_timeout = 1.0) () =
@@ -352,5 +459,5 @@ module Coordinator = struct
     if List.mem a t.cfg.chain then invalid_arg "Coordinator.join: already a member";
     t.cfg <- { version = t.cfg.version + 1; chain = t.cfg.chain @ [ a ] };
     Hashtbl.replace t.last_pong a (Sim.now (sim t));
-    broadcast t (Some a)
+    broadcast t (Some (a, Replica.last_applied replica))
 end

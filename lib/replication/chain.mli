@@ -19,7 +19,17 @@
     Failure handling follows the standard protocol: on reconfiguration a
     replica that gained a new successor re-sends its unacknowledged pending
     entries (duplicates are discarded by sequence number); a replica that
-    became tail replies to the clients of its pending entries. *)
+    became tail replies to the clients of its pending entries.
+
+    {b Durability.}  A replica may be given {!Replica.persist} hooks wired
+    to the [kronos_durability] WAL/snapshot layer: every applied command is
+    logged at its sequence number and group-committed once per delivered
+    message, and a periodic snapshot lets old log segments be truncated.
+    State transfer then adapts to what the joining replica already has
+    (announced in [New_config]): a recovered replica close behind receives
+    only the missing WAL tail; one too far behind (its range was truncated
+    under a snapshot) receives the latest snapshot plus the WAL tail above
+    it, instead of a replay of the entire history. *)
 
 type addr = Kronos_simnet.Net.addr
 
@@ -34,11 +44,21 @@ type msg =
   | Reply of { req_id : int; resp : string }
   | Get_config of { client : addr }
   | Config_is of config
-  | New_config of { config : config; fresh : addr option }
+  | New_config of { config : config; fresh : (addr * int) option }
+      (** [fresh] identifies a joining replica and the sequence number it
+          has already applied (0 for a blank one), so its predecessor can
+          ship the smallest sufficient state transfer *)
   | Ping
   | Pong of { last_applied : int }
   | Sync_state of { entries : (int * addr * int * string) list }
-      (** (seq, client, req_id, cmd) log prefix for a joining replica *)
+      (** (seq, client, req_id, cmd) log suffix for a joining replica *)
+  | Sync_snapshot of {
+      seq : int;
+      snapshot : string;
+      entries : (int * addr * int * string) list;
+    }
+      (** encoded engine snapshot as of [seq] plus the log entries above
+          it, for a joining replica whose missing range was truncated *)
 
 (** {1 Chain position helpers} *)
 
@@ -52,12 +72,34 @@ val is_tail : config -> addr -> bool
 module Replica : sig
   type t
 
+  (** Hooks connecting a replica to a local durability layer.  The chain
+      stays generic over the hosted state machine: it calls these at the
+      protocol points where persistence matters and never interprets the
+      snapshot bytes. *)
+  type persist = {
+    log_entry : seq:int -> client:addr -> req_id:int -> cmd:string -> unit;
+        (** called after each command is applied, in sequence order *)
+    commit : upto:int -> unit;
+        (** called once per delivered message that applied at least one
+            command — the group-commit point (WAL flush, snapshot cadence,
+            segment truncation live behind this) *)
+    snapshot : unit -> (int * string) option;
+        (** newest local snapshot as [(seq, bytes)], for state transfer *)
+    tail : since:int -> (int * addr * int * string) list option;
+        (** logged entries with [seq > since]; [None] once truncation has
+            removed part of that range *)
+    install : seq:int -> string -> unit;
+        (** replace the local state machine with a received snapshot (and
+            persist it, so a later restart recovers from it) *)
+  }
+
   val create :
     net:msg Kronos_simnet.Net.t ->
     addr:addr ->
     apply:(string -> string) ->
     ?config:config ->
     ?service:[ `Fixed of float | `Measured of float ] ->
+    ?persist:persist ->
     unit ->
     t
   (** Create a replica and register it on the network.  [apply] must be
@@ -70,15 +112,42 @@ module Replica : sig
       actually took, which charges the {e real} cost of the hosted state
       machine (used by the scalability benchmark). *)
 
+  val restore :
+    t ->
+    last_applied:int ->
+    entries:(int * addr * int * string * string) list ->
+    unit
+  (** Pre-load recovered state into a freshly created, not-yet-joined
+      replica: set its applied sequence number and re-seed the in-memory
+      log, response table and deduplication index from replayed entries
+      ((seq, client, req_id, cmd, resp), ascending).  Only the replayed WAL
+      suffix is available after a restart; earlier history lives in the
+      snapshot the engine was restored from. *)
+
   val addr : t -> addr
   val last_applied : t -> int
   val config : t -> config
   val pending_count : t -> int
   val log_length : t -> int
 
+  val snapshot_installs : t -> int
+  (** Number of [Sync_snapshot] transfers this replica has installed (0
+      when every join was satisfied by a log tail). *)
+
   val crash : t -> unit
   (** Unregister from the network; in-flight and future messages drop. *)
 end
+
+(** {1 Log-entry payloads}
+
+    The byte format used when a chain entry is stored in a WAL record:
+    client address, request id and command, so a restart can rebuild the
+    deduplication index and re-reply to clients. *)
+
+val encode_entry_payload : client:addr -> req_id:int -> cmd:string -> string
+
+val decode_entry_payload : string -> addr * int * string
+(** @raise Kronos_wire.Codec.Decode_error on malformed bytes. *)
 
 (** {1 Coordinator} *)
 
@@ -102,6 +171,9 @@ module Coordinator : sig
   val config : t -> config
 
   val join : t -> Replica.t -> unit
-  (** Integrate a fresh replica at the tail: the current tail transfers its
-      log, then the coordinator broadcasts the extended chain. *)
+  (** Integrate a replica at the tail.  The broadcast announces the
+      replica's already-applied sequence number (non-zero when it recovered
+      from local storage), and the current tail ships only what is missing:
+      a log tail, or — if that range was truncated — its latest snapshot
+      plus the log above it. *)
 end

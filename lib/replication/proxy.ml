@@ -101,7 +101,7 @@ let handle t ~src:_ msg =
         op.callback resp
       | None -> () (* duplicate reply after a retransmission *))
   | Client_write _ | Client_read _ | Forward _ | Ack _ | Get_config _
-  | New_config _ | Ping | Pong _ | Sync_state _ ->
+  | New_config _ | Ping | Pong _ | Sync_state _ | Sync_snapshot _ ->
     ()
 
 let create ~net ~addr ~coordinator ?(request_timeout = 0.5) () =

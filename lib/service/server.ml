@@ -2,6 +2,7 @@ open Kronos
 open Kronos_wire
 module Net = Kronos_simnet.Net
 module Chain = Kronos_replication.Chain
+module Durability = Kronos_durability
 
 let apply engine cmd =
   let response =
@@ -29,46 +30,162 @@ let apply engine cmd =
   in
   Message.encode_response response
 
+type durability = {
+  storage_of : Net.addr -> Durability.Storage.t;
+  wal_config : Durability.Wal.config;
+  snapshot_every : int;
+  snapshots_kept : int;
+}
+
+let durability ?(wal_config = Durability.Wal.default_config)
+    ?(snapshot_every = 1024) ?(snapshots_kept = 2) ~storage_of () =
+  if snapshot_every < 1 then invalid_arg "Server.durability: snapshot_every";
+  { storage_of; wal_config; snapshot_every; snapshots_kept }
+
 type cluster = {
   net : Chain.msg Net.t;
   coordinator : Chain.Coordinator.t;
-  mutable replicas : (Chain.Replica.t * Engine.t) list;
+  mutable replicas : (Chain.Replica.t * Engine.t ref) list;
+  dur : durability option;
+  engine_config : Engine.config option;
+  service : [ `Fixed of float | `Measured of float ] option;
 }
 
 let start_replica ~net ~addr ~engine_config ~service =
-  let engine = Engine.create ?config:engine_config () in
+  let engine = ref (Engine.create ?config:engine_config ()) in
   let replica =
-    Chain.Replica.create ~net ~addr ~apply:(apply engine)
+    Chain.Replica.create ~net ~addr
+      ~apply:(fun cmd -> apply !engine cmd)
       ~config:{ Chain.version = 0; chain = [] } ?service ()
   in
   (replica, engine)
 
-let deploy ~net ~coordinator ~replicas ?engine_config ?service
+(* A durable replica first recovers from its storage (snapshot + WAL
+   suffix), then runs with persistence hooks: log each applied command,
+   group-commit per message, snapshot every [snapshot_every] commands and
+   truncate the log segments the snapshot covers. *)
+let start_durable_replica ~net ~addr ~engine_config ~service d =
+  let storage = d.storage_of addr in
+  let replayed = ref [] in
+  let outcome =
+    Durability.Recovery.run ?engine_config ~wal_config:d.wal_config
+      ~replay:(fun engine (r : Durability.Wal.record) ->
+        let client, req_id, cmd = Chain.decode_entry_payload r.payload in
+        let resp = apply engine cmd in
+        replayed := (r.seq, client, req_id, cmd, resp) :: !replayed)
+      storage
+  in
+  let engine = ref outcome.Durability.Recovery.engine in
+  let wal = outcome.Durability.Recovery.wal in
+  let last_snap = ref outcome.Durability.Recovery.snapshot_seq in
+  let persist =
+    {
+      Chain.Replica.log_entry =
+        (fun ~seq ~client ~req_id ~cmd ->
+          Durability.Wal.append wal ~seq
+            ~payload:(Chain.encode_entry_payload ~client ~req_id ~cmd));
+      commit =
+        (fun ~upto ->
+          Durability.Wal.flush wal;
+          if upto - !last_snap >= d.snapshot_every then begin
+            Durability.Snapshot.write storage ~seq:upto !engine;
+            last_snap := upto;
+            Durability.Wal.truncate_before wal ~seq:upto;
+            Durability.Snapshot.truncate_old storage ~keep:d.snapshots_kept
+          end);
+      snapshot = (fun () -> Durability.Snapshot.load_latest_bytes storage);
+      tail =
+        (fun ~since ->
+          Option.map
+            (List.map (fun (r : Durability.Wal.record) ->
+                 let client, req_id, cmd =
+                   Chain.decode_entry_payload r.payload
+                 in
+                 (r.seq, client, req_id, cmd)))
+            (Durability.Wal.read_from wal ~since));
+      install =
+        (fun ~seq snapshot ->
+          let _, snap = Durability.Snapshot.decode snapshot in
+          engine := Engine.of_snapshot ?config:engine_config snap;
+          (* persist the received snapshot: it is this replica's new
+             recovery baseline, and its own log below [seq] is stale *)
+          Durability.Snapshot.write_bytes storage ~seq snapshot;
+          last_snap := seq;
+          Durability.Wal.truncate_before wal ~seq);
+    }
+  in
+  let replica =
+    Chain.Replica.create ~net ~addr
+      ~apply:(fun cmd -> apply !engine cmd)
+      ~config:{ Chain.version = 0; chain = [] } ?service ~persist ()
+  in
+  if outcome.Durability.Recovery.next_seq > 1 then
+    Chain.Replica.restore replica
+      ~last_applied:(outcome.Durability.Recovery.next_seq - 1)
+      ~entries:(List.rev !replayed);
+  (replica, engine)
+
+let start ~net ~addr ~engine_config ~service dur =
+  match dur with
+  | Some d -> start_durable_replica ~net ~addr ~engine_config ~service d
+  | None -> start_replica ~net ~addr ~engine_config ~service
+
+let deploy ~net ~coordinator ~replicas ?engine_config ?service ?durability
     ?(ping_interval = 0.2) ?(failure_timeout = 1.0) () =
   let started =
-    List.map (fun addr -> start_replica ~net ~addr ~engine_config ~service) replicas
+    List.map
+      (fun addr -> start ~net ~addr ~engine_config ~service durability)
+      replicas
   in
   let coordinator =
     Chain.Coordinator.create ~net ~addr:coordinator ~chain:replicas
       ~ping_interval ~failure_timeout ()
   in
-  { net; coordinator; replicas = started }
+  { net; coordinator; replicas = started; dur = durability; engine_config;
+    service }
 
-let crash cluster addr =
-  List.iter
+let replica_of cluster addr =
+  List.find_map
     (fun (replica, _) ->
-      if Chain.Replica.addr replica = addr then Chain.Replica.crash replica)
+      if Chain.Replica.addr replica = addr then Some replica else None)
     cluster.replicas
 
+let crash cluster addr =
+  match replica_of cluster addr with
+  | Some replica -> Chain.Replica.crash replica
+  | None -> ()
+
 let join cluster addr ?engine_config ?service () =
+  let engine_config =
+    match engine_config with Some _ -> engine_config | None -> cluster.engine_config
+  in
+  let service = match service with Some _ -> service | None -> cluster.service in
   let replica, engine =
-    start_replica ~net:cluster.net ~addr ~engine_config ~service
+    start ~net:cluster.net ~addr ~engine_config ~service cluster.dur
   in
   Chain.Coordinator.join cluster.coordinator replica;
   cluster.replicas <- cluster.replicas @ [ (replica, engine) ]
 
+let restart_replica cluster addr ?service () =
+  (match cluster.dur with
+   | None -> invalid_arg "Server.restart_replica: cluster has no durability"
+   | Some _ -> ());
+  if Net.is_registered cluster.net addr then
+    invalid_arg "Server.restart_replica: replica still running";
+  if replica_of cluster addr = None then
+    invalid_arg "Server.restart_replica: unknown replica";
+  let service = match service with Some _ -> service | None -> cluster.service in
+  let replica, engine =
+    start ~net:cluster.net ~addr ~engine_config:cluster.engine_config ~service
+      cluster.dur
+  in
+  cluster.replicas <-
+    List.filter (fun (r, _) -> Chain.Replica.addr r <> addr) cluster.replicas
+    @ [ (replica, engine) ];
+  Chain.Coordinator.join cluster.coordinator replica
+
 let engine_of cluster addr =
   List.find_map
     (fun (replica, engine) ->
-      if Chain.Replica.addr replica = addr then Some engine else None)
+      if Chain.Replica.addr replica = addr then Some !engine else None)
     cluster.replicas

@@ -2,20 +2,53 @@
 
     Each replica hosts a deterministic {!Kronos.Engine} and applies wire
     commands to it; because every API call is deterministic, replicas stay
-    identical under chain replication (Section 2.4 of the paper). *)
+    identical under chain replication (Section 2.4 of the paper).
+
+    With a {!durability} option, every replica additionally keeps a local
+    write-ahead log of applied commands and periodic engine snapshots
+    (see [kronos_durability]), so a crashed replica can be restarted from
+    its own disk with {!restart_replica} instead of requiring a full state
+    transfer from a live peer. *)
 
 open Kronos
+module Durability = Kronos_durability
 
 val apply : Engine.t -> string -> string
 (** [apply engine cmd] decodes a {!Kronos_wire.Message.request}, executes it
     on [engine] and returns the encoded response.  Malformed commands yield
     an encoded [Rejected] response rather than raising. *)
 
-(** A running replicated Kronos deployment on a simulated network. *)
+(** Per-cluster durability configuration. *)
+type durability = {
+  storage_of : Kronos_simnet.Net.addr -> Durability.Storage.t;
+      (** each replica's private storage directory; must return the {e
+          same} storage for the same address across restarts *)
+  wal_config : Durability.Wal.config;
+  snapshot_every : int;  (** snapshot + truncate the log every N commands *)
+  snapshots_kept : int;  (** old snapshots retained as fallbacks *)
+}
+
+val durability :
+  ?wal_config:Durability.Wal.config ->
+  ?snapshot_every:int ->
+  ?snapshots_kept:int ->
+  storage_of:(Kronos_simnet.Net.addr -> Durability.Storage.t) ->
+  unit ->
+  durability
+(** Defaults: {!Durability.Wal.default_config}, snapshot every 1024
+    commands, 2 snapshots kept. *)
+
+(** A running replicated Kronos deployment on a simulated network.
+
+    Engines are held by reference: installing a state-transfer snapshot or
+    recovering after a restart replaces a replica's engine wholesale. *)
 type cluster = {
   net : Kronos_replication.Chain.msg Kronos_simnet.Net.t;
   coordinator : Kronos_replication.Chain.Coordinator.t;
-  mutable replicas : (Kronos_replication.Chain.Replica.t * Engine.t) list;
+  mutable replicas : (Kronos_replication.Chain.Replica.t * Engine.t ref) list;
+  dur : durability option;
+  engine_config : Engine.config option;
+  service : [ `Fixed of float | `Measured of float ] option;
 }
 
 val deploy :
@@ -24,6 +57,7 @@ val deploy :
   replicas:Kronos_simnet.Net.addr list ->
   ?engine_config:Engine.config ->
   ?service:[ `Fixed of float | `Measured of float ] ->
+  ?durability:durability ->
   ?ping_interval:float ->
   ?failure_timeout:float ->
   unit ->
@@ -32,10 +66,16 @@ val deploy :
     [service] models replica CPU capacity (see
     {!Kronos_replication.Chain.Replica.create}); [`Measured scale] charges
     the real wall-clock cost of each engine call as virtual busy time, so
-    throughput experiments reflect genuine graph-traversal work. *)
+    throughput experiments reflect genuine graph-traversal work.
+
+    With [durability], each replica first {e recovers} from its storage
+    (newest snapshot + WAL suffix), then logs every applied command; a
+    redeploy over existing storage therefore resumes rather than restarts
+    from scratch. *)
 
 val crash : cluster -> Kronos_simnet.Net.addr -> unit
-(** Crash the replica with the given address (no-op if absent). *)
+(** Crash the replica with the given address (no-op if absent).  Its
+    storage — if any — survives for {!restart_replica}. *)
 
 val join :
   cluster ->
@@ -44,7 +84,28 @@ val join :
   ?service:[ `Fixed of float | `Measured of float ] ->
   unit ->
   unit
-(** Start a fresh engine-backed replica and integrate it at the tail. *)
+(** Start a fresh engine-backed replica and integrate it at the tail (in a
+    durable cluster it gets its own storage via [storage_of] and recovers
+    from it first, so "fresh" storage must be empty). *)
+
+val restart_replica :
+  cluster ->
+  Kronos_simnet.Net.addr ->
+  ?service:[ `Fixed of float | `Measured of float ] ->
+  unit ->
+  unit
+(** Restart a crashed replica of a durable cluster from its local storage:
+    recover the engine (snapshot + WAL replay), re-register on the network
+    and rejoin the chain at the tail.  The join announces the recovered
+    sequence number, so the predecessor ships only the missing log tail
+    (or a snapshot, if that range was already truncated) rather than the
+    full history.
+    @raise Invalid_argument if the cluster has no durability layer, the
+    address was never part of it, or the replica is still registered. *)
 
 val engine_of : cluster -> Kronos_simnet.Net.addr -> Engine.t option
-(** Direct handle on a replica's engine, for tests and experiments. *)
+(** Direct handle on a replica's current engine, for tests and
+    experiments. *)
+
+val replica_of :
+  cluster -> Kronos_simnet.Net.addr -> Kronos_replication.Chain.Replica.t option

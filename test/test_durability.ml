@@ -1,0 +1,342 @@
+(* The durability layer: WAL framing and recovery semantics, snapshot
+   round-trips, and full crash-restart recovery checked against a reference
+   engine at every workload prefix. *)
+
+open Kronos
+open Kronos_simnet
+module Storage = Kronos_durability.Storage
+module Wal = Kronos_durability.Wal
+module Snapshot = Kronos_durability.Snapshot
+module Recovery = Kronos_durability.Recovery
+module Graph_gen = Kronos_workload.Graph_gen
+module Message = Kronos_wire.Message
+
+let mem () =
+  let dir = Storage.Memory.create () in
+  (dir, Storage.Memory.storage dir)
+
+let payload_of seq = Printf.sprintf "cmd-%04d" seq
+
+let append_range wal lo hi =
+  for seq = lo to hi do
+    Wal.append wal ~seq ~payload:(payload_of seq)
+  done
+
+let check_records what expected records =
+  Alcotest.(check (list (pair int string)))
+    what
+    (List.map (fun seq -> (seq, payload_of seq)) expected)
+    (List.map (fun (r : Wal.record) -> (r.seq, r.payload)) records)
+
+(* {1 WAL} *)
+
+let test_wal_round_trip () =
+  let _dir, storage = mem () in
+  let wal, recovered = Wal.open_ storage in
+  check_records "fresh log empty" [] recovered;
+  append_range wal 1 20;
+  Wal.sync wal;
+  let wal2, recovered = Wal.open_ storage in
+  check_records "all records recovered" (List.init 20 (fun i -> i + 1)) recovered;
+  Alcotest.(check int) "last seq" 20 (Wal.last_seq wal2);
+  (match Wal.read_from wal2 ~since:5 with
+   | Some records ->
+     check_records "suffix from 6" (List.init 15 (fun i -> i + 6)) records
+   | None -> Alcotest.fail "contiguous suffix unavailable");
+  match Wal.read_from wal2 ~since:25 with
+  | Some [] -> ()
+  | Some _ -> Alcotest.fail "expected an empty suffix past the end"
+  | None -> Alcotest.fail "a suffix past the end is trivially contiguous"
+
+let test_wal_crash_drops_unsynced () =
+  let dir, storage = mem () in
+  let config = { Wal.segment_bytes = 1 lsl 20; sync = Wal.Never } in
+  let wal, _ = Wal.open_ ~config storage in
+  append_range wal 1 5;
+  Wal.sync wal;
+  append_range wal 6 8;
+  Wal.flush wal;
+  (* flushed but never fsynced: a crash loses exactly that suffix *)
+  Storage.Memory.crash dir;
+  let wal2, recovered = Wal.open_ ~config storage in
+  check_records "synced prefix survives" [ 1; 2; 3; 4; 5 ] recovered;
+  Alcotest.(check int) "positioned after prefix" 5 (Wal.last_seq wal2)
+
+let test_wal_torn_tail_truncated () =
+  let _dir, storage = mem () in
+  let wal, _ = Wal.open_ storage in
+  append_range wal 1 3;
+  Wal.sync wal;
+  (* simulate a torn write: half a record's worth of garbage at the tail *)
+  let segment =
+    match Wal.segment_files wal with
+    | [ name ] -> name
+    | files -> Alcotest.failf "expected one segment, got %d" (List.length files)
+  in
+  let w = storage.Storage.open_append segment in
+  w.Storage.append "\x00\x00\x00\x20torn";
+  w.Storage.sync ();
+  w.Storage.close ();
+  let wal2, recovered = Wal.open_ storage in
+  check_records "valid prefix survives the torn tail" [ 1; 2; 3 ] recovered;
+  (* the torn bytes were truncated away: appending works and re-opens clean *)
+  Wal.append wal2 ~seq:4 ~payload:(payload_of 4);
+  Wal.sync wal2;
+  let _, recovered = Wal.open_ storage in
+  check_records "appends continue past the repair" [ 1; 2; 3; 4 ] recovered
+
+let test_wal_rotation_and_truncation () =
+  let _dir, storage = mem () in
+  let config = { Wal.segment_bytes = 64; sync = Wal.Always } in
+  let wal, _ = Wal.open_ ~config storage in
+  for seq = 1 to 10 do
+    Wal.append wal ~seq ~payload:(payload_of seq);
+    Wal.flush wal
+  done;
+  Alcotest.(check bool) "log rotated" true (List.length (Wal.segment_files wal) > 2);
+  (match Wal.read_from wal ~since:0 with
+   | Some records ->
+     check_records "rotation preserves records" (List.init 10 (fun i -> i + 1)) records
+   | None -> Alcotest.fail "full log should be readable before truncation");
+  Wal.truncate_before wal ~seq:4;
+  (match Wal.read_from wal ~since:4 with
+   | Some records -> check_records "tail above the snapshot" [ 5; 6; 7; 8; 9; 10 ] records
+   | None -> Alcotest.fail "tail above the snapshot must remain readable");
+  (match Wal.read_from wal ~since:0 with
+   | None -> ()
+   | Some _ -> Alcotest.fail "truncated range must be reported unreadable");
+  (* truncation works on whole segments: record 4 shares a segment with 5
+     and 6, so it legitimately survives *)
+  let _, recovered = Wal.open_ ~config storage in
+  check_records "reopen sees only surviving segments" [ 4; 5; 6; 7; 8; 9; 10 ]
+    recovered
+
+let test_wal_sync_policies () =
+  (* Always: one fsync per group commit *)
+  let _dir, storage = mem () in
+  let wal, _ = Wal.open_ ~config:{ Wal.segment_bytes = 1 lsl 20; sync = Wal.Always } storage in
+  for seq = 1 to 5 do
+    Wal.append wal ~seq ~payload:(payload_of seq);
+    Wal.flush wal
+  done;
+  Alcotest.(check int) "always: fsync per commit" 5 (Wal.sync_count wal);
+  (* Every_n: one fsync per n records, crash loses at most the window *)
+  let dir, storage = mem () in
+  let config = { Wal.segment_bytes = 1 lsl 20; sync = Wal.Every_n 3 } in
+  let wal, _ = Wal.open_ ~config storage in
+  for seq = 1 to 8 do
+    Wal.append wal ~seq ~payload:(payload_of seq);
+    Wal.flush wal
+  done;
+  Alcotest.(check int) "every_n: fsync per window" 2 (Wal.sync_count wal);
+  Storage.Memory.crash dir;
+  let _, recovered = Wal.open_ ~config storage in
+  check_records "every_n: loss bounded by the window" [ 1; 2; 3; 4; 5; 6 ] recovered;
+  (* Never: no fsyncs; a crash can lose everything since open *)
+  let dir, storage = mem () in
+  let config = { Wal.segment_bytes = 1 lsl 20; sync = Wal.Never } in
+  let wal, _ = Wal.open_ ~config storage in
+  for seq = 1 to 4 do
+    Wal.append wal ~seq ~payload:(payload_of seq);
+    Wal.flush wal
+  done;
+  Alcotest.(check int) "never: no fsyncs" 0 (Wal.sync_count wal);
+  Storage.Memory.crash dir;
+  let _, recovered = Wal.open_ ~config storage in
+  check_records "never: crash loses the lot" [] recovered
+
+(* {1 Workloads}
+
+   A deterministic write-only command stream derived from a random graph:
+   create the vertices, add the edges low->high (acyclic by construction),
+   then release a few references to exercise garbage collection and slot
+   reuse. *)
+
+let workload ~seed ~n ~m =
+  let rng = Rng.create ~seed:(Int64.of_int seed) in
+  let g = Graph_gen.erdos_renyi_gnm ~rng ~n ~m in
+  let scratch = Engine.create () in
+  let ids = Array.init n (fun _ -> Engine.create_event scratch) in
+  let cmds = ref [] in
+  let push c = cmds := Message.encode_request c :: !cmds in
+  for _ = 1 to n do
+    push Message.Create_event
+  done;
+  Array.iter
+    (fun (u, v) ->
+      let u, v = (min u v, max u v) in
+      push (Message.Assign_order [ (ids.(u), Order.Happens_before, Order.Must, ids.(v)) ]))
+    g.Graph_gen.edges;
+  for i = 0 to n - 1 do
+    if i mod 7 = 3 then push (Message.Release_ref ids.(i))
+  done;
+  (ids, List.rev !cmds)
+
+let check_engines_agree what ids reference candidate =
+  Alcotest.(check bool) (what ^ ": stats") true
+    (Engine.stats reference = Engine.stats candidate);
+  Alcotest.(check int) (what ^ ": live events")
+    (Engine.live_events reference) (Engine.live_events candidate);
+  Alcotest.(check int) (what ^ ": edges")
+    (Engine.edges reference) (Engine.edges candidate);
+  Array.iteri
+    (fun i a ->
+      Array.iteri
+        (fun j b ->
+          if i <> j then
+            let expected = Engine.query_order reference [ (a, b) ] in
+            let got = Engine.query_order candidate [ (a, b) ] in
+            if expected <> got then
+              Alcotest.failf "%s: query (%d, %d) diverges" what i j)
+        ids)
+    ids
+
+let prop_snapshot_round_trip =
+  let open QCheck2 in
+  Test.make ~name:"snapshot round trip preserves behaviour" ~count:25
+    Gen.(int_range 0 10_000)
+    (fun seed ->
+      let ids, cmds = workload ~seed ~n:24 ~m:48 in
+      let reference = Engine.create () in
+      List.iter (fun c -> ignore (Kronos_service.Server.apply reference c)) cmds;
+      let restored = Engine.of_snapshot (Engine.to_snapshot reference) in
+      check_engines_agree "round trip" ids reference restored;
+      (* behavioural identity extends to future commands: slot reuse and
+         fresh ids must match too *)
+      let a = Engine.create_event reference and b = Engine.create_event restored in
+      if not (Event_id.equal a b) then
+        Alcotest.fail "fresh ids diverge after restore";
+      check_engines_agree "after more commands" ids reference restored;
+      true)
+
+let test_snapshot_files () =
+  let _dir, storage = mem () in
+  let ids, cmds = workload ~seed:7 ~n:12 ~m:18 in
+  let engine = Engine.create () in
+  List.iteri
+    (fun i c ->
+      ignore (Kronos_service.Server.apply engine c);
+      if (i + 1) mod 10 = 0 then Snapshot.write storage ~seq:(i + 1) engine)
+    cmds;
+  let final = List.length cmds in
+  Snapshot.write storage ~seq:final engine;
+  (match Snapshot.load_latest storage with
+   | Some (seq, restored) ->
+     Alcotest.(check int) "newest snapshot wins" final seq;
+     check_engines_agree "loaded snapshot" ids engine restored
+   | None -> Alcotest.fail "snapshot missing");
+  (* corrupt the newest file: readers must fall back to the next older *)
+  let newest = Snapshot.filename ~seq:final in
+  storage.Storage.remove_file newest;
+  let w = storage.Storage.open_append newest in
+  w.Storage.append "KSNPgarbage";
+  w.Storage.sync ();
+  w.Storage.close ();
+  (match Snapshot.load_latest storage with
+   | Some (seq, _) ->
+     Alcotest.(check bool) "fell back past corruption" true (seq < final)
+   | None -> Alcotest.fail "no fallback snapshot");
+  Snapshot.truncate_old storage ~keep:1;
+  let snaps =
+    List.filter
+      (fun n -> Filename.check_suffix n ".snap")
+      (storage.Storage.list_files ())
+  in
+  Alcotest.(check int) "truncate_old keeps one" 1 (List.length snaps)
+
+(* Crash-restart recovery must reproduce the reference engine at {e every}
+   prefix of the workload, across snapshot cadences and segment rotations. *)
+let test_recovery_every_prefix () =
+  let ids, cmds = workload ~seed:11 ~n:12 ~m:16 in
+  let cmds = Array.of_list cmds in
+  let total = Array.length cmds in
+  let wal_config = { Wal.segment_bytes = 128; sync = Wal.Always } in
+  for prefix = 0 to total do
+    (* reference: a replica that never crashed *)
+    let reference = Engine.create () in
+    for i = 0 to prefix - 1 do
+      ignore (Kronos_service.Server.apply reference cmds.(i))
+    done;
+    (* durable run: log every command, snapshot every 5, then "crash" *)
+    let _dir, storage = mem () in
+    let wal, _ = Wal.open_ ~config:wal_config storage in
+    let engine = Engine.create () in
+    for i = 0 to prefix - 1 do
+      let seq = i + 1 in
+      ignore (Kronos_service.Server.apply engine cmds.(i));
+      Wal.append wal ~seq ~payload:cmds.(i);
+      Wal.flush wal;
+      if seq mod 5 = 0 then begin
+        Snapshot.write storage ~seq engine;
+        Wal.truncate_before wal ~seq;
+        Snapshot.truncate_old storage ~keep:2
+      end
+    done;
+    Wal.sync wal;
+    let outcome =
+      Recovery.run ~wal_config
+        ~replay:(fun e (r : Wal.record) ->
+          ignore (Kronos_service.Server.apply e r.payload))
+        storage
+    in
+    Alcotest.(check int)
+      (Printf.sprintf "prefix %d: next seq" prefix)
+      (prefix + 1) outcome.Recovery.next_seq;
+    if prefix >= 5 then
+      Alcotest.(check bool)
+        (Printf.sprintf "prefix %d: recovered from a snapshot" prefix)
+        true
+        (outcome.Recovery.snapshot_seq > 0);
+    check_engines_agree
+      (Printf.sprintf "prefix %d" prefix)
+      ids reference outcome.Recovery.engine
+  done
+
+let test_recovery_after_crash_loses_only_unsynced () =
+  let ids, cmds = workload ~seed:3 ~n:10 ~m:12 in
+  let cmds = Array.of_list cmds in
+  let wal_config = { Wal.segment_bytes = 1 lsl 20; sync = Wal.Every_n 4 } in
+  let dir, storage = mem () in
+  let wal, _ = Wal.open_ ~config:wal_config storage in
+  let engine = Engine.create () in
+  let applied = 10 in
+  for i = 0 to applied - 1 do
+    ignore (Kronos_service.Server.apply engine cmds.(i));
+    Wal.append wal ~seq:(i + 1) ~payload:cmds.(i);
+    Wal.flush wal
+  done;
+  (* fsyncs landed after records 4 and 8: the crash rolls back to 8 *)
+  Storage.Memory.crash dir;
+  let outcome =
+    Recovery.run ~wal_config
+      ~replay:(fun e (r : Wal.record) ->
+        ignore (Kronos_service.Server.apply e r.payload))
+      storage
+  in
+  Alcotest.(check int) "rolled back to last fsync" 9 outcome.Recovery.next_seq;
+  let reference = Engine.create () in
+  for i = 0 to 7 do
+    ignore (Kronos_service.Server.apply reference cmds.(i))
+  done;
+  check_engines_agree "recovered at the fsync boundary" ids reference
+    outcome.Recovery.engine
+
+let suites =
+  [ ( "durability",
+      [
+        Alcotest.test_case "wal round trip" `Quick test_wal_round_trip;
+        Alcotest.test_case "wal crash drops unsynced" `Quick
+          test_wal_crash_drops_unsynced;
+        Alcotest.test_case "wal torn tail truncated" `Quick
+          test_wal_torn_tail_truncated;
+        Alcotest.test_case "wal rotation and truncation" `Quick
+          test_wal_rotation_and_truncation;
+        Alcotest.test_case "wal sync policies" `Quick test_wal_sync_policies;
+        QCheck_alcotest.to_alcotest prop_snapshot_round_trip;
+        Alcotest.test_case "snapshot files" `Quick test_snapshot_files;
+        Alcotest.test_case "recovery at every prefix" `Quick
+          test_recovery_every_prefix;
+        Alcotest.test_case "recovery after crash" `Quick
+          test_recovery_after_crash_loses_only_unsynced;
+      ] );
+  ]

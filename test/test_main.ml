@@ -19,4 +19,5 @@ let () =
      @ Test_graphstore.suites
      @ Test_catocs.suites
      @ Test_timeline.suites
+     @ Test_durability.suites
      @ Test_fault_injection.suites)

@@ -71,8 +71,8 @@ let test_replicas_identical () =
   (* every replica's engine holds the same graph *)
   List.iter
     (fun (_, engine) ->
-      Alcotest.(check int) "events" 2 (Engine.live_events engine);
-      Alcotest.(check int) "edges" 1 (Engine.edges engine))
+      Alcotest.(check int) "events" 2 (Engine.live_events !engine);
+      Alcotest.(check int) "edges" 1 (Engine.edges !engine))
     env.cluster.Server.replicas
 
 let test_cache_short_circuits () =
