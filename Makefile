@@ -1,6 +1,6 @@
 # Tier-1 verification in one command: build every target (libraries,
 # executables, tests, benches) and run the full test suite.
-.PHONY: check build test bench clean
+.PHONY: check build test loopback bench clean
 
 check: build test
 
@@ -9,6 +9,12 @@ build:
 
 test:
 	dune runtest
+
+# Just the real-TCP integration tests: the transport unit suite and the
+# 3-replica loopback chain with a mid-run replica kill.
+loopback: build
+	dune exec test/test_main.exe -- test transport
+	dune exec test/test_main.exe -- test loopback
 
 bench:
 	dune exec bench/main.exe

@@ -17,7 +17,7 @@ let run () =
   Bench_util.paper
     "kill middle replica at t=30s, add fresh one at t=60s; service stays available, throughput recovers";
   let sim = Sim.create ~seed:99L () in
-  let net = Net.create sim in
+  let net = Kronos_transport.Sim_transport.of_net (Net.create sim) in
   let cluster =
     Kronos_service.Server.deploy ~net ~coordinator:1000 ~replicas:[ 0; 1; 2 ]
       ~service:(`Fixed 20e-6) ~ping_interval:0.25 ~failure_timeout:1.0 ()
@@ -41,6 +41,7 @@ let run () =
             loop client rng prev)
       | Some _ | None ->
         Kronos_service.Client.create_event client (fun e ->
+            let e = Result.get_ok e in
             incr completed;
             match prev with
             | Some (_, q) ->

@@ -31,7 +31,7 @@ type load = { name : string; graph : Graph_gen.t; paper_speedup : float }
 
 let run_kronograph ?(shard_cache_capacity = 65536) ~seed ~graph ~ops () =
   let sim = Sim.create ~seed () in
-  let chain_net = Net.create sim in
+  let chain_net = Kronos_transport.Sim_transport.of_net (Net.create sim) in
   (* single Kronos instance, as in the paper's application benchmarks *)
   let cluster =
     Kronos_service.Server.deploy ~net:chain_net ~coordinator:1000
@@ -55,7 +55,8 @@ let run_kronograph ?(shard_cache_capacity = 65536) ~seed ~graph ~ops () =
     Kronos_service.Client.create ~net:chain_net ~addr:4999 ~coordinator:1000 ()
   in
   let genesis = ref None in
-  Kronos_service.Client.create_event genesis_client (fun e -> genesis := Some e);
+  Kronos_service.Client.create_event genesis_client (fun e ->
+      genesis := Some (Result.get_ok e));
   Sim.run ~until:(Sim.now sim +. 5.0) sim;
   let genesis = Option.get !genesis in
   let adjacency = Graph_gen.adjacency graph in

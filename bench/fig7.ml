@@ -36,7 +36,7 @@ let run_mode ~mode ~clients ~ops ~accounts ~skew ~seed =
       (fun a -> Shard.create ~net:kv_net ~addr:a ~service_time:shard_service_time ())
       shard_addrs
   in
-  let chain_net = Net.create sim in
+  let chain_net = Kronos_transport.Sim_transport.of_net (Net.create sim) in
   (* single Kronos instance on its own server, as in the paper's application
      benchmarks (Section 4.1; fault tolerance is evaluated separately) *)
   ignore

@@ -59,7 +59,7 @@ let measured_query_cost ~graph:(g : Graph_gen.t) =
 
 let measure ~replicas ~seed ~window ~service_cost =
   let sim = Sim.create ~seed () in
-  let net = Net.create sim in
+  let net = Kronos_transport.Sim_transport.of_net (Net.create sim) in
   let cluster =
     Kronos_service.Server.deploy ~net ~coordinator:1000
       ~replicas:(List.init replicas (fun i -> i))

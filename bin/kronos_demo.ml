@@ -17,7 +17,7 @@ module Client = Kronos_service.Client
 let () =
   Format.printf "== Kronos service demo: durable 3-replica chain + failure ==@.";
   let sim = Sim.create ~seed:2026L () in
-  let net = Net.create sim in
+  let net = Kronos_transport.Sim_transport.of_net (Net.create sim) in
   let base = Printf.sprintf "/tmp/kronos-demo-%d" (Unix.getpid ()) in
   let storage_of addr =
     Kronos_durability.Storage.files
@@ -40,15 +40,15 @@ let () =
     done;
     Option.get !r
   in
-  let a = await (Client.create_event client) in
-  let b = await (Client.create_event client) in
+  let a = Result.get_ok (await (Client.create_event client)) in
+  let b = Result.get_ok (await (Client.create_event client)) in
   Format.printf "created %a and %a (t=%.3fs virtual)@." Event_id.pp a Event_id.pp b
     (Sim.now sim);
   (match
      await (Client.assign_order client [ (a, Order.Happens_before, Order.Must, b) ])
    with
    | Ok _ -> Format.printf "ordered %a -> %a@." Event_id.pp a Event_id.pp b
-   | Error e -> Format.printf "assign failed: %a@." Order.pp_assign_error e);
+   | Error e -> Format.printf "assign failed: %a@." Client.pp_error e);
   (* kill the middle replica; the coordinator reconfigures the chain *)
   Format.printf "killing replica 1...@.";
   Server.crash cluster 1;
@@ -58,9 +58,9 @@ let () =
      Format.printf "order survives the failure: %a@."
        (Format.pp_print_list ~pp_sep:Format.pp_print_space Order.pp_relation)
        rels
-   | Error e -> Format.printf "query failed: %a@." Order.pp_assign_error e);
+   | Error e -> Format.printf "query failed: %a@." Client.pp_error e);
   (* writes the crashed replica will have missed *)
-  let c = await (Client.create_event client) in
+  let c = Result.get_ok (await (Client.create_event client)) in
   ignore (await (Client.assign_order client [ (b, Order.Happens_before, Order.Must, c) ]));
   (* restart it from its own disk: the engine recovers from snapshot + WAL
      and the chain ships only the entries it missed *)
@@ -84,12 +84,12 @@ let () =
      Format.printf "fresh replica synced: %d events, %d edges@."
        (Engine.live_events engine) (Engine.edges engine)
    | None -> ());
-  let d = await (Client.create_event client) in
+  let d = Result.get_ok (await (Client.create_event client)) in
   (match
      await (Client.assign_order client [ (c, Order.Happens_before, Order.Must, d) ])
    with
    | Ok _ ->
      Format.printf "new writes flow through the healed chain: %a -> %a@."
        Event_id.pp c Event_id.pp d
-   | Error e -> Format.printf "assign failed: %a@." Order.pp_assign_error e);
+   | Error e -> Format.printf "assign failed: %a@." Client.pp_error e);
   Format.printf "done (%.3fs of virtual time)@." (Sim.now sim)

@@ -21,7 +21,7 @@ let run_mode ~mode ~label =
   let shard_addrs = Array.init 4 (fun i -> i) in
   let shards = Array.map (fun a -> Shard.create ~net:kv_net ~addr:a ()) shard_addrs in
   (* a 3-replica Kronos deployment on its own network *)
-  let chain_net = Net.create sim in
+  let chain_net = Kronos_transport.Sim_transport.of_net (Net.create sim) in
   ignore
     (Kronos_service.Server.deploy ~net:chain_net ~coordinator:1000
        ~replicas:[ 0; 1; 2 ] ());

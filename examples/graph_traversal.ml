@@ -13,7 +13,7 @@ let () =
   Format.printf "== KronoGraph (Section 3.2) ==@.";
   let sim = Sim.create ~seed:7L () in
   (* replicated Kronos service *)
-  let chain_net = Net.create sim in
+  let chain_net = Kronos_transport.Sim_transport.of_net (Net.create sim) in
   ignore
     (Kronos_service.Server.deploy ~net:chain_net ~coordinator:1000
        ~replicas:[ 0; 1; 2 ] ());

@@ -41,6 +41,12 @@ let request t ~shard body callback =
 
 let shard_of t v = t.shards.(v mod Array.length t.shards)
 
+(* Without a ?timeout the Kronos client retries until it succeeds. *)
+let with_event t k =
+  Client.create_event t.kronos (function
+    | Ok event -> k event
+    | Error _ -> assert false)
+
 (* Apply one vertex-local mutation on each affected shard under a shared
    event, completing when every shard confirmed. *)
 let send_updates t event ops k =
@@ -56,7 +62,7 @@ let send_updates t event ops k =
 
 let update t ops k =
   t.updates <- t.updates + 1;
-  Client.create_event t.kronos (fun event -> send_updates t event ops k)
+  with_event t (fun event -> send_updates t event ops k)
 
 let add_vertex t v k = update t [ (v, G_msg.Add_vertex) ] k
 
@@ -97,13 +103,13 @@ let fetch_neighbors t event vertices k =
 
 let neighbors t v k =
   t.queries <- t.queries + 1;
-  Client.create_event t.kronos (fun event ->
+  with_event t (fun event ->
       fetch_neighbors t event [ v ] (fun answers ->
           k (match answers with [ (_, ns) ] -> ns | _ -> [])))
 
 let recommend t v k =
   t.queries <- t.queries + 1;
-  Client.create_event t.kronos (fun event ->
+  with_event t (fun event ->
       fetch_neighbors t event [ v ] (fun answers ->
           let friends = match answers with [ (_, ns) ] -> ns | _ -> [] in
           if friends = [] then k None

@@ -1,7 +1,8 @@
 open Kronos_simnet
 module Vec = Kronos.Vec
+module Transport = Kronos_transport.Transport
 
-type addr = Net.addr
+type addr = Transport.addr
 
 type config = { version : int; chain : addr list }
 
@@ -22,6 +23,7 @@ type msg =
       snapshot : string;
       entries : (int * addr * int * string) list;
     }
+  | Join of { addr : addr; last_applied : int }
 
 let log_src = Logs.Src.create "kronos.chain" ~doc:"chain replication"
 
@@ -74,7 +76,7 @@ module Replica = struct
   }
 
   type t = {
-    net : msg Net.t;
+    net : msg Transport.t;
     addr : addr;
     apply : string -> string;
     persist : persist option;
@@ -96,9 +98,14 @@ module Replica = struct
   let log_length t = Vec.length t.log
   let snapshot_installs t = t.installs
 
-  let crash t = Net.unregister t.net t.addr
+  let is_removed t = t.removed
 
-  let send t dst msg = Net.send t.net ~src:t.addr ~dst msg
+  let crash t = Transport.unregister t.net t.addr
+
+  let send t dst msg = Transport.send t.net ~src:t.addr ~dst msg
+
+  let announce_join t ~coordinator =
+    send t coordinator (Join { addr = t.addr; last_applied = t.last_applied })
 
   let to_successor t msg =
     match successor_of t.cfg t.addr with
@@ -306,7 +313,7 @@ module Replica = struct
       | Sync_state { entries } -> handle_sync t entries
       | Sync_snapshot { seq; snapshot; entries } ->
         handle_sync_snapshot t ~seq ~snapshot ~entries
-      | Reply _ | Config_is _ | Get_config _ | Pong _ ->
+      | Reply _ | Config_is _ | Get_config _ | Pong _ | Join _ ->
         Log.debug (fun m -> m "replica %d: unexpected message" t.addr)
 
   let handle t ~src msg =
@@ -355,7 +362,15 @@ module Replica = struct
       match service with
       | None -> fun ~src msg -> handle t ~src msg
       | Some kind ->
-        let queue = Service_queue.create (Net.sim net) in
+        let sim =
+          match Transport.sim net with
+          | Some sim -> sim
+          | None ->
+            invalid_arg
+              "Replica.create: service-time modelling requires a simulated \
+               transport"
+        in
+        let queue = Service_queue.create sim in
         fun ~src msg ->
           (* heartbeats bypass the work queue, as a dedicated heartbeat
              thread would: saturation must not look like a crash *)
@@ -370,13 +385,13 @@ module Replica = struct
                  Service_queue.submit_measured queue ~scale (fun () ->
                      handle t ~src msg)))
     in
-    Net.register net addr deliver;
+    Transport.register net addr deliver;
     t
 end
 
 module Coordinator = struct
   type t = {
-    net : msg Net.t;
+    net : msg Transport.t;
     addr : addr;
     mutable cfg : config;
     (* the fresh-join marker of the latest reconfiguration, kept so the
@@ -393,13 +408,12 @@ module Coordinator = struct
   let broadcast t fresh =
     t.last_fresh <- fresh;
     List.iter
-      (fun a -> Net.send t.net ~src:t.addr ~dst:a (New_config { config = t.cfg; fresh }))
+      (fun a ->
+        Transport.send t.net ~src:t.addr ~dst:a (New_config { config = t.cfg; fresh }))
       t.cfg.chain
 
-  let sim t = Net.sim t.net
-
   let check_failures t =
-    let now = Sim.now (sim t) in
+    let now = Transport.now t.net in
     let dead =
       List.filter
         (fun a ->
@@ -424,13 +438,26 @@ module Coordinator = struct
     (* Re-announce the configuration every tick: announcements can be lost
        and replicas version-check them, so this is idempotent. *)
     broadcast t t.last_fresh;
-    List.iter (fun a -> Net.send t.net ~src:t.addr ~dst:a Ping) t.cfg.chain
+    List.iter (fun a -> Transport.send t.net ~src:t.addr ~dst:a Ping) t.cfg.chain
+
+  (* Integrate a replica at the tail, announcing how much it has already
+     applied so the current tail ships the smallest sufficient transfer.
+     Re-announcing an existing member (a retried [Join]) is answered with a
+     plain re-broadcast instead of a reconfiguration. *)
+  let integrate t ~addr:a ~last_applied =
+    if List.mem a t.cfg.chain then broadcast t t.last_fresh
+    else begin
+      t.cfg <- { version = t.cfg.version + 1; chain = t.cfg.chain @ [ a ] };
+      Hashtbl.replace t.last_pong a (Transport.now t.net);
+      broadcast t (Some (a, last_applied))
+    end
 
   let handle t ~src msg =
     match msg with
-    | Pong _ -> Hashtbl.replace t.last_pong src (Sim.now (sim t))
+    | Pong _ -> Hashtbl.replace t.last_pong src (Transport.now t.net)
     | Get_config { client } ->
-      Net.send t.net ~src:t.addr ~dst:client (Config_is t.cfg)
+      Transport.send t.net ~src:t.addr ~dst:client (Config_is t.cfg)
+    | Join { addr; last_applied } -> integrate t ~addr ~last_applied
     | Client_write _ | Client_read _ | Forward _ | Ack _ | Reply _
     | Config_is _ | New_config _ | Ping | Sync_state _ | Sync_snapshot _ ->
       Log.debug (fun m -> m "coordinator: unexpected message")
@@ -447,17 +474,15 @@ module Coordinator = struct
         failure_timeout;
       }
     in
-    let now = Sim.now (Net.sim net) in
+    let now = Transport.now net in
     List.iter (fun a -> Hashtbl.replace t.last_pong a now) chain;
-    Net.register net addr (fun ~src msg -> handle t ~src msg);
+    Transport.register net addr (fun ~src msg -> handle t ~src msg);
     broadcast t None;
-    ignore (Sim.every (Net.sim net) ~period:ping_interval (fun () -> tick t));
+    ignore (Transport.every net ~period:ping_interval (fun () -> tick t));
     t
 
   let join t replica =
     let a = Replica.addr replica in
     if List.mem a t.cfg.chain then invalid_arg "Coordinator.join: already a member";
-    t.cfg <- { version = t.cfg.version + 1; chain = t.cfg.chain @ [ a ] };
-    Hashtbl.replace t.last_pong a (Sim.now (sim t));
-    broadcast t (Some (a, Replica.last_applied replica))
+    integrate t ~addr:a ~last_applied:(Replica.last_applied replica)
 end

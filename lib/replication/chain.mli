@@ -31,7 +31,7 @@
     under a snapshot) receives the latest snapshot plus the WAL tail above
     it, instead of a replay of the entire history. *)
 
-type addr = Kronos_simnet.Net.addr
+type addr = Kronos_transport.Transport.addr
 
 type config = { version : int; chain : addr list }
 
@@ -59,6 +59,9 @@ type msg =
     }
       (** encoded engine snapshot as of [seq] plus the log entries above
           it, for a joining replica whose missing range was truncated *)
+  | Join of { addr : addr; last_applied : int }
+      (** a replica (possibly in another process) asking the coordinator to
+          integrate it at the tail; idempotent, so joiners may retry it *)
 
 (** {1 Chain position helpers} *)
 
@@ -94,7 +97,7 @@ module Replica : sig
   }
 
   val create :
-    net:msg Kronos_simnet.Net.t ->
+    net:msg Kronos_transport.Transport.t ->
     addr:addr ->
     apply:(string -> string) ->
     ?config:config ->
@@ -110,7 +113,9 @@ module Replica : sig
       occupies the server for a fixed virtual duration, or — with
       [`Measured scale] — for the scaled wall-clock time the handler
       actually took, which charges the {e real} cost of the hosted state
-      machine (used by the scalability benchmark). *)
+      machine (used by the scalability benchmark).  Service-time modelling
+      needs a simulator, so it raises [Invalid_argument] over a transport
+      whose [sim] is [None]. *)
 
   val restore :
     t ->
@@ -134,6 +139,15 @@ module Replica : sig
   (** Number of [Sync_snapshot] transfers this replica has installed (0
       when every join was satisfied by a log tail). *)
 
+  val is_removed : t -> bool
+  (** The coordinator announced a configuration without this replica; it
+      drops all traffic and must be restarted to rejoin. *)
+
+  val announce_join : t -> coordinator:addr -> unit
+  (** Send a {!msg.Join} to a (possibly remote) coordinator, announcing the
+      already-applied sequence number.  Safe to retry until the replica
+      appears in {!config}. *)
+
   val crash : t -> unit
   (** Unregister from the network; in-flight and future messages drop. *)
 end
@@ -155,7 +169,7 @@ module Coordinator : sig
   type t
 
   val create :
-    net:msg Kronos_simnet.Net.t ->
+    net:msg Kronos_transport.Transport.t ->
     addr:addr ->
     chain:addr list ->
     ?ping_interval:float ->

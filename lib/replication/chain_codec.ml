@@ -1,0 +1,135 @@
+open Kronos_wire
+open Chain
+
+let put_addr b (a : addr) = Codec.put_i64 b (Int64.of_int a)
+let get_addr d : addr = Int64.to_int (Codec.get_i64 d)
+
+let put_config b (c : config) =
+  Codec.put_u32 b c.version;
+  Codec.put_list b put_addr c.chain
+
+let get_config d =
+  let version = Codec.get_u32 d in
+  let chain = Codec.get_list d get_addr in
+  { version; chain }
+
+let put_entry b (seq, client, req_id, cmd) =
+  Codec.put_u32 b seq;
+  put_addr b client;
+  Codec.put_i64 b (Int64.of_int req_id);
+  Codec.put_string b cmd
+
+let get_entry d =
+  let seq = Codec.get_u32 d in
+  let client = get_addr d in
+  let req_id = Int64.to_int (Codec.get_i64 d) in
+  let cmd = Codec.get_string d in
+  (seq, client, req_id, cmd)
+
+let encode msg =
+  let b = Codec.encoder () in
+  (match msg with
+   | Client_write { client; req_id; cmd } ->
+     Codec.put_u8 b 0;
+     put_addr b client;
+     Codec.put_i64 b (Int64.of_int req_id);
+     Codec.put_string b cmd
+   | Client_read { client; req_id; cmd } ->
+     Codec.put_u8 b 1;
+     put_addr b client;
+     Codec.put_i64 b (Int64.of_int req_id);
+     Codec.put_string b cmd
+   | Forward { seq; client; req_id; cmd } ->
+     Codec.put_u8 b 2;
+     put_entry b (seq, client, req_id, cmd)
+   | Ack { seq } ->
+     Codec.put_u8 b 3;
+     Codec.put_u32 b seq
+   | Reply { req_id; resp } ->
+     Codec.put_u8 b 4;
+     Codec.put_i64 b (Int64.of_int req_id);
+     Codec.put_string b resp
+   | Get_config { client } ->
+     Codec.put_u8 b 5;
+     put_addr b client
+   | Config_is config ->
+     Codec.put_u8 b 6;
+     put_config b config
+   | New_config { config; fresh } ->
+     Codec.put_u8 b 7;
+     put_config b config;
+     (match fresh with
+      | None -> Codec.put_bool b false
+      | Some (a, applied) ->
+        Codec.put_bool b true;
+        put_addr b a;
+        Codec.put_u32 b applied)
+   | Ping -> Codec.put_u8 b 8
+   | Pong { last_applied } ->
+     Codec.put_u8 b 9;
+     Codec.put_u32 b last_applied
+   | Sync_state { entries } ->
+     Codec.put_u8 b 10;
+     Codec.put_list b put_entry entries
+   | Sync_snapshot { seq; snapshot; entries } ->
+     Codec.put_u8 b 11;
+     Codec.put_u32 b seq;
+     Codec.put_string b snapshot;
+     Codec.put_list b put_entry entries
+   | Join { addr; last_applied } ->
+     Codec.put_u8 b 12;
+     put_addr b addr;
+     Codec.put_u32 b last_applied);
+  Codec.to_string b
+
+let decode s =
+  let d = Codec.decoder s in
+  let msg =
+    match Codec.get_u8 d with
+    | 0 ->
+      let client = get_addr d in
+      let req_id = Int64.to_int (Codec.get_i64 d) in
+      let cmd = Codec.get_string d in
+      Client_write { client; req_id; cmd }
+    | 1 ->
+      let client = get_addr d in
+      let req_id = Int64.to_int (Codec.get_i64 d) in
+      let cmd = Codec.get_string d in
+      Client_read { client; req_id; cmd }
+    | 2 ->
+      let seq, client, req_id, cmd = get_entry d in
+      Forward { seq; client; req_id; cmd }
+    | 3 -> Ack { seq = Codec.get_u32 d }
+    | 4 ->
+      let req_id = Int64.to_int (Codec.get_i64 d) in
+      let resp = Codec.get_string d in
+      Reply { req_id; resp }
+    | 5 -> Get_config { client = get_addr d }
+    | 6 -> Config_is (get_config d)
+    | 7 ->
+      let config = get_config d in
+      let fresh =
+        if Codec.get_bool d then begin
+          let a = get_addr d in
+          let applied = Codec.get_u32 d in
+          Some (a, applied)
+        end
+        else None
+      in
+      New_config { config; fresh }
+    | 8 -> Ping
+    | 9 -> Pong { last_applied = Codec.get_u32 d }
+    | 10 -> Sync_state { entries = Codec.get_list d get_entry }
+    | 11 ->
+      let seq = Codec.get_u32 d in
+      let snapshot = Codec.get_string d in
+      let entries = Codec.get_list d get_entry in
+      Sync_snapshot { seq; snapshot; entries }
+    | 12 ->
+      let addr = get_addr d in
+      let last_applied = Codec.get_u32 d in
+      Join { addr; last_applied }
+    | n -> raise (Codec.Decode_error (Printf.sprintf "bad chain msg tag %d" n))
+  in
+  Codec.expect_end d;
+  msg

@@ -1,0 +1,12 @@
+(** Binary wire codec for {!Chain.msg}.
+
+    The simulated network passes messages as OCaml values; a real transport
+    needs bytes.  Encoding is the {!Kronos_wire.Codec} convention used by
+    the rest of the system (big-endian fixed-width integers,
+    length-prefixed strings and lists). *)
+
+val encode : Chain.msg -> string
+
+val decode : string -> Chain.msg
+(** @raise Kronos_wire.Codec.Decode_error on malformed bytes, including
+    trailing garbage. *)

@@ -1,35 +1,39 @@
-open Kronos_simnet
+module Transport = Kronos_transport.Transport
 
 type read_target = Tail | Any | Nth of int
+
+type error = Timeout
+
+let pp_error ppf Timeout = Format.pp_print_string ppf "timeout"
 
 type op = {
   req_id : int;
   cmd : string;
   kind : [ `Write | `Read of read_target ];
-  callback : string -> unit;
-  mutable timer : Sim.timer option;
+  callback : (string, error) result -> unit;
+  deadline : float option;
+  mutable timer : Transport.timer option;
 }
 
 type t = {
-  net : Chain.msg Net.t;
-  addr : Net.addr;
-  coordinator : Net.addr;
+  net : Chain.msg Transport.t;
+  addr : Transport.addr;
+  coordinator : Transport.addr;
   request_timeout : float;
-  rng : Rng.t;
   mutable cfg : Chain.config option;
   mutable next_req : int;
   outstanding : (int, op) Hashtbl.t;
   mutable queued : op list;  (* ops waiting for the first configuration *)
   mutable retries : int;
+  mutable timeouts : int;
 }
 
 let outstanding t = Hashtbl.length t.outstanding
 let retries t = t.retries
+let timeouts t = t.timeouts
 
 let config_version t =
   match t.cfg with Some c -> c.Chain.version | None -> 0
-
-let sim t = Net.sim t.net
 
 let read_destination t target (cfg : Chain.config) =
   match cfg.chain with
@@ -37,10 +41,23 @@ let read_destination t target (cfg : Chain.config) =
   | chain -> (
       match target with
       | Tail -> Some (List.nth chain (List.length chain - 1))
-      | Any -> Some (List.nth chain (Rng.int t.rng (List.length chain)))
+      | Any -> Some (List.nth chain (Transport.random_int t.net (List.length chain)))
       | Nth i ->
         let i = max 0 (min i (List.length chain - 1)) in
         Some (List.nth chain i))
+
+let cancel_timer op =
+  match op.timer with
+  | Some timer -> Transport.cancel timer; op.timer <- None
+  | None -> ()
+
+let expire t op =
+  if Hashtbl.mem t.outstanding op.req_id then begin
+    Hashtbl.remove t.outstanding op.req_id;
+    cancel_timer op;
+    t.timeouts <- t.timeouts + 1;
+    op.callback (Error Timeout)
+  end
 
 let rec dispatch t op =
   (match t.cfg with
@@ -65,23 +82,31 @@ let rec dispatch t op =
           | `Read _ ->
             Chain.Client_read { client = t.addr; req_id = op.req_id; cmd = op.cmd }
         in
-        Net.send t.net ~src:t.addr ~dst msg));
+        Transport.send t.net ~src:t.addr ~dst msg));
   arm_timeout t op
 
 and arm_timeout t op =
-  (match op.timer with Some timer -> Sim.cancel timer | None -> ());
-  let timer =
-    Sim.schedule (sim t) ~delay:t.request_timeout (fun () ->
-        if Hashtbl.mem t.outstanding op.req_id then begin
-          t.retries <- t.retries + 1;
-          (* The failure may be a dead replica: refresh the configuration
-             before retransmitting. *)
-          Net.send t.net ~src:t.addr ~dst:t.coordinator
-            (Chain.Get_config { client = t.addr });
-          dispatch t op
-        end)
+  cancel_timer op;
+  let now = Transport.now t.net in
+  let delay, on_fire =
+    match op.deadline with
+    | Some d when d -. now <= t.request_timeout ->
+      (* The overall deadline lands before the next retransmission would:
+         schedule the expiry instead of another retry. *)
+      (max 0. (d -. now), fun () -> expire t op)
+    | _ ->
+      ( t.request_timeout,
+        fun () ->
+          if Hashtbl.mem t.outstanding op.req_id then begin
+            t.retries <- t.retries + 1;
+            (* The failure may be a dead replica: refresh the configuration
+               before retransmitting. *)
+            Transport.send t.net ~src:t.addr ~dst:t.coordinator
+              (Chain.Get_config { client = t.addr });
+            dispatch t op
+          end )
   in
-  op.timer <- Some timer
+  op.timer <- Some (Transport.schedule t.net ~delay on_fire)
 
 let handle t ~src:_ msg =
   match (msg : Chain.msg) with
@@ -97,11 +122,12 @@ let handle t ~src:_ msg =
       match Hashtbl.find_opt t.outstanding req_id with
       | Some op ->
         Hashtbl.remove t.outstanding req_id;
-        (match op.timer with Some timer -> Sim.cancel timer | None -> ());
-        op.callback resp
-      | None -> () (* duplicate reply after a retransmission *))
+        cancel_timer op;
+        op.callback (Ok resp)
+      | None -> () (* duplicate reply after a retransmission, or a reply
+                      arriving after the op already timed out *))
   | Client_write _ | Client_read _ | Forward _ | Ack _ | Get_config _
-  | New_config _ | Ping | Pong _ | Sync_state _ | Sync_snapshot _ ->
+  | New_config _ | Ping | Pong _ | Sync_state _ | Sync_snapshot _ | Join _ ->
     ()
 
 let create ~net ~addr ~coordinator ?(request_timeout = 0.5) () =
@@ -111,24 +137,31 @@ let create ~net ~addr ~coordinator ?(request_timeout = 0.5) () =
       addr;
       coordinator;
       request_timeout;
-      rng = Rng.split (Sim.rng (Net.sim net));
       cfg = None;
       next_req = 0;
       outstanding = Hashtbl.create 64;
       queued = [];
       retries = 0;
+      timeouts = 0;
     }
   in
-  Net.register net addr (fun ~src msg -> handle t ~src msg);
-  Net.send net ~src:addr ~dst:coordinator (Chain.Get_config { client = addr });
+  Transport.register net addr (fun ~src msg -> handle t ~src msg);
+  Transport.send net ~src:addr ~dst:coordinator
+    (Chain.Get_config { client = addr });
   t
 
-let submit t kind cmd callback =
+let submit t ?timeout kind cmd callback =
   t.next_req <- t.next_req + 1;
-  let op = { req_id = t.next_req; cmd; kind; callback; timer = None } in
+  let deadline =
+    match timeout with
+    | Some span -> Some (Transport.now t.net +. span)
+    | None -> None
+  in
+  let op = { req_id = t.next_req; cmd; kind; callback; deadline; timer = None } in
   Hashtbl.replace t.outstanding op.req_id op;
   dispatch t op
 
-let write t cmd callback = submit t `Write cmd callback
+let write t ?timeout cmd callback = submit t ?timeout `Write cmd callback
 
-let read t ?(target = Tail) cmd callback = submit t (`Read target) cmd callback
+let read t ?timeout ?(target = Tail) cmd callback =
+  submit t ?timeout (`Read target) cmd callback

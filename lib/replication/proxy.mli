@@ -5,7 +5,12 @@
     callbacks by request id, and retransmits after a timeout (refreshing the
     configuration first, so it follows reconfigurations).  Requests carry
     stable ids, and replicas deduplicate retransmitted writes, so a retried
-    write is applied exactly once. *)
+    write is applied exactly once.
+
+    Without a per-call [?timeout] a request is retried forever and its
+    callback fires exactly once, with [Ok resp].  With one, the proxy keeps
+    retrying until the deadline, then fires the callback once with
+    [Error Timeout]; a reply that races in later is discarded. *)
 
 type t
 
@@ -15,21 +20,32 @@ type read_target =
   | Any   (** possibly stale replica — safe for monotonic answers *)
   | Nth of int  (** specific position in the chain (clamped) *)
 
+type error = Timeout
+
+val pp_error : Format.formatter -> error -> unit
+
 val create :
-  net:Chain.msg Kronos_simnet.Net.t ->
-  addr:Kronos_simnet.Net.addr ->
-  coordinator:Kronos_simnet.Net.addr ->
+  net:Chain.msg Kronos_transport.Transport.t ->
+  addr:Kronos_transport.Transport.addr ->
+  coordinator:Kronos_transport.Transport.addr ->
   ?request_timeout:float ->
   unit ->
   t
-(** Register the proxy on the network and fetch the initial configuration.
+(** Register the proxy on the transport and fetch the initial configuration.
     [request_timeout] (default 0.5 s) triggers retransmission. *)
 
-val write : t -> string -> (string -> unit) -> unit
+val write : t -> ?timeout:float -> string -> ((string, error) result -> unit) -> unit
 (** Submit a state-mutating command; the callback fires once, with the
-    response computed by the replicated state machine. *)
+    response computed by the replicated state machine, or [Error Timeout]
+    once [timeout] seconds elapse without one. *)
 
-val read : t -> ?target:read_target -> string -> (string -> unit) -> unit
+val read :
+  t ->
+  ?timeout:float ->
+  ?target:read_target ->
+  string ->
+  ((string, error) result -> unit) ->
+  unit
 (** Submit a read-only command to the chosen replica (default [Tail]). *)
 
 val outstanding : t -> int
@@ -37,6 +53,9 @@ val outstanding : t -> int
 
 val retries : t -> int
 (** Total retransmissions performed (for tests and reporting). *)
+
+val timeouts : t -> int
+(** Requests abandoned at their deadline. *)
 
 val config_version : t -> int
 (** Version of the configuration the proxy currently believes in; 0 before

@@ -2,6 +2,12 @@ open Kronos
 open Kronos_wire
 module Proxy = Kronos_replication.Proxy
 
+type error = Rejected of Order.assign_error | Timeout
+
+let pp_error ppf = function
+  | Rejected err -> Order.pp_assign_error ppf err
+  | Timeout -> Format.pp_print_string ppf "timeout"
+
 type t = {
   proxy : Proxy.t;
   cache : Order_cache.t option;
@@ -21,27 +27,36 @@ let cache t = t.cache
 let server_queries t = t.server_queries
 let stale_revalidations t = t.stale_revalidations
 
-let unexpected = Order.Unknown_event Event_id.none
+let unexpected = Rejected (Order.Unknown_event Event_id.none)
 
-let create_event t callback =
-  Proxy.write t.proxy (Message.encode_request Message.Create_event) (fun resp ->
-      match Message.decode_response resp with
-      | Message.Event_created e -> callback e
-      | _ -> invalid_arg "Client.create_event: unexpected response")
+(* Lift a proxy response into a decoded message for [k], translating
+   transport-level timeouts into the client's [Timeout] error. *)
+let decoded k = function
+  | Error Proxy.Timeout -> k (Error Timeout)
+  | Ok resp -> k (Ok (Message.decode_response resp))
 
-let acquire_ref t e callback =
-  Proxy.write t.proxy (Message.encode_request (Message.Acquire_ref e)) (fun resp ->
-      match Message.decode_response resp with
-      | Message.Ref_acquired -> callback (Ok ())
-      | Message.Rejected err -> callback (Error err)
-      | _ -> callback (Error unexpected))
+let create_event t ?timeout callback =
+  Proxy.write t.proxy ?timeout (Message.encode_request Message.Create_event)
+    (decoded (function
+      | Ok (Message.Event_created e) -> callback (Ok e)
+      | Ok _ -> invalid_arg "Client.create_event: unexpected response"
+      | Error e -> callback (Error e)))
 
-let release_ref t e callback =
-  Proxy.write t.proxy (Message.encode_request (Message.Release_ref e)) (fun resp ->
-      match Message.decode_response resp with
-      | Message.Ref_released n -> callback (Ok n)
-      | Message.Rejected err -> callback (Error err)
-      | _ -> callback (Error unexpected))
+let acquire_ref t ?timeout e callback =
+  Proxy.write t.proxy ?timeout (Message.encode_request (Message.Acquire_ref e))
+    (decoded (function
+      | Ok Message.Ref_acquired -> callback (Ok ())
+      | Ok (Message.Rejected err) -> callback (Error (Rejected err))
+      | Ok _ -> callback (Error unexpected)
+      | Error e -> callback (Error e)))
+
+let release_ref t ?timeout e callback =
+  Proxy.write t.proxy ?timeout (Message.encode_request (Message.Release_ref e))
+    (decoded (function
+      | Ok (Message.Ref_released n) -> callback (Ok n)
+      | Ok (Message.Rejected err) -> callback (Error (Rejected err))
+      | Ok _ -> callback (Error unexpected)
+      | Error e -> callback (Error e)))
 
 let cache_find t e1 e2 =
   match t.cache with None -> None | Some c -> Order_cache.find c e1 e2
@@ -51,17 +66,17 @@ let cache_insert t e1 e2 rel =
 
 (* Issue one Query_order to the service for [pairs]; [target] selects the
    replica.  The callback receives the decoded result. *)
-let send_query t ~target pairs callback =
+let send_query t ?timeout ~target pairs callback =
   t.server_queries <- t.server_queries + 1;
-  Proxy.read t.proxy ~target
+  Proxy.read t.proxy ?timeout ~target
     (Message.encode_request (Message.Query_order pairs))
-    (fun resp ->
-      match Message.decode_response resp with
-      | Message.Orders rels -> callback (Ok rels)
-      | Message.Rejected err -> callback (Error err)
-      | _ -> callback (Error unexpected))
+    (decoded (function
+      | Ok (Message.Orders rels) -> callback (Ok rels)
+      | Ok (Message.Rejected err) -> callback (Error (Rejected err))
+      | Ok _ -> callback (Error unexpected)
+      | Error e -> callback (Error e)))
 
-let query_order t ?(stale = false) ?(revalidate = true) pairs callback =
+let query_order t ?timeout ?(stale = false) ?(revalidate = true) pairs callback =
   (* Resolve from the cache first. *)
   let n = List.length pairs in
   let answers = Array.make n None in
@@ -92,7 +107,7 @@ let query_order t ?(stale = false) ?(revalidate = true) pairs callback =
   | _ ->
     let miss_pairs = List.map snd misses in
     let target = if stale then Proxy.Any else Proxy.Tail in
-    send_query t ~target miss_pairs (fun result ->
+    send_query t ?timeout ~target miss_pairs (fun result ->
         match result with
         | Error err -> callback (Error err)
         | Ok rels ->
@@ -125,7 +140,7 @@ let query_order t ?(stale = false) ?(revalidate = true) pairs callback =
             | [] -> finish ()
             | _ ->
               t.stale_revalidations <- t.stale_revalidations + List.length unresolved;
-              send_query t ~target:Proxy.Tail (List.map snd unresolved)
+              send_query t ?timeout ~target:Proxy.Tail (List.map snd unresolved)
                 (fun result ->
                   match result with
                   | Error err -> callback (Error err)
@@ -134,11 +149,10 @@ let query_order t ?(stale = false) ?(revalidate = true) pairs callback =
                     finish ())
           end)
 
-let assign_order t reqs callback =
-  Proxy.write t.proxy (Message.encode_request (Message.Assign_order reqs))
-    (fun resp ->
-      match Message.decode_response resp with
-      | Message.Outcomes outs ->
+let assign_order t ?timeout reqs callback =
+  Proxy.write t.proxy ?timeout (Message.encode_request (Message.Assign_order reqs))
+    (decoded (function
+      | Ok (Message.Outcomes outs) ->
         (* Every pair of a successful batch now has a committed order we can
            cache: Applied/Already mean the requested direction holds;
            Reversed means the opposite one does. *)
@@ -156,5 +170,6 @@ let assign_order t reqs callback =
             | Reversed -> cache_insert t after before Order.Before)
           reqs outs;
         callback (Ok outs)
-      | Message.Rejected err -> callback (Error err)
-      | _ -> callback (Error unexpected))
+      | Ok (Message.Rejected err) -> callback (Error (Rejected err))
+      | Ok _ -> callback (Error unexpected)
+      | Error e -> callback (Error e)))

@@ -11,37 +11,55 @@
       stale replica definitive; only pairs the stale replica reports as
       [Concurrent] are re-validated at the tail.
 
-    All operations are asynchronous: callbacks fire when the (simulated)
-    round trips complete.  Callbacks may fire synchronously when the cache
-    answers every pair. *)
+    All operations are asynchronous: callbacks fire when the round trips
+    complete.  Callbacks may fire synchronously when the cache answers every
+    pair.
+
+    Every operation takes an optional per-call [?timeout] (seconds).
+    Without one, the proxy retries forever and the callback eventually
+    receives [Ok _] or [Error (Rejected _)]; with one, the callback receives
+    [Error Timeout] once the deadline passes without a reply.  A stale
+    query that needs tail revalidation applies the timeout to each of its
+    two round trips. *)
 
 open Kronos
 
 type t
 
+(** Why an operation did not produce a result: the replicated state machine
+    rejected it, or the deadline expired first. *)
+type error = Rejected of Order.assign_error | Timeout
+
+val pp_error : Format.formatter -> error -> unit
+
 val create :
-  net:Kronos_replication.Chain.msg Kronos_simnet.Net.t ->
-  addr:Kronos_simnet.Net.addr ->
-  coordinator:Kronos_simnet.Net.addr ->
+  net:Kronos_replication.Chain.msg Kronos_transport.Transport.t ->
+  addr:Kronos_transport.Transport.addr ->
+  coordinator:Kronos_transport.Transport.addr ->
   ?cache_capacity:int ->
   ?request_timeout:float ->
   unit ->
   t
 (** [cache_capacity] (default 65536) bounds the order cache; 0 disables
-    caching entirely (used by the cache ablation benchmark). *)
+    caching entirely (used by the cache ablation benchmark).
+    [request_timeout] is the {e retransmission} interval, not a deadline;
+    per-call deadlines are the [?timeout] arguments below. *)
 
-val create_event : t -> (Event_id.t -> unit) -> unit
+val create_event : t -> ?timeout:float -> ((Event_id.t, error) result -> unit) -> unit
 
-val acquire_ref : t -> Event_id.t -> ((unit, Order.assign_error) result -> unit) -> unit
+val acquire_ref :
+  t -> ?timeout:float -> Event_id.t -> ((unit, error) result -> unit) -> unit
 
-val release_ref : t -> Event_id.t -> ((int, Order.assign_error) result -> unit) -> unit
+val release_ref :
+  t -> ?timeout:float -> Event_id.t -> ((int, error) result -> unit) -> unit
 
 val query_order :
   t ->
+  ?timeout:float ->
   ?stale:bool ->
   ?revalidate:bool ->
   (Event_id.t * Event_id.t) list ->
-  ((Order.relation list, Order.assign_error) result -> unit) ->
+  ((Order.relation list, error) result -> unit) ->
   unit
 (** [stale] (default false) picks a random replica and — when [revalidate]
     (default true) — re-checks concurrent answers at the tail.  Disable
@@ -50,8 +68,9 @@ val query_order :
 
 val assign_order :
   t ->
+  ?timeout:float ->
   (Event_id.t * Order.direction * Order.kind * Event_id.t) list ->
-  ((Order.outcome list, Order.assign_error) result -> unit) ->
+  ((Order.outcome list, error) result -> unit) ->
   unit
 (** Atomic ordering batch, applied by the replicated state machine.  On
     success, every applied or implied pair is inserted into the local order

@@ -1,6 +1,6 @@
 open Kronos
 open Kronos_wire
-module Net = Kronos_simnet.Net
+module Transport = Kronos_transport.Transport
 module Chain = Kronos_replication.Chain
 module Durability = Kronos_durability
 
@@ -31,7 +31,7 @@ let apply engine cmd =
   Message.encode_response response
 
 type durability = {
-  storage_of : Net.addr -> Durability.Storage.t;
+  storage_of : Transport.addr -> Durability.Storage.t;
   wal_config : Durability.Wal.config;
   snapshot_every : int;
   snapshots_kept : int;
@@ -43,7 +43,7 @@ let durability ?(wal_config = Durability.Wal.default_config)
   { storage_of; wal_config; snapshot_every; snapshots_kept }
 
 type cluster = {
-  net : Chain.msg Net.t;
+  net : Chain.msg Transport.t;
   coordinator : Chain.Coordinator.t;
   mutable replicas : (Chain.Replica.t * Engine.t ref) list;
   dur : durability option;
@@ -130,6 +130,9 @@ let start ~net ~addr ~engine_config ~service dur =
   | Some d -> start_durable_replica ~net ~addr ~engine_config ~service d
   | None -> start_replica ~net ~addr ~engine_config ~service
 
+let start_node ~net ~addr ?engine_config ?service ?durability () =
+  start ~net ~addr ~engine_config ~service durability
+
 let deploy ~net ~coordinator ~replicas ?engine_config ?service ?durability
     ?(ping_interval = 0.2) ?(failure_timeout = 1.0) () =
   let started =
@@ -170,7 +173,7 @@ let restart_replica cluster addr ?service () =
   (match cluster.dur with
    | None -> invalid_arg "Server.restart_replica: cluster has no durability"
    | Some _ -> ());
-  if Net.is_registered cluster.net addr then
+  if Transport.is_registered cluster.net addr then
     invalid_arg "Server.restart_replica: replica still running";
   if replica_of cluster addr = None then
     invalid_arg "Server.restart_replica: unknown replica";

@@ -20,7 +20,7 @@ val apply : Engine.t -> string -> string
 
 (** Per-cluster durability configuration. *)
 type durability = {
-  storage_of : Kronos_simnet.Net.addr -> Durability.Storage.t;
+  storage_of : Kronos_transport.Transport.addr -> Durability.Storage.t;
       (** each replica's private storage directory; must return the {e
           same} storage for the same address across restarts *)
   wal_config : Durability.Wal.config;
@@ -32,18 +32,18 @@ val durability :
   ?wal_config:Durability.Wal.config ->
   ?snapshot_every:int ->
   ?snapshots_kept:int ->
-  storage_of:(Kronos_simnet.Net.addr -> Durability.Storage.t) ->
+  storage_of:(Kronos_transport.Transport.addr -> Durability.Storage.t) ->
   unit ->
   durability
 (** Defaults: {!Durability.Wal.default_config}, snapshot every 1024
     commands, 2 snapshots kept. *)
 
-(** A running replicated Kronos deployment on a simulated network.
+(** A running replicated Kronos deployment over any transport.
 
     Engines are held by reference: installing a state-transfer snapshot or
     recovering after a restart replaces a replica's engine wholesale. *)
 type cluster = {
-  net : Kronos_replication.Chain.msg Kronos_simnet.Net.t;
+  net : Kronos_replication.Chain.msg Kronos_transport.Transport.t;
   coordinator : Kronos_replication.Chain.Coordinator.t;
   mutable replicas : (Kronos_replication.Chain.Replica.t * Engine.t ref) list;
   dur : durability option;
@@ -51,10 +51,24 @@ type cluster = {
   service : [ `Fixed of float | `Measured of float ] option;
 }
 
+val start_node :
+  net:Kronos_replication.Chain.msg Kronos_transport.Transport.t ->
+  addr:Kronos_transport.Transport.addr ->
+  ?engine_config:Engine.config ->
+  ?service:[ `Fixed of float | `Measured of float ] ->
+  ?durability:durability ->
+  unit ->
+  Kronos_replication.Chain.Replica.t * Engine.t ref
+(** Start a single engine-backed replica without a coordinator or cluster
+    handle — the building block for hosting one replica per process (see
+    [kronosd]).  The caller wires it into a chain with
+    {!Kronos_replication.Chain.Replica.announce_join}.  With [durability]
+    the replica recovers from its storage first, exactly as in {!deploy}. *)
+
 val deploy :
-  net:Kronos_replication.Chain.msg Kronos_simnet.Net.t ->
-  coordinator:Kronos_simnet.Net.addr ->
-  replicas:Kronos_simnet.Net.addr list ->
+  net:Kronos_replication.Chain.msg Kronos_transport.Transport.t ->
+  coordinator:Kronos_transport.Transport.addr ->
+  replicas:Kronos_transport.Transport.addr list ->
   ?engine_config:Engine.config ->
   ?service:[ `Fixed of float | `Measured of float ] ->
   ?durability:durability ->
@@ -73,13 +87,13 @@ val deploy :
     redeploy over existing storage therefore resumes rather than restarts
     from scratch. *)
 
-val crash : cluster -> Kronos_simnet.Net.addr -> unit
+val crash : cluster -> Kronos_transport.Transport.addr -> unit
 (** Crash the replica with the given address (no-op if absent).  Its
     storage — if any — survives for {!restart_replica}. *)
 
 val join :
   cluster ->
-  Kronos_simnet.Net.addr ->
+  Kronos_transport.Transport.addr ->
   ?engine_config:Engine.config ->
   ?service:[ `Fixed of float | `Measured of float ] ->
   unit ->
@@ -90,7 +104,7 @@ val join :
 
 val restart_replica :
   cluster ->
-  Kronos_simnet.Net.addr ->
+  Kronos_transport.Transport.addr ->
   ?service:[ `Fixed of float | `Measured of float ] ->
   unit ->
   unit
@@ -103,9 +117,9 @@ val restart_replica :
     @raise Invalid_argument if the cluster has no durability layer, the
     address was never part of it, or the replica is still registered. *)
 
-val engine_of : cluster -> Kronos_simnet.Net.addr -> Engine.t option
+val engine_of : cluster -> Kronos_transport.Transport.addr -> Engine.t option
 (** Direct handle on a replica's current engine, for tests and
     experiments. *)
 
 val replica_of :
-  cluster -> Kronos_simnet.Net.addr -> Kronos_replication.Chain.Replica.t option
+  cluster -> Kronos_transport.Transport.addr -> Kronos_replication.Chain.Replica.t option

@@ -1,0 +1,151 @@
+module Heap = Kronos_simnet.Heap
+
+type timer = { mutable cancelled : bool; mutable action : unit -> unit }
+
+type watcher = {
+  mutable on_read : (unit -> unit) option;
+  mutable on_write : (unit -> unit) option;
+}
+
+type t = {
+  heap : timer Heap.t;
+  fds : (Unix.file_descr, watcher) Hashtbl.t;
+  mutable seq : int;
+  mutable live : int;
+}
+
+let create () = { heap = Heap.create (); fds = Hashtbl.create 16; seq = 0; live = 0 }
+
+let now _t = Unix.gettimeofday ()
+
+let pending_timers t = t.live
+
+let schedule t ~delay action =
+  let timer = { cancelled = false; action } in
+  t.seq <- t.seq + 1;
+  t.live <- t.live + 1;
+  Heap.push t.heap ~time:(now t +. max 0.0 delay) ~seq:t.seq timer;
+  timer
+
+let cancel timer =
+  if not timer.cancelled then begin
+    timer.cancelled <- true;
+    timer.action <- ignore
+  end
+
+let every t ~period action =
+  if period <= 0.0 then invalid_arg "Event_loop.every: period must be positive";
+  let handle = { cancelled = false; action = ignore } in
+  let rec tick () =
+    if not handle.cancelled then begin
+      action ();
+      if not handle.cancelled then ignore (schedule t ~delay:period tick)
+    end
+  in
+  ignore (schedule t ~delay:period tick);
+  handle
+
+let watcher t fd =
+  match Hashtbl.find_opt t.fds fd with
+  | Some w -> w
+  | None ->
+    let w = { on_read = None; on_write = None } in
+    Hashtbl.replace t.fds fd w;
+    w
+
+let watch_read t fd f = (watcher t fd).on_read <- Some f
+let watch_write t fd f = (watcher t fd).on_write <- Some f
+
+let drop_if_empty t fd w =
+  if w.on_read = None && w.on_write = None then Hashtbl.remove t.fds fd
+
+let unwatch_read t fd =
+  match Hashtbl.find_opt t.fds fd with
+  | None -> ()
+  | Some w ->
+    w.on_read <- None;
+    drop_if_empty t fd w
+
+let unwatch_write t fd =
+  match Hashtbl.find_opt t.fds fd with
+  | None -> ()
+  | Some w ->
+    w.on_write <- None;
+    drop_if_empty t fd w
+
+let forget t fd = Hashtbl.remove t.fds fd
+
+(* Run every timer due as of one clock sample.  A due timer that schedules
+   another immediately-due timer yields to the next select round rather
+   than starving it. *)
+let run_due_timers t =
+  let cutoff = now t in
+  let rec loop () =
+    match Heap.peek_time t.heap with
+    | Some time when time <= cutoff -> (
+        match Heap.pop t.heap with
+        | Some (_, _, timer) ->
+          t.live <- t.live - 1;
+          if not timer.cancelled then timer.action ();
+          loop ()
+        | None -> ())
+    | Some _ | None -> ()
+  in
+  loop ()
+
+let run_once t ?(max_wait = 0.05) () =
+  let timeout =
+    match Heap.peek_time t.heap with
+    | Some time -> max 0.0 (min max_wait (time -. now t))
+    | None -> max 0.0 max_wait
+  in
+  let reads =
+    Hashtbl.fold (fun fd w acc -> if w.on_read <> None then fd :: acc else acc) t.fds []
+  in
+  let writes =
+    Hashtbl.fold (fun fd w acc -> if w.on_write <> None then fd :: acc else acc) t.fds []
+  in
+  let ready_r, ready_w =
+    if reads = [] && writes = [] then begin
+      (* nothing to select on: just sleep until the next timer *)
+      if timeout > 0.0 then Unix.sleepf timeout;
+      ([], [])
+    end
+    else
+      match Unix.select reads writes [] timeout with
+      | r, w, _ -> (r, w)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [])
+  in
+  (* A callback may unwatch or forget descriptors later in the ready list;
+     re-check the table before each dispatch. *)
+  List.iter
+    (fun fd ->
+      match Hashtbl.find_opt t.fds fd with
+      | Some { on_read = Some f; _ } -> f ()
+      | Some _ | None -> ())
+    ready_r;
+  List.iter
+    (fun fd ->
+      match Hashtbl.find_opt t.fds fd with
+      | Some { on_write = Some f; _ } -> f ()
+      | Some _ | None -> ())
+    ready_w;
+  run_due_timers t
+
+let run_for t duration =
+  let deadline = now t +. duration in
+  while now t < deadline do
+    run_once t ~max_wait:(min 0.05 (deadline -. now t)) ()
+  done
+
+let run_until t ?deadline pred =
+  let expired () = match deadline with Some d -> now t >= d | None -> false in
+  while (not (pred ())) && not (expired ()) do
+    run_once t ()
+  done;
+  pred ()
+
+let run_forever t ~stop =
+  while not (stop ()) do
+    run_once t ()
+  done

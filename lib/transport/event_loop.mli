@@ -1,0 +1,61 @@
+(** Single-threaded real-time reactor: file-descriptor readiness callbacks
+    plus a timer heap, driven by [Unix.select].
+
+    This is the wall-clock twin of {!Kronos_simnet.Sim}: the same
+    schedule/every/cancel surface, but time is [Unix.gettimeofday] and
+    "runnable" means a socket is ready.  One loop can host any number of
+    {!Tcp_transport} values (kronosd runs a replica and optionally the
+    coordinator on one loop; the loopback tests run a whole cluster plus
+    clients on one). *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Wall-clock seconds ([Unix.gettimeofday]). *)
+
+(** {1 Timers} *)
+
+type timer
+
+val schedule : t -> delay:float -> (unit -> unit) -> timer
+val every : t -> period:float -> (unit -> unit) -> timer
+
+val cancel : timer -> unit
+(** Idempotent; cancelling from inside the timer's own action is allowed
+    (and for [every], stops the recurrence). *)
+
+val pending_timers : t -> int
+
+(** {1 File descriptors}
+
+    At most one read and one write callback per descriptor; re-watching
+    replaces the callback.  A descriptor must be {!forget}ed before it is
+    closed, or the next [select] will fail with [EBADF]. *)
+
+val watch_read : t -> Unix.file_descr -> (unit -> unit) -> unit
+val watch_write : t -> Unix.file_descr -> (unit -> unit) -> unit
+val unwatch_read : t -> Unix.file_descr -> unit
+val unwatch_write : t -> Unix.file_descr -> unit
+
+val forget : t -> Unix.file_descr -> unit
+(** Drop both callbacks for the descriptor. *)
+
+(** {1 Driving} *)
+
+val run_once : t -> ?max_wait:float -> unit -> unit
+(** One iteration: wait (at most [max_wait], default 0.05 s, clamped down
+    to the next timer deadline) for readiness, dispatch ready callbacks,
+    then run due timers. *)
+
+val run_for : t -> float -> unit
+(** Iterate for a wall-clock duration. *)
+
+val run_until : t -> ?deadline:float -> (unit -> bool) -> bool
+(** Iterate until the predicate holds; [false] on deadline (absolute
+    wall-clock time) instead.  Without a deadline, runs until the
+    predicate holds. *)
+
+val run_forever : t -> stop:(unit -> bool) -> unit
+(** Iterate until [stop ()] — the daemon main loop. *)

@@ -1,0 +1,502 @@
+open Kronos_wire
+
+let log_src = Logs.Src.create "kronos.tcp" ~doc:"TCP transport runtime"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type config = {
+  max_frame : int;
+  max_buffer : int;
+  backoff_min : float;
+  backoff_max : float;
+  idle_timeout : float;
+}
+
+let default_config =
+  {
+    max_frame = Frame.max_frame;
+    max_buffer = 16 * 1024 * 1024;
+    backoff_min = 0.05;
+    backoff_max = 5.0;
+    idle_timeout = 60.0;
+  }
+
+type endpoint = string * int
+
+(* One TCP connection, inbound or outbound.  [endpoint] is [Some] for
+   outbound (dialed) connections, which reconnect on failure; inbound
+   connections just die. *)
+type conn = {
+  mutable fd : Unix.file_descr option;
+  ep : endpoint option;
+  mutable state : [ `Connecting | `Up | `Down ];
+  mutable out : string Queue.t;  (* whole frames, head partially written *)
+  mutable out_bytes : int;
+  mutable head_off : int;  (* bytes of the head frame already written *)
+  mutable reasm : Frame.Reassembler.t;
+  mutable backoff : float;
+  mutable last_activity : float;
+  mutable retry : Event_loop.timer option;
+}
+
+type 'm t = {
+  loop : Event_loop.t;
+  encode : 'm -> string;
+  decode : string -> 'm;
+  cfg : config;
+  handlers : (int, src:int -> 'm -> unit) Hashtbl.t;
+  peers : (int, endpoint) Hashtbl.t;
+  conns : (endpoint, conn) Hashtbl.t;  (* outbound pool *)
+  mutable inbound : conn list;
+  learned : (int, conn) Hashtbl.t;  (* return routes *)
+  mutable listeners : Unix.file_descr list;
+  rand : Random.State.t;
+  mutable housekeeper : Event_loop.timer option;
+  mutable closed : bool;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable reconnects : int;
+}
+
+let sent t = t.sent
+let delivered t = t.delivered
+let dropped t = t.dropped
+let reconnects t = t.reconnects
+
+let connections t =
+  Hashtbl.fold (fun _ c n -> if c.state = `Up then n + 1 else n) t.conns 0
+  + List.length (List.filter (fun c -> c.state = `Up) t.inbound)
+
+(* {1 Envelope framing}
+
+   Every frame payload is either a HELLO announcing the sender's local
+   addresses, or a routed message [src -> dst]. *)
+
+let hello_tag = 0
+let msg_tag = 1
+
+let encode_hello addrs =
+  let b = Codec.encoder () in
+  Codec.put_u8 b hello_tag;
+  Codec.put_list b (fun b a -> Codec.put_i64 b (Int64.of_int a)) addrs;
+  Frame.encode (Codec.to_string b)
+
+let encode_msg ~src ~dst body =
+  let b = Codec.encoder () in
+  Codec.put_u8 b msg_tag;
+  Codec.put_i64 b (Int64.of_int src);
+  Codec.put_i64 b (Int64.of_int dst);
+  Codec.put_string b body;
+  Frame.encode (Codec.to_string b)
+
+type envelope =
+  | Hello of int list
+  | Msg of { src : int; dst : int; body : string }
+
+let decode_envelope payload =
+  let d = Codec.decoder payload in
+  let env =
+    match Codec.get_u8 d with
+    | tag when tag = hello_tag ->
+      Hello (Codec.get_list d (fun d -> Int64.to_int (Codec.get_i64 d)))
+    | tag when tag = msg_tag ->
+      let src = Int64.to_int (Codec.get_i64 d) in
+      let dst = Int64.to_int (Codec.get_i64 d) in
+      let body = Codec.get_string d in
+      Msg { src; dst; body }
+    | tag -> raise (Codec.Decode_error (Printf.sprintf "bad envelope tag %d" tag))
+  in
+  Codec.expect_end d;
+  env
+
+(* {1 Connection plumbing} *)
+
+let sockaddr_of (host, port) = Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
+
+let close_fd t conn =
+  match conn.fd with
+  | None -> ()
+  | Some fd ->
+    Event_loop.forget t.loop fd;
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    conn.fd <- None
+
+let cancel_retry conn =
+  match conn.retry with
+  | Some timer ->
+    Event_loop.cancel timer;
+    conn.retry <- None
+  | None -> ()
+
+let hello_bytes t = encode_hello (Hashtbl.fold (fun a _ acc -> a :: acc) t.handlers [])
+
+let rec flush t conn =
+  match (conn.fd, Queue.peek_opt conn.out) with
+  | None, _ | _, None -> (
+      match conn.fd with
+      | Some fd -> Event_loop.unwatch_write t.loop fd
+      | None -> ())
+  | Some fd, Some frame -> (
+      let len = String.length frame - conn.head_off in
+      match Unix.write_substring fd frame conn.head_off len with
+      | n ->
+        conn.last_activity <- Event_loop.now t.loop;
+        if n = len then begin
+          ignore (Queue.pop conn.out);
+          conn.out_bytes <- conn.out_bytes - String.length frame;
+          conn.head_off <- 0;
+          flush t conn
+        end
+        else
+          (* short write: keep the offset, resume on next writability *)
+          conn.head_off <- conn.head_off + n
+      | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
+        ->
+        ()
+      | exception Unix.Unix_error (err, _, _) ->
+        Log.debug (fun m -> m "write failed: %s" (Unix.error_message err));
+        conn_down t conn)
+
+(* Tear a connection down.  Outbound (dialed) connections schedule a
+   reconnect with exponential backoff when [redial]; inbound ones are
+   dropped entirely.  A half-written head frame is discarded: its prefix
+   died with the receiver's per-connection reassembler. *)
+and conn_down ?(redial = true) t conn =
+  close_fd t conn;
+  conn.state <- `Down;
+  conn.reasm <- Frame.Reassembler.create ~max_frame:t.cfg.max_frame ();
+  if conn.head_off > 0 then begin
+    (match Queue.pop conn.out with
+     | torn -> conn.out_bytes <- conn.out_bytes - String.length torn
+     | exception Queue.Empty -> ());
+    conn.head_off <- 0
+  end;
+  match conn.ep with
+  | Some _ when redial && not t.closed ->
+    if conn.retry = None then begin
+      let delay = conn.backoff in
+      conn.backoff <- min t.cfg.backoff_max (conn.backoff *. 2.0);
+      conn.retry <-
+        Some
+          (Event_loop.schedule t.loop ~delay (fun () ->
+               conn.retry <- None;
+               if conn.state = `Down && not t.closed then start_connect t conn))
+    end
+  | Some _ | None ->
+    t.inbound <- List.filter (fun c -> c != conn) t.inbound
+
+and on_readable t conn =
+  match conn.fd with
+  | None -> ()
+  | Some fd -> (
+      let buf = Bytes.create 65536 in
+      match Unix.read fd buf 0 (Bytes.length buf) with
+      | 0 -> conn_down t conn (* EOF *)
+      | n -> (
+          conn.last_activity <- Event_loop.now t.loop;
+          match Frame.Reassembler.feed conn.reasm (Bytes.sub_string buf 0 n) with
+          | frames -> List.iter (handle_frame t conn) frames
+          | exception Codec.Decode_error reason ->
+            Log.warn (fun m -> m "closing connection on bad frame: %s" reason);
+            conn_down ~redial:false t conn)
+      | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
+        ->
+        ()
+      | exception Unix.Unix_error (err, _, _) ->
+        Log.debug (fun m -> m "read failed: %s" (Unix.error_message err));
+        conn_down t conn)
+
+and handle_frame t conn payload =
+  match decode_envelope payload with
+  | Hello addrs -> List.iter (fun a -> Hashtbl.replace t.learned a conn) addrs
+  | Msg { src; dst; body } -> (
+      Hashtbl.replace t.learned src conn;
+      match Hashtbl.find_opt t.handlers dst with
+      | Some handler -> (
+          match t.decode body with
+          | msg ->
+            t.delivered <- t.delivered + 1;
+            handler ~src msg
+          | exception Codec.Decode_error reason ->
+            Log.warn (fun m -> m "undecodable message for %d: %s" dst reason);
+            t.dropped <- t.dropped + 1)
+      | None -> t.dropped <- t.dropped + 1)
+  | exception Codec.Decode_error reason ->
+    Log.warn (fun m -> m "closing connection on bad envelope: %s" reason);
+    conn_down ~redial:false t conn
+
+and on_connected t conn =
+  match conn.fd with
+  | None -> ()
+  | Some fd ->
+    conn.state <- `Up;
+    conn.backoff <- t.cfg.backoff_min;
+    conn.last_activity <- Event_loop.now t.loop;
+    (* HELLO must precede any queued traffic so the receiver can route
+       replies before it processes the first request *)
+    let hello = hello_bytes t in
+    let q = Queue.create () in
+    Queue.push hello q;
+    conn.out_bytes <- conn.out_bytes + String.length hello;
+    Queue.transfer conn.out q;
+    conn.out <- q;
+    Event_loop.watch_read t.loop fd (fun () -> on_readable t conn);
+    Event_loop.watch_write t.loop fd (fun () -> flush t conn);
+    flush t conn
+
+and start_connect t conn =
+  match conn.ep with
+  | None -> ()
+  | Some ep -> (
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.set_nonblock fd;
+      (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+      conn.fd <- Some fd;
+      conn.state <- `Connecting;
+      match Unix.connect fd (sockaddr_of ep) with
+      | () -> on_connected t conn
+      | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK), _, _) ->
+        Event_loop.watch_write t.loop fd (fun () ->
+            Event_loop.unwatch_write t.loop fd;
+            match Unix.getsockopt_error fd with
+            | None ->
+              t.reconnects <- t.reconnects + 1;
+              on_connected t conn
+            | Some err ->
+              Log.debug (fun m ->
+                  m "connect to %s:%d failed: %s" (fst ep) (snd ep)
+                    (Unix.error_message err));
+              conn_down t conn)
+      | exception Unix.Unix_error (err, _, _) ->
+        Log.debug (fun m ->
+            m "connect to %s:%d failed: %s" (fst ep) (snd ep)
+              (Unix.error_message err));
+        conn_down t conn)
+
+let conn_to t ep =
+  match Hashtbl.find_opt t.conns ep with
+  | Some conn -> conn
+  | None ->
+    let conn =
+      {
+        fd = None;
+        ep = Some ep;
+        state = `Down;
+        out = Queue.create ();
+        out_bytes = 0;
+        head_off = 0;
+        reasm = Frame.Reassembler.create ~max_frame:t.cfg.max_frame ();
+        backoff = t.cfg.backoff_min;
+        last_activity = Event_loop.now t.loop;
+        retry = None;
+      }
+    in
+    Hashtbl.replace t.conns ep conn;
+    start_connect t conn;
+    conn
+
+let enqueue t conn frame =
+  if conn.out_bytes + String.length frame > t.cfg.max_buffer then
+    t.dropped <- t.dropped + 1 (* backpressure: shed load, retransmission recovers *)
+  else begin
+    Queue.push frame conn.out;
+    conn.out_bytes <- conn.out_bytes + String.length frame;
+    match (conn.state, conn.fd) with
+    | `Up, Some fd -> Event_loop.watch_write t.loop fd (fun () -> flush t conn)
+    | `Connecting, _ -> ()
+    | `Down, _ -> if conn.retry = None then start_connect t conn
+    | `Up, None -> ()
+  end
+
+let route t dst =
+  match Hashtbl.find_opt t.peers dst with
+  | Some ep -> Some (conn_to t ep)
+  | None -> (
+      match Hashtbl.find_opt t.learned dst with
+      | Some conn when conn.state <> `Down || conn.ep <> None -> Some conn
+      | Some _ | None -> None)
+
+let deliver_local t ~src ~dst msg =
+  match Hashtbl.find_opt t.handlers dst with
+  | Some handler ->
+    t.delivered <- t.delivered + 1;
+    handler ~src msg
+  | None -> t.dropped <- t.dropped + 1
+
+let send t ~src ~dst msg =
+  t.sent <- t.sent + 1;
+  if t.closed then t.dropped <- t.dropped + 1
+  else if Hashtbl.mem t.handlers dst then
+    (* local short-circuit, deferred through the loop so a handler never
+       runs inside the sender's stack frame *)
+    ignore
+      (Event_loop.schedule t.loop ~delay:0.0 (fun () -> deliver_local t ~src ~dst msg))
+  else
+    match route t dst with
+    | Some conn -> enqueue t conn (encode_msg ~src ~dst (t.encode msg))
+    | None -> t.dropped <- t.dropped + 1
+
+(* {1 Listening} *)
+
+let on_acceptable t listener =
+  let rec accept_loop () =
+    match Unix.accept listener with
+    | fd, _peer ->
+      Unix.set_nonblock fd;
+      (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+      let conn =
+        {
+          fd = Some fd;
+          ep = None;
+          state = `Up;
+          out = Queue.create ();
+          out_bytes = 0;
+          head_off = 0;
+          reasm = Frame.Reassembler.create ~max_frame:t.cfg.max_frame ();
+          backoff = t.cfg.backoff_min;
+          last_activity = Event_loop.now t.loop;
+          retry = None;
+        }
+      in
+      t.inbound <- conn :: t.inbound;
+      (* announce our addresses on the accepted side too, so both ends
+         learn return routes regardless of who dialed *)
+      enqueue t conn (hello_bytes t);
+      Event_loop.watch_read t.loop fd (fun () -> on_readable t conn);
+      accept_loop ()
+    | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
+      ->
+      ()
+    | exception Unix.Unix_error (err, _, _) ->
+      Log.warn (fun m -> m "accept failed: %s" (Unix.error_message err))
+  in
+  accept_loop ()
+
+let listen t ?(host = "127.0.0.1") ~port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.set_nonblock fd;
+  Unix.bind fd (sockaddr_of (host, port));
+  Unix.listen fd 128;
+  t.listeners <- fd :: t.listeners;
+  Event_loop.watch_read t.loop fd (fun () -> on_acceptable t fd);
+  match Unix.getsockname fd with
+  | Unix.ADDR_INET (_, actual) -> actual
+  | Unix.ADDR_UNIX _ -> port
+
+let add_peer t addr ~host ~port = Hashtbl.replace t.peers addr (host, port)
+
+let connect_peers t =
+  Hashtbl.iter (fun _ ep -> ignore (conn_to t ep)) t.peers
+
+(* {1 Housekeeping: idle connections} *)
+
+let sweep_idle t =
+  if t.cfg.idle_timeout > 0.0 then begin
+    let cutoff = Event_loop.now t.loop -. t.cfg.idle_timeout in
+    let idle conn =
+      conn.state = `Up && Queue.is_empty conn.out && conn.last_activity < cutoff
+    in
+    Hashtbl.iter
+      (fun _ conn -> if idle conn then conn_down ~redial:false t conn)
+      t.conns;
+    List.iter (fun conn -> if idle conn then conn_down ~redial:false t conn) t.inbound
+  end
+
+(* {1 Lifecycle} *)
+
+let create ~loop ~encode ~decode ?(config = default_config) () =
+  (* a peer resetting a connection mid-write must not kill the process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let t =
+    {
+      loop;
+      encode;
+      decode;
+      cfg = config;
+      handlers = Hashtbl.create 16;
+      peers = Hashtbl.create 16;
+      conns = Hashtbl.create 16;
+      inbound = [];
+      learned = Hashtbl.create 16;
+      listeners = [];
+      rand = Random.State.make [| 0x6b726f6e; 0x6f737463 |];
+      housekeeper = None;
+      closed = false;
+      sent = 0;
+      delivered = 0;
+      dropped = 0;
+      reconnects = 0;
+    }
+  in
+  if config.idle_timeout > 0.0 then
+    t.housekeeper <-
+      Some
+        (Event_loop.every loop ~period:(config.idle_timeout /. 2.0) (fun () ->
+             sweep_idle t));
+  t
+
+(* Give each connection a short synchronous chance to drain its write
+   queue before closing: graceful shutdown flushes acknowledged work
+   without blocking the daemon for more than [grace] seconds in total. *)
+let drain ~grace t conn =
+  match conn.fd with
+  | None -> ()
+  | Some fd ->
+    let deadline = Unix.gettimeofday () +. grace in
+    (try
+       while
+         (not (Queue.is_empty conn.out)) && Unix.gettimeofday () < deadline
+       do
+         match Unix.select [] [ fd ] [] (deadline -. Unix.gettimeofday ()) with
+         | _, [ _ ], _ -> flush t conn
+         | _ -> raise Exit
+       done
+     with _ -> ())
+
+let shutdown t =
+  if not t.closed then begin
+    t.closed <- true;
+    List.iter
+      (fun fd ->
+        Event_loop.forget t.loop fd;
+        try Unix.close fd with Unix.Unix_error _ -> ())
+      t.listeners;
+    t.listeners <- [];
+    (match t.housekeeper with
+     | Some timer ->
+       Event_loop.cancel timer;
+       t.housekeeper <- None
+     | None -> ());
+    let close_conn conn =
+      cancel_retry conn;
+      if conn.state = `Up then drain ~grace:0.2 t conn;
+      close_fd t conn;
+      conn.state <- `Down
+    in
+    Hashtbl.iter (fun _ conn -> close_conn conn) t.conns;
+    List.iter close_conn t.inbound;
+    Hashtbl.reset t.conns;
+    Hashtbl.reset t.learned;
+    t.inbound <- []
+  end
+
+let transport t =
+  {
+    Transport.send = (fun ~src ~dst m -> send t ~src ~dst m);
+    register = (fun a h -> Hashtbl.replace t.handlers a h);
+    unregister = (fun a -> Hashtbl.remove t.handlers a);
+    is_registered = (fun a -> Hashtbl.mem t.handlers a);
+    now = (fun () -> Event_loop.now t.loop);
+    schedule =
+      (fun ~delay f ->
+        let timer = Event_loop.schedule t.loop ~delay f in
+        Transport.make_timer (fun () -> Event_loop.cancel timer));
+    every =
+      (fun ~period f ->
+        let timer = Event_loop.every t.loop ~period f in
+        Transport.make_timer (fun () -> Event_loop.cancel timer));
+    random_int = (fun n -> Random.State.int t.rand n);
+    sim = None;
+  }

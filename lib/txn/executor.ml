@@ -157,6 +157,8 @@ let execute_kronos t ~reads ~writes_of callback =
   let rec attempt retries_left =
     let txn = fresh_txn_id t in
     Kronos_service.Client.create_event kronos (fun event ->
+        (* no ?timeout was given, so the client retries until it succeeds *)
+        let event = match event with Ok e -> e | Error _ -> assert false in
         let groups = Kronos_kvstore.Router.partition ~shards:shard_count reads in
         let total = List.length groups in
         let answered = ref 0 in

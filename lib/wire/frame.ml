@@ -7,9 +7,9 @@ let encode payload =
   Codec.to_string b
 
 module Reassembler = struct
-  type t = { mutable buf : string }
+  type t = { mutable buf : string; limit : int }
 
-  let create () = { buf = "" }
+  let create ?(max_frame = max_frame) () = { buf = ""; limit = max_frame }
 
   let pending_bytes t = String.length t.buf
 
@@ -20,7 +20,7 @@ module Reassembler = struct
       else begin
         let d = Codec.decoder t.buf in
         let len = Codec.get_u32 d in
-        if len > max_frame then
+        if len > t.limit then
           raise (Codec.Decode_error (Printf.sprintf "frame too large: %d" len));
         if String.length t.buf < 4 + len then List.rev acc
         else begin

@@ -14,13 +14,14 @@ val max_frame : int
 module Reassembler : sig
   type t
 
-  val create : unit -> t
+  val create : ?max_frame:int -> unit -> t
+  (** [max_frame] (default {!max_frame}) bounds accepted payload sizes. *)
 
   val feed : t -> string -> string list
   (** [feed t chunk] appends [chunk] to the internal buffer and returns the
       payloads of all frames completed by it, in order.
-      @raise Codec.Decode_error if a frame announces more than {!max_frame}
-      bytes. *)
+      @raise Codec.Decode_error if a frame announces more than the
+      reassembler's [max_frame] bytes. *)
 
   val pending_bytes : t -> int
   (** Bytes buffered towards an incomplete frame. *)

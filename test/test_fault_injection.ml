@@ -3,6 +3,12 @@
 
 open Kronos_simnet
 open Kronos_replication
+module Sim_transport = Kronos_transport.Sim_transport
+
+(* These tests never set per-call deadlines, so a timeout is a failure. *)
+let ok = function
+  | Ok r -> r
+  | Error Proxy.Timeout -> Alcotest.fail "unexpected proxy timeout"
 
 let register_sm () =
   let value = ref 0 in
@@ -18,14 +24,16 @@ let coordinator_addr = 1000
 
 type cluster = {
   sim : Sim.t;
-  net : Chain.msg Net.t;
+  raw_net : Chain.msg Net.t;  (* for partition/heal *)
+  net : Chain.msg Kronos_transport.Transport.t;
   replicas : Chain.Replica.t array;
   coordinator : Chain.Coordinator.t;
 }
 
 let make_cluster ?(n = 3) ?(seed = 7L) () =
   let sim = Sim.create ~seed () in
-  let net = Net.create sim in
+  let raw_net = Net.create sim in
+  let net = Sim_transport.of_net raw_net in
   let chain = List.init n (fun i -> i) in
   let config = { Chain.version = 0; chain = [] } in
   let replicas =
@@ -36,7 +44,7 @@ let make_cluster ?(n = 3) ?(seed = 7L) () =
     Chain.Coordinator.create ~net ~addr:coordinator_addr ~chain
       ~ping_interval:0.1 ~failure_timeout:0.35 ()
   in
-  { sim; net; replicas; coordinator }
+  { sim; raw_net; net; replicas; coordinator }
 
 let make_proxy ?(addr = 2000) cluster =
   Proxy.create ~net:cluster.net ~addr ~coordinator:coordinator_addr
@@ -49,24 +57,24 @@ let test_partitioned_replica_removed () =
   let c = make_cluster ~n:3 () in
   let proxy = make_proxy c in
   let done1 = ref None in
-  Proxy.write proxy "add:1" (fun r -> done1 := Some r);
+  Proxy.write proxy "add:1" (fun r -> done1 := Some (ok r));
   Sim.run ~until:1.0 c.sim;
   Alcotest.(check (option string)) "first write" (Some "1") !done1;
   (* cut replica 1 off from everyone, including the coordinator *)
-  Net.partition c.net [ 1 ] [ 0; 2; coordinator_addr; 2000 ];
+  Net.partition c.raw_net [ 1 ] [ 0; 2; coordinator_addr; 2000 ];
   Sim.run ~until:3.0 c.sim;
   let cfg = Chain.Coordinator.config c.coordinator in
   Alcotest.(check (list int)) "partitioned replica removed" [ 0; 2 ]
     cfg.Chain.chain;
   let done2 = ref None in
-  Proxy.write proxy "add:10" (fun r -> done2 := Some r);
+  Proxy.write proxy "add:10" (fun r -> done2 := Some (ok r));
   Sim.run ~until:6.0 c.sim;
   Alcotest.(check (option string)) "write after partition" (Some "11") !done2;
   (* healing does not bring the removed replica back into the chain (it
      must rejoin explicitly), and does not disturb the survivors *)
-  Net.heal c.net;
+  Net.heal c.raw_net;
   let done3 = ref None in
-  Proxy.write proxy "add:100" (fun r -> done3 := Some r);
+  Proxy.write proxy "add:100" (fun r -> done3 := Some (ok r));
   Sim.run ~until:9.0 c.sim;
   Alcotest.(check (option string)) "write after heal" (Some "111") !done3;
   Alcotest.(check (list int)) "chain unchanged" [ 0; 2 ]
@@ -85,12 +93,12 @@ let test_double_failure () =
   Alcotest.(check (list int)) "one survivor" [ 1 ]
     (Chain.Coordinator.config c.coordinator).Chain.chain;
   let result = ref None in
-  Proxy.write proxy "add:2" (fun r -> result := Some r);
+  Proxy.write proxy "add:2" (fun r -> result := Some (ok r));
   Sim.run ~until:6.0 c.sim;
   Alcotest.(check (option string)) "single-replica chain serves" (Some "7") !result;
   (* reads too *)
   let answer = ref None in
-  Proxy.read proxy "get" (fun r -> answer := Some r);
+  Proxy.read proxy "get" (fun r -> answer := Some (ok r));
   Sim.run ~until:8.0 c.sim;
   Alcotest.(check (option string)) "read" (Some "7") !answer
 
@@ -119,7 +127,7 @@ let test_churn () =
   Sim.run ~until:30.0 c.sim;
   Alcotest.(check int) "all writes completed" target !completed;
   let answer = ref None in
-  Proxy.read proxy "get" (fun r -> answer := Some r);
+  Proxy.read proxy "get" (fun r -> answer := Some (ok r));
   Sim.run ~until:32.0 c.sim;
   Alcotest.(check (option string)) "exactly-once through churn"
     (Some (string_of_int target)) !answer
@@ -132,9 +140,9 @@ let test_proxy_nth_clamping () =
   Sim.run ~until:1.0 c.sim;
   let answers = ref [] in
   (* out-of-range Nth must clamp, not crash *)
-  Proxy.read proxy ~target:(Proxy.Nth 99) "get" (fun r -> answers := r :: !answers);
-  Proxy.read proxy ~target:(Proxy.Nth (-5)) "get" (fun r -> answers := r :: !answers);
-  Proxy.read proxy ~target:Proxy.Any "get" (fun r -> answers := r :: !answers);
+  Proxy.read proxy ~target:(Proxy.Nth 99) "get" (fun r -> answers := ok r :: !answers);
+  Proxy.read proxy ~target:(Proxy.Nth (-5)) "get" (fun r -> answers := ok r :: !answers);
+  Proxy.read proxy ~target:Proxy.Any "get" (fun r -> answers := ok r :: !answers);
   Sim.run ~until:3.0 c.sim;
   Alcotest.(check (list string)) "all clamped reads answered" [ "4"; "4"; "4" ]
     !answers;
@@ -161,7 +169,7 @@ type durable_env = {
 
 let make_durable_env ?(seed = 21L) ?wal_config ?snapshot_every () =
   let sim = Sim.create ~seed () in
-  let net = Net.create sim in
+  let net = Sim_transport.of_net (Net.create sim) in
   let disks : (Net.addr, Storage.Memory.dir) Hashtbl.t = Hashtbl.create 8 in
   let storage_of addr =
     let dir =
@@ -197,7 +205,9 @@ let run_write_workload ?(on_write = fun _ -> ()) env ~n k =
   let rec create i =
     if i = n then link (List.rev !ids)
     else
-      Client.create_event env.client (fun id ->
+      Client.create_event env.client (function
+          | Error _ -> assert false  (* no deadline: the client retries *)
+          | Ok id ->
           ids := id :: !ids;
           ack ();
           create (i + 1))

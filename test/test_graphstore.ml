@@ -8,13 +8,13 @@ type kenv = {
   gnet : G_msg.msg Net.t;
   shards : Kshard.t array;
   shard_addrs : Net.addr array;
-  chain_net : Kronos_replication.Chain.msg Net.t;
+  chain_net : Kronos_replication.Chain.msg Kronos_transport.Transport.t;
   client : Kgraph.t;
 }
 
 let make_kenv ?(seed = 9L) ?(shards = 4) () =
   let sim = Sim.create ~seed () in
-  let chain_net = Net.create sim in
+  let chain_net = Kronos_transport.Sim_transport.of_net (Net.create sim) in
   ignore
     (Kronos_service.Server.deploy ~net:chain_net ~coordinator:coordinator_addr
        ~replicas:[ 0; 1; 2 ] ~ping_interval:0.2 ~failure_timeout:5.0 ());

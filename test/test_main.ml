@@ -20,4 +20,6 @@ let () =
      @ Test_catocs.suites
      @ Test_timeline.suites
      @ Test_durability.suites
-     @ Test_fault_injection.suites)
+     @ Test_fault_injection.suites
+     @ Test_transport.suites
+     @ Test_loopback.suites)

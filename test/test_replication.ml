@@ -1,5 +1,12 @@
 open Kronos_simnet
 open Kronos_replication
+module Sim_transport = Kronos_transport.Sim_transport
+
+(* Proxy callbacks now yield results; these tests never set deadlines, so a
+   timeout error is a test failure. *)
+let ok = function
+  | Ok r -> r
+  | Error Proxy.Timeout -> Alcotest.fail "unexpected proxy timeout"
 
 (* Test state machine: an integer register with deterministic commands.
    "add:<n>" adds n and returns the new value; "get" returns the value. *)
@@ -15,7 +22,7 @@ let register_sm () =
 
 type cluster = {
   sim : Sim.t;
-  net : Chain.msg Net.t;
+  net : Chain.msg Kronos_transport.Transport.t;
   replicas : Chain.Replica.t array;
   coordinator : Chain.Coordinator.t;
 }
@@ -24,7 +31,7 @@ let coordinator_addr = 1000
 
 let make_cluster ?(n = 3) ?(seed = 7L) () =
   let sim = Sim.create ~seed () in
-  let net = Net.create sim in
+  let net = Sim_transport.of_net (Net.create sim) in
   let chain = List.init n (fun i -> i) in
   let config = { Chain.version = 0; chain = [] } in
   let replicas =
@@ -45,10 +52,10 @@ let test_basic_write_read () =
   let c = make_cluster () in
   let proxy = make_proxy c in
   let results = ref [] in
-  Proxy.write proxy "add:5" (fun r -> results := ("w1", r) :: !results);
-  Proxy.write proxy "add:7" (fun r -> results := ("w2", r) :: !results);
+  Proxy.write proxy "add:5" (fun r -> results := ("w1", ok r) :: !results);
+  Proxy.write proxy "add:7" (fun r -> results := ("w2", ok r) :: !results);
   Sim.run ~until:2.0 c.sim;
-  Proxy.read proxy "get" (fun r -> results := ("r", r) :: !results);
+  Proxy.read proxy "get" (fun r -> results := ("r", ok r) :: !results);
   Sim.run ~until:4.0 c.sim;
   let find k = List.assoc k !results in
   Alcotest.(check string) "first write" "5" (find "w1");
@@ -79,9 +86,9 @@ let test_read_any_replica () =
   Proxy.write proxy "add:3" ignore;
   Sim.run ~until:2.0 c.sim;
   let answers = ref [] in
-  Proxy.read proxy ~target:(Proxy.Nth 0) "get" (fun r -> answers := r :: !answers);
-  Proxy.read proxy ~target:(Proxy.Nth 1) "get" (fun r -> answers := r :: !answers);
-  Proxy.read proxy ~target:Proxy.Tail "get" (fun r -> answers := r :: !answers);
+  Proxy.read proxy ~target:(Proxy.Nth 0) "get" (fun r -> answers := ok r :: !answers);
+  Proxy.read proxy ~target:(Proxy.Nth 1) "get" (fun r -> answers := ok r :: !answers);
+  Proxy.read proxy ~target:Proxy.Tail "get" (fun r -> answers := ok r :: !answers);
   Sim.run ~until:4.0 c.sim;
   Alcotest.(check (list string)) "replicas agree" [ "3"; "3"; "3" ] !answers
 
@@ -98,7 +105,7 @@ let test_middle_failure_recovery () =
   Alcotest.(check (list int)) "chain shrank" [ 0; 2 ] cfg.Chain.chain;
   (* writes keep working *)
   let result = ref None in
-  Proxy.write proxy "add:10" (fun r -> result := Some r);
+  Proxy.write proxy "add:10" (fun r -> result := Some (ok r));
   Sim.run ~until:6.0 c.sim;
   Alcotest.(check (option string)) "write after failure" (Some "11") !result;
   Alcotest.(check int) "survivor tail applied" 2
@@ -114,7 +121,7 @@ let test_head_failure_recovery () =
   let cfg = Chain.Coordinator.config c.coordinator in
   Alcotest.(check (list int)) "new head" [ 1; 2 ] cfg.Chain.chain;
   let result = ref None in
-  Proxy.write proxy "add:20" (fun r -> result := Some r);
+  Proxy.write proxy "add:20" (fun r -> result := Some (ok r));
   Sim.run ~until:6.0 c.sim;
   Alcotest.(check (option string)) "write served by new head" (Some "21") !result
 
@@ -126,14 +133,14 @@ let test_tail_failure_recovery () =
   Chain.Replica.crash c.replicas.(2);
   (* a write racing with the failure must still complete (via retry) *)
   let result = ref None in
-  Proxy.write proxy "add:2" (fun r -> result := Some r);
+  Proxy.write proxy "add:2" (fun r -> result := Some (ok r));
   Sim.run ~until:6.0 c.sim;
   let cfg = Chain.Coordinator.config c.coordinator in
   Alcotest.(check (list int)) "tail removed" [ 0; 1 ] cfg.Chain.chain;
   Alcotest.(check (option string)) "write completed" (Some "3") !result;
   Alcotest.(check string) "new tail reads" "3"
     (let answer = ref "" in
-     Proxy.read proxy "get" (fun r -> answer := r);
+     Proxy.read proxy "get" (fun r -> answer := ok r);
      Sim.run ~until:8.0 c.sim;
      !answer)
 
@@ -154,13 +161,13 @@ let test_join_fresh_replica () =
   Alcotest.(check int) "history transferred" 5 (Chain.Replica.last_applied fresh);
   (* new writes flow through the extended chain and the fresh tail replies *)
   let result = ref None in
-  Proxy.write proxy "add:100" (fun r -> result := Some r);
+  Proxy.write proxy "add:100" (fun r -> result := Some (ok r));
   Sim.run ~until:6.0 c.sim;
   Alcotest.(check (option string)) "write via new tail" (Some "115") !result;
   Alcotest.(check int) "fresh tail applied" 6 (Chain.Replica.last_applied fresh);
   (* reads from the fresh tail see everything *)
   let answer = ref "" in
-  Proxy.read proxy "get" (fun r -> answer := r);
+  Proxy.read proxy "get" (fun r -> answer := ok r);
   Sim.run ~until:8.0 c.sim;
   Alcotest.(check string) "read from fresh tail" "115" !answer
 
@@ -169,7 +176,8 @@ let test_exactly_once_writes () =
      exactly once. *)
   let sim = Sim.create ~seed:21L () in
   let net =
-    Net.create ~latency:{ Net.base = 1e-3; jitter = 1e-3; drop = 0.15 } sim
+    Sim_transport.of_net
+      (Net.create ~latency:{ Net.base = 1e-3; jitter = 1e-3; drop = 0.15 } sim)
   in
   let chain = [ 0; 1; 2 ] in
   let config = { Chain.version = 0; chain = [] } in
@@ -193,7 +201,7 @@ let test_exactly_once_writes () =
   Alcotest.(check bool) "retries happened" true (Proxy.retries proxy > 0);
   (* exactly-once: the register holds exactly 20 at every replica *)
   let answer = ref "" in
-  Proxy.read proxy ~target:Proxy.Tail "get" (fun r -> answer := r);
+  Proxy.read proxy ~target:Proxy.Tail "get" (fun r -> answer := ok r);
   Sim.run ~until:70.0 sim;
   Alcotest.(check string) "exactly once" "20" !answer;
   Array.iter
@@ -207,7 +215,7 @@ let test_deterministic_runs () =
     let log = ref [] in
     for i = 1 to 8 do
       Proxy.write proxy (Printf.sprintf "add:%d" i) (fun r ->
-          log := (Sim.now c.sim, r) :: !log)
+          log := (Sim.now c.sim, ok r) :: !log)
     done;
     Sim.run ~until:3.0 c.sim;
     List.rev !log

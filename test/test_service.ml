@@ -15,7 +15,7 @@ type env = {
 
 let make_env ?(replicas = 3) ?(seed = 5L) ?cache_capacity () =
   let sim = Sim.create ~seed () in
-  let net = Net.create sim in
+  let net = Kronos_transport.Sim_transport.of_net (Net.create sim) in
   let cluster =
     Server.deploy ~net ~coordinator:coordinator_addr
       ~replicas:(List.init replicas (fun i -> i))
@@ -41,13 +41,13 @@ let await env f =
 
 let ok = function
   | Ok x -> x
-  | Error e -> Alcotest.failf "unexpected error: %a" Order.pp_assign_error e
+  | Error e -> Alcotest.failf "unexpected error: %a" Client.pp_error e
 
 let test_end_to_end () =
   let env = make_env () in
-  let a = await env (Client.create_event env.client) in
-  let b = await env (Client.create_event env.client) in
-  let c = await env (Client.create_event env.client) in
+  let a = ok (await env (Client.create_event env.client)) in
+  let b = ok (await env (Client.create_event env.client)) in
+  let c = ok (await env (Client.create_event env.client)) in
   Alcotest.(check bool) "distinct events" true (not (Event_id.equal a b));
   let outs =
     ok (await env
@@ -61,8 +61,8 @@ let test_end_to_end () =
 
 let test_replicas_identical () =
   let env = make_env () in
-  let a = await env (Client.create_event env.client) in
-  let b = await env (Client.create_event env.client) in
+  let a = ok (await env (Client.create_event env.client)) in
+  let b = ok (await env (Client.create_event env.client)) in
   ignore
     (ok (await env
            (Client.assign_order env.client
@@ -77,8 +77,8 @@ let test_replicas_identical () =
 
 let test_cache_short_circuits () =
   let env = make_env () in
-  let a = await env (Client.create_event env.client) in
-  let b = await env (Client.create_event env.client) in
+  let a = ok (await env (Client.create_event env.client)) in
+  let b = ok (await env (Client.create_event env.client)) in
   ignore
     (ok (await env
            (Client.assign_order env.client
@@ -92,8 +92,8 @@ let test_cache_short_circuits () =
 
 let test_cache_disabled () =
   let env = make_env ~cache_capacity:0 () in
-  let a = await env (Client.create_event env.client) in
-  let b = await env (Client.create_event env.client) in
+  let a = ok (await env (Client.create_event env.client)) in
+  let b = ok (await env (Client.create_event env.client)) in
   ignore
     (ok (await env
            (Client.assign_order env.client
@@ -106,9 +106,9 @@ let test_cache_disabled () =
 
 let test_stale_reads () =
   let env = make_env () in
-  let a = await env (Client.create_event env.client) in
-  let b = await env (Client.create_event env.client) in
-  let c = await env (Client.create_event env.client) in
+  let a = ok (await env (Client.create_event env.client)) in
+  let b = ok (await env (Client.create_event env.client)) in
+  let c = ok (await env (Client.create_event env.client)) in
   ignore
     (ok (await env
            (Client.assign_order env.client
@@ -125,24 +125,24 @@ let test_stale_reads () =
 
 let test_error_propagation () =
   let env = make_env () in
-  let a = await env (Client.create_event env.client) in
-  let b = await env (Client.create_event env.client) in
+  let a = ok (await env (Client.create_event env.client)) in
+  let b = ok (await env (Client.create_event env.client)) in
   let collected = ok (await env (Client.release_ref env.client a)) in
   Alcotest.(check int) "collected" 1 collected;
   (match await env (Client.query_order env.client [ (a, b) ]) with
-   | Error (Order.Unknown_event e) ->
+   | Error (Client.Rejected (Order.Unknown_event e)) ->
      Alcotest.(check bool) "names stale event" true (Event_id.equal e a)
-   | Error e -> Alcotest.failf "wrong error: %a" Order.pp_assign_error e
+   | Error e -> Alcotest.failf "wrong error: %a" Client.pp_error e
    | Ok _ -> Alcotest.fail "expected unknown event");
   match await env (Client.acquire_ref env.client a) with
-  | Error (Order.Unknown_event _) -> ()
-  | Error e -> Alcotest.failf "wrong error: %a" Order.pp_assign_error e
+  | Error (Client.Rejected (Order.Unknown_event _)) -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" Client.pp_error e
   | Ok () -> Alcotest.fail "expected unknown event"
 
 let test_survives_replica_failure () =
   let env = make_env () in
-  let a = await env (Client.create_event env.client) in
-  let b = await env (Client.create_event env.client) in
+  let a = ok (await env (Client.create_event env.client)) in
+  let b = ok (await env (Client.create_event env.client)) in
   Server.crash env.cluster 1;
   Sim.run ~until:(Sim.now env.sim +. 2.0) env.sim;
   let outs =
@@ -156,8 +156,8 @@ let test_survives_replica_failure () =
 
 let test_join_catches_up () =
   let env = make_env ~replicas:2 () in
-  let a = await env (Client.create_event env.client) in
-  let b = await env (Client.create_event env.client) in
+  let a = ok (await env (Client.create_event env.client)) in
+  let b = ok (await env (Client.create_event env.client)) in
   ignore
     (ok (await env
            (Client.assign_order env.client

@@ -1,0 +1,357 @@
+(* Transport layer tests: chain-message wire codec under arbitrary stream
+   re-chunking, the select-based event loop, and the real TCP runtime on
+   loopback sockets. *)
+
+open Kronos
+open Kronos_wire
+module Chain = Kronos_replication.Chain
+module Chain_codec = Kronos_replication.Chain_codec
+module Transport = Kronos_transport.Transport
+module Event_loop = Kronos_transport.Event_loop
+module Tcp = Kronos_transport.Tcp_transport
+
+(* {1 Chain.msg streaming round trips} *)
+
+let sample_entry = (4, 2000, 17, "cmd:payload")
+
+(* One value of every constructor, so the deterministic stream tests cover
+   the full message surface. *)
+let all_msgs : Chain.msg list =
+  [
+    Client_write { client = 2000; req_id = 1; cmd = "add:1" };
+    Client_read { client = 2001; req_id = 2; cmd = "get" };
+    Forward { seq = 3; client = 2000; req_id = 1; cmd = "add:1" };
+    Ack { seq = 3 };
+    Reply { req_id = 1; resp = "ok" };
+    Get_config { client = 2000 };
+    Config_is { version = 4; chain = [ 0; 1; 2 ] };
+    New_config { config = { version = 5; chain = [ 0; 2 ] }; fresh = None };
+    New_config
+      { config = { version = 6; chain = [ 0; 2; 9 ] }; fresh = Some (9, 42) };
+    Ping;
+    Pong { last_applied = 17 };
+    Sync_state { entries = [ sample_entry; (5, 2001, 18, "") ] };
+    Sync_snapshot { seq = 9; snapshot = "\x00\x01snapbytes"; entries = [ sample_entry ] };
+    Join { addr = 9; last_applied = 7 };
+  ]
+
+let feed_stream r stream sizes =
+  let out = ref [] in
+  let pos = ref 0 in
+  let sizes = ref sizes in
+  while !pos < String.length stream do
+    let n =
+      match !sizes with
+      | [] -> String.length stream - !pos
+      | s :: rest ->
+        sizes := rest;
+        min s (String.length stream - !pos)
+    in
+    out := !out @ Frame.Reassembler.feed r (String.sub stream !pos n);
+    pos := !pos + n
+  done;
+  !out
+
+(* Every message type, framed back-to-back and delivered one byte at a
+   time: the reassembler must hand back exactly the original sequence. *)
+let test_stream_one_byte_feeds () =
+  let stream =
+    String.concat ""
+      (List.map (fun m -> Frame.encode (Chain_codec.encode m)) all_msgs)
+  in
+  let r = Frame.Reassembler.create () in
+  let out = ref [] in
+  String.iter (fun c -> out := !out @ Frame.Reassembler.feed r (String.make 1 c)) stream;
+  let decoded = List.map Chain_codec.decode !out in
+  Alcotest.(check bool) "all message types survive 1-byte feeds" true
+    (decoded = all_msgs);
+  Alcotest.(check int) "nothing left over" 0 (Frame.Reassembler.pending_bytes r)
+
+(* A chunk boundary inside the length prefix itself. *)
+let test_stream_split_header () =
+  let msg = List.nth all_msgs 2 in
+  let framed = Frame.encode (Chain_codec.encode msg) in
+  let r = Frame.Reassembler.create () in
+  let first = Frame.Reassembler.feed r (String.sub framed 0 2) in
+  Alcotest.(check int) "no frame from half a header" 0 (List.length first);
+  let rest =
+    Frame.Reassembler.feed r (String.sub framed 2 (String.length framed - 2))
+  in
+  Alcotest.(check bool) "completes across the split" true
+    (List.map Chain_codec.decode rest = [ msg ])
+
+let test_oversized_length_prefix_rejected () =
+  let r = Frame.Reassembler.create ~max_frame:1024 () in
+  let b = Codec.encoder () in
+  Codec.put_u32 b 1025;
+  (match Frame.Reassembler.feed r (Codec.to_string b) with
+   | exception Codec.Decode_error _ -> ()
+   | _ -> Alcotest.fail "expected oversized frame rejection");
+  (* a length prefix of garbage bytes announces ~4 GiB: also rejected *)
+  let r = Frame.Reassembler.create () in
+  match Frame.Reassembler.feed r "\xff\xff\xff\xff" with
+  | exception Codec.Decode_error _ -> ()
+  | _ -> Alcotest.fail "expected corrupt prefix rejection"
+
+let test_corrupt_payload_rejected () =
+  match Chain_codec.decode "\x63garbage" with
+  | exception Codec.Decode_error _ -> ()
+  | _ -> Alcotest.fail "expected decode error on bad tag"
+
+let prop_chain_msg_roundtrip_rechunked =
+  let open QCheck2 in
+  let gen_addr = Gen.int_bound 5000 in
+  let gen_str = Gen.string_size (Gen.int_bound 40) in
+  let gen_entry =
+    Gen.(
+      map2
+        (fun (seq, client) (req_id, cmd) -> (seq, client, req_id, cmd))
+        (pair (int_bound 100_000) gen_addr)
+        (pair (int_bound 10_000) gen_str))
+  in
+  let gen_config =
+    Gen.(
+      map2
+        (fun version chain -> { Chain.version; chain })
+        (int_bound 1000)
+        (list_size (int_bound 6) gen_addr))
+  in
+  let gen_msg =
+    Gen.(
+      frequency
+        [
+          ( 2,
+            map2
+              (fun (client, req_id) cmd -> Chain.Client_write { client; req_id; cmd })
+              (pair gen_addr (int_bound 10_000))
+              gen_str );
+          ( 1,
+            map2
+              (fun (client, req_id) cmd -> Chain.Client_read { client; req_id; cmd })
+              (pair gen_addr (int_bound 10_000))
+              gen_str );
+          ( 2,
+            map
+              (fun (seq, client, req_id, cmd) ->
+                Chain.Forward { seq; client; req_id; cmd })
+              gen_entry );
+          (1, map (fun seq -> Chain.Ack { seq }) (int_bound 100_000));
+          ( 1,
+            map2
+              (fun req_id resp -> Chain.Reply { req_id; resp })
+              (int_bound 10_000) gen_str );
+          (1, map (fun client -> Chain.Get_config { client }) gen_addr);
+          (1, map (fun c -> Chain.Config_is c) gen_config);
+          ( 2,
+            map2
+              (fun config fresh -> Chain.New_config { config; fresh })
+              gen_config
+              (option (pair gen_addr (int_bound 100_000))) );
+          (1, return Chain.Ping);
+          (1, map (fun n -> Chain.Pong { last_applied = n }) (int_bound 100_000));
+          ( 1,
+            map
+              (fun entries -> Chain.Sync_state { entries })
+              (list_size (int_bound 8) gen_entry) );
+          ( 1,
+            map2
+              (fun (seq, snapshot) entries ->
+                Chain.Sync_snapshot { seq; snapshot; entries })
+              (pair (int_bound 100_000) gen_str)
+              (list_size (int_bound 8) gen_entry) );
+          ( 1,
+            map2
+              (fun addr last_applied -> Chain.Join { addr; last_applied })
+              gen_addr (int_bound 100_000) );
+        ])
+  in
+  Test.make ~name:"chain msg roundtrip through re-chunked streams" ~count:300
+    Gen.(
+      pair
+        (list_size (int_bound 8) gen_msg)
+        (list_size (int_bound 40) (int_range 1 7)))
+    (fun (msgs, sizes) ->
+      let stream =
+        String.concat ""
+          (List.map (fun m -> Frame.encode (Chain_codec.encode m)) msgs)
+      in
+      let out = feed_stream (Frame.Reassembler.create ()) stream sizes in
+      List.map Chain_codec.decode out = msgs)
+
+(* The service-level request/response codec must survive the same streaming
+   treatment (kronosd carries them as chain command/response payloads). *)
+let prop_service_payload_roundtrip_rechunked =
+  let open QCheck2 in
+  let gen_event =
+    Gen.(
+      map2
+        (fun s g -> Event_id.make ~slot:s ~gen:g)
+        (int_bound 10_000) (int_bound 50))
+  in
+  let gen_req =
+    Gen.(
+      frequency
+        [
+          (1, return Message.Create_event);
+          (1, map (fun e -> Message.Acquire_ref e) gen_event);
+          (1, map (fun e -> Message.Release_ref e) gen_event);
+          ( 2,
+            map
+              (fun ps -> Message.Query_order ps)
+              (list_size (int_bound 10) (pair gen_event gen_event)) );
+        ])
+  in
+  Test.make ~name:"service requests roundtrip through re-chunked streams"
+    ~count:200
+    Gen.(
+      pair
+        (list_size (int_bound 6) gen_req)
+        (list_size (int_bound 30) (int_range 1 5)))
+    (fun (reqs, sizes) ->
+      let stream =
+        String.concat ""
+          (List.map (fun r -> Frame.encode (Message.encode_request r)) reqs)
+      in
+      let out = feed_stream (Frame.Reassembler.create ()) stream sizes in
+      List.length out = List.length reqs
+      && List.for_all2
+           (fun bytes req -> Message.request_equal (Message.decode_request bytes) req)
+           out reqs)
+
+(* {1 Event loop} *)
+
+let test_event_loop_timer_order () =
+  let loop = Event_loop.create () in
+  let fired = ref [] in
+  ignore (Event_loop.schedule loop ~delay:0.03 (fun () -> fired := "c" :: !fired));
+  ignore (Event_loop.schedule loop ~delay:0.01 (fun () -> fired := "a" :: !fired));
+  ignore (Event_loop.schedule loop ~delay:0.02 (fun () -> fired := "b" :: !fired));
+  Event_loop.run_for loop 0.08;
+  Alcotest.(check (list string)) "deadline order" [ "a"; "b"; "c" ]
+    (List.rev !fired)
+
+let test_event_loop_every_cancel () =
+  let loop = Event_loop.create () in
+  let count = ref 0 in
+  let timer = ref None in
+  timer :=
+    Some
+      (Event_loop.every loop ~period:0.005 (fun () ->
+           incr count;
+           if !count = 3 then Option.iter Event_loop.cancel !timer));
+  Event_loop.run_for loop 0.05;
+  Alcotest.(check int) "stopped after self-cancel" 3 !count;
+  Alcotest.(check int) "no timers left" 0 (Event_loop.pending_timers loop)
+
+let test_event_loop_fd_readiness () =
+  let loop = Event_loop.create () in
+  let r, w = Unix.pipe () in
+  Unix.set_nonblock r;
+  let got = ref "" in
+  Event_loop.watch_read loop r (fun () ->
+      let buf = Bytes.create 16 in
+      let n = Unix.read r buf 0 16 in
+      got := Bytes.sub_string buf 0 n);
+  ignore (Unix.write_substring w "ping" 0 4);
+  let ok = Event_loop.run_until loop ~deadline:(Event_loop.now loop +. 1.0)
+      (fun () -> !got <> "") in
+  Event_loop.forget loop r;
+  Unix.close r;
+  Unix.close w;
+  Alcotest.(check bool) "read callback ran" true ok;
+  Alcotest.(check string) "bytes seen" "ping" !got
+
+(* {1 TCP runtime on loopback sockets} *)
+
+let string_tcp loop = Tcp.create ~loop ~encode:Fun.id ~decode:Fun.id ()
+
+(* Client/server round trip where the client has no listener: the reply
+   must follow the learned return route of the client's own connection. *)
+let test_tcp_round_trip_learned_route () =
+  let loop = Event_loop.create () in
+  let server = string_tcp loop in
+  let client = string_tcp loop in
+  let port = Tcp.listen server ~port:0 () in
+  Tcp.add_peer client 1 ~host:"127.0.0.1" ~port;
+  let snet = Tcp.transport server and cnet = Tcp.transport client in
+  let got = ref None and reply = ref None in
+  Transport.register snet 1 (fun ~src m ->
+      got := Some (src, m);
+      Transport.send snet ~src:1 ~dst:src ("re:" ^ m));
+  Transport.register cnet 2 (fun ~src m -> reply := Some (src, m));
+  Transport.send cnet ~src:2 ~dst:1 "hello";
+  let ok =
+    Event_loop.run_until loop ~deadline:(Event_loop.now loop +. 5.0) (fun () ->
+        !reply <> None)
+  in
+  Alcotest.(check bool) "completed" true ok;
+  Alcotest.(check (option (pair int string))) "server got" (Some (2, "hello")) !got;
+  Alcotest.(check (option (pair int string))) "client got reply" (Some (1, "re:hello"))
+    !reply;
+  Tcp.shutdown client;
+  Tcp.shutdown server
+
+(* A payload far larger than the 64 KiB read buffer exercises partial reads
+   (and usually short writes) on both sides. *)
+let test_tcp_large_message () =
+  let loop = Event_loop.create () in
+  let server = string_tcp loop in
+  let client = string_tcp loop in
+  let port = Tcp.listen server ~port:0 () in
+  Tcp.add_peer client 1 ~host:"127.0.0.1" ~port;
+  let snet = Tcp.transport server and cnet = Tcp.transport client in
+  let big = String.init 300_000 (fun i -> Char.chr (i land 0xff)) in
+  let got = ref None in
+  Transport.register snet 1 (fun ~src:_ m -> got := Some m);
+  Transport.register cnet 2 (fun ~src:_ _ -> ());
+  Transport.send cnet ~src:2 ~dst:1 big;
+  let ok =
+    Event_loop.run_until loop ~deadline:(Event_loop.now loop +. 5.0) (fun () ->
+        !got <> None)
+  in
+  Alcotest.(check bool) "completed" true ok;
+  Alcotest.(check bool) "payload intact" true (!got = Some big);
+  Tcp.shutdown client;
+  Tcp.shutdown server
+
+let test_tcp_local_short_circuit_and_unroutable () =
+  let loop = Event_loop.create () in
+  let t = string_tcp loop in
+  let net = Tcp.transport t in
+  let got = ref None in
+  Transport.register net 5 (fun ~src m -> got := Some (src, m));
+  Transport.send net ~src:9 ~dst:5 "local";
+  Alcotest.(check (option (pair int string))) "not delivered re-entrantly" None !got;
+  Event_loop.run_for loop 0.02;
+  Alcotest.(check (option (pair int string))) "delivered via loop" (Some (9, "local"))
+    !got;
+  let dropped_before = Tcp.dropped t in
+  Transport.send net ~src:9 ~dst:404 "nowhere";
+  Alcotest.(check int) "unroutable send counted as dropped" (dropped_before + 1)
+    (Tcp.dropped t);
+  Tcp.shutdown t
+
+let suites =
+  [ ( "transport",
+      [
+        Alcotest.test_case "stream 1-byte feeds, all msg types" `Quick
+          test_stream_one_byte_feeds;
+        Alcotest.test_case "stream split header" `Quick test_stream_split_header;
+        Alcotest.test_case "oversized length prefix" `Quick
+          test_oversized_length_prefix_rejected;
+        Alcotest.test_case "corrupt payload" `Quick test_corrupt_payload_rejected;
+        QCheck_alcotest.to_alcotest prop_chain_msg_roundtrip_rechunked;
+        QCheck_alcotest.to_alcotest prop_service_payload_roundtrip_rechunked;
+        Alcotest.test_case "event loop timer order" `Quick
+          test_event_loop_timer_order;
+        Alcotest.test_case "event loop every/cancel" `Quick
+          test_event_loop_every_cancel;
+        Alcotest.test_case "event loop fd readiness" `Quick
+          test_event_loop_fd_readiness;
+        Alcotest.test_case "tcp round trip via learned route" `Quick
+          test_tcp_round_trip_learned_route;
+        Alcotest.test_case "tcp large message" `Quick test_tcp_large_message;
+        Alcotest.test_case "tcp local short-circuit" `Quick
+          test_tcp_local_short_circuit_and_unroutable;
+      ] );
+  ]

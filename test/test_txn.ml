@@ -11,7 +11,7 @@ type env = {
   shards : Shard.t array;
   shard_addrs : Net.addr array;
   kv_net : Kv_msg.msg Net.t;
-  chain_net : Kronos_replication.Chain.msg Net.t option;
+  chain_net : Kronos_replication.Chain.msg Kronos_transport.Transport.t option;
   cluster : Kronos_service.Server.cluster option;
   ids : Executor.id_source;
 }
@@ -23,7 +23,7 @@ let make_env ?(seed = 11L) ?(shards = 4) ~kronos () =
   let shard_servers = Array.map (fun a -> Shard.create ~net:kv_net ~addr:a ()) shard_addrs in
   let chain_net, cluster =
     if kronos then begin
-      let net = Net.create sim in
+      let net = Kronos_transport.Sim_transport.of_net (Net.create sim) in
       let cluster =
         Kronos_service.Server.deploy ~net ~coordinator:1000
           ~replicas:[ 0; 1; 2 ] ~ping_interval:0.2 ~failure_timeout:2.0 ()
