@@ -1,6 +1,6 @@
 # Tier-1 verification in one command: build every target (libraries,
 # executables, tests, benches) and run the full test suite.
-.PHONY: check build test loopback bench clean
+.PHONY: check build test loopback bench bench-smoke clean
 
 check: build test
 
@@ -18,6 +18,11 @@ loopback: build
 
 bench:
 	dune exec bench/main.exe
+
+# Quick performance snapshot: writes BENCH_smoke.json in the repo root
+# (CI runs this and uploads the file as an artifact).
+bench-smoke: build
+	dune exec bench/main.exe -- smoke
 
 clean:
 	dune clean

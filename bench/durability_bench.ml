@@ -67,7 +67,7 @@ let loaded_engine ~n =
       let u, v = (min u v, max u v) in
       ignore
         (Engine.assign_order engine
-           [ (ids.(u), Order.Happens_before, Order.Must, ids.(v)) ]))
+           [ Order.must_before ids.(u) ids.(v) ]))
     g.Graph_gen.edges;
   (engine, ids)
 

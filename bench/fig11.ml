@@ -11,7 +11,7 @@ let build_chain engine n =
   for i = 0 to n - 2 do
     match
       Engine.assign_order engine
-        [ (ids.(i), Order.Happens_before, Order.Must, ids.(i + 1)) ]
+        [ Order.must_before ids.(i) ids.(i + 1) ]
     with
     | Ok _ -> ()
     | Error _ -> assert false

@@ -46,7 +46,7 @@ let run () =
             match prev with
             | Some (_, q) ->
               Kronos_service.Client.assign_order client
-                [ (q, Order.Happens_before, Order.Prefer, e) ]
+                [ Order.prefer_before q e ]
                 (fun _ ->
                   incr completed;
                   loop client rng (Some (q, e)))

@@ -11,6 +11,7 @@ let experiments : (string * (unit -> unit)) list =
     ("fig11", Kronos_bench.Fig11.run);
     ("fig12", Kronos_bench.Fig12.run);
     ("micro", Kronos_bench.Micro.run);
+    ("smoke", Kronos_bench.Smoke.run);
     ("ablation", Kronos_bench.Ablation.run);
     ("durability", Kronos_bench.Durability_bench.run);
     ("fig6", Kronos_bench.Fig6.run);

@@ -15,10 +15,7 @@ let dependency_creation () =
     Bench_util.bechamel_ns_per_op ~name:"assign_order/fresh" (fun () ->
         let a = Engine.create_event engine in
         let b = Engine.create_event engine in
-        match
-          Engine.assign_order engine
-            [ (a, Order.Happens_before, Order.Must, b) ]
-        with
+        match Engine.assign_order engine [ Order.must_before a b ] with
         | Ok _ -> ()
         | Error _ -> assert false)
   in
@@ -38,9 +35,7 @@ let dependency_creation () =
     let t0 = Unix.gettimeofday () in
     Array.iter
       (fun (a, b) ->
-        ignore
-          (Engine.assign_order engine
-             [ (a, Order.Happens_before, Order.Must, b) ]))
+        ignore (Engine.assign_order engine [ Order.must_before a b ]))
       pairs;
     samples.(i) <- (Unix.gettimeofday () -. t0) /. 1000.0 *. 1e9
   done;
@@ -173,11 +168,8 @@ let prefer_ordering_ablation () =
     let x = Engine.create_event engine in
     (* random warm-up edge to vary the shapes *)
     if Rng.bool rng then
-      ignore (Engine.assign_order engine [ (x, Order.Happens_before, Order.Must, a) ]);
-    let batch =
-      [ (b, Order.Happens_before, Order.Prefer, a);
-        (a, Order.Happens_before, Order.Must, b) ]
-    in
+      ignore (Engine.assign_order engine [ Order.must_before x a ]);
+    let batch = [ Order.prefer_before b a; Order.must_before a b ] in
     (match Engine.assign_order engine batch with
      | Ok _ -> ()
      | Error _ -> incr batch_aborts);
@@ -186,10 +178,10 @@ let prefer_ordering_ablation () =
     let a = Engine.create_event engine in
     let b = Engine.create_event engine in
     let naive =
-      [ (b, Order.Happens_before, Order.Must, a)
+      [ Order.must_before b a
         (* a naive engine has no prefer scheduling: the prefer is applied
            eagerly as an edge, making the later must impossible *);
-        (a, Order.Happens_before, Order.Must, b) ]
+        Order.must_before a b ]
     in
     if List.exists
          (fun req ->
@@ -250,8 +242,74 @@ let traversal_cache_ablation () =
   Bench_util.ours "the positive-reachability memo yields %.1fx on skewed hot queries"
     (on_ /. off)
 
+(* Ablation: the observability gate (DESIGN.md §10).  Metrics are compiled
+   into every layer but gated on one process-wide flag; the budget is <5%
+   overhead on the query hot path with recording on, and bit-identical
+   behaviour with the no-op sink. *)
+let metrics_overhead_ablation () =
+  Bench_util.section "Ablation: metrics gate on the query hot path (<5% budget)";
+  let n = 2_000 in
+  let build () =
+    let engine =
+      Engine.create ~config:{ Engine.initial_capacity = n; traversal_cache = 0 } ()
+    in
+    let rng = Rng.create ~seed:5L in
+    let g = Graph_gen.erdos_renyi_gnm ~rng ~n ~m:20_000 in
+    let ids = Array.init n (fun _ -> Engine.create_event engine) in
+    let gr = Engine.graph engine in
+    Array.iter (fun (u, v) -> Graph.add_edge gr ids.(u) ids.(v)) g.Graph_gen.edges;
+    (engine, ids)
+  in
+  let engine, ids = build () in
+  let measure name =
+    let rng = Rng.create ~seed:13L in
+    Bench_util.bechamel_ns_per_op ~name (fun () ->
+        ignore
+          (Engine.query_order engine
+             [ (ids.(Rng.int rng n), ids.(Rng.int rng n)) ]))
+  in
+  Kronos_metrics.set_enabled false;
+  let off = measure "query/metrics-off" in
+  Kronos_metrics.set_enabled true;
+  let on_ = measure "query/metrics-on" in
+  let overhead = (on_ -. off) /. off *. 100. in
+  Printf.printf "  metrics off: %s/query\n" (Bench_util.pp_ns off);
+  Printf.printf "  metrics on:  %s/query (%+.1f%% overhead)\n%!" (Bench_util.pp_ns on_)
+    overhead;
+  (* the no-op sink must not change behaviour, only speed: the same seeded
+     workload produces the same answers with recording on and off *)
+  let digest enabled =
+    Kronos_metrics.set_enabled enabled;
+    let engine, ids = build () in
+    let rng = Rng.create ~seed:17L in
+    let acc = ref 0 in
+    for _ = 1 to 10_000 do
+      match
+        Engine.query_order engine [ (ids.(Rng.int rng n), ids.(Rng.int rng n)) ]
+      with
+      | Ok [ rel ] ->
+        acc :=
+          (!acc * 31)
+          + (match rel with
+             | Order.Before -> 1
+             | Order.After -> 2
+             | Order.Concurrent -> 3
+             | Order.Same -> 4)
+      | _ -> assert false
+    done;
+    Kronos_metrics.set_enabled true;
+    (!acc, Engine.stats engine)
+  in
+  let d_on = digest true and d_off = digest false in
+  Printf.printf "  divergence with no-op sink: %s\n%!"
+    (if d_on = d_off then "none (bit-identical)" else "DIVERGED");
+  Bench_util.ours
+    "gate overhead %+.1f%% on the query hot path (budget 5%%), no-op sink diverges: %b"
+    overhead (d_on <> d_off)
+
 let run () =
   dependency_creation ();
   sparse_set_ablation ();
   prefer_ordering_ablation ();
-  traversal_cache_ablation ()
+  traversal_cache_ablation ();
+  metrics_overhead_ablation ()

@@ -1,0 +1,127 @@
+(* Smoke benchmark: a seconds-fast performance snapshot written to
+   BENCH_smoke.json (override the path with KRONOS_SMOKE_OUT), so CI can
+   track coarse regressions without running the full figure harness.
+
+   Two families of numbers:
+   - in-process engine hot paths (ns/op via Bechamel);
+   - the replicated service on the simulated network, with per-op compute
+     latency quantiles taken from the client's own metrics histograms —
+     the same instruments `kronos_cli stats` reports in production. *)
+
+open Kronos
+module Sim = Kronos_simnet.Sim
+module Net = Kronos_simnet.Net
+module Server = Kronos_service.Server
+module Client = Kronos_service.Client
+module M = Kronos_metrics
+
+let results : (string * float * string) list ref = ref []
+let record name value unit_ = results := (name, value, unit_) :: !results
+
+let engine_hot_paths () =
+  let engine = Engine.create () in
+  let assign_ns =
+    Bench_util.bechamel_ns_per_op ~quota:0.25 ~name:"smoke/assign" (fun () ->
+        let a = Engine.create_event engine in
+        let b = Engine.create_event engine in
+        ignore (Engine.assign_order engine [ Order.must_before a b ]))
+  in
+  record "engine.assign_fresh" assign_ns "ns/op";
+  (* a long chain makes the query a real traversal *)
+  let engine = Engine.create () in
+  let n = 2_000 in
+  let ids = Array.init n (fun _ -> Engine.create_event engine) in
+  for i = 0 to n - 2 do
+    ignore (Engine.assign_order engine [ Order.must_before ids.(i) ids.(i + 1) ])
+  done;
+  let rng = Kronos_simnet.Rng.create ~seed:7L in
+  let query_ns =
+    Bench_util.bechamel_ns_per_op ~quota:0.25 ~name:"smoke/query" (fun () ->
+        let u = Kronos_simnet.Rng.int rng n and v = Kronos_simnet.Rng.int rng n in
+        ignore (Engine.query_order engine [ (ids.(u), ids.(v)) ]))
+  in
+  record "engine.query_chain" query_ns "ns/op"
+
+let service_closed_loop () =
+  M.reset ();
+  let sim = Sim.create ~seed:42L () in
+  let net = Kronos_transport.Sim_transport.of_net (Net.create sim) in
+  ignore
+    (Server.deploy ~net ~coordinator:1000 ~replicas:[ 0; 1; 2 ]
+       ~ping_interval:0.1 ~failure_timeout:0.5 ());
+  let client =
+    Client.create ~net ~addr:2000 ~coordinator:1000 ~request_timeout:0.4 ()
+  in
+  let await f =
+    let result = ref None in
+    f (fun x -> result := Some x);
+    while !result = None && Sim.pending sim > 0 do
+      ignore (Sim.step sim)
+    done;
+    match !result with
+    | Some (Ok x) -> x
+    | Some (Error _) | None -> failwith "smoke: service op failed"
+  in
+  let ops = 2_000 in
+  let t0 = Unix.gettimeofday () in
+  let prev = ref None in
+  for _ = 1 to ops do
+    let e = await (Client.create_event client) in
+    (match !prev with
+     | Some p -> ignore (await (Client.assign_order client [ Order.must_before p e ]))
+     | None -> ());
+    prev := Some e
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let total = (2 * ops) - 1 in
+  record "service.closed_loop" (float_of_int total /. elapsed) "ops/s";
+  (* compute-latency quantiles from the instruments themselves *)
+  List.iter
+    (fun op ->
+      let h = M.histogram (M.scope "client") ~labels:[ ("op", op) ] "op_seconds" in
+      if M.Histogram.count h > 0 then begin
+        List.iter
+          (fun (q, tag) ->
+            record
+              (Printf.sprintf "service.%s.p%s" op tag)
+              (1e6 *. M.Histogram.quantile h q)
+              "us")
+          [ (0.5, "50"); (0.9, "90"); (0.99, "99") ];
+        record
+          (Printf.sprintf "service.%s.max" op)
+          (1e6 *. M.Histogram.max_value h)
+          "us"
+      end)
+    [ "create_event"; "assign_order" ]
+
+let write_json path =
+  let oc = open_out path in
+  output_string oc "{\n  \"schema\": \"kronos-bench-smoke/1\",\n";
+  Printf.fprintf oc "  \"scale\": %S,\n"
+    (if !Bench_util.full_scale then "full" else "quick");
+  output_string oc "  \"results\": [\n";
+  let entries =
+    List.rev_map
+      (fun (name, value, unit_) ->
+        Printf.sprintf "    {\"name\": %S, \"value\": %.6g, \"unit\": %S}" name
+          value unit_)
+      !results
+  in
+  output_string oc (String.concat ",\n" entries);
+  output_string oc "\n  ]\n}\n";
+  close_out oc
+
+let run () =
+  Bench_util.section "Smoke: quick performance snapshot -> BENCH_smoke.json";
+  results := [];
+  engine_hot_paths ();
+  service_closed_loop ();
+  let path =
+    Option.value ~default:"BENCH_smoke.json" (Sys.getenv_opt "KRONOS_SMOKE_OUT")
+  in
+  write_json path;
+  List.iter
+    (fun (name, value, unit_) ->
+      Printf.printf "  %-32s %12.6g %s\n" name value unit_)
+    (List.rev !results);
+  Bench_util.ours "wrote %d series to %s" (List.length !results) path

@@ -11,17 +11,24 @@
      release E               drop the client reference on an event
      load                    closed-loop generator: create+assign pairs,
                              report throughput and latency percentiles
+     stats [ADDR]            fetch and pretty-print the live metrics of one
+                             replica (default: the first --peer); --watch
+                             re-polls and prints only the changed series
 
    Every replica endpoint should be listed with --peer: the CLI dials them
    all eagerly so whichever replica is the chain tail knows the return
    route for replies. *)
 
 open Kronos
+module Chain = Kronos_replication.Chain
 module Client = Kronos_service.Client
+module Transport = Kronos_transport.Transport
 module Tcp = Kronos_transport.Tcp_transport
 module Event_loop = Kronos_transport.Event_loop
 
-let usage = "kronos_cli [options] (create | assign E1 E2 | query E1 E2 | release E | load)"
+let usage =
+  "kronos_cli [options] (create | assign E1 E2 | query E1 E2 | release E | \
+   load | stats [ADDR])"
 
 type peer = { addr : int; host : string; port : int }
 
@@ -66,6 +73,8 @@ let () =
   let timeout = ref 5.0 in
   let ops = ref 1000 in
   let concurrency = ref 8 in
+  let watch = ref false in
+  let interval = ref 1.0 in
   let rest = ref [] in
   let spec =
     [
@@ -77,6 +86,10 @@ let () =
       ("--timeout", Arg.Set_float timeout, "S per-request deadline (default 5.0)");
       ("--ops", Arg.Set_int ops, "N operations for load (default 1000)");
       ("--concurrency", Arg.Set_int concurrency, "N closed loops for load (default 8)");
+      ("--watch", Arg.Set watch, " with stats: keep polling and print diffs");
+      ( "--interval",
+        Arg.Set_float interval,
+        "S polling period for stats --watch (default 1.0)" );
     ]
   in
   Arg.parse spec (fun a -> rest := a :: !rest) usage;
@@ -105,7 +118,7 @@ let () =
     exit 1
   in
   let fail_error e =
-    Format.eprintf "kronos_cli: %a@." Client.pp_error e;
+    Format.eprintf "kronos_cli: %a@." Kronos_service.Error.pp e;
     exit 1
   in
   (* Run the event loop until one asynchronous call completes. *)
@@ -145,7 +158,7 @@ let () =
             | Some p ->
               let t1 = Unix.gettimeofday () in
               Client.assign_order client ~timeout:!timeout
-                [ (p, Order.Happens_before, Order.Must, e) ]
+                [ Order.must_before p e ]
                 (fun r ->
                   (match r with
                    | Ok _ ->
@@ -170,6 +183,75 @@ let () =
       (1e3 *. percentile sorted 0.95)
       (1e3 *. percentile sorted 0.99)
   in
+  (* Fetch one replica's process-wide metrics via the Get_stats admin RPC.
+     The reply bypasses the proxy (which only understands chain responses),
+     so it is received on a dedicated address with a raw handler. *)
+  let run_stats target =
+    let stats_addr = !addr + 1 in
+    let received = ref None in
+    Transport.register net stats_addr (fun ~src:_ msg ->
+        match (msg : Chain.msg) with
+        | Chain.Stats_is { samples } -> received := Some samples
+        | _ -> ());
+    let request () =
+      Transport.send net ~src:stats_addr ~dst:target
+        (Chain.Get_stats { client = stats_addr })
+    in
+    let fmt_value v =
+      if Float.is_integer v && Float.abs v < 1e15 then
+        Printf.sprintf "%.0f" v
+      else Printf.sprintf "%.9g" v
+    in
+    let print_samples ?prev samples =
+      let width =
+        List.fold_left (fun w (n, _) -> max w (String.length n)) 0 samples
+      in
+      List.iter
+        (fun (name, v) ->
+          match prev with
+          | None -> Printf.printf "%-*s  %s\n" width name (fmt_value v)
+          | Some tbl -> (
+              match Hashtbl.find_opt tbl name with
+              | Some old when old = v -> ()
+              | Some old ->
+                Printf.printf "%-*s  %s  (%+g)\n" width name (fmt_value v)
+                  (v -. old)
+              | None -> Printf.printf "%-*s  %s  (new)\n" width name (fmt_value v)))
+        samples;
+      flush stdout
+    in
+    let await_reply () =
+      if not
+           (Event_loop.run_until loop
+              ~deadline:(Event_loop.now loop +. !timeout)
+              (fun () -> !received <> None))
+      then fail_timeout ();
+      let samples = Option.get !received in
+      received := None;
+      samples
+    in
+    if not !watch then print_samples (request (); await_reply ())
+    else begin
+      let stop = ref false in
+      Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true));
+      let prev = Hashtbl.create 256 in
+      let first = ref true in
+      while not !stop do
+        let samples = (request (); await_reply ()) in
+        if !first then print_samples samples
+        else begin
+          Printf.printf "--\n";
+          print_samples ~prev samples
+        end;
+        first := false;
+        List.iter (fun (n, v) -> Hashtbl.replace prev n v) samples;
+        ignore
+          (Event_loop.run_until loop
+             ~deadline:(Event_loop.now loop +. !interval)
+             (fun () -> !stop))
+      done
+    end
+  in
   (match cmd with
    | [ "create" ] -> (
        match await (Client.create_event client ~timeout:!timeout) with
@@ -180,7 +262,7 @@ let () =
        match
          await
            (Client.assign_order client ~timeout:!timeout
-              [ (e1, Order.Happens_before, Order.Must, e2) ])
+              [ Order.must_before e1 e2 ])
        with
        | Ok [ outcome ] -> Format.printf "%a@." Order.pp_outcome outcome
        | Ok _ -> assert false
@@ -196,6 +278,13 @@ let () =
        | Ok n -> Printf.printf "collected %d\n" n
        | Error e -> fail_error e)
    | [ "load" ] -> run_load ()
+   | [ "stats" ] -> run_stats (List.hd (List.rev !peers)).addr
+   | [ "stats"; target ] -> (
+       match int_of_string_opt target with
+       | Some a -> run_stats a
+       | None ->
+         prerr_endline ("kronos_cli: stats: not an address: " ^ target);
+         exit 2)
    | _ ->
      prerr_endline usage;
      exit 2);

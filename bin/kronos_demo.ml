@@ -45,10 +45,10 @@ let () =
   Format.printf "created %a and %a (t=%.3fs virtual)@." Event_id.pp a Event_id.pp b
     (Sim.now sim);
   (match
-     await (Client.assign_order client [ (a, Order.Happens_before, Order.Must, b) ])
+     await (Client.assign_order client [ Order.must_before a b ])
    with
    | Ok _ -> Format.printf "ordered %a -> %a@." Event_id.pp a Event_id.pp b
-   | Error e -> Format.printf "assign failed: %a@." Client.pp_error e);
+   | Error e -> Format.printf "assign failed: %a@." Kronos_service.Error.pp e);
   (* kill the middle replica; the coordinator reconfigures the chain *)
   Format.printf "killing replica 1...@.";
   Server.crash cluster 1;
@@ -58,10 +58,10 @@ let () =
      Format.printf "order survives the failure: %a@."
        (Format.pp_print_list ~pp_sep:Format.pp_print_space Order.pp_relation)
        rels
-   | Error e -> Format.printf "query failed: %a@." Client.pp_error e);
+   | Error e -> Format.printf "query failed: %a@." Kronos_service.Error.pp e);
   (* writes the crashed replica will have missed *)
   let c = Result.get_ok (await (Client.create_event client)) in
-  ignore (await (Client.assign_order client [ (b, Order.Happens_before, Order.Must, c) ]));
+  ignore (await (Client.assign_order client [ Order.must_before b c ]));
   (* restart it from its own disk: the engine recovers from snapshot + WAL
      and the chain ships only the entries it missed *)
   Format.printf "restarting replica 1 from its write-ahead log...@.";
@@ -86,10 +86,10 @@ let () =
    | None -> ());
   let d = Result.get_ok (await (Client.create_event client)) in
   (match
-     await (Client.assign_order client [ (c, Order.Happens_before, Order.Must, d) ])
+     await (Client.assign_order client [ Order.must_before c d ])
    with
    | Ok _ ->
      Format.printf "new writes flow through the healed chain: %a -> %a@."
        Event_id.pp c Event_id.pp d
-   | Error e -> Format.printf "assign failed: %a@." Client.pp_error e);
+   | Error e -> Format.printf "assign failed: %a@." Kronos_service.Error.pp e);
   Format.printf "done (%.3fs of virtual time)@." (Sim.now sim)

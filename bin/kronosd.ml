@@ -56,6 +56,8 @@ let () =
   let coordinate = ref false in
   let coordinator_addr = ref 1000 in
   let data_dir = ref "" in
+  let metrics_addr = ref "" in
+  let no_metrics = ref false in
   let snapshot_every = ref 1024 in
   let ping_interval = ref 0.2 in
   let failure_timeout = ref 1.0 in
@@ -76,6 +78,12 @@ let () =
         Arg.Set_int coordinator_addr,
         "N address of the hosted coordinator (default 1000, with --coordinate)" );
       ("--data-dir", Arg.Set_string data_dir, "DIR durable storage directory");
+      ( "--metrics-addr",
+        Arg.Set_string metrics_addr,
+        "[H:]P serve the metrics text page over one-shot TCP (0 = ephemeral)" );
+      ( "--no-metrics",
+        Arg.Set no_metrics,
+        " switch the metrics registry to the no-op sink" );
       ( "--snapshot-every",
         Arg.Set_int snapshot_every,
         "N snapshot + truncate the WAL every N commands (default 1024)" );
@@ -105,6 +113,7 @@ let () =
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Debug)
   end;
+  if !no_metrics then Kronos_metrics.set_enabled false;
 
   let loop = Event_loop.create () in
   let tcp =
@@ -112,6 +121,22 @@ let () =
       ~decode:Kronos_replication.Chain_codec.decode ()
   in
   let actual_port = Tcp.listen tcp ~host:!host ~port:!port () in
+  (match !metrics_addr with
+   | "" -> ()
+   | spec ->
+     let mhost, mport =
+       match String.rindex_opt spec ':' with
+       | None -> ("127.0.0.1", int_of_string spec)
+       | Some i ->
+         ( String.sub spec 0 i,
+           int_of_string (String.sub spec (i + 1) (String.length spec - i - 1))
+         )
+     in
+     let server =
+       Kronos_transport.Metrics_server.start ~loop ~host:mhost ~port:mport ()
+     in
+     Printf.printf "kronosd: metrics on %s:%d\n%!" mhost
+       (Kronos_transport.Metrics_server.port server));
   List.iter (fun p -> Tcp.add_peer tcp p.addr ~host:p.host ~port:p.port) !peers;
   (match !coordinator with
    | Some c -> Tcp.add_peer tcp c.addr ~host:c.host ~port:c.port

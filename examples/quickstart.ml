@@ -27,8 +27,8 @@ let () =
   (* 3. record happens-before relationships; the batch is atomic *)
   (match
      Engine.assign_order engine
-       [ (alice_uploads, Order.Happens_before, Order.Must, alice_tags_bob);
-         (alice_tags_bob, Order.Happens_before, Order.Must, bob_likes) ]
+       [ Order.must_before alice_uploads alice_tags_bob;
+         Order.must_before alice_tags_bob bob_likes ]
    with
    | Ok outcomes ->
      Format.printf "assign_order: %a@."
@@ -44,7 +44,7 @@ let () =
   (* 5. contradicting an established order aborts the whole batch *)
   (match
      Engine.assign_order engine
-       [ (bob_likes, Order.Happens_before, Order.Must, alice_uploads) ]
+       [ Order.must_before bob_likes alice_uploads ]
    with
    | Ok _ -> assert false
    | Error e ->
@@ -53,7 +53,7 @@ let () =
   (* 6. prefer constraints reverse gracefully instead of aborting *)
   (match
      Engine.assign_order engine
-       [ (bob_likes, Order.Happens_before, Order.Prefer, alice_uploads) ]
+       [ Order.prefer_before bob_likes alice_uploads ]
    with
    | Ok [ outcome ] ->
      Format.printf "prefer against the flow: %a@." Order.pp_outcome outcome

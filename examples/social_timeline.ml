@@ -51,7 +51,7 @@ let reply_to_message net ~author ~text ~in_reply_to =
   let message = post_message net ~author ~text in
   (match
      Engine.assign_order net.engine
-       [ (in_reply_to.event, Order.Happens_before, Order.Must, message.event) ]
+       [ Order.must_before in_reply_to.event message.event ]
    with
    | Ok _ -> ()
    | Error e ->

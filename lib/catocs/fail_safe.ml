@@ -62,8 +62,7 @@ let run ~seed ~cycles =
   let pending_outs = Hashtbl.create 16 in  (* outs that raced their fire *)
   let must before after =
     match
-      Engine.assign_order engine
-        [ (before, Order.Happens_before, Order.Must, after) ]
+      Engine.assign_order engine [ Order.must_before before after ]
     with
     | Ok _ -> ()
     | Error _ -> assert false

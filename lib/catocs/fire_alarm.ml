@@ -66,8 +66,7 @@ let run ~kronos ~seed ~locations ~rounds =
                       let out_event = Engine.create_event engine in
                       (match
                          Engine.assign_order engine
-                           [ (fire_event, Order.Happens_before, Order.Must,
-                              out_event) ]
+                           [ Order.must_before fire_event out_event ]
                        with
                        | Ok _ -> ()
                        | Error _ -> assert false);

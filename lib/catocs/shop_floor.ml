@@ -63,8 +63,7 @@ let run ~kronos ~seed ~commands =
            (match !prev_event with
             | Some prev ->
               (match
-                 Engine.assign_order engine
-                   [ (prev, Order.Happens_before, Order.Must, event) ]
+                 Engine.assign_order engine [ Order.must_before prev event ]
                with
                | Ok _ -> ()
                | Error _ -> assert false)

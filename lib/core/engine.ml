@@ -1,3 +1,15 @@
+(* Process-wide counters for the metrics plane, aggregated across all
+   engines the process hosts (a kronosd process hosts exactly one). *)
+module M = struct
+  let scope = Kronos_metrics.scope "engine"
+  let creates = Kronos_metrics.counter scope "events_created_total"
+  let collected = Kronos_metrics.counter scope "events_collected_total"
+  let queries = Kronos_metrics.counter scope "queries_total"
+  let assigns = Kronos_metrics.counter scope "assigns_total"
+  let aborted = Kronos_metrics.counter scope "aborted_batches_total"
+  let reversals = Kronos_metrics.counter scope "reversals_total"
+end
+
 type config = { initial_capacity : int; traversal_cache : int }
 
 let default_config = { initial_capacity = 1024; traversal_cache = 0 }
@@ -22,6 +34,7 @@ let graph t = t.g
 
 let create_event t =
   t.creates <- t.creates + 1;
+  Kronos_metrics.Counter.incr M.creates;
   Graph.create_event t.g
 
 let acquire_ref t e =
@@ -29,7 +42,10 @@ let acquire_ref t e =
 
 let release_ref t e =
   match Graph.release_ref t.g e with
-  | Some n -> t.collected <- t.collected + n; Ok n
+  | Some n ->
+    t.collected <- t.collected + n;
+    Kronos_metrics.Counter.add M.collected n;
+    Ok n
   | None -> Error (Order.Unknown_event e)
 
 let query_order t pairs =
@@ -45,6 +61,7 @@ let query_order t pairs =
   | None ->
     let answer (e1, e2) =
       t.queries <- t.queries + 1;
+      Kronos_metrics.Counter.incr M.queries;
       match Graph.query t.g e1 e2 with
       | Ok r -> r
       | Error _ -> assert false (* all arguments were checked live *)
@@ -59,10 +76,12 @@ type pending = {
   kind : Order.kind;
 }
 
-let normalize index (e1, direction, kind, e2) =
-  match (direction : Order.direction) with
-  | Happens_before -> { index; before = e1; after = e2; kind }
-  | Happens_after -> { index; before = e2; after = e1; kind }
+let normalize index (s : Order.spec) =
+  match s.direction with
+  | Order.Happens_before ->
+    { index; before = s.left; after = s.right; kind = s.kind }
+  | Order.Happens_after ->
+    { index; before = s.right; after = s.left; kind = s.kind }
 
 let assign_order t requests =
   let n = List.length requests in
@@ -85,7 +104,8 @@ let assign_order t requests =
     let added = ref [] in
     let rollback () =
       List.iter (fun (u, v) -> Graph.remove_last_edge t.g u v) !added;
-      t.aborted_batches <- t.aborted_batches + 1
+      t.aborted_batches <- t.aborted_batches + 1;
+      Kronos_metrics.Counter.incr M.aborted
     in
     let apply_edge p =
       Graph.add_edge t.g p.before p.after;
@@ -96,6 +116,7 @@ let assign_order t requests =
       | [] -> Ok ()
       | p :: rest ->
         t.assigns <- t.assigns + 1;
+        Kronos_metrics.Counter.incr M.assigns;
         if Event_id.equal p.before p.after then begin
           rollback ();
           Error (Order.Must_self p.index)
@@ -113,10 +134,12 @@ let assign_order t requests =
     in
     let apply_prefer p =
       t.assigns <- t.assigns + 1;
+      Kronos_metrics.Counter.incr M.assigns;
       if Event_id.equal p.before p.after then
         outcomes.(p.index) <- Order.Already
       else if Graph.reachable t.g p.after p.before then begin
         t.reversals <- t.reversals + 1;
+        Kronos_metrics.Counter.incr M.reversals;
         outcomes.(p.index) <- Order.Reversed
       end
       else if Graph.reachable t.g p.before p.after then

@@ -37,10 +37,9 @@ val query_order :
     [Unknown_event] if any argument is stale. *)
 
 val assign_order :
-  t ->
-  (Event_id.t * Order.direction * Order.kind * Event_id.t) list ->
-  (Order.outcome list, Order.assign_error) result
-(** Atomically apply a batch of ordering constraints (Section 2.2):
+  t -> Order.spec list -> (Order.outcome list, Order.assign_error) result
+(** Atomically apply a batch of ordering constraints (Section 2.2), built
+    with the {!Order.must_before} family of constructors:
 
     - all [Must] pairs are applied before any [Prefer] pair, so a prefer can
       never block a satisfiable must;

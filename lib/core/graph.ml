@@ -1,3 +1,16 @@
+(* Process-wide mirrors of the per-graph counters, for the metrics plane.
+   A process may host several graphs (tests, sim benches) and the counters
+   then aggregate across them; the gauges track whichever graph mutated
+   last, which in kronosd is the one replica engine. *)
+module M = struct
+  let scope = Kronos_metrics.scope "engine"
+  let traversals = Kronos_metrics.counter scope "bfs_traversals_total"
+  let visited = Kronos_metrics.counter scope "bfs_visited_total"
+  let cache_hits = Kronos_metrics.counter scope "traversal_cache_hits_total"
+  let live = Kronos_metrics.gauge scope "graph_live_events"
+  let edges = Kronos_metrics.gauge scope "graph_edges"
+end
+
 type t = {
   mutable refcount : int array;  (* -1 marks a free slot *)
   mutable gen : int array;       (* generation of the current/next tenant *)
@@ -94,6 +107,7 @@ let create_event g =
   g.indeg.(s) <- 0;
   Int_vec.clear g.succ.(s);
   g.live <- g.live + 1;
+  Kronos_metrics.Gauge.set M.live g.live;
   id_of_slot g s
 
 let is_live g id = resolve g id <> None
@@ -137,6 +151,8 @@ let collect g s =
       Int_vec.push g.free u
     end
   done;
+  Kronos_metrics.Gauge.set M.live g.live;
+  Kronos_metrics.Gauge.set M.edges g.edges;
   !collected
 
 let release_ref g id =
@@ -162,6 +178,7 @@ let reachable_slots g src dst =
   else if Int_vec.is_empty g.succ.(src) || g.indeg.(dst) = 0 then false
   else begin
     g.traversals <- g.traversals + 1;
+    Kronos_metrics.Counter.incr M.traversals;
     let visited = g.visited in
     Sparse_set.clear visited;
     Sparse_set.add visited src;
@@ -183,15 +200,18 @@ let reachable_slots g src dst =
         Int_vec.iter visit g.succ.(u)
       done;
       g.visited_total <- g.visited_total + !tail;
+      Kronos_metrics.Counter.add M.visited !tail;
       false
     with Found ->
       g.visited_total <- g.visited_total + !tail;
+      Kronos_metrics.Counter.add M.visited !tail;
       true
   end
 
 let cache_reachable g u v su sv =
   if Hashtbl.mem g.reach_cache (u, v) then begin
     g.reach_cache_hits <- g.reach_cache_hits + 1;
+    Kronos_metrics.Counter.incr M.cache_hits;
     true
   end
   else begin
@@ -231,7 +251,8 @@ let add_edge g u v =
   | Some su, Some sv ->
     Int_vec.push g.succ.(su) sv;
     g.indeg.(sv) <- g.indeg.(sv) + 1;
-    g.edges <- g.edges + 1
+    g.edges <- g.edges + 1;
+    Kronos_metrics.Gauge.set M.edges g.edges
   | (None | Some _), _ -> invalid_arg "Graph.add_edge: stale event"
 
 let remove_last_edge g u v =

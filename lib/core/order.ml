@@ -11,6 +11,19 @@ type assign_error =
 
 type direction = Happens_before | Happens_after
 
+type spec = {
+  left : Event_id.t;
+  direction : direction;
+  kind : kind;
+  right : Event_id.t;
+}
+
+let constrain ~kind ~direction left right = { left; direction; kind; right }
+let must_before a b = constrain ~kind:Must ~direction:Happens_before a b
+let must_after a b = constrain ~kind:Must ~direction:Happens_after a b
+let prefer_before a b = constrain ~kind:Prefer ~direction:Happens_before a b
+let prefer_after a b = constrain ~kind:Prefer ~direction:Happens_after a b
+
 let flip_relation = function
   | Before -> After
   | After -> Before
@@ -20,6 +33,12 @@ let flip_relation = function
 let relation_equal (a : relation) b = a = b
 let kind_equal (a : kind) b = a = b
 let outcome_equal (a : outcome) b = a = b
+
+let spec_equal a b =
+  Event_id.equal a.left b.left
+  && a.direction = b.direction
+  && a.kind = b.kind
+  && Event_id.equal a.right b.right
 
 let assign_error_equal a b =
   match a, b with
@@ -51,3 +70,7 @@ let pp_assign_error ppf = function
 let pp_direction ppf = function
   | Happens_before -> Format.pp_print_string ppf "->"
   | Happens_after -> Format.pp_print_string ppf "<-"
+
+let pp_spec ppf s =
+  Format.fprintf ppf "%a %a%a %a" Event_id.pp s.left pp_kind s.kind
+    pp_direction s.direction Event_id.pp s.right

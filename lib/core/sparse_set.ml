@@ -31,7 +31,11 @@ let add s i =
     s.ptr <- s.ptr + 1
   end
 
-let clear s = s.ptr <- 0
+let clears = Kronos_metrics.counter (Kronos_metrics.scope "engine") "sparse_set_clears_total"
+
+let clear s =
+  Kronos_metrics.Counter.incr clears;
+  s.ptr <- 0
 
 let grow s capacity =
   if capacity > Array.length s.sparse then begin

@@ -111,7 +111,15 @@ let parse_filename name =
   then int_of_string_opt (String.sub name 5 10)
   else None
 
+let m_writes =
+  Kronos_metrics.counter (Kronos_metrics.scope "snapshot") "writes_total"
+
+let m_bytes =
+  Kronos_metrics.counter (Kronos_metrics.scope "snapshot") "bytes_written_total"
+
 let write_bytes storage ~seq data =
+  Kronos_metrics.Counter.incr m_writes;
+  Kronos_metrics.Counter.add m_bytes (String.length data);
   let final = filename ~seq in
   let tmp = Printf.sprintf "snap-%010d.tmp" seq in
   storage.Storage.remove_file tmp;

@@ -1,3 +1,11 @@
+module M = struct
+  let scope = Kronos_metrics.scope "wal"
+  let appends = Kronos_metrics.counter scope "appends_total"
+  let fsyncs = Kronos_metrics.counter scope "fsyncs_total"
+  let rotations = Kronos_metrics.counter scope "segment_rotations_total"
+  let bytes = Kronos_metrics.counter scope "bytes_written_total"
+end
+
 type sync_policy = Always | Every_n of int | Never
 
 type config = { segment_bytes : int; sync : sync_policy }
@@ -133,6 +141,7 @@ let do_sync t =
   | Some w ->
     w.Storage.sync ();
     t.syncs <- t.syncs + 1;
+    Kronos_metrics.Counter.incr M.fsyncs;
     t.unsynced_records <- 0
   | None -> ()
 
@@ -141,6 +150,7 @@ let rotate t =
    | Always | Every_n _ -> if t.unsynced_records > 0 then do_sync t
    | Never -> ());
   (match t.writer with Some w -> w.Storage.close () | None -> ());
+  Kronos_metrics.Counter.incr M.rotations;
   t.writer <- None;
   t.active <- false;
   t.active_size <- 0
@@ -169,6 +179,7 @@ let flush t =
     let batch = Buffer.contents t.pending in
     w.Storage.append batch;
     t.active_size <- t.active_size + String.length batch;
+    Kronos_metrics.Counter.add M.bytes (String.length batch);
     let flushed = t.pending_records in
     Buffer.clear t.pending;
     t.pending_first_seq <- -1;
@@ -188,6 +199,7 @@ let append t ~seq ~payload =
   encode_record t.pending ~seq ~payload;
   t.pending_records <- t.pending_records + 1;
   t.appended <- t.appended + 1;
+  Kronos_metrics.Counter.incr M.appends;
   t.last_seq <- seq;
   (* bound the group-commit buffer: a huge burst still hits storage in
      reasonably sized writes *)

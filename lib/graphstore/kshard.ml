@@ -139,7 +139,7 @@ let resolve_orders t e touched k =
       List.sort_uniq Event_id.compare (List.map snd unknown)
     in
     let reqs =
-      List.map (fun prev -> (prev, Order.Happens_before, Order.Prefer, e)) uniq_prevs
+      List.map (fun prev -> Order.prefer_before prev e) uniq_prevs
     in
     Client.assign_order t.kronos reqs (fun result ->
         let outcome_of prev =

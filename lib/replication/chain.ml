@@ -24,8 +24,19 @@ type msg =
       entries : (int * addr * int * string) list;
     }
   | Join of { addr : addr; last_applied : int }
+  | Get_stats of { client : addr }
+  | Stats_is of { samples : (string * float) list }
 
 let log_src = Logs.Src.create "kronos.chain" ~doc:"chain replication"
+
+module M = struct
+  let scope = Kronos_metrics.scope "chain"
+  let applied = Kronos_metrics.counter scope "entries_applied_total"
+  let acks = Kronos_metrics.counter scope "acks_total"
+  let transfers = Kronos_metrics.counter scope "state_transfers_total"
+  let installs = Kronos_metrics.counter scope "snapshot_installs_total"
+  let reconfigs = Kronos_metrics.counter scope "reconfigurations_total"
+end
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
@@ -123,6 +134,7 @@ module Replica = struct
      current message is fully handled). *)
   let apply_entry t entry =
     let resp = t.apply entry.cmd in
+    Kronos_metrics.Counter.incr M.applied;
     t.last_applied <- entry.seq;
     Vec.push t.log entry;
     Hashtbl.replace t.responses entry.seq resp;
@@ -200,6 +212,7 @@ module Replica = struct
           propagate t entry resp)
 
   let handle_ack t seq =
+    Kronos_metrics.Counter.incr M.acks;
     t.pending <- List.filter (fun e -> e.seq > seq) t.pending;
     to_predecessor t (Ack { seq })
 
@@ -209,6 +222,7 @@ module Replica = struct
      otherwise — the needed range was truncated under a snapshot — the
      latest snapshot plus the log above it. *)
   let send_sync t succ ~applied =
+    Kronos_metrics.Counter.incr M.transfers;
     let from_memory () =
       Vec.to_list t.log
       |> List.filter_map (fun e ->
@@ -233,6 +247,7 @@ module Replica = struct
 
   let handle_new_config t new_cfg fresh =
     if new_cfg.version > t.cfg.version then begin
+      Kronos_metrics.Counter.incr M.reconfigs;
       let old_succ = successor_of t.cfg t.addr in
       t.cfg <- new_cfg;
       if not (List.mem t.addr new_cfg.chain) then t.removed <- true
@@ -286,6 +301,7 @@ module Replica = struct
      | Some p when seq > t.last_applied ->
        p.install ~seq snapshot;
        t.installs <- t.installs + 1;
+       Kronos_metrics.Counter.incr M.installs;
        t.last_applied <- seq;
        (* bookkeeping for the snapshotted prefix is gone with the old
           engine; it is no longer replayable, so drop it *)
@@ -313,12 +329,18 @@ module Replica = struct
       | Sync_state { entries } -> handle_sync t entries
       | Sync_snapshot { seq; snapshot; entries } ->
         handle_sync_snapshot t ~seq ~snapshot ~entries
-      | Reply _ | Config_is _ | Get_config _ | Pong _ | Join _ ->
+      | Reply _ | Config_is _ | Get_config _ | Pong _ | Join _ | Get_stats _
+      | Stats_is _ ->
         Log.debug (fun m -> m "replica %d: unexpected message" t.addr)
 
   let handle t ~src msg =
     match msg with
     | Ping -> send t src (Pong { last_applied = t.last_applied })
+    | Get_stats { client } ->
+      (* Answered even when removed, like Ping: stats are an admin plane,
+         not part of the replicated state machine.  The registry is
+         process-wide, so the reply covers every layer of this daemon. *)
+      send t client (Stats_is { samples = Kronos_metrics.samples () })
     | _ ->
       let before = t.last_applied in
       handle t ~src msg;
@@ -458,8 +480,12 @@ module Coordinator = struct
     | Get_config { client } ->
       Transport.send t.net ~src:t.addr ~dst:client (Config_is t.cfg)
     | Join { addr; last_applied } -> integrate t ~addr ~last_applied
+    | Get_stats { client } ->
+      Transport.send t.net ~src:t.addr ~dst:client
+        (Stats_is { samples = Kronos_metrics.samples () })
     | Client_write _ | Client_read _ | Forward _ | Ack _ | Reply _
-    | Config_is _ | New_config _ | Ping | Sync_state _ | Sync_snapshot _ ->
+    | Config_is _ | New_config _ | Ping | Sync_state _ | Sync_snapshot _
+    | Stats_is _ ->
       Log.debug (fun m -> m "coordinator: unexpected message")
 
   let create ~net ~addr ~chain ?(ping_interval = 0.2) ?(failure_timeout = 1.0) () =

@@ -62,6 +62,12 @@ type msg =
   | Join of { addr : addr; last_applied : int }
       (** a replica (possibly in another process) asking the coordinator to
           integrate it at the tail; idempotent, so joiners may retry it *)
+  | Get_stats of { client : addr }
+      (** admin plane: ask a replica or the coordinator for a snapshot of
+          its process-wide metrics registry; answered even by replicas
+          removed from the chain, like [Ping] *)
+  | Stats_is of { samples : (string * float) list }
+      (** flat [(series, value)] snapshot from [Kronos_metrics.samples] *)
 
 (** {1 Chain position helpers} *)
 

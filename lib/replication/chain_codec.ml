@@ -79,7 +79,17 @@ let encode msg =
    | Join { addr; last_applied } ->
      Codec.put_u8 b 12;
      put_addr b addr;
-     Codec.put_u32 b last_applied);
+     Codec.put_u32 b last_applied
+   | Get_stats { client } ->
+     Codec.put_u8 b 13;
+     put_addr b client
+   | Stats_is { samples } ->
+     Codec.put_u8 b 14;
+     Codec.put_list b
+       (fun b (name, v) ->
+         Codec.put_string b name;
+         Codec.put_i64 b (Int64.bits_of_float v))
+       samples);
   Codec.to_string b
 
 let decode s =
@@ -129,6 +139,15 @@ let decode s =
       let addr = get_addr d in
       let last_applied = Codec.get_u32 d in
       Join { addr; last_applied }
+    | 13 -> Get_stats { client = get_addr d }
+    | 14 ->
+      Stats_is
+        { samples =
+            Codec.get_list d (fun d ->
+                let name = Codec.get_string d in
+                let v = Int64.float_of_bits (Codec.get_i64 d) in
+                (name, v));
+        }
     | n -> raise (Codec.Decode_error (Printf.sprintf "bad chain msg tag %d" n))
   in
   Codec.expect_end d;

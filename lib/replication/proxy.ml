@@ -1,16 +1,19 @@
 module Transport = Kronos_transport.Transport
 
+module M = struct
+  let scope = Kronos_metrics.scope "proxy"
+  let requests = Kronos_metrics.counter scope "requests_total"
+  let retries = Kronos_metrics.counter scope "retries_total"
+  let timeouts = Kronos_metrics.counter scope "timeouts_total"
+end
+
 type read_target = Tail | Any | Nth of int
-
-type error = Timeout
-
-let pp_error ppf Timeout = Format.pp_print_string ppf "timeout"
 
 type op = {
   req_id : int;
   cmd : string;
   kind : [ `Write | `Read of read_target ];
-  callback : (string, error) result -> unit;
+  callback : (string, [ `Timeout ]) result -> unit;
   deadline : float option;
   mutable timer : Transport.timer option;
 }
@@ -56,7 +59,8 @@ let expire t op =
     Hashtbl.remove t.outstanding op.req_id;
     cancel_timer op;
     t.timeouts <- t.timeouts + 1;
-    op.callback (Error Timeout)
+    Kronos_metrics.Counter.incr M.timeouts;
+    op.callback (Error `Timeout)
   end
 
 let rec dispatch t op =
@@ -99,6 +103,7 @@ and arm_timeout t op =
         fun () ->
           if Hashtbl.mem t.outstanding op.req_id then begin
             t.retries <- t.retries + 1;
+            Kronos_metrics.Counter.incr M.retries;
             (* The failure may be a dead replica: refresh the configuration
                before retransmitting. *)
             Transport.send t.net ~src:t.addr ~dst:t.coordinator
@@ -127,7 +132,8 @@ let handle t ~src:_ msg =
       | None -> () (* duplicate reply after a retransmission, or a reply
                       arriving after the op already timed out *))
   | Client_write _ | Client_read _ | Forward _ | Ack _ | Get_config _
-  | New_config _ | Ping | Pong _ | Sync_state _ | Sync_snapshot _ | Join _ ->
+  | New_config _ | Ping | Pong _ | Sync_state _ | Sync_snapshot _ | Join _
+  | Get_stats _ | Stats_is _ ->
     ()
 
 let create ~net ~addr ~coordinator ?(request_timeout = 0.5) () =
@@ -152,6 +158,7 @@ let create ~net ~addr ~coordinator ?(request_timeout = 0.5) () =
 
 let submit t ?timeout kind cmd callback =
   t.next_req <- t.next_req + 1;
+  Kronos_metrics.Counter.incr M.requests;
   let deadline =
     match timeout with
     | Some span -> Some (Transport.now t.net +. span)

@@ -10,7 +10,10 @@
     Without a per-call [?timeout] a request is retried forever and its
     callback fires exactly once, with [Ok resp].  With one, the proxy keeps
     retrying until the deadline, then fires the callback once with
-    [Error Timeout]; a reply that races in later is discarded. *)
+    [Error `Timeout]; a reply that races in later is discarded.  The
+    polymorphic [`Timeout] is the proxy's entire error surface — service
+    layers wrap it into their own richer error type (see
+    [Kronos_service.Error]). *)
 
 type t
 
@@ -19,10 +22,6 @@ type read_target =
   | Tail  (** linearizable: the committed prefix *)
   | Any   (** possibly stale replica — safe for monotonic answers *)
   | Nth of int  (** specific position in the chain (clamped) *)
-
-type error = Timeout
-
-val pp_error : Format.formatter -> error -> unit
 
 val create :
   net:Chain.msg Kronos_transport.Transport.t ->
@@ -34,9 +33,11 @@ val create :
 (** Register the proxy on the transport and fetch the initial configuration.
     [request_timeout] (default 0.5 s) triggers retransmission. *)
 
-val write : t -> ?timeout:float -> string -> ((string, error) result -> unit) -> unit
+val write :
+  t -> ?timeout:float -> string -> ((string, [ `Timeout ]) result -> unit) ->
+  unit
 (** Submit a state-mutating command; the callback fires once, with the
-    response computed by the replicated state machine, or [Error Timeout]
+    response computed by the replicated state machine, or [Error `Timeout]
     once [timeout] seconds elapse without one. *)
 
 val read :
@@ -44,7 +45,7 @@ val read :
   ?timeout:float ->
   ?target:read_target ->
   string ->
-  ((string, error) result -> unit) ->
+  ((string, [ `Timeout ]) result -> unit) ->
   unit
 (** Submit a read-only command to the chosen replica (default [Tail]). *)
 

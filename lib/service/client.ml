@@ -2,11 +2,33 @@ open Kronos
 open Kronos_wire
 module Proxy = Kronos_replication.Proxy
 
-type error = Rejected of Order.assign_error | Timeout
+module M = struct
+  let scope = Kronos_metrics.scope "client"
+  let hits = Kronos_metrics.counter scope "cache_hits_total"
+  let misses = Kronos_metrics.counter scope "cache_misses_total"
+  let revalidations = Kronos_metrics.counter scope "stale_revalidations_total"
 
-let pp_error ppf = function
-  | Rejected err -> Order.pp_assign_error ppf err
-  | Timeout -> Format.pp_print_string ppf "timeout"
+  let op_seconds op =
+    Kronos_metrics.histogram scope ~labels:[ ("op", op) ] "op_seconds"
+
+  let create_event = op_seconds "create_event"
+  let acquire_ref = op_seconds "acquire_ref"
+  let release_ref = op_seconds "release_ref"
+  let query_order = op_seconds "query_order"
+  let assign_order = op_seconds "assign_order"
+end
+
+(* Wrap a callback so the wall-clock time until it fires lands in [h].
+   With metrics disabled the callback is returned untouched — no clock
+   read, no closure on the hot path. *)
+let timed h k =
+  if Kronos_metrics.enabled () then begin
+    let t0 = Unix.gettimeofday () in
+    fun r ->
+      Kronos_metrics.Histogram.observe h (Unix.gettimeofday () -. t0);
+      k r
+  end
+  else k
 
 type t = {
   proxy : Proxy.t;
@@ -27,15 +49,16 @@ let cache t = t.cache
 let server_queries t = t.server_queries
 let stale_revalidations t = t.stale_revalidations
 
-let unexpected = Rejected (Order.Unknown_event Event_id.none)
+let unexpected = Error.Rejected (Order.Unknown_event Event_id.none)
 
 (* Lift a proxy response into a decoded message for [k], translating
-   transport-level timeouts into the client's [Timeout] error. *)
+   transport-level timeouts into the unified {!Error.t}. *)
 let decoded k = function
-  | Error Proxy.Timeout -> k (Error Timeout)
+  | Error (`Timeout as e) -> k (Error (Error.of_proxy e))
   | Ok resp -> k (Ok (Message.decode_response resp))
 
 let create_event t ?timeout callback =
+  let callback = timed M.create_event callback in
   Proxy.write t.proxy ?timeout (Message.encode_request Message.Create_event)
     (decoded (function
       | Ok (Message.Event_created e) -> callback (Ok e)
@@ -43,18 +66,20 @@ let create_event t ?timeout callback =
       | Error e -> callback (Error e)))
 
 let acquire_ref t ?timeout e callback =
+  let callback = timed M.acquire_ref callback in
   Proxy.write t.proxy ?timeout (Message.encode_request (Message.Acquire_ref e))
     (decoded (function
       | Ok Message.Ref_acquired -> callback (Ok ())
-      | Ok (Message.Rejected err) -> callback (Error (Rejected err))
+      | Ok (Message.Rejected err) -> callback (Error (Error.Rejected err))
       | Ok _ -> callback (Error unexpected)
       | Error e -> callback (Error e)))
 
 let release_ref t ?timeout e callback =
+  let callback = timed M.release_ref callback in
   Proxy.write t.proxy ?timeout (Message.encode_request (Message.Release_ref e))
     (decoded (function
       | Ok (Message.Ref_released n) -> callback (Ok n)
-      | Ok (Message.Rejected err) -> callback (Error (Rejected err))
+      | Ok (Message.Rejected err) -> callback (Error (Error.Rejected err))
       | Ok _ -> callback (Error unexpected)
       | Error e -> callback (Error e)))
 
@@ -72,11 +97,12 @@ let send_query t ?timeout ~target pairs callback =
     (Message.encode_request (Message.Query_order pairs))
     (decoded (function
       | Ok (Message.Orders rels) -> callback (Ok rels)
-      | Ok (Message.Rejected err) -> callback (Error (Rejected err))
+      | Ok (Message.Rejected err) -> callback (Error (Error.Rejected err))
       | Ok _ -> callback (Error unexpected)
       | Error e -> callback (Error e)))
 
 let query_order t ?timeout ?(stale = false) ?(revalidate = true) pairs callback =
+  let callback = timed M.query_order callback in
   (* Resolve from the cache first. *)
   let n = List.length pairs in
   let answers = Array.make n None in
@@ -91,6 +117,8 @@ let query_order t ?timeout ?(stale = false) ?(revalidate = true) pairs callback 
            | None -> [ (i, (e1, e2)) ])
          pairs)
   in
+  Kronos_metrics.Counter.add M.hits (n - List.length misses);
+  Kronos_metrics.Counter.add M.misses (List.length misses);
   let finish () =
     let rels =
       Array.to_list answers
@@ -140,6 +168,7 @@ let query_order t ?timeout ?(stale = false) ?(revalidate = true) pairs callback 
             | [] -> finish ()
             | _ ->
               t.stale_revalidations <- t.stale_revalidations + List.length unresolved;
+              Kronos_metrics.Counter.add M.revalidations (List.length unresolved);
               send_query t ?timeout ~target:Proxy.Tail (List.map snd unresolved)
                 (fun result ->
                   match result with
@@ -149,27 +178,29 @@ let query_order t ?timeout ?(stale = false) ?(revalidate = true) pairs callback 
                     finish ())
           end)
 
-let assign_order t ?timeout reqs callback =
-  Proxy.write t.proxy ?timeout (Message.encode_request (Message.Assign_order reqs))
+let assign_order t ?timeout specs callback =
+  let callback = timed M.assign_order callback in
+  Proxy.write t.proxy ?timeout
+    (Message.encode_request (Message.Assign_order specs))
     (decoded (function
       | Ok (Message.Outcomes outs) ->
         (* Every pair of a successful batch now has a committed order we can
            cache: Applied/Already mean the requested direction holds;
            Reversed means the opposite one does. *)
         List.iter2
-          (fun (e1, dir, _, e2) out ->
+          (fun (s : Order.spec) out ->
             let before, after =
-              match (dir : Order.direction) with
-              | Happens_before -> (e1, e2)
-              | Happens_after -> (e2, e1)
+              match s.direction with
+              | Order.Happens_before -> (s.left, s.right)
+              | Order.Happens_after -> (s.right, s.left)
             in
             match (out : Order.outcome) with
             | Applied | Already ->
               if not (Event_id.equal before after) then
                 cache_insert t before after Order.Before
             | Reversed -> cache_insert t after before Order.Before)
-          reqs outs;
+          specs outs;
         callback (Ok outs)
-      | Ok (Message.Rejected err) -> callback (Error (Rejected err))
+      | Ok (Message.Rejected err) -> callback (Error (Error.Rejected err))
       | Ok _ -> callback (Error unexpected)
       | Error e -> callback (Error e)))

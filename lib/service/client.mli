@@ -17,20 +17,16 @@
 
     Every operation takes an optional per-call [?timeout] (seconds).
     Without one, the proxy retries forever and the callback eventually
-    receives [Ok _] or [Error (Rejected _)]; with one, the callback receives
-    [Error Timeout] once the deadline passes without a reply.  A stale
-    query that needs tail revalidation applies the timeout to each of its
-    two round trips. *)
+    receives [Ok _] or [Error (Error.Rejected _)]; with one, the callback
+    receives [Error Error.Timeout] once the deadline passes without a
+    reply.  A stale query that needs tail revalidation applies the timeout
+    to each of its two round trips.
+
+    All operations fail with the service-wide {!Error.t}. *)
 
 open Kronos
 
 type t
-
-(** Why an operation did not produce a result: the replicated state machine
-    rejected it, or the deadline expired first. *)
-type error = Rejected of Order.assign_error | Timeout
-
-val pp_error : Format.formatter -> error -> unit
 
 val create :
   net:Kronos_replication.Chain.msg Kronos_transport.Transport.t ->
@@ -45,13 +41,14 @@ val create :
     [request_timeout] is the {e retransmission} interval, not a deadline;
     per-call deadlines are the [?timeout] arguments below. *)
 
-val create_event : t -> ?timeout:float -> ((Event_id.t, error) result -> unit) -> unit
+val create_event :
+  t -> ?timeout:float -> ((Event_id.t, Error.t) result -> unit) -> unit
 
 val acquire_ref :
-  t -> ?timeout:float -> Event_id.t -> ((unit, error) result -> unit) -> unit
+  t -> ?timeout:float -> Event_id.t -> ((unit, Error.t) result -> unit) -> unit
 
 val release_ref :
-  t -> ?timeout:float -> Event_id.t -> ((int, error) result -> unit) -> unit
+  t -> ?timeout:float -> Event_id.t -> ((int, Error.t) result -> unit) -> unit
 
 val query_order :
   t ->
@@ -59,7 +56,7 @@ val query_order :
   ?stale:bool ->
   ?revalidate:bool ->
   (Event_id.t * Event_id.t) list ->
-  ((Order.relation list, error) result -> unit) ->
+  ((Order.relation list, Error.t) result -> unit) ->
   unit
 (** [stale] (default false) picks a random replica and — when [revalidate]
     (default true) — re-checks concurrent answers at the tail.  Disable
@@ -69,12 +66,12 @@ val query_order :
 val assign_order :
   t ->
   ?timeout:float ->
-  (Event_id.t * Order.direction * Order.kind * Event_id.t) list ->
-  ((Order.outcome list, error) result -> unit) ->
+  Order.spec list ->
+  ((Order.outcome list, Error.t) result -> unit) ->
   unit
-(** Atomic ordering batch, applied by the replicated state machine.  On
-    success, every applied or implied pair is inserted into the local order
-    cache. *)
+(** Atomic ordering batch, applied by the replicated state machine; build
+    the specs with {!Order.must_before} and friends.  On success, every
+    applied or implied pair is inserted into the local order cache. *)
 
 (** {1 Introspection} *)
 

@@ -1,0 +1,15 @@
+type t = Rejected of Kronos.Order.assign_error | Timeout
+
+let equal a b =
+  match (a, b) with
+  | Rejected e, Rejected f -> Kronos.Order.assign_error_equal e f
+  | Timeout, Timeout -> true
+  | (Rejected _ | Timeout), _ -> false
+
+let of_proxy `Timeout = Timeout
+
+let pp ppf = function
+  | Rejected err -> Kronos.Order.pp_assign_error ppf err
+  | Timeout -> Format.pp_print_string ppf "timeout"
+
+let to_string e = Format.asprintf "%a" pp e

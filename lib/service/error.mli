@@ -1,0 +1,19 @@
+(** The single error surface of the Kronos service layer.
+
+    Every client-facing operation fails with exactly one of these cases;
+    the transport/replication stack below only ever reports [`Timeout]
+    (see {!Kronos_replication.Proxy}), which {!of_proxy} lifts here.  This
+    module replaces the ad-hoc error types the client and proxy used to
+    declare separately. *)
+
+type t =
+  | Rejected of Kronos.Order.assign_error
+      (** the replicated state machine refused the operation *)
+  | Timeout  (** the per-call deadline expired without a reply *)
+
+val equal : t -> t -> bool
+
+val of_proxy : [ `Timeout ] -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -4,29 +4,61 @@ module Transport = Kronos_transport.Transport
 module Chain = Kronos_replication.Chain
 module Durability = Kronos_durability
 
+module M = struct
+  let scope = Kronos_metrics.scope "server"
+
+  let op_metrics op =
+    ( Kronos_metrics.counter scope ~labels:[ ("op", op) ] "ops_total",
+      Kronos_metrics.histogram scope ~labels:[ ("op", op) ] "apply_seconds" )
+
+  let create_event = op_metrics "create_event"
+  let acquire_ref = op_metrics "acquire_ref"
+  let release_ref = op_metrics "release_ref"
+  let query_order = op_metrics "query_order"
+  let assign_order = op_metrics "assign_order"
+  let malformed = Kronos_metrics.counter scope "malformed_requests_total"
+end
+
 let apply engine cmd =
+  let timed (ops, hist) f =
+    Kronos_metrics.Counter.incr ops;
+    if Kronos_metrics.enabled () then begin
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      Kronos_metrics.Histogram.observe hist (Unix.gettimeofday () -. t0);
+      r
+    end
+    else f ()
+  in
   let response =
     match Message.decode_request cmd with
     | exception Codec.Decode_error _ ->
       (* a malformed command can never name a live event *)
+      Kronos_metrics.Counter.incr M.malformed;
       Message.Rejected (Order.Unknown_event Event_id.none)
-    | Message.Create_event -> Message.Event_created (Engine.create_event engine)
-    | Message.Acquire_ref e -> (
-        match Engine.acquire_ref engine e with
-        | Ok () -> Message.Ref_acquired
-        | Error err -> Message.Rejected err)
-    | Message.Release_ref e -> (
-        match Engine.release_ref engine e with
-        | Ok n -> Message.Ref_released n
-        | Error err -> Message.Rejected err)
-    | Message.Query_order pairs -> (
-        match Engine.query_order engine pairs with
-        | Ok rels -> Message.Orders rels
-        | Error err -> Message.Rejected err)
-    | Message.Assign_order reqs -> (
-        match Engine.assign_order engine reqs with
-        | Ok outs -> Message.Outcomes outs
-        | Error err -> Message.Rejected err)
+    | Message.Create_event ->
+      timed M.create_event (fun () ->
+          Message.Event_created (Engine.create_event engine))
+    | Message.Acquire_ref e ->
+      timed M.acquire_ref (fun () ->
+          match Engine.acquire_ref engine e with
+          | Ok () -> Message.Ref_acquired
+          | Error err -> Message.Rejected err)
+    | Message.Release_ref e ->
+      timed M.release_ref (fun () ->
+          match Engine.release_ref engine e with
+          | Ok n -> Message.Ref_released n
+          | Error err -> Message.Rejected err)
+    | Message.Query_order pairs ->
+      timed M.query_order (fun () ->
+          match Engine.query_order engine pairs with
+          | Ok rels -> Message.Orders rels
+          | Error err -> Message.Rejected err)
+    | Message.Assign_order reqs ->
+      timed M.assign_order (fun () ->
+          match Engine.assign_order engine reqs with
+          | Ok outs -> Message.Outcomes outs
+          | Error err -> Message.Rejected err)
   in
   Message.encode_response response
 

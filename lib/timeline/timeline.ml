@@ -54,7 +54,7 @@ let reply t ~author ~text ~in_reply_to =
   let message = post t ~author ~text in
   match
     Engine.assign_order t.engine
-      [ (in_reply_to.event, Order.Happens_before, Order.Must, message.event) ]
+      [ Order.must_before in_reply_to.event message.event ]
   with
   | Ok _ -> message
   | Error e ->

@@ -1,0 +1,72 @@
+type t = {
+  loop : Event_loop.t;
+  fd : Unix.file_descr;
+  port : int;
+  mutable closed : bool;
+}
+
+(* Stream one rendered page to an accepted client, then close.  The page
+   is snapshotted at accept time, so a slow reader sees a consistent
+   snapshot while the registry keeps moving. *)
+let serve t fd =
+  let page = Kronos_metrics.render () in
+  let off = ref 0 in
+  let finish () =
+    Event_loop.forget t.loop fd;
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
+  let rec write_some () =
+    if !off >= String.length page then finish ()
+    else
+      match Unix.write_substring fd page !off (String.length page - !off) with
+      | n ->
+        off := !off + n;
+        write_some ()
+      | exception
+          Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
+        ->
+        Event_loop.watch_write t.loop fd (fun () ->
+            Event_loop.unwatch_write t.loop fd;
+            write_some ())
+      | exception Unix.Unix_error _ -> finish ()
+  in
+  write_some ()
+
+let on_acceptable t =
+  let rec accept_loop () =
+    match Unix.accept t.fd with
+    | fd, _peer ->
+      Unix.set_nonblock fd;
+      serve t fd;
+      accept_loop ()
+    | exception
+        Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
+      ->
+      ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  accept_loop ()
+
+let start ~loop ?(host = "127.0.0.1") ~port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.set_nonblock fd;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+  Unix.listen fd 16;
+  let port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> port
+  in
+  let t = { loop; fd; port; closed = false } in
+  Event_loop.watch_read loop fd (fun () -> on_acceptable t);
+  t
+
+let port t = t.port
+
+let stop t =
+  if not t.closed then begin
+    t.closed <- true;
+    Event_loop.forget t.loop t.fd;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end

@@ -1,0 +1,20 @@
+(** One-shot TCP exposition of the process-wide metrics registry.
+
+    Each accepted connection receives the current
+    [Kronos_metrics.render ()] text page and is closed — the protocol a
+    plain [nc host port] (or any Prometheus-style scraper pointed at a raw
+    TCP endpoint) can consume.  Serving runs entirely on the shared
+    {!Event_loop}, so a slow scraper never blocks the daemon. *)
+
+type t
+
+val start : loop:Event_loop.t -> ?host:string -> port:int -> unit -> t
+(** Bind and listen on [host:port] (default host 127.0.0.1; port 0 picks
+    an ephemeral port, see {!port}).
+    @raise Unix.Unix_error if the address cannot be bound. *)
+
+val port : t -> int
+(** The actually bound port. *)
+
+val stop : t -> unit
+(** Close the listener.  Idempotent; in-flight responses finish. *)

@@ -4,6 +4,19 @@ let log_src = Logs.Src.create "kronos.tcp" ~doc:"TCP transport runtime"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+module M = struct
+  let scope = Kronos_metrics.scope "transport"
+  let bytes_in = Kronos_metrics.counter scope "bytes_in_total"
+  let bytes_out = Kronos_metrics.counter scope "bytes_out_total"
+  let frames = Kronos_metrics.counter scope "frames_decoded_total"
+  let sent = Kronos_metrics.counter scope "messages_sent_total"
+  let delivered = Kronos_metrics.counter scope "messages_delivered_total"
+  let dropped = Kronos_metrics.counter scope "messages_dropped_total"
+  let reconnects = Kronos_metrics.counter scope "reconnect_attempts_total"
+  let connections = Kronos_metrics.gauge scope "connections_up"
+  let queue_bytes = Kronos_metrics.gauge scope "write_queue_bytes"
+end
+
 type config = {
   max_frame : int;
   max_buffer : int;
@@ -67,6 +80,19 @@ let reconnects t = t.reconnects
 let connections t =
   Hashtbl.fold (fun _ c n -> if c.state = `Up then n + 1 else n) t.conns 0
   + List.length (List.filter (fun c -> c.state = `Up) t.inbound)
+
+(* The gauges mirror sums over live connections; recomputing on each state
+   change keeps them correct through torn frames, shutdowns and redials at
+   a cost of O(#connections), which is the (small) mesh size. *)
+let update_gauges t =
+  if Kronos_metrics.enabled () then begin
+    Kronos_metrics.Gauge.set M.connections (connections t);
+    let queued =
+      Hashtbl.fold (fun _ c n -> n + c.out_bytes) t.conns 0
+      + List.fold_left (fun n c -> n + c.out_bytes) 0 t.inbound
+    in
+    Kronos_metrics.Gauge.set M.queue_bytes queued
+  end
 
 (* {1 Envelope framing}
 
@@ -142,10 +168,12 @@ let rec flush t conn =
       match Unix.write_substring fd frame conn.head_off len with
       | n ->
         conn.last_activity <- Event_loop.now t.loop;
+        Kronos_metrics.Counter.add M.bytes_out n;
         if n = len then begin
           ignore (Queue.pop conn.out);
           conn.out_bytes <- conn.out_bytes - String.length frame;
           conn.head_off <- 0;
+          update_gauges t;
           flush t conn
         end
         else
@@ -172,7 +200,7 @@ and conn_down ?(redial = true) t conn =
      | exception Queue.Empty -> ());
     conn.head_off <- 0
   end;
-  match conn.ep with
+  (match conn.ep with
   | Some _ when redial && not t.closed ->
     if conn.retry = None then begin
       let delay = conn.backoff in
@@ -184,7 +212,8 @@ and conn_down ?(redial = true) t conn =
                if conn.state = `Down && not t.closed then start_connect t conn))
     end
   | Some _ | None ->
-    t.inbound <- List.filter (fun c -> c != conn) t.inbound
+    t.inbound <- List.filter (fun c -> c != conn) t.inbound);
+  update_gauges t
 
 and on_readable t conn =
   match conn.fd with
@@ -195,8 +224,11 @@ and on_readable t conn =
       | 0 -> conn_down t conn (* EOF *)
       | n -> (
           conn.last_activity <- Event_loop.now t.loop;
+          Kronos_metrics.Counter.add M.bytes_in n;
           match Frame.Reassembler.feed conn.reasm (Bytes.sub_string buf 0 n) with
-          | frames -> List.iter (handle_frame t conn) frames
+          | frames ->
+            Kronos_metrics.Counter.add M.frames (List.length frames);
+            List.iter (handle_frame t conn) frames
           | exception Codec.Decode_error reason ->
             Log.warn (fun m -> m "closing connection on bad frame: %s" reason);
             conn_down ~redial:false t conn)
@@ -217,11 +249,15 @@ and handle_frame t conn payload =
           match t.decode body with
           | msg ->
             t.delivered <- t.delivered + 1;
+            Kronos_metrics.Counter.incr M.delivered;
             handler ~src msg
           | exception Codec.Decode_error reason ->
             Log.warn (fun m -> m "undecodable message for %d: %s" dst reason);
-            t.dropped <- t.dropped + 1)
-      | None -> t.dropped <- t.dropped + 1)
+            t.dropped <- t.dropped + 1;
+            Kronos_metrics.Counter.incr M.dropped)
+      | None ->
+        t.dropped <- t.dropped + 1;
+        Kronos_metrics.Counter.incr M.dropped)
   | exception Codec.Decode_error reason ->
     Log.warn (fun m -> m "closing connection on bad envelope: %s" reason);
     conn_down ~redial:false t conn
@@ -243,6 +279,7 @@ and on_connected t conn =
     conn.out <- q;
     Event_loop.watch_read t.loop fd (fun () -> on_readable t conn);
     Event_loop.watch_write t.loop fd (fun () -> flush t conn);
+    update_gauges t;
     flush t conn
 
 and start_connect t conn =
@@ -262,6 +299,7 @@ and start_connect t conn =
             match Unix.getsockopt_error fd with
             | None ->
               t.reconnects <- t.reconnects + 1;
+              Kronos_metrics.Counter.incr M.reconnects;
               on_connected t conn
             | Some err ->
               Log.debug (fun m ->
@@ -297,11 +335,15 @@ let conn_to t ep =
     conn
 
 let enqueue t conn frame =
-  if conn.out_bytes + String.length frame > t.cfg.max_buffer then
-    t.dropped <- t.dropped + 1 (* backpressure: shed load, retransmission recovers *)
+  if conn.out_bytes + String.length frame > t.cfg.max_buffer then begin
+    (* backpressure: shed load, retransmission recovers *)
+    t.dropped <- t.dropped + 1;
+    Kronos_metrics.Counter.incr M.dropped
+  end
   else begin
     Queue.push frame conn.out;
     conn.out_bytes <- conn.out_bytes + String.length frame;
+    update_gauges t;
     match (conn.state, conn.fd) with
     | `Up, Some fd -> Event_loop.watch_write t.loop fd (fun () -> flush t conn)
     | `Connecting, _ -> ()
@@ -321,12 +363,19 @@ let deliver_local t ~src ~dst msg =
   match Hashtbl.find_opt t.handlers dst with
   | Some handler ->
     t.delivered <- t.delivered + 1;
+    Kronos_metrics.Counter.incr M.delivered;
     handler ~src msg
-  | None -> t.dropped <- t.dropped + 1
+  | None ->
+    t.dropped <- t.dropped + 1;
+    Kronos_metrics.Counter.incr M.dropped
 
 let send t ~src ~dst msg =
   t.sent <- t.sent + 1;
-  if t.closed then t.dropped <- t.dropped + 1
+  Kronos_metrics.Counter.incr M.sent;
+  if t.closed then begin
+    t.dropped <- t.dropped + 1;
+    Kronos_metrics.Counter.incr M.dropped
+  end
   else if Hashtbl.mem t.handlers dst then
     (* local short-circuit, deferred through the loop so a handler never
        runs inside the sender's stack frame *)
@@ -335,7 +384,9 @@ let send t ~src ~dst msg =
   else
     match route t dst with
     | Some conn -> enqueue t conn (encode_msg ~src ~dst (t.encode msg))
-    | None -> t.dropped <- t.dropped + 1
+    | None ->
+      t.dropped <- t.dropped + 1;
+      Kronos_metrics.Counter.incr M.dropped
 
 (* {1 Listening} *)
 
@@ -479,7 +530,8 @@ let shutdown t =
     List.iter close_conn t.inbound;
     Hashtbl.reset t.conns;
     Hashtbl.reset t.learned;
-    t.inbound <- []
+    t.inbound <- [];
+    update_gauges t
   end
 
 let transport t =

@@ -208,8 +208,7 @@ let execute_kronos t ~reads ~writes_of callback =
           let writes = writes_of values in
           let musts =
             List.map
-              (fun (before, after) ->
-                (before, Order.Happens_before, Order.Must, after))
+              (fun (before, after) -> Order.must_before before after)
               !all_constraints
           in
           Kronos_service.Client.assign_order kronos musts (function

@@ -5,7 +5,7 @@ type request =
   | Acquire_ref of Event_id.t
   | Release_ref of Event_id.t
   | Query_order of (Event_id.t * Event_id.t) list
-  | Assign_order of (Event_id.t * Order.direction * Order.kind * Event_id.t) list
+  | Assign_order of Order.spec list
 
 type response =
   | Event_created of Event_id.t
@@ -93,9 +93,14 @@ let encode_request r =
      Codec.put_list b (fun b (e1, e2) -> put_event b e1; put_event b e2) pairs
    | Assign_order reqs ->
      Codec.put_u8 b 4;
+     (* field order matches the pre-[Order.spec] tuple encoding byte for
+        byte, so the wire format is unchanged *)
      Codec.put_list b
-       (fun b (e1, dir, kind, e2) ->
-         put_event b e1; put_direction b dir; put_kind b kind; put_event b e2)
+       (fun b (s : Order.spec) ->
+         put_event b s.left;
+         put_direction b s.direction;
+         put_kind b s.kind;
+         put_event b s.right)
        reqs);
   Codec.to_string b
 
@@ -115,11 +120,11 @@ let decode_request s =
     | 4 ->
       Assign_order
         (Codec.get_list d (fun d ->
-             let e1 = get_event d in
-             let dir = get_direction d in
+             let left = get_event d in
+             let direction = get_direction d in
              let kind = get_kind d in
-             let e2 = get_event d in
-             (e1, dir, kind, e2)))
+             let right = get_event d in
+             { Order.left; direction; kind; right }))
     | n -> raise (Codec.Decode_error (Printf.sprintf "bad request tag %d" n))
   in
   Codec.expect_end d;

@@ -11,7 +11,7 @@ type request =
   | Acquire_ref of Event_id.t
   | Release_ref of Event_id.t
   | Query_order of (Event_id.t * Event_id.t) list
-  | Assign_order of (Event_id.t * Order.direction * Order.kind * Event_id.t) list
+  | Assign_order of Order.spec list
 
 type response =
   | Event_created of Event_id.t

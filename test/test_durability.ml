@@ -165,7 +165,7 @@ let workload ~seed ~n ~m =
   Array.iter
     (fun (u, v) ->
       let u, v = (min u v, max u v) in
-      push (Message.Assign_order [ (ids.(u), Order.Happens_before, Order.Must, ids.(v)) ]))
+      push (Message.Assign_order [ Order.must_before ids.(u) ids.(v) ]))
     g.Graph_gen.edges;
   for i = 0 to n - 1 do
     if i mod 7 = 3 then push (Message.Release_ref ids.(i))

@@ -12,8 +12,8 @@ let err = function
   | Ok _ -> Alcotest.fail "expected an error"
   | Error e -> e
 
-let before e1 e2 kind = (e1, Order.Happens_before, kind, e2)
-let after e1 e2 kind = (e1, Order.Happens_after, kind, e2)
+let before e1 e2 kind = Order.constrain ~kind ~direction:Order.Happens_before e1 e2
+let after e1 e2 kind = Order.constrain ~kind ~direction:Order.Happens_after e1 e2
 
 let test_create_and_query () =
   let t = Engine.create () in
@@ -225,7 +225,7 @@ let prop_monotonicity =
            | `Assign (u, v, kind) ->
              if u <> v && (not released.(u)) && not released.(v) then
                ignore (Engine.assign_order t
-                         [ (ids.(u), Order.Happens_before, kind, ids.(v)) ])
+                         [ Order.constrain ~kind ~direction:Order.Happens_before ids.(u) ids.(v) ])
            | `Release u ->
              if not released.(u) then begin
                released.(u) <- true;
@@ -256,7 +256,7 @@ let prop_coherency =
         (fun batch ->
           let reqs =
             List.map
-              (fun (u, v, k) -> (ids.(u), Order.Happens_before, k, ids.(v)))
+              (fun (u, v, k) -> Order.constrain ~kind:k ~direction:Order.Happens_before ids.(u) ids.(v))
               batch
           in
           ignore (Engine.assign_order t reqs))

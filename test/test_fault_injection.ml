@@ -8,7 +8,7 @@ module Sim_transport = Kronos_transport.Sim_transport
 (* These tests never set per-call deadlines, so a timeout is a failure. *)
 let ok = function
   | Ok r -> r
-  | Error Proxy.Timeout -> Alcotest.fail "unexpected proxy timeout"
+  | Error `Timeout -> Alcotest.fail "unexpected proxy timeout"
 
 let register_sm () =
   let value = ref 0 in
@@ -213,7 +213,7 @@ let run_write_workload ?(on_write = fun _ -> ()) env ~n k =
           create (i + 1))
   and link = function
     | a :: (b :: _ as rest) ->
-      Client.assign_order env.client [ (a, Order.Happens_before, Order.Must, b) ]
+      Client.assign_order env.client [ Order.must_before a b ]
         (fun _ ->
           ack ();
           link rest)

@@ -23,7 +23,7 @@ let test_growth_under_load () =
   for i = 0 to 498 do
     ignore
       (ok (Engine.assign_order t
-             [ (ids.(i), Order.Happens_before, Order.Must, ids.(i + 1)) ]))
+             [ Order.must_before ids.(i) ids.(i + 1) ]))
   done;
   Alcotest.(check (list Alcotest.int)) "long chain holds" []
     (List.filter_map
@@ -61,7 +61,7 @@ let prop_structural_invariants =
           | `Assign (u, v) ->
             ignore
               (Engine.assign_order t
-                 [ (pick u, Order.Happens_before, Order.Prefer, pick v) ])
+                 [ Order.prefer_before (pick u) (pick v) ])
           | `Release u -> ignore (Engine.release_ref t (pick u))
           | `Acquire u -> ignore (Engine.acquire_ref t (pick u))
           | `Create -> ids := Engine.create_event t :: !ids)
@@ -135,7 +135,7 @@ let test_slot_reuse_no_ghost_edges () =
   let t = Engine.create () in
   let a = Engine.create_event t in
   let b = Engine.create_event t in
-  ignore (ok (Engine.assign_order t [ (a, Order.Happens_before, Order.Must, b) ]));
+  ignore (ok (Engine.assign_order t [ Order.must_before a b ]));
   ignore (Engine.release_ref t b);
   ignore (Engine.release_ref t a);
   Alcotest.(check int) "collected" 0 (Engine.live_events t);
@@ -178,18 +178,18 @@ let prop_traversal_cache_transparent =
           | `Prefer (u, v) ->
             let r1 =
               Engine.assign_order cached
-                [ (ids_c.(u), Order.Happens_before, Order.Prefer, ids_c.(v)) ]
+                [ Order.prefer_before ids_c.(u) ids_c.(v) ]
             and r2 =
               Engine.assign_order plain
-                [ (ids_p.(u), Order.Happens_before, Order.Prefer, ids_p.(v)) ]
+                [ Order.prefer_before ids_p.(u) ids_p.(v) ]
             in
             r1 = r2
           | `Must2 (a, b, c) ->
             (* two musts: the second may violate, forcing a rollback of the
                first — the dangerous path for a stale memo *)
             let batch ids =
-              [ (ids.(a), Order.Happens_before, Order.Must, ids.(b));
-                (ids.(b), Order.Happens_before, Order.Must, ids.(c)) ]
+              [ Order.must_before ids.(a) ids.(b);
+                Order.must_before ids.(b) ids.(c) ]
             in
             Engine.assign_order cached (batch ids_c)
             = Engine.assign_order plain (batch ids_p)
@@ -206,7 +206,7 @@ let test_traversal_cache_hits () =
   in
   let a = Engine.create_event t in
   let b = Engine.create_event t in
-  ignore (ok (Engine.assign_order t [ (a, Order.Happens_before, Order.Must, b) ]));
+  ignore (ok (Engine.assign_order t [ Order.must_before a b ]));
   for _ = 1 to 10 do
     ignore (ok (Engine.query_order t [ (a, b) ]))
   done;

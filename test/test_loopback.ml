@@ -119,7 +119,7 @@ let test_kill_and_rejoin () =
           | None -> step (Some e) (n - 1)
           | Some p ->
             Client.assign_order client
-              [ (p, Order.Happens_before, Order.Must, e) ]
+              [ Order.must_before p e ]
               (function
                 | Error _ -> Alcotest.fail "acyclic assign_order rejected"
                 | Ok _ ->

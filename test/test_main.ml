@@ -8,6 +8,7 @@ let () =
      @ Test_order_cache.suites
      @ Test_invariants.suites
      @ Test_wire.suites
+     @ Test_metrics.suites
      @ Test_simnet.suites
      @ Test_service_queue.suites
      @ Test_replication.suites
@@ -22,4 +23,5 @@ let () =
      @ Test_durability.suites
      @ Test_fault_injection.suites
      @ Test_transport.suites
-     @ Test_loopback.suites)
+     @ Test_loopback.suites
+     @ Test_stats.suites)

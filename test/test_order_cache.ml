@@ -99,7 +99,7 @@ let prop_cache_consistent_with_engine =
         (function
           | `Assign (u, v) ->
             ignore (Engine.assign_order t
-                      [ (ids.(u), Order.Happens_before, Order.Prefer, ids.(v)) ]);
+                      [ Order.prefer_before ids.(u) ids.(v) ]);
             true
           | `Query (u, v) -> (
               match Order_cache.find c ids.(u) ids.(v) with

@@ -6,7 +6,7 @@ module Sim_transport = Kronos_transport.Sim_transport
    timeout error is a test failure. *)
 let ok = function
   | Ok r -> r
-  | Error Proxy.Timeout -> Alcotest.fail "unexpected proxy timeout"
+  | Error `Timeout -> Alcotest.fail "unexpected proxy timeout"
 
 (* Test state machine: an integer register with deterministic commands.
    "add:<n>" adds n and returns the new value; "get" returns the value. *)

@@ -41,7 +41,7 @@ let await env f =
 
 let ok = function
   | Ok x -> x
-  | Error e -> Alcotest.failf "unexpected error: %a" Client.pp_error e
+  | Error e -> Alcotest.failf "unexpected error: %a" Error.pp e
 
 let test_end_to_end () =
   let env = make_env () in
@@ -52,8 +52,7 @@ let test_end_to_end () =
   let outs =
     ok (await env
           (Client.assign_order env.client
-             [ (a, Order.Happens_before, Order.Must, b);
-               (b, Order.Happens_before, Order.Must, c) ]))
+             [ Order.must_before a b; Order.must_before b c ]))
   in
   Alcotest.(check (list outcome)) "applied" [ Order.Applied; Order.Applied ] outs;
   let rels = ok (await env (Client.query_order env.client [ (a, c); (c, b) ])) in
@@ -66,7 +65,7 @@ let test_replicas_identical () =
   ignore
     (ok (await env
            (Client.assign_order env.client
-              [ (a, Order.Happens_before, Order.Must, b) ])));
+              [ Order.must_before a b ])));
   Sim.run ~until:(Sim.now env.sim +. 2.0) env.sim;
   (* every replica's engine holds the same graph *)
   List.iter
@@ -82,7 +81,7 @@ let test_cache_short_circuits () =
   ignore
     (ok (await env
            (Client.assign_order env.client
-              [ (a, Order.Happens_before, Order.Must, b) ])));
+              [ Order.must_before a b ])));
   (* the assign primed the cache: this query never reaches the service *)
   let before = Client.server_queries env.client in
   let rels = ok (await env (Client.query_order env.client [ (a, b); (b, a) ])) in
@@ -97,7 +96,7 @@ let test_cache_disabled () =
   ignore
     (ok (await env
            (Client.assign_order env.client
-              [ (a, Order.Happens_before, Order.Must, b) ])));
+              [ Order.must_before a b ])));
   let before = Client.server_queries env.client in
   ignore (ok (await env (Client.query_order env.client [ (a, b) ])));
   Alcotest.(check int) "server consulted" (before + 1)
@@ -112,7 +111,7 @@ let test_stale_reads () =
   ignore
     (ok (await env
            (Client.assign_order env.client
-              [ (a, Order.Happens_before, Order.Must, b) ])));
+              [ Order.must_before a b ])));
   Sim.run ~until:(Sim.now env.sim +. 1.0) env.sim;
   (* ordered pair via stale replica: no revalidation *)
   let rels = ok (await env (Client.query_order env.client ~stale:true [ (a, b) ])) in
@@ -130,13 +129,13 @@ let test_error_propagation () =
   let collected = ok (await env (Client.release_ref env.client a)) in
   Alcotest.(check int) "collected" 1 collected;
   (match await env (Client.query_order env.client [ (a, b) ]) with
-   | Error (Client.Rejected (Order.Unknown_event e)) ->
+   | Error (Error.Rejected (Order.Unknown_event e)) ->
      Alcotest.(check bool) "names stale event" true (Event_id.equal e a)
-   | Error e -> Alcotest.failf "wrong error: %a" Client.pp_error e
+   | Error e -> Alcotest.failf "wrong error: %a" Error.pp e
    | Ok _ -> Alcotest.fail "expected unknown event");
   match await env (Client.acquire_ref env.client a) with
-  | Error (Client.Rejected (Order.Unknown_event _)) -> ()
-  | Error e -> Alcotest.failf "wrong error: %a" Client.pp_error e
+  | Error (Error.Rejected (Order.Unknown_event _)) -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" Error.pp e
   | Ok () -> Alcotest.fail "expected unknown event"
 
 let test_survives_replica_failure () =
@@ -148,7 +147,7 @@ let test_survives_replica_failure () =
   let outs =
     ok (await env
           (Client.assign_order env.client
-             [ (a, Order.Happens_before, Order.Must, b) ]))
+             [ Order.must_before a b ]))
   in
   Alcotest.(check (list outcome)) "applied after crash" [ Order.Applied ] outs;
   let rels = ok (await env (Client.query_order env.client [ (a, b) ])) in
@@ -161,7 +160,7 @@ let test_join_catches_up () =
   ignore
     (ok (await env
            (Client.assign_order env.client
-              [ (a, Order.Happens_before, Order.Must, b) ])));
+              [ Order.must_before a b ])));
   Server.join env.cluster 7 ();
   Sim.run ~until:(Sim.now env.sim +. 2.0) env.sim;
   (match Server.engine_of env.cluster 7 with

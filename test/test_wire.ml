@@ -44,8 +44,7 @@ let sample_requests =
     Message.Query_order [];
     Message.Query_order [ (e 1, e 2); (e 3, e 3) ];
     Message.Assign_order
-      [ (e 1, Order.Happens_before, Order.Must, e 2);
-        (e 2, Order.Happens_after, Order.Prefer, e 3) ];
+      [ Order.must_before (e 1) (e 2); Order.prefer_after (e 2) (e 3) ];
   ]
 
 let sample_responses =
@@ -127,7 +126,9 @@ let prop_request_roundtrip =
                 (list_size (int_bound 20) (pair gen_event gen_event)));
              (2, map (fun rs -> Message.Assign_order rs)
                 (list_size (int_bound 20)
-                   (map2 (fun (e1, e2) (d, k) -> (e1, d, k, e2))
+                   (map2
+                      (fun (e1, e2) (d, k) ->
+                        Order.constrain ~kind:k ~direction:d e1 e2)
                       (pair gen_event gen_event) (pair gen_dir gen_kind))));
            ])
   in
