@@ -1,6 +1,6 @@
 # Tier-1 verification in one command: build every target (libraries,
 # executables, tests, benches) and run the full test suite.
-.PHONY: check build test loopback bench bench-smoke clean
+.PHONY: check build test loopback bench bench-smoke bench-check clean
 
 check: build test
 
@@ -23,6 +23,13 @@ bench:
 # (CI runs this and uploads the file as an artifact).
 bench-smoke: build
 	dune exec bench/main.exe -- smoke
+
+# Regression gate: re-measure the engine hot paths and fail when any
+# engine.* series in a fresh run is more than 2.5x slower than the
+# committed BENCH_smoke.json.  Service-level series are not gated (they
+# track machine load, not code).
+bench-check: build
+	dune exec bench/main.exe -- smoke-check
 
 clean:
 	dune clean

@@ -12,6 +12,7 @@ let experiments : (string * (unit -> unit)) list =
     ("fig12", Kronos_bench.Fig12.run);
     ("micro", Kronos_bench.Micro.run);
     ("smoke", Kronos_bench.Smoke.run);
+    ("smoke-check", Kronos_bench.Smoke.check);
     ("ablation", Kronos_bench.Ablation.run);
     ("durability", Kronos_bench.Durability_bench.run);
     ("fig6", Kronos_bench.Fig6.run);

@@ -40,7 +40,43 @@ let engine_hot_paths () =
         let u = Kronos_simnet.Rng.int rng n and v = Kronos_simnet.Rng.int rng n in
         ignore (Engine.query_order engine [ (ids.(u), ids.(v)) ]))
   in
-  record "engine.query_chain" query_ns "ns/op"
+  record "engine.query_chain" query_ns "ns/op";
+  (* two unrelated chains: every cross-chain pair is Concurrent, the worst
+     case for the query path (historically two full BFS traversals) *)
+  let engine = Engine.create () in
+  let chain len = Array.init len (fun _ -> Engine.create_event engine) in
+  let c1 = chain n and c2 = chain n in
+  Array.iter
+    (fun c ->
+      for i = 0 to n - 2 do
+        ignore (Engine.assign_order engine [ Order.must_before c.(i) c.(i + 1) ])
+      done)
+    [| c1; c2 |];
+  let rng = Kronos_simnet.Rng.create ~seed:13L in
+  let concurrent_ns =
+    Bench_util.bechamel_ns_per_op ~quota:0.25 ~name:"smoke/concurrent" (fun () ->
+        let u = Kronos_simnet.Rng.int rng n and v = Kronos_simnet.Rng.int rng n in
+        ignore (Engine.query_order engine [ (c1.(u), c2.(v)) ]))
+  in
+  record "engine.query_concurrent" concurrent_ns "ns/op";
+  (* must-edge batches into a dense DAG: each assign pays the engine's
+     cycle/implication checks against a graph with many paths *)
+  let engine = Engine.create () in
+  let m = 256 in
+  let dense = Array.init m (fun _ -> Engine.create_event engine) in
+  let rng = Kronos_simnet.Rng.create ~seed:23L in
+  for _ = 1 to 4 * m do
+    let i = Kronos_simnet.Rng.int rng (m - 1) in
+    let j = i + 1 + Kronos_simnet.Rng.int rng (m - i - 1) in
+    ignore (Engine.assign_order engine [ Order.must_before dense.(i) dense.(j) ])
+  done;
+  let must_dense_ns =
+    Bench_util.bechamel_ns_per_op ~quota:0.25 ~name:"smoke/must_dense" (fun () ->
+        let i = Kronos_simnet.Rng.int rng (m - 1) in
+        let j = i + 1 + Kronos_simnet.Rng.int rng (m - i - 1) in
+        ignore (Engine.assign_order engine [ Order.must_before dense.(i) dense.(j) ]))
+  in
+  record "engine.assign_must_dense" must_dense_ns "ns/op"
 
 let service_closed_loop () =
   M.reset ();
@@ -110,6 +146,83 @@ let write_json path =
   output_string oc (String.concat ",\n" entries);
   output_string oc "\n  ]\n}\n";
   close_out oc
+
+(* Pull (name, value) pairs back out of a smoke snapshot.  The file is our
+   own writer's output, one result object per line, so a line-level scan is
+   enough — no JSON library needed. *)
+let parse_results data =
+  let results = ref [] in
+  let scan i =
+    let window = String.sub data i (min 160 (String.length data - i)) in
+    try
+      Scanf.sscanf window "{\"name\": %S, \"value\": %f" (fun name v ->
+          results := (name, v) :: !results)
+    with Scanf.Scan_failure _ | End_of_file | Failure _ -> ()
+  in
+  let rec loop i =
+    match String.index_from_opt data i '{' with
+    | None -> ()
+    | Some j ->
+      scan j;
+      loop (j + 1)
+  in
+  loop 0;
+  List.rev !results
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let data = really_input_string ic n in
+  close_in ic;
+  data
+
+(* Regression gate behind `make bench-check`: re-measure the engine hot
+   paths and compare them with the committed BENCH_smoke.json.  Only the
+   engine.* series gate — they are in-process ns/op numbers stable enough
+   to compare across runs, while the service.* series swing with machine
+   load.  The threshold is deliberately loose (2.5x) so only real
+   regressions fail CI, not measurement noise. *)
+let check () =
+  Bench_util.section "Smoke: engine regression gate vs BENCH_smoke.json";
+  let baseline_path =
+    Option.value ~default:"BENCH_smoke.json"
+      (Sys.getenv_opt "KRONOS_SMOKE_BASELINE")
+  in
+  if not (Sys.file_exists baseline_path) then begin
+    Printf.eprintf "smoke-check: no baseline at %s (run `make bench-smoke` and commit it)\n"
+      baseline_path;
+    exit 2
+  end;
+  let baseline = parse_results (read_file baseline_path) in
+  let threshold = 2.5 in
+  results := [];
+  engine_hot_paths ();
+  let failures = ref 0 in
+  List.iter
+    (fun (name, value, unit_) ->
+      match List.assoc_opt name baseline with
+      | None ->
+        Printf.printf "  %-32s %12.6g %s  (no baseline, skipped)\n" name value
+          unit_
+      | Some base ->
+        let ratio = if base > 0. then value /. base else 1. in
+        let verdict =
+          if ratio > threshold then begin
+            incr failures;
+            "FAIL"
+          end
+          else "ok"
+        in
+        Printf.printf "  %-32s %12.6g %s  baseline %g  ratio %.2fx  %s\n" name
+          value unit_ base ratio verdict)
+    (List.rev !results);
+  if !failures > 0 then begin
+    Printf.eprintf
+      "smoke-check: %d engine series regressed more than %.1fx vs %s\n"
+      !failures threshold baseline_path;
+    exit 1
+  end;
+  Bench_util.ours "all engine series within %.1fx of %s" threshold baseline_path
 
 let run () =
   Bench_util.section "Smoke: quick performance snapshot -> BENCH_smoke.json";

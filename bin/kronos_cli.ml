@@ -132,6 +132,26 @@ let () =
     then fail_timeout ();
     Option.get !result
   in
+  (* The client-side order cache counters, printed wherever server-side
+     numbers appear so both cache planes (client order cache, server
+     traversal memo) can be read side by side. *)
+  let print_cache_stats ~prefix =
+    match Client.cache_stats client with
+    | None -> Printf.printf "%sclient order cache disabled\n" prefix
+    | Some s ->
+      Printf.printf
+        "%sclient.order_cache.size      %d/%d\n\
+         %sclient.order_cache.hits      %d\n\
+         %sclient.order_cache.misses    %d\n\
+         %sclient.order_cache.prefills  %d\n\
+         %sclient.order_cache.hit_rate  %.1f%%\n"
+        prefix s.Order_cache.stat_size s.Order_cache.stat_capacity
+        prefix s.Order_cache.stat_hits
+        prefix s.Order_cache.stat_misses
+        prefix s.Order_cache.stat_prefills
+        prefix (100. *. Order_cache.hit_rate s);
+      flush stdout
+  in
   let run_load () =
     let lat = ref [] in
     let completed = ref 0 in
@@ -181,7 +201,8 @@ let () =
     Printf.printf "latency    p50 %.3f ms  p95 %.3f ms  p99 %.3f ms\n"
       (1e3 *. percentile sorted 0.50)
       (1e3 *. percentile sorted 0.95)
-      (1e3 *. percentile sorted 0.99)
+      (1e3 *. percentile sorted 0.99);
+    print_cache_stats ~prefix:""
   in
   (* Fetch one replica's process-wide metrics via the Get_stats admin RPC.
      The reply bypasses the proxy (which only understands chain responses),
@@ -230,7 +251,10 @@ let () =
       received := None;
       samples
     in
-    if not !watch then print_samples (request (); await_reply ())
+    if not !watch then begin
+      print_samples (request (); await_reply ());
+      print_cache_stats ~prefix:""
+    end
     else begin
       let stop = ref false in
       Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true));
@@ -238,7 +262,10 @@ let () =
       let first = ref true in
       while not !stop do
         let samples = (request (); await_reply ()) in
-        if !first then print_samples samples
+        if !first then begin
+          print_samples samples;
+          print_cache_stats ~prefix:""
+        end
         else begin
           Printf.printf "--\n";
           print_samples ~prev samples

@@ -107,10 +107,18 @@ let assign_order t requests =
       t.aborted_batches <- t.aborted_batches + 1;
       Kronos_metrics.Counter.incr M.aborted
     in
-    let apply_edge p =
-      Graph.add_edge t.g p.before p.after;
-      added := (p.before, p.after) :: !added;
-      outcomes.(p.index) <- Order.Applied
+    (* The rank index folds the cycle check into edge insertion: when the
+       ranks already agree it is O(1), otherwise the bounded relabel search
+       detects [after ⇝ before] itself — no separate full reachability
+       probe per constraint.  A [false] return is exactly the old
+       "contradicts the committed order" case. *)
+    let try_apply_edge p =
+      if Graph.try_add_edge t.g p.before p.after then begin
+        added := (p.before, p.after) :: !added;
+        outcomes.(p.index) <- Order.Applied;
+        true
+      end
+      else false
     in
     let rec apply_musts = function
       | [] -> Ok ()
@@ -121,15 +129,14 @@ let assign_order t requests =
           rollback ();
           Error (Order.Must_self p.index)
         end
-        else if Graph.reachable t.g p.after p.before then begin
+        else if Graph.reachable t.g p.before p.after then begin
+          outcomes.(p.index) <- Order.Already;
+          apply_musts rest
+        end
+        else if try_apply_edge p then apply_musts rest
+        else begin
           rollback ();
           Error (Order.Must_violated p.index)
-        end
-        else begin
-          if Graph.reachable t.g p.before p.after then
-            outcomes.(p.index) <- Order.Already
-          else apply_edge p;
-          apply_musts rest
         end
     in
     let apply_prefer p =
@@ -137,14 +144,13 @@ let assign_order t requests =
       Kronos_metrics.Counter.incr M.assigns;
       if Event_id.equal p.before p.after then
         outcomes.(p.index) <- Order.Already
-      else if Graph.reachable t.g p.after p.before then begin
+      else if Graph.reachable t.g p.before p.after then
+        outcomes.(p.index) <- Order.Already
+      else if not (try_apply_edge p) then begin
         t.reversals <- t.reversals + 1;
         Kronos_metrics.Counter.incr M.reversals;
         outcomes.(p.index) <- Order.Reversed
       end
-      else if Graph.reachable t.g p.before p.after then
-        outcomes.(p.index) <- Order.Already
-      else apply_edge p
     in
     (match apply_musts musts with
      | Error e -> Error e

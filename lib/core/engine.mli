@@ -39,7 +39,11 @@ val query_order :
 val assign_order :
   t -> Order.spec list -> (Order.outcome list, Order.assign_error) result
 (** Atomically apply a batch of ordering constraints (Section 2.2), built
-    with the {!Order.must_before} family of constructors:
+    with the {!Order.must_before} family of constructors.  Each pair's
+    cycle check rides the graph's topological rank index
+    ({!Graph.try_add_edge}): constraints that respect the committed order —
+    the common case — are admitted in O(1), and the others pay one search
+    bounded to the affected rank interval.  Semantics:
 
     - all [Must] pairs are applied before any [Prefer] pair, so a prefer can
       never block a satisfiable must;

@@ -7,6 +7,9 @@ module M = struct
   let traversals = Kronos_metrics.counter scope "bfs_traversals_total"
   let visited = Kronos_metrics.counter scope "bfs_visited_total"
   let cache_hits = Kronos_metrics.counter scope "traversal_cache_hits_total"
+  let rank_relabels = Kronos_metrics.counter scope "rank_relabels_total"
+  let rank_pruned = Kronos_metrics.counter scope "rank_pruned_queries_total"
+  let bidir = Kronos_metrics.counter scope "bidir_traversals_total"
   let live = Kronos_metrics.gauge scope "graph_live_events"
   let edges = Kronos_metrics.gauge scope "graph_edges"
 end
@@ -16,14 +19,31 @@ type t = {
   mutable gen : int array;       (* generation of the current/next tenant *)
   mutable indeg : int array;
   mutable succ : Int_vec.t array;
+  mutable pred : Int_vec.t array; (* reverse adjacency, for backward BFS *)
   free : Int_vec.t;              (* stack of reusable slots *)
   mutable next_slot : int;       (* high-water mark of ever-used slots *)
   mutable live : int;
   mutable edges : int;
+  (* Topological rank index (Pearce–Kelly / Haeupler–Sen–Tarjan style):
+     every edge u -> v satisfies rank.(u) < rank.(v), hence by transitivity
+     u ⇝ v implies rank.(u) < rank.(v).  Ranks are sparse integers (not a
+     dense permutation): fresh events take increasing ranks from
+     [next_rank], and an edge insertion that violates the order relabels
+     only the affected region forward of the new target.  The contrapositive
+     answers reachability negatively in O(1) and bounds every traversal to
+     the open rank window (rank src, rank dst). *)
+  mutable rank : int array;
+  mutable next_rank : int;       (* strictly above every live rank *)
   mutable visited : Sparse_set.t;
-  mutable queue : int array;     (* BFS frontier, capacity = slot capacity *)
+  mutable queue : int array;     (* forward BFS frontier, capacity slots *)
+  mutable visited_b : Sparse_set.t;
+  mutable queue_b : int array;   (* backward BFS frontier *)
+  relabel_stack : Int_vec.t;     (* (slot, floor) pairs, flattened *)
   mutable traversals : int;
   mutable visited_total : int;
+  mutable rank_relabels : int;
+  mutable rank_pruned : int;
+  mutable bidir_traversals : int;
   (* Positive reachability memo (Section 2.5 of the paper: "Kronos can
      maintain an internal cache of traversal results").  Only reachable=true
      results may be cached: monotonicity makes them stable forever, while a
@@ -46,14 +66,23 @@ let create ?(initial_capacity = 1024) ?(traversal_cache = 0) () =
     gen = Array.make cap 0;
     indeg = Array.make cap 0;
     succ = Array.init cap (fun _ -> Int_vec.create ~capacity:2 ());
+    pred = Array.init cap (fun _ -> Int_vec.create ~capacity:2 ());
     free = Int_vec.create ();
     next_slot = 0;
     live = 0;
     edges = 0;
+    rank = Array.make cap 0;
+    next_rank = 0;
     visited = Sparse_set.create cap;
     queue = Array.make cap 0;
+    visited_b = Sparse_set.create cap;
+    queue_b = Array.make cap 0;
+    relabel_stack = Int_vec.create ();
     traversals = 0;
     visited_total = 0;
+    rank_relabels = 0;
+    rank_pruned = 0;
+    bidir_traversals = 0;
   }
 
 let capacity g = Array.length g.refcount
@@ -62,6 +91,9 @@ let edge_count g = g.edges
 let traversal_count g = g.traversals
 let visited_total g = g.visited_total
 let traversal_cache_hits g = g.reach_cache_hits
+let rank_relabel_count g = g.rank_relabels
+let rank_pruned_count g = g.rank_pruned
+let bidir_traversal_count g = g.bidir_traversals
 
 let grow g =
   let old = capacity g in
@@ -74,12 +106,17 @@ let grow g =
   g.refcount <- copy g.refcount (-1);
   g.gen <- copy g.gen 0;
   g.indeg <- copy g.indeg 0;
-  let succ = Array.init cap (fun i ->
-    if i < old then g.succ.(i) else Int_vec.create ~capacity:2 ())
+  g.rank <- copy g.rank 0;
+  let grow_adj adj =
+    Array.init cap (fun i ->
+      if i < old then adj.(i) else Int_vec.create ~capacity:2 ())
   in
-  g.succ <- succ;
+  g.succ <- grow_adj g.succ;
+  g.pred <- grow_adj g.pred;
   Sparse_set.grow g.visited cap;
-  g.queue <- Array.make cap 0
+  Sparse_set.grow g.visited_b cap;
+  g.queue <- Array.make cap 0;
+  g.queue_b <- Array.make cap 0
 
 (* Resolve an identifier to its slot, checking liveness and generation. *)
 let resolve g id =
@@ -106,6 +143,11 @@ let create_event g =
   g.refcount.(s) <- 1;
   g.indeg.(s) <- 0;
   Int_vec.clear g.succ.(s);
+  Int_vec.clear g.pred.(s);
+  (* fresh events take increasing ranks, so edges that follow creation
+     order — the common case — never trigger a relabel *)
+  g.rank.(s) <- g.next_rank;
+  g.next_rank <- g.next_rank + 1;
   g.live <- g.live + 1;
   Kronos_metrics.Gauge.set M.live g.live;
   id_of_slot g s
@@ -120,9 +162,15 @@ let acquire_ref g id =
   | Some s -> g.refcount.(s) <- g.refcount.(s) + 1; true
   | None -> false
 
+let rank g id =
+  match resolve g id with Some s -> Some g.rank.(s) | None -> None
+
 (* Reclaim the cascade of vertices reachable from slot [s] that have zero
    references and zero in-degree.  Uses the BFS queue as a work stack: safe
-   because collection never runs concurrently with a traversal. *)
+   because collection never runs concurrently with a traversal.  Removing
+   vertices and edges only removes paths, so the rank invariant survives
+   collection untouched; the freed slot keeps its stale rank until
+   [create_event] overwrites it. *)
 let collect g s =
   let stack = g.queue in
   let top = ref 0 in
@@ -138,6 +186,7 @@ let collect g s =
     let kill w =
       g.indeg.(w) <- g.indeg.(w) - 1;
       g.edges <- g.edges - 1;
+      ignore (Int_vec.remove_first g.pred.(w) u);
       if g.indeg.(w) = 0 && g.refcount.(w) = 0 then begin
         stack.(!top) <- w;
         incr top
@@ -145,6 +194,7 @@ let collect g s =
     in
     Int_vec.iter kill g.succ.(u);
     Int_vec.clear g.succ.(u);
+    Int_vec.clear g.pred.(u);
     (* Retire the slot permanently if its generation space is exhausted. *)
     if g.gen.(u) < max_gen then begin
       g.gen.(u) <- g.gen.(u) + 1;
@@ -167,45 +217,87 @@ let release_ref g id =
     if g.refcount.(s) = 0 && g.indeg.(s) = 0 then Some (collect g s)
     else Some 0
 
-exception Found
+(* Rank-pruned bidirectional BFS over slots; allocation-free thanks to the
+   preallocated sparse sets and queues.  Degree guards make the common
+   fresh-event cases O(1): a source with no outgoing edge reaches nothing, a
+   destination with no incoming edge is unreachable.
 
-(* BFS over slots; allocation-free thanks to the preallocated sparse set and
-   queue.  Degree guards make the common fresh-event cases O(1): a source
-   with no outgoing edge reaches nothing, a destination with no incoming
-   edge is unreachable. *)
+   The search is level-synchronous on both sides and each round expands the
+   smaller frontier.  Levels are expanded completely even once a meeting
+   point is found: the visited sets then depend only on the {e sets} of
+   edges, not on adjacency-list order, which keeps [visited_total]
+   deterministic across snapshot restores (reverse adjacency is rebuilt in
+   slot order there, losing the original interleaving).
+
+   Work accounting: every traversal adds to [visited_total] the number of
+   distinct slots inserted into a visited set, endpoints included (the
+   source and destination seed their sides, fixing the historical
+   undercount of the destination on found paths). *)
 let reachable_slots g src dst =
   if src = dst then true
-  else if Int_vec.is_empty g.succ.(src) || g.indeg.(dst) = 0 then false
   else begin
-    g.traversals <- g.traversals + 1;
-    Kronos_metrics.Counter.incr M.traversals;
-    let visited = g.visited in
-    Sparse_set.clear visited;
-    Sparse_set.add visited src;
-    let queue = g.queue in
-    queue.(0) <- src;
-    let head = ref 0 and tail = ref 1 in
-    try
-      while !head < !tail do
-        let u = queue.(!head) in
-        incr head;
-        let visit w =
-          if w = dst then raise Found;
-          if not (Sparse_set.mem visited w) then begin
-            Sparse_set.add visited w;
-            queue.(!tail) <- w;
-            incr tail
-          end
-        in
-        Int_vec.iter visit g.succ.(u)
+    let rlo = g.rank.(src) and rhi = g.rank.(dst) in
+    if rlo >= rhi then false
+    else if Int_vec.is_empty g.succ.(src) || g.indeg.(dst) = 0 then false
+    else begin
+      g.traversals <- g.traversals + 1;
+      Kronos_metrics.Counter.incr M.traversals;
+      let vf = g.visited and vb = g.visited_b in
+      Sparse_set.clear vf;
+      Sparse_set.clear vb;
+      Sparse_set.add vf src;
+      Sparse_set.add vb dst;
+      let qf = g.queue and qb = g.queue_b in
+      qf.(0) <- src;
+      qb.(0) <- dst;
+      let fh = ref 0 and ft = ref 1 in  (* forward level = qf.[fh..ft) *)
+      let bh = ref 0 and bt = ref 1 in
+      let found = ref false in
+      let expand_forward () =
+        let lo = !fh and hi = !ft in
+        fh := hi;
+        for i = lo to hi - 1 do
+          let visit w =
+            if Sparse_set.mem vb w then found := true
+            else if (not (Sparse_set.mem vf w))
+                    && g.rank.(w) > rlo && g.rank.(w) < rhi
+            then begin
+              Sparse_set.add vf w;
+              qf.(!ft) <- w;
+              incr ft
+            end
+          in
+          Int_vec.iter visit g.succ.(qf.(i))
+        done
+      in
+      let expand_backward () =
+        g.bidir_traversals <- g.bidir_traversals + 1;
+        Kronos_metrics.Counter.incr M.bidir;
+        let lo = !bh and hi = !bt in
+        bh := hi;
+        for i = lo to hi - 1 do
+          let visit w =
+            if Sparse_set.mem vf w then found := true
+            else if (not (Sparse_set.mem vb w))
+                    && g.rank.(w) > rlo && g.rank.(w) < rhi
+            then begin
+              Sparse_set.add vb w;
+              qb.(!bt) <- w;
+              incr bt
+            end
+          in
+          Int_vec.iter visit g.pred.(qb.(i))
+        done
+      in
+      while (not !found) && !fh < !ft && !bh < !bt do
+        if !ft - !fh <= !bt - !bh then expand_forward ()
+        else expand_backward ()
       done;
-      g.visited_total <- g.visited_total + !tail;
-      Kronos_metrics.Counter.add M.visited !tail;
-      false
-    with Found ->
-      g.visited_total <- g.visited_total + !tail;
-      Kronos_metrics.Counter.add M.visited !tail;
-      true
+      let visited = Sparse_set.cardinal vf + Sparse_set.cardinal vb in
+      g.visited_total <- g.visited_total + visited;
+      Kronos_metrics.Counter.add M.visited visited;
+      !found
+    end
   end
 
 let cache_reachable g u v su sv =
@@ -226,8 +318,16 @@ let cache_reachable g u v su sv =
     found
   end
 
+(* A negative answer by rank comparison alone: u ⇝ v requires
+   rank u < rank v, so rank u >= rank v (distinct slots) refutes it in O(1)
+   without consulting the memo (which only holds positive facts). *)
 let reachable_ids g u v su sv =
   if su = sv then false
+  else if g.rank.(su) >= g.rank.(sv) then begin
+    g.rank_pruned <- g.rank_pruned + 1;
+    Kronos_metrics.Counter.incr M.rank_pruned;
+    false
+  end
   else if g.reach_cache_capacity = 0 then reachable_slots g su sv
   else cache_reachable g u v su sv
 
@@ -236,23 +336,142 @@ let reachable g u v =
   | Some su, Some sv -> reachable_ids g u v su sv
   | (None | Some _), _ -> false
 
+(* The rank comparison eliminates at least one BFS direction of every query
+   outright: at most one of e1 ⇝ e2 / e2 ⇝ e1 is compatible with the rank
+   order, and with equal ranks (distinct slots) both are refuted. *)
 let query g e1 e2 =
   match resolve g e1, resolve g e2 with
   | None, _ -> Error e1
   | _, None -> Error e2
   | Some s1, Some s2 ->
     if s1 = s2 then Ok Order.Same
-    else if reachable_ids g e1 e2 s1 s2 then Ok Order.Before
-    else if reachable_ids g e2 e1 s2 s1 then Ok Order.After
-    else Ok Order.Concurrent
+    else begin
+      let r1 = g.rank.(s1) and r2 = g.rank.(s2) in
+      let prune n =
+        g.rank_pruned <- g.rank_pruned + n;
+        Kronos_metrics.Counter.add M.rank_pruned n
+      in
+      if r1 < r2 then begin
+        prune 1;
+        if reachable_ids g e1 e2 s1 s2 then Ok Order.Before
+        else Ok Order.Concurrent
+      end
+      else if r2 < r1 then begin
+        prune 1;
+        if reachable_ids g e2 e1 s2 s1 then Ok Order.After
+        else Ok Order.Concurrent
+      end
+      else begin
+        prune 2;
+        Ok Order.Concurrent
+      end
+    end
+
+let push_edge g su sv =
+  Int_vec.push g.succ.(su) sv;
+  Int_vec.push g.pred.(sv) su;
+  g.indeg.(sv) <- g.indeg.(sv) + 1;
+  g.edges <- g.edges + 1;
+  Kronos_metrics.Gauge.set M.edges g.edges
+
+(* Restricted cycle probe for an edge su -> sv arriving with
+   rank su >= rank sv: sv ⇝ su would close a cycle, and by the rank
+   invariant any such path stays within rank <= rank su, so a forward BFS
+   from sv bounded by that ceiling is exact.  Read-only; counts as a
+   traversal (it replaces the full reachability probe the engine used to
+   run before every must edge). *)
+let cycle_probe g sv su =
+  g.traversals <- g.traversals + 1;
+  Kronos_metrics.Counter.incr M.traversals;
+  let ceiling = g.rank.(su) in
+  let visited = g.visited in
+  Sparse_set.clear visited;
+  Sparse_set.add visited sv;
+  let queue = g.queue in
+  queue.(0) <- sv;
+  let head = ref 0 and tail = ref 1 in
+  let found = ref false in
+  while (not !found) && !head < !tail do
+    let u = queue.(!head) in
+    incr head;
+    let visit w =
+      if not (Sparse_set.mem visited w) then begin
+        if w = su then begin
+          found := true;
+          (* count the discovered endpoint, mirroring the bidirectional
+             search where both endpoints are seeded *)
+          Sparse_set.add visited w
+        end
+        else if g.rank.(w) <= ceiling then begin
+          Sparse_set.add visited w;
+          queue.(!tail) <- w;
+          incr tail
+        end
+      end
+    in
+    Int_vec.iter visit g.succ.(u)
+  done;
+  let visited_n = Sparse_set.cardinal visited in
+  g.visited_total <- g.visited_total + visited_n;
+  Kronos_metrics.Counter.add M.visited visited_n;
+  !found
+
+(* Restore the invariant after admitting an edge whose target ranked at or
+   below its source: push every forward path out of [sv] strictly above
+   [floor].  Depth-first on an explicit stack of (slot, floor) pairs; a slot
+   is re-examined only when a later visit raises its floor, so the work is
+   confined to the affected region (Pearce–Kelly's discovery set).  The
+   caller has already refuted a cycle, so the cascade terminates. *)
+let relabel g sv floor =
+  g.rank_relabels <- g.rank_relabels + 1;
+  Kronos_metrics.Counter.incr M.rank_relabels;
+  let stack = g.relabel_stack in
+  Int_vec.clear stack;
+  Int_vec.push stack sv;
+  Int_vec.push stack floor;
+  while not (Int_vec.is_empty stack) do
+    let floor = Int_vec.pop stack in
+    let w = Int_vec.pop stack in
+    if g.rank.(w) <= floor then begin
+      let r = floor + 1 in
+      g.rank.(w) <- r;
+      if r >= g.next_rank then g.next_rank <- r + 1;
+      Int_vec.iter
+        (fun x ->
+          Int_vec.push stack x;
+          Int_vec.push stack r)
+        g.succ.(w)
+    end
+  done
+
+let try_add_edge g u v =
+  match resolve g u, resolve g v with
+  | Some su, Some sv ->
+    if su = sv then false
+    else if g.rank.(su) < g.rank.(sv) then begin
+      (* ranks already agree: v ⇝ u is impossible, no cycle, O(1) *)
+      push_edge g su sv;
+      true
+    end
+    else if cycle_probe g sv su then false
+    else begin
+      relabel g sv g.rank.(su);
+      push_edge g su sv;
+      true
+    end
+  | (None | Some _), _ -> invalid_arg "Graph.try_add_edge: stale event"
 
 let add_edge g u v =
   match resolve g u, resolve g v with
   | Some su, Some sv ->
-    Int_vec.push g.succ.(su) sv;
-    g.indeg.(sv) <- g.indeg.(sv) + 1;
-    g.edges <- g.edges + 1;
-    Kronos_metrics.Gauge.set M.edges g.edges
+    if su = sv then invalid_arg "Graph.add_edge: self edge";
+    if g.rank.(su) < g.rank.(sv) then push_edge g su sv
+    else if cycle_probe g sv su then
+      invalid_arg "Graph.add_edge: edge would close a cycle"
+    else begin
+      relabel g sv g.rank.(su);
+      push_edge g su sv
+    end
   | (None | Some _), _ -> invalid_arg "Graph.add_edge: stale event"
 
 let remove_last_edge g u v =
@@ -261,8 +480,13 @@ let remove_last_edge g u v =
     if Int_vec.is_empty g.succ.(su) || Int_vec.last g.succ.(su) <> sv then
       invalid_arg "Graph.remove_last_edge: not the last edge";
     ignore (Int_vec.pop g.succ.(su));
+    ignore (Int_vec.remove_first g.pred.(sv) su);
     g.indeg.(sv) <- g.indeg.(sv) - 1;
     g.edges <- g.edges - 1;
+    (* Ranks are deliberately not rolled back: removing an edge cannot
+       break "u ⇝ v implies rank u < rank v", it only removes paths.  The
+       relabel the edge may have caused stays — it is a valid order for the
+       smaller edge set too. *)
     (* a rolled-back edge may have witnessed memoized reachability facts:
        drop the memo wholesale (rollbacks are rare) *)
     if g.reach_cache_capacity > 0 then Hashtbl.reset g.reach_cache
@@ -274,6 +498,8 @@ type snapshot = {
   snap_gen : int array;
   snap_succ : int array array;
   snap_free : int array;
+  snap_rank : int array option;
+  snap_next_rank : int;
   snap_traversals : int;
   snap_visited_total : int;
 }
@@ -287,9 +513,37 @@ let to_snapshot g =
     snap_gen = Array.sub g.gen 0 n;
     snap_succ = Array.init n (fun i -> int_vec_to_array g.succ.(i));
     snap_free = int_vec_to_array g.free;
+    snap_rank = Some (Array.sub g.rank 0 n);
+    snap_next_rank = g.next_rank;
     snap_traversals = g.traversals;
     snap_visited_total = g.visited_total;
   }
+
+(* Deterministic rank reconstruction for rank-less (version-1) snapshots:
+   Kahn's algorithm over the live subgraph, seeding sources in ascending
+   slot order and appending newly freed vertices in adjacency order.  The
+   ranks differ from the captured graph's (so traversal work may differ),
+   but the invariant holds, which is all queries need. *)
+let rebuild_ranks g fail =
+  let n = g.next_slot in
+  let indeg = Array.sub g.indeg 0 n in
+  let queue = Queue.create () in
+  for s = 0 to n - 1 do
+    if g.refcount.(s) >= 0 && indeg.(s) = 0 then Queue.add s queue
+  done;
+  let r = ref 0 in
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    g.rank.(s) <- !r;
+    incr r;
+    Int_vec.iter
+      (fun w ->
+        indeg.(w) <- indeg.(w) - 1;
+        if indeg.(w) = 0 then Queue.add w queue)
+      g.succ.(s)
+  done;
+  if !r <> g.live then fail "cyclic dependency graph";
+  g.next_rank <- !r
 
 let of_snapshot ?(initial_capacity = 1024) ?(traversal_cache = 0) s =
   let fail what = invalid_arg ("Graph.of_snapshot: " ^ what) in
@@ -320,6 +574,7 @@ let of_snapshot ?(initial_capacity = 1024) ?(traversal_cache = 0) s =
       (fun w ->
         if w < 0 || w >= n || g.refcount.(w) < 0 then fail "edge to a free slot";
         Int_vec.push g.succ.(i) w;
+        Int_vec.push g.pred.(w) i;
         g.indeg.(w) <- g.indeg.(w) + 1;
         incr edges)
       outs
@@ -330,6 +585,24 @@ let of_snapshot ?(initial_capacity = 1024) ?(traversal_cache = 0) s =
       if f < 0 || f >= n || g.refcount.(f) >= 0 then fail "bad free slot";
       Int_vec.push g.free f)
     s.snap_free;
+  (match s.snap_rank with
+   | Some ranks ->
+     if Array.length ranks <> n then fail "mismatched rank length";
+     let max_rank = ref (-1) in
+     for i = 0 to n - 1 do
+       if ranks.(i) < 0 then fail "bad rank";
+       g.rank.(i) <- ranks.(i);
+       if ranks.(i) > !max_rank then max_rank := ranks.(i)
+     done;
+     for i = 0 to n - 1 do
+       Int_vec.iter
+         (fun w -> if ranks.(i) >= ranks.(w) then fail "rank invariant violated")
+         g.succ.(i)
+     done;
+     (* a too-small next_rank would only cost extra relabels, never
+        correctness, but genuine snapshots always satisfy this *)
+     g.next_rank <- max s.snap_next_rank (!max_rank + 1)
+   | None -> rebuild_ranks g fail);
   g.traversals <- s.snap_traversals;
   g.visited_total <- s.snap_visited_total;
   g
@@ -345,6 +618,11 @@ let in_degree g id =
 let successors g id =
   match resolve g id with
   | Some s -> List.map (id_of_slot g) (Int_vec.to_list g.succ.(s))
+  | None -> []
+
+let predecessors g id =
+  match resolve g id with
+  | Some s -> List.map (id_of_slot g) (Int_vec.to_list g.pred.(s))
   | None -> []
 
 let iter_live g f =
@@ -365,12 +643,15 @@ let fold_edges g f init =
 let memory_bytes g =
   let word = Sys.word_size / 8 in
   let array_bytes a = (Array.length a + 2) * word in
-  let adjacency =
-    Array.fold_left (fun acc v -> acc + Int_vec.capacity_bytes v) 0 g.succ
+  let adjacency a =
+    Array.fold_left (fun acc v -> acc + Int_vec.capacity_bytes v) 0 a
   in
   array_bytes g.refcount + array_bytes g.gen + array_bytes g.indeg
-  + array_bytes g.queue
-  + (capacity g + 2) * word (* succ pointer array *)
-  + adjacency
+  + array_bytes g.rank
+  + array_bytes g.queue + array_bytes g.queue_b
+  + (2 * (capacity g + 2) * word) (* succ/pred pointer arrays *)
+  + adjacency g.succ + adjacency g.pred
   + Sparse_set.memory_bytes g.visited
+  + Sparse_set.memory_bytes g.visited_b
   + Int_vec.capacity_bytes g.free
+  + Int_vec.capacity_bytes g.relabel_stack

@@ -3,8 +3,8 @@
     Vertices are events; a directed edge [u -> v] records that [u] happens
     before [v].  The structure maintains the paper's two invariants:
 
-    - {b coherency}: the graph is acyclic — an edge is only added after a
-      reachability check shows it cannot close a cycle;
+    - {b coherency}: the graph is acyclic — an edge is only admitted after a
+      check shows it cannot close a cycle;
     - {b monotonicity}: no public operation removes a path; edges disappear
       only when their source vertex is garbage collected, at which point no
       client-visible traversal can start from it.
@@ -12,7 +12,20 @@
     Slots are reused after collection; identifiers carry a generation so
     stale identifiers are detected rather than silently re-bound.
 
-    All memory needed to traverse (visited sparse set, BFS queue) is
+    {b Topological rank index.}  Every slot carries a persistent integer
+    rank maintained incrementally (Pearce–Kelly / Haeupler–Sen–Tarjan
+    style) under the invariant: [u ⇝ v] implies [rank u < rank v].  Edges
+    that respect the current order — the common case, since fresh events
+    take increasing ranks — cost O(1); an out-of-order edge triggers a
+    relabel confined to the affected region, and the same bounded search
+    doubles as the cycle check.  Queries exploit the contrapositive:
+    [rank u >= rank v] refutes [u ⇝ v] in O(1), which eliminates at least
+    one BFS direction of every {!query}, and the remaining traversal is a
+    bidirectional BFS pruned to the open rank window.  The rank index
+    survives slot reuse, garbage collection, {!remove_last_edge} rollback
+    and snapshot round-trips.
+
+    All memory needed to traverse (visited sparse sets, BFS queues) is
     preallocated and grows with the vertex capacity, so queries allocate
     nothing. *)
 
@@ -26,12 +39,16 @@ val create : ?initial_capacity:int -> ?traversal_cache:int -> unit -> t
     {e positive} reachability results (Section 2.5 of the paper): a
     [u ->* v] fact is stable forever by monotonicity, so it may be cached;
     negative results never are.  Entries key on full identifiers
-    (slot + generation), so garbage collection cannot resurrect them. *)
+    (slot + generation), so garbage collection cannot resurrect them.
+    Rank pruning runs {e before} the memo: a rank-refuted pair never pays
+    the hash lookup. *)
 
 (** {1 Events and references} *)
 
 val create_event : t -> Event_id.t
-(** Allocate a new event with reference count 1. *)
+(** Allocate a new event with reference count 1.  The event takes a fresh
+    topological rank above every existing one, so ordering events in
+    creation order never relabels. *)
 
 val is_live : t -> Event_id.t -> bool
 
@@ -55,22 +72,42 @@ val release_ref : t -> Event_id.t -> int option
 (** {1 Ordering} *)
 
 val query : t -> Event_id.t -> Event_id.t -> (Order.relation, Event_id.t) result
-(** [query g e1 e2] finds the committed relation between two events by BFS.
-    [Error e] reports a stale/unknown identifier. *)
+(** [query g e1 e2] finds the committed relation between two events.  The
+    rank comparison answers at least one direction in O(1); the other (if
+    compatible) runs one rank-pruned bidirectional BFS.  [Error e] reports a
+    stale/unknown identifier. *)
 
 val reachable : t -> Event_id.t -> Event_id.t -> bool
 (** [reachable g u v] is [true] iff a happens-before path [u ->* v] exists.
     Returns [false] on stale identifiers and when [u = v]. *)
 
+val rank : t -> Event_id.t -> int option
+(** The event's current topological rank ([None] when stale).  Ranks only
+    promise [u ⇝ v] implies [rank u < rank v]; they are sparse, change on
+    relabels, and carry no meaning beyond the relative order. *)
+
+val try_add_edge : t -> Event_id.t -> Event_id.t -> bool
+(** [try_add_edge g u v] records [u -> v] and returns [true], unless the
+    edge would close a cycle ([v ->* u], or [u = v]) in which case the graph
+    is left untouched and the result is [false].  The cycle check is O(1)
+    when [rank u < rank v]; otherwise it is a forward search from [v]
+    bounded by [rank u], which then doubles as the relabel's frontier.
+    @raise Invalid_argument if either identifier is stale. *)
+
 val add_edge : t -> Event_id.t -> Event_id.t -> unit
-(** [add_edge g u v] unconditionally records [u -> v].  {b Caller must have
-    established} that [v] is live, [u] is live, [u <> v] and [v ->* u] does
-    not hold; used by {!Engine} which performs those checks (and may roll the
-    edge back with {!remove_last_edge} while aborting an atomic batch). *)
+(** [add_edge g u v] records [u -> v].  {b Caller must have established}
+    that [u <> v] and [v ->* u] does not hold; the rank index re-checks
+    cheaply and raises on contract violations instead of corrupting the
+    graph.  Used by {!Engine}, which may roll the edge back with
+    {!remove_last_edge} while aborting an atomic batch.
+    @raise Invalid_argument on stale identifiers, self edges, or an edge
+    that would close a cycle. *)
 
 val remove_last_edge : t -> Event_id.t -> Event_id.t -> unit
 (** Roll back the most recent [add_edge g u v].  Only valid in LIFO order on
-    edges added by the current (not yet exposed) batch.
+    edges added by the current (not yet exposed) batch.  Any relabel the
+    edge caused is kept: removing an edge only removes paths, so the rank
+    invariant cannot break.
     @raise Invalid_argument if the last edge out of [u] is not [v]. *)
 
 (** {1 Serialization} *)
@@ -78,34 +115,44 @@ val remove_last_edge : t -> Event_id.t -> Event_id.t -> unit
 (** A self-contained copy of the graph's logical state, for the durability
     layer.  It captures everything that affects future behaviour:
 
-    - adjacency lists in {e insertion order} (BFS visits successors in that
-      order, so traversal statistics stay deterministic after a restore);
+    - adjacency lists in {e insertion order} (searches visit successors in
+      that order, so traversal statistics stay deterministic after a
+      restore);
     - the free-slot stack in order (slot reuse by [create_event] is LIFO);
     - per-slot generations, including those of free slots, so restored
       identifiers resolve exactly as before and stale ones stay stale;
+    - per-slot topological ranks and the rank allocator, so restored
+      engines prune and relabel exactly as the captured one would
+      ([snap_rank = None] marks a legacy rank-less capture: ranks are then
+      rebuilt deterministically with Kahn's algorithm, preserving query
+      answers but not necessarily traversal statistics);
     - traversal counters, so work accounting continues rather than resets.
 
-    In-degrees, live/edge counts and the traversal memo are reconstructed
-    (the memo restarts cold: it is a cache, not state). *)
+    In-degrees, reverse adjacency, live/edge counts and the traversal memo
+    are reconstructed (the memo restarts cold: it is a cache, not state). *)
 type snapshot = {
   snap_next_slot : int;          (** high-water mark of ever-used slots *)
   snap_refcount : int array;     (** per slot; -1 marks a free slot *)
   snap_gen : int array;          (** per slot *)
   snap_succ : int array array;   (** successor slots, insertion order *)
   snap_free : int array;         (** free stack, bottom to top *)
+  snap_rank : int array option;  (** per slot; [None] for legacy captures *)
+  snap_next_rank : int;          (** rank allocator high-water mark *)
   snap_traversals : int;
   snap_visited_total : int;
 }
 
 val to_snapshot : t -> snapshot
-(** Deep copy; the snapshot does not alias the graph's arrays. *)
+(** Deep copy; the snapshot does not alias the graph's arrays.
+    [snap_rank] is always [Some _]. *)
 
 val of_snapshot :
   ?initial_capacity:int -> ?traversal_cache:int -> snapshot -> t
 (** Rebuild a graph behaviourally identical to the one captured.  The
     options mirror {!create}; capacity is raised to fit the snapshot.
     @raise Invalid_argument if the snapshot is internally inconsistent
-    (mismatched array lengths, edges to free slots, out-of-range values). *)
+    (mismatched array lengths, edges to free slots, out-of-range values,
+    ranks violating the edge invariant, or a cyclic edge set). *)
 
 (** {1 Introspection} *)
 
@@ -119,6 +166,10 @@ val in_degree : t -> Event_id.t -> int option
 val successors : t -> Event_id.t -> Event_id.t list
 (** Direct happens-after neighbours; [[]] for stale identifiers. *)
 
+val predecessors : t -> Event_id.t -> Event_id.t list
+(** Direct happens-before neighbours; [[]] for stale identifiers.  Order is
+    unspecified (it is perturbed by collection and snapshot restore). *)
+
 val iter_live : t -> (Event_id.t -> unit) -> unit
 
 val fold_edges : t -> ('a -> Event_id.t -> Event_id.t -> 'a) -> 'a -> 'a
@@ -127,10 +178,22 @@ val memory_bytes : t -> int
 (** Approximate resident footprint of all internal arrays, in bytes. *)
 
 val traversal_count : t -> int
-(** Number of BFS traversals performed so far. *)
+(** Number of graph traversals performed so far (bidirectional searches and
+    bounded cycle probes; rank-refuted answers never traverse). *)
 
 val visited_total : t -> int
-(** Total vertices visited across all traversals (work accounting). *)
+(** Total vertices visited across all traversals (work accounting): every
+    distinct slot inserted into a visited set, endpoints included. *)
 
 val traversal_cache_hits : t -> int
 (** Queries answered from the positive-reachability memo. *)
+
+val rank_relabel_count : t -> int
+(** Edge insertions that triggered an affected-region relabel. *)
+
+val rank_pruned_count : t -> int
+(** Reachability directions refuted by rank comparison alone (no
+    traversal). *)
+
+val bidir_traversal_count : t -> int
+(** Backward frontier expansions performed by bidirectional searches. *)

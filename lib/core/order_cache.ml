@@ -44,6 +44,27 @@ let hits t = t.hits
 let misses t = t.misses
 let prefills t = t.prefills
 
+type stats = {
+  stat_size : int;
+  stat_capacity : int;
+  stat_hits : int;
+  stat_misses : int;
+  stat_prefills : int;
+}
+
+let stats t =
+  {
+    stat_size = t.size;
+    stat_capacity = t.capacity;
+    stat_hits = t.hits;
+    stat_misses = t.misses;
+    stat_prefills = t.prefills;
+  }
+
+let hit_rate s =
+  let total = s.stat_hits + s.stat_misses in
+  if total = 0 then 0.0 else float_of_int s.stat_hits /. float_of_int total
+
 (* Normalize so the smaller identifier comes first; the stored relation is
    expressed for the normalized pair. *)
 let normalize e1 e2 rel =

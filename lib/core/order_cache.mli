@@ -32,4 +32,19 @@ val misses : t -> int
 val prefills : t -> int
 (** Number of entries added by transitive pre-fill. *)
 
+(** One consistent reading of all cache counters, for stats reporting. *)
+type stats = {
+  stat_size : int;
+  stat_capacity : int;
+  stat_hits : int;
+  stat_misses : int;
+  stat_prefills : int;
+}
+
+val stats : t -> stats
+
+val hit_rate : stats -> float
+(** Fraction of {!find} calls answered by the cache; [0.] before any
+    lookup. *)
+
 val clear : t -> unit

@@ -1,7 +1,14 @@
 open Kronos
 module Codec = Kronos_wire.Codec
 
-let version = 1
+(* Version 2 appends the graph's topological-rank index (per-slot ranks +
+   the rank allocator) to the version-1 body.  Version-1 snapshots are still
+   decoded: they surface as [snap_rank = None] and [Graph.of_snapshot]
+   rebuilds an equivalent rank assignment deterministically with Kahn's
+   algorithm, so pre-rank snapshot files stay loadable after an upgrade. *)
+let version = 2
+
+let oldest_supported_version = 1
 
 let magic = "KSNP"
 
@@ -27,6 +34,15 @@ let encode ~seq (s : Engine.snapshot) =
   put_int_array e g.Graph.snap_free;
   Codec.put_i64 e (Int64.of_int g.Graph.snap_traversals);
   Codec.put_i64 e (Int64.of_int g.Graph.snap_visited_total);
+  (* v2 suffix: rank index.  Ranks are sparse integers that can exceed the
+     u32 range on long-lived engines, so they travel as i64. *)
+  (match g.Graph.snap_rank with
+   | Some ranks ->
+     Codec.put_bool e true;
+     Codec.put_u32 e (Array.length ranks);
+     Array.iter (fun r -> Codec.put_i64 e (Int64.of_int r)) ranks;
+     Codec.put_i64 e (Int64.of_int g.Graph.snap_next_rank)
+   | None -> Codec.put_bool e false);
   Codec.put_i64 e (Int64.of_int s.Engine.snap_creates);
   Codec.put_i64 e (Int64.of_int s.Engine.snap_queries);
   Codec.put_i64 e (Int64.of_int s.Engine.snap_assigns);
@@ -41,26 +57,26 @@ let encode ~seq (s : Engine.snapshot) =
   Buffer.add_string b body;
   Buffer.contents b
 
-(* Header check shared by [decode] and [load_latest_bytes]: returns the body
-   on success. *)
+(* Header check shared by [decode] and [load_latest_bytes]: returns the
+   format version and the body on success. *)
 let validate data =
   if String.length data < header_bytes then
     raise (Codec.Decode_error "snapshot: truncated header");
   if String.sub data 0 4 <> magic then
     raise (Codec.Decode_error "snapshot: bad magic");
   let v = String.get_uint16_be data 4 in
-  if v <> version then
+  if v < oldest_supported_version || v > version then
     raise (Codec.Decode_error (Printf.sprintf "snapshot: unsupported version %d" v));
   let crc = String.get_int32_be data 6 in
   let body = String.sub data header_bytes (String.length data - header_bytes) in
   if Crc32.string body <> crc then
     raise (Codec.Decode_error "snapshot: checksum mismatch");
-  body
+  (v, body)
 
 let get_int64 d = Int64.to_int (Codec.get_i64 d)
 
 let decode data =
-  let body = validate data in
+  let v, body = validate data in
   let d = Codec.decoder body in
   let seq = get_int64 d in
   let snap_next_slot = Codec.get_u32 d in
@@ -75,6 +91,18 @@ let decode data =
   let snap_free = get_int_array d in
   let snap_traversals = get_int64 d in
   let snap_visited_total = get_int64 d in
+  let snap_rank, snap_next_rank =
+    if v < 2 then (None, 0)
+    else if not (Codec.get_bool d) then (None, 0)
+    else begin
+      let len = Codec.get_u32 d in
+      if len > String.length body then
+        raise (Codec.Decode_error "snapshot: absurd rank count");
+      let ranks = Array.init len (fun _ -> get_int64 d) in
+      let next_rank = get_int64 d in
+      (Some ranks, next_rank)
+    end
+  in
   let snap_creates = get_int64 d in
   let snap_queries = get_int64 d in
   let snap_assigns = get_int64 d in
@@ -91,6 +119,8 @@ let decode data =
           snap_gen;
           snap_succ;
           snap_free;
+          snap_rank;
+          snap_next_rank;
           snap_traversals;
           snap_visited_total;
         };
@@ -144,7 +174,7 @@ let load_latest_bytes storage =
       | None -> None
       | Some data -> (
           match validate data with
-          | (_ : string) -> Some (seq, data)
+          | (_ : int * string) -> Some (seq, data)
           | exception Codec.Decode_error _ -> None))
     (list_snapshots storage)
 

@@ -46,6 +46,7 @@ let create ~net ~addr ~coordinator ?(cache_capacity = 65536) ?request_timeout ()
   { proxy; cache; server_queries = 0; stale_revalidations = 0 }
 
 let cache t = t.cache
+let cache_stats t = Option.map Order_cache.stats t.cache
 let server_queries t = t.server_queries
 let stale_revalidations t = t.stale_revalidations
 

@@ -76,6 +76,11 @@ val assign_order :
 (** {1 Introspection} *)
 
 val cache : t -> Order_cache.t option
+
+val cache_stats : t -> Order_cache.stats option
+(** Counters of the client-side order cache ([None] when caching is
+    disabled). *)
+
 val server_queries : t -> int
 (** Number of [query_order] requests actually sent to the service (cache
     hits excluded) — the "operations requiring a Kronos traversal" metric

@@ -209,6 +209,63 @@ let prop_snapshot_round_trip =
       check_engines_agree "after more commands" ids reference restored;
       true)
 
+(* Snapshot files written before the rank index (format version 1) must
+   stay loadable.  A v1 file is the v2 body without the rank suffix under a
+   version-1 header; the decoder surfaces it as [snap_rank = None] and
+   [Graph.of_snapshot] rebuilds an equivalent rank assignment with Kahn's
+   algorithm, so every query answer and counter is preserved. *)
+let test_snapshot_v1_compat () =
+  let module Codec = Kronos_wire.Codec in
+  let module Crc32 = Kronos_durability.Crc32 in
+  let ids, cmds = workload ~seed:17 ~n:12 ~m:20 in
+  let engine = Engine.create () in
+  List.iter (fun c -> ignore (Kronos_service.Server.apply engine c)) cmds;
+  let s = Engine.to_snapshot engine in
+  let g = s.Engine.snap_graph in
+  let e = Codec.encoder () in
+  let put_arr a =
+    Codec.put_u32 e (Array.length a);
+    Array.iter (fun x -> Codec.put_u32 e x) a
+  in
+  Codec.put_i64 e 42L;
+  Codec.put_u32 e g.Graph.snap_next_slot;
+  Codec.put_u32 e (Array.length g.Graph.snap_refcount);
+  Array.iter (fun rc -> Codec.put_u32 e (rc + 1)) g.Graph.snap_refcount;
+  put_arr g.Graph.snap_gen;
+  Codec.put_u32 e (Array.length g.Graph.snap_succ);
+  Array.iter put_arr g.Graph.snap_succ;
+  put_arr g.Graph.snap_free;
+  Codec.put_i64 e (Int64.of_int g.Graph.snap_traversals);
+  Codec.put_i64 e (Int64.of_int g.Graph.snap_visited_total);
+  List.iter
+    (fun v -> Codec.put_i64 e (Int64.of_int v))
+    [
+      s.Engine.snap_creates; s.Engine.snap_queries; s.Engine.snap_assigns;
+      s.Engine.snap_aborted_batches; s.Engine.snap_reversals;
+      s.Engine.snap_collected;
+    ];
+  let body = Codec.to_string e in
+  let b = Buffer.create (String.length body + 10) in
+  Buffer.add_string b "KSNP";
+  Buffer.add_uint16_be b 1;
+  Buffer.add_int32_be b (Crc32.string body);
+  Buffer.add_string b body;
+  let seq, snap = Snapshot.decode (Buffer.contents b) in
+  Alcotest.(check int) "v1 seq" 42 seq;
+  Alcotest.(check bool) "v1 decodes without ranks" true
+    (snap.Engine.snap_graph.Graph.snap_rank = None);
+  let restored = Engine.of_snapshot snap in
+  check_engines_agree "v1 snapshot" ids engine restored;
+  (* the rebuilt ranks must satisfy the index invariant on every edge *)
+  let rg = Engine.graph restored in
+  Graph.fold_edges rg
+    (fun () u v ->
+      match (Graph.rank rg u, Graph.rank rg v) with
+      | Some ru, Some rv ->
+        if ru >= rv then Alcotest.fail "rebuilt ranks violate edge invariant"
+      | _ -> Alcotest.fail "live event without rank")
+    ()
+
 let test_snapshot_files () =
   let _dir, storage = mem () in
   let ids, cmds = workload ~seed:7 ~n:12 ~m:18 in
@@ -333,6 +390,8 @@ let suites =
           test_wal_rotation_and_truncation;
         Alcotest.test_case "wal sync policies" `Quick test_wal_sync_policies;
         QCheck_alcotest.to_alcotest prop_snapshot_round_trip;
+        Alcotest.test_case "snapshot v1 compatibility" `Quick
+          test_snapshot_v1_compat;
         Alcotest.test_case "snapshot files" `Quick test_snapshot_files;
         Alcotest.test_case "recovery at every prefix" `Quick
           test_recovery_every_prefix;

@@ -168,6 +168,211 @@ let test_introspection () =
   Alcotest.(check int) "fold_edges" 2 edges;
   Alcotest.(check bool) "memory positive" true (Graph.memory_bytes g > 0)
 
+(* Work accounting of the traversal counters.  The chain is built in
+   creation order, so the rank index admits every edge in O(1) without a
+   single traversal; each positive query then counts every distinct slot
+   inserted into a visited set, endpoints included (the destination used to
+   be dropped when the search ended in Found), and rank-refuted queries
+   count nothing at all. *)
+let test_visited_accounting () =
+  let g = Graph.create () in
+  let a = Graph.create_event g in
+  let b = Graph.create_event g in
+  let c = Graph.create_event g in
+  Graph.add_edge g a b;
+  Graph.add_edge g b c;
+  Alcotest.(check int) "creation-order edges traverse nothing" 0
+    (Graph.traversal_count g);
+  Alcotest.(check bool) "a->b" true (Graph.reachable g a b);
+  Alcotest.(check int) "one traversal" 1 (Graph.traversal_count g);
+  Alcotest.(check int) "direct hit counts both endpoints" 2
+    (Graph.visited_total g);
+  (* two-hop: forward side visits {a, b}, backward side seeds {c}; the
+     meeting vertex belongs to exactly one side, so nothing double-counts *)
+  Alcotest.(check bool) "a->c" true (Graph.reachable g a c);
+  Alcotest.(check int) "two traversals" 2 (Graph.traversal_count g);
+  Alcotest.(check int) "chain visit accounting" (2 + 3)
+    (Graph.visited_total g);
+  (* wrong direction: refuted by rank comparison alone *)
+  let pruned0 = Graph.rank_pruned_count g in
+  Alcotest.(check bool) "c->a refuted" false (Graph.reachable g c a);
+  Alcotest.(check int) "no extra traversal" 2 (Graph.traversal_count g);
+  Alcotest.(check int) "no extra visits" 5 (Graph.visited_total g);
+  Alcotest.(check int) "refuted by rank" (pruned0 + 1)
+    (Graph.rank_pruned_count g);
+  (* an out-of-order edge pays one bounded cycle probe plus a relabel *)
+  let x = Graph.create_event g in
+  let y = Graph.create_event g in
+  let relabels0 = Graph.rank_relabel_count g in
+  Graph.add_edge g y x;
+  Alcotest.(check int) "out-of-order edge relabels" (relabels0 + 1)
+    (Graph.rank_relabel_count g);
+  Alcotest.(check int) "cycle probe counted as traversal" 3
+    (Graph.traversal_count g);
+  Alcotest.(check int) "cycle probe visits its seed" 6
+    (Graph.visited_total g);
+  (match (Graph.rank g y, Graph.rank g x) with
+   | Some ry, Some rx ->
+     Alcotest.(check bool) "ranks repaired" true (ry < rx)
+   | _ -> Alcotest.fail "live events must have ranks")
+
+(* Differential property for the rank index: drive a random interleaving of
+   create / add_edge / release / rollback / snapshot operations against
+   both the real graph and a naive reference model (adjacency lists,
+   refcounts and the same strict-GC rule), and after every single step
+   check that liveness, GC counts and pairwise reachability agree with the
+   model and that rank u < rank v holds for every live edge — through slot
+   reuse, GC cascades, edge rollback and snapshot round-trips (including
+   legacy rank-less snapshots, which force the Kahn rebuild path). *)
+let prop_rank_index_differential =
+  let open QCheck2 in
+  let gen_op =
+    Gen.frequency
+      [
+        (4, Gen.return `Create);
+        (6, Gen.map2 (fun a b -> `Edge (a, b)) (Gen.int_bound 999) (Gen.int_bound 999));
+        (2, Gen.map (fun a -> `Release a) (Gen.int_bound 999));
+        (1, Gen.return `Rollback);
+        (1, Gen.return `Snapshot);
+        (1, Gen.return `Legacy_snapshot);
+      ]
+  in
+  Test.make ~name:"rank index matches reference model under interleavings"
+    ~count:120
+    (Gen.list_size (Gen.int_bound 70) gen_op)
+    (fun ops ->
+      let g = ref (Graph.create ~initial_capacity:4 ()) in
+      let max_n = 20 in
+      let ids = Array.make max_n Event_id.none in
+      let rc = Array.make max_n 0 in
+      let live = Array.make max_n false in
+      let succs = Array.make max_n [] in
+      let indeg = Array.make max_n 0 in
+      let created = ref 0 in
+      (* the one edge remove_last_edge may legally undo right now *)
+      let last_edge = ref None in
+      let model_reach u v =
+        let seen = Array.make max_n false in
+        let rec dfs x =
+          List.exists
+            (fun y ->
+              y = v
+              || ((not seen.(y))
+                  && begin
+                    seen.(y) <- true;
+                    dfs y
+                  end))
+            succs.(x)
+        in
+        dfs u
+      in
+      let rec collect i killed =
+        if live.(i) && rc.(i) = 0 && indeg.(i) = 0 then begin
+          live.(i) <- false;
+          incr killed;
+          let out = succs.(i) in
+          succs.(i) <- [];
+          List.iter (fun j -> indeg.(j) <- indeg.(j) - 1) out;
+          List.iter (fun j -> collect j killed) out
+        end
+      in
+      let check_agree step =
+        for i = 0 to !created - 1 do
+          if Graph.is_live !g ids.(i) <> live.(i) then
+            Test.fail_reportf "step %d: liveness mismatch on event %d" step i
+        done;
+        for u = 0 to !created - 1 do
+          if live.(u) then
+            List.iter
+              (fun v ->
+                match (Graph.rank !g ids.(u), Graph.rank !g ids.(v)) with
+                | Some ru, Some rv ->
+                  if ru >= rv then
+                    Test.fail_reportf
+                      "step %d: rank invariant broken on edge %d->%d (%d >= %d)"
+                      step u v ru rv
+                | _ -> Test.fail_reportf "step %d: live event without rank" step)
+              succs.(u)
+        done;
+        for u = 0 to !created - 1 do
+          for v = 0 to !created - 1 do
+            if u <> v && live.(u) && live.(v) then
+              if Graph.reachable !g ids.(u) ids.(v) <> model_reach u v then
+                Test.fail_reportf "step %d: reachability mismatch %d -> %d"
+                  step u v
+          done
+        done
+      in
+      List.iteri
+        (fun step op ->
+          (match op with
+           | `Create ->
+             if !created < max_n then begin
+               let e = Graph.create_event !g in
+               ids.(!created) <- e;
+               rc.(!created) <- 1;
+               live.(!created) <- true;
+               succs.(!created) <- [];
+               indeg.(!created) <- 0;
+               incr created;
+               last_edge := None
+             end
+           | `Edge (a, b) ->
+             if !created > 0 then begin
+               let u = a mod !created and v = b mod !created in
+               if live.(u) && live.(v) && not (List.mem v succs.(u)) then begin
+                 let expect = (u <> v) && not (model_reach v u) in
+                 let admitted = Graph.try_add_edge !g ids.(u) ids.(v) in
+                 if admitted <> expect then
+                   Test.fail_reportf
+                     "step %d: edge %d->%d admitted=%b, model expects %b" step
+                     u v admitted expect;
+                 if admitted then begin
+                   succs.(u) <- v :: succs.(u);
+                   indeg.(v) <- indeg.(v) + 1;
+                   last_edge := Some (u, v)
+                 end
+               end
+             end
+           | `Release a ->
+             if !created > 0 then begin
+               let i = a mod !created in
+               let expected =
+                 if (not live.(i)) || rc.(i) = 0 then None
+                 else begin
+                   rc.(i) <- rc.(i) - 1;
+                   let killed = ref 0 in
+                   collect i killed;
+                   Some !killed
+                 end
+               in
+               let got = Graph.release_ref !g ids.(i) in
+               if got <> expected then
+                 Test.fail_reportf "step %d: release %d disagrees with model"
+                   step i;
+               last_edge := None
+             end
+           | `Rollback -> (
+               match !last_edge with
+               | None -> ()
+               | Some (u, v) ->
+                 Graph.remove_last_edge !g ids.(u) ids.(v);
+                 succs.(u) <- List.filter (fun x -> x <> v) succs.(u);
+                 indeg.(v) <- indeg.(v) - 1;
+                 last_edge := None)
+           | `Snapshot ->
+             g := Graph.of_snapshot (Graph.to_snapshot !g);
+             last_edge := None
+           | `Legacy_snapshot ->
+             let s = Graph.to_snapshot !g in
+             g :=
+               Graph.of_snapshot
+                 { s with Graph.snap_rank = None; snap_next_rank = 0 };
+             last_edge := None);
+          check_agree step)
+        ops;
+      true)
+
 (* Model-based property: build a random graph through cycle-checked edge
    additions; the graph must agree with a reference transitive closure and
    must never contain a cycle. *)
@@ -280,6 +485,8 @@ let suites =
         Alcotest.test_case "edge rollback" `Quick test_rollback;
         Alcotest.test_case "growth" `Quick test_growth;
         Alcotest.test_case "introspection" `Quick test_introspection;
+        Alcotest.test_case "visited accounting" `Quick test_visited_accounting;
+        QCheck_alcotest.to_alcotest prop_rank_index_differential;
         QCheck_alcotest.to_alcotest prop_matches_closure;
         QCheck_alcotest.to_alcotest prop_gc_preserves_order;
       ] );
