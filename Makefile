@@ -1,6 +1,6 @@
 # Tier-1 verification in one command: build every target (libraries,
 # executables, tests, benches) and run the full test suite.
-.PHONY: check build test loopback bench bench-smoke bench-check clean
+.PHONY: check build test loopback bench bench-smoke bench-check fed-determinism clean
 
 check: build test
 
@@ -30,6 +30,16 @@ bench-smoke: build
 # track machine load, not code).
 bench-check: build
 	dune exec bench/main.exe -- smoke-check
+
+# Federation determinism gate: the scripted simnet federation run (two
+# shards, a replica crash and a partition mid-workload) must replay
+# bit-identically from the same seed.
+fed-determinism: build
+	dune exec bench/main.exe -- fedsim > .fedsim-a.trace
+	dune exec bench/main.exe -- fedsim > .fedsim-b.trace
+	cmp .fedsim-a.trace .fedsim-b.trace
+	rm -f .fedsim-a.trace .fedsim-b.trace
+	@echo "fedsim: trace is deterministic"
 
 clean:
 	dune clean

@@ -1,0 +1,128 @@
+(* fedsim: a scripted, fully deterministic federation run on the simulated
+   network, printed as a trace on stdout.
+
+   CI runs this twice with the same seed and fails if the two outputs are
+   not bit-identical — the determinism gate for the federation subsystem
+   (DESIGN §12): given a seed, message timing, two-shard commits,
+   rollbacks, reflections and the final ordering matrix must replay
+   exactly.  The script deliberately includes a replica crash and a
+   network partition mid-workload so the recovery paths are part of the
+   gated trace.
+
+   Override the seed with KRONOS_FEDSIM_SEED. *)
+
+open Kronos
+module Sim = Kronos_simnet.Sim
+module Net = Kronos_simnet.Net
+module Fed = Kronos_federation.Deploy
+module Router = Kronos_federation.Router
+module Fid = Kronos_federation.Fid
+module Server = Kronos_service.Server
+module Client = Kronos_service.Client
+module Error = Kronos_service.Error
+
+let run () =
+  let seed =
+    match Sys.getenv_opt "KRONOS_FEDSIM_SEED" with
+    | Some s -> Int64.of_string s
+    | None -> 42L
+  in
+  let sim = Sim.create ~seed () in
+  let raw = Net.create sim in
+  let net = Kronos_transport.Sim_transport.of_net raw in
+  let fed =
+    Fed.deploy ~net ~shards:[ 0; 1 ] ~replicas_per_shard:3
+      ~request_timeout:0.4 ~ping_interval:0.1 ~failure_timeout:0.35 ()
+  in
+  let rt = fed.Fed.router in
+  let await f =
+    let result = ref None in
+    f (fun x -> result := Some x);
+    let deadline = Sim.now sim +. 60.0 in
+    while !result = None && Sim.now sim < deadline && Sim.pending sim > 0 do
+      ignore (Sim.step sim)
+    done;
+    match !result with
+    | Some x -> x
+    | None ->
+      Printf.printf "fedsim: wedged at %.6f\n" (Sim.now sim);
+      exit 1
+  in
+  let emit fmt =
+    Printf.ksprintf
+      (fun s -> Printf.printf "%10.6f %s\n" (Sim.now sim) s)
+      fmt
+  in
+  Printf.printf "fedsim seed=%Ld shards=2 replicas=3\n" seed;
+  let per_shard = 10 in
+  let mint shard =
+    let c = Option.get (Router.client_of rt shard) in
+    match await (Client.create_event c) with
+    | Ok id -> Fid.make ~shard id
+    | Error e ->
+      Printf.printf "fedsim: mint failed: %s\n" (Error.to_string e);
+      exit 1
+  in
+  let ev = Array.init 2 (fun s -> Array.init per_shard (fun _ -> mint s)) in
+  let ops =
+    List.init 30 (fun i ->
+        match i mod 3 with
+        | 0 -> (ev.(0).(i / 3 mod per_shard), ev.(1).(7 * i / 3 mod per_shard))
+        | 1 ->
+          (ev.(1).(((5 * i) + 1) mod per_shard), ev.(0).(((11 * i) + 2) mod per_shard))
+        | _ ->
+          let s = i / 3 mod 2 in
+          (ev.(s).((3 * i) mod per_shard), ev.(s).(((3 * i) + 4) mod per_shard)))
+  in
+  let everyone_else =
+    [ 100; 101; 102; 200; 202; 1000; 1001; 2000; 2001; 2002 ]
+  in
+  List.iteri
+    (fun i (x, y) ->
+      (match i with
+      | 8 ->
+        emit "nemesis: crash replica 101 (shard 0)";
+        Server.crash (Option.get (Fed.cluster_of fed 0)) 101
+      | 14 ->
+        emit "nemesis: partition replica 201 (shard 1)";
+        Net.partition raw [ 201 ] everyone_else
+      | 20 ->
+        emit "nemesis: heal";
+        Net.heal raw
+      | _ -> ());
+      match
+        await (Router.assign_order rt ~timeout:3.0 [ Router.must_before x y ])
+      with
+      | Ok [ o ] ->
+        emit "op %02d %s->%s: %s" i (Fid.to_string x) (Fid.to_string y)
+          (Format.asprintf "%a" Order.pp_outcome o)
+      | Ok _ ->
+        emit "op %02d %s->%s: unexpected batch shape" i (Fid.to_string x)
+          (Fid.to_string y)
+      | Error e ->
+        emit "op %02d %s->%s: error %s" i (Fid.to_string x) (Fid.to_string y)
+          (Error.to_string e))
+    ops;
+  Sim.run ~until:(Sim.now sim +. 5.0) sim;
+  (* final ordering matrix over every cross-shard pair *)
+  let pairs = ref [] in
+  for u = 0 to per_shard - 1 do
+    for v = 0 to per_shard - 1 do
+      pairs := (ev.(0).(u), ev.(1).(v)) :: !pairs
+    done
+  done;
+  let pairs = List.rev !pairs in
+  (match await (Router.query_order rt ~timeout:10.0 pairs) with
+  | Ok rels ->
+    List.iter2
+      (fun (x, y) r ->
+        emit "rel %s %s %s" (Fid.to_string x) (Fid.to_string y)
+          (Format.asprintf "%a" Order.pp_relation r))
+      pairs rels
+  | Error e -> emit "final query failed: %s" (Error.to_string e));
+  List.iter
+    (fun (s, n) -> emit "frontier shard%d egress=%d" s n)
+    (Router.frontier rt);
+  emit "cross_edges=%d internal=%d inconsistencies=%d" (Router.cross_edges rt)
+    (Router.internal_edges rt)
+    (Router.inconsistencies rt)

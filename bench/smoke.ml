@@ -2,11 +2,13 @@
    BENCH_smoke.json (override the path with KRONOS_SMOKE_OUT), so CI can
    track coarse regressions without running the full figure harness.
 
-   Two families of numbers:
+   Three families of numbers:
    - in-process engine hot paths (ns/op via Bechamel);
    - the replicated service on the simulated network, with per-op compute
      latency quantiles taken from the client's own metrics histograms —
-     the same instruments `kronos_cli stats` reports in production. *)
+     the same instruments `kronos_cli stats` reports in production;
+   - the federated service (2 shards behind one router): cross-shard
+     two-shard-commit and scatter-query closed-loop rates. *)
 
 open Kronos
 module Sim = Kronos_simnet.Sim
@@ -130,6 +132,55 @@ let service_closed_loop () =
       end)
     [ "create_event"; "assign_order" ]
 
+(* Federated service on the simulated network: a 2-shard deployment
+   behind one router.  [fed.assign_cross_shard] is the closed-loop rate
+   of two-shard commits (portal pair + guarded batches + reflection
+   scan); [fed.query_scatter] the rate of cross-shard reads answered by
+   frontier comparison or a two-shard probe. *)
+let federation_smoke () =
+  let sim = Sim.create ~seed:7L () in
+  let net = Kronos_transport.Sim_transport.of_net (Net.create sim) in
+  let fed =
+    Kronos_federation.Deploy.deploy ~net ~shards:[ 0; 1 ]
+      ~replicas_per_shard:3 ~request_timeout:0.4 ()
+  in
+  let rt = fed.Kronos_federation.Deploy.router in
+  let await f =
+    let result = ref None in
+    f (fun x -> result := Some x);
+    while !result = None && Sim.pending sim > 0 do
+      ignore (Sim.step sim)
+    done;
+    match !result with
+    | Some (Ok x) -> x
+    | Some (Error _) | None -> failwith "smoke: federated op failed"
+  in
+  let module Router = Kronos_federation.Router in
+  let module Fid = Kronos_federation.Fid in
+  let n = if !Bench_util.full_scale then 250 else 80 in
+  let mint shard =
+    let c = Option.get (Router.client_of rt shard) in
+    Fid.make ~shard (await (Client.create_event c))
+  in
+  let left = Array.init n (fun _ -> mint 0)
+  and right = Array.init n (fun _ -> mint 1) in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to n - 1 do
+    ignore
+      (await (Router.assign_order rt [ Router.must_before left.(i) right.(i) ]))
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  record "fed.assign_cross_shard" (float_of_int n /. elapsed) "ops/s";
+  let rng = Kronos_simnet.Rng.create ~seed:31L in
+  let q = 2 * n in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to q do
+    let i = Kronos_simnet.Rng.int rng n and j = Kronos_simnet.Rng.int rng n in
+    ignore (await (Router.query_order rt [ (left.(i), right.(j)) ]))
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  record "fed.query_scatter" (float_of_int q /. elapsed) "ops/s"
+
 let write_json path =
   let oc = open_out path in
   output_string oc "{\n  \"schema\": \"kronos-bench-smoke/1\",\n";
@@ -177,13 +228,16 @@ let read_file path =
   data
 
 (* Regression gate behind `make bench-check`: re-measure the engine hot
-   paths and compare them with the committed BENCH_smoke.json.  Only the
-   engine.* series gate — they are in-process ns/op numbers stable enough
-   to compare across runs, while the service.* series swing with machine
-   load.  The threshold is deliberately loose (2.5x) so only real
-   regressions fail CI, not measurement noise. *)
+   paths and the federated series, and compare them with the committed
+   BENCH_smoke.json.  The engine.* series are in-process ns/op numbers;
+   the fed.* series are closed-loop rates on the simulated network (pure
+   compute, no real sleeping), so both are stable enough to gate.  The
+   service.* series swing with machine load and are not gated.  The
+   threshold is deliberately loose (2.5x) so only real regressions fail
+   CI, not measurement noise; for ops/s series "worse" means slower, so
+   the ratio inverts. *)
 let check () =
-  Bench_util.section "Smoke: engine regression gate vs BENCH_smoke.json";
+  Bench_util.section "Smoke: regression gate vs BENCH_smoke.json";
   let baseline_path =
     Option.value ~default:"BENCH_smoke.json"
       (Sys.getenv_opt "KRONOS_SMOKE_BASELINE")
@@ -197,6 +251,7 @@ let check () =
   let threshold = 2.5 in
   results := [];
   engine_hot_paths ();
+  federation_smoke ();
   let failures = ref 0 in
   List.iter
     (fun (name, value, unit_) ->
@@ -205,7 +260,11 @@ let check () =
         Printf.printf "  %-32s %12.6g %s  (no baseline, skipped)\n" name value
           unit_
       | Some base ->
-        let ratio = if base > 0. then value /. base else 1. in
+        let ratio =
+          if base <= 0. || value <= 0. then 1.
+          else if unit_ = "ops/s" then base /. value
+          else value /. base
+        in
         let verdict =
           if ratio > threshold then begin
             incr failures;
@@ -218,17 +277,18 @@ let check () =
     (List.rev !results);
   if !failures > 0 then begin
     Printf.eprintf
-      "smoke-check: %d engine series regressed more than %.1fx vs %s\n"
+      "smoke-check: %d series regressed more than %.1fx vs %s\n"
       !failures threshold baseline_path;
     exit 1
   end;
-  Bench_util.ours "all engine series within %.1fx of %s" threshold baseline_path
+  Bench_util.ours "all gated series within %.1fx of %s" threshold baseline_path
 
 let run () =
   Bench_util.section "Smoke: quick performance snapshot -> BENCH_smoke.json";
   results := [];
   engine_hot_paths ();
   service_closed_loop ();
+  federation_smoke ();
   let path =
     Option.value ~default:"BENCH_smoke.json" (Sys.getenv_opt "KRONOS_SMOKE_OUT")
   in

@@ -1,0 +1,41 @@
+open Kronos
+
+type t = { shard : int; id : Event_id.t }
+
+let make ~shard id =
+  if shard < 0 then invalid_arg "Fid.make: negative shard";
+  { shard; id }
+
+let shard t = t.shard
+let id t = t.id
+let equal a b = a.shard = b.shard && Event_id.equal a.id b.id
+
+let compare a b =
+  match Int.compare a.shard b.shard with
+  | 0 -> Event_id.compare a.id b.id
+  | c -> c
+
+let placement_key t =
+  Int64.logxor
+    (Ring.hash64 (Int64.of_int t.shard))
+    (Event_id.to_int64 t.id)
+
+let hash t = Int64.to_int (Ring.hash64 (placement_key t)) land max_int
+
+let to_string t =
+  Printf.sprintf "%d/%Ld" t.shard (Event_id.to_int64 t.id)
+
+let of_string s =
+  match String.index_opt s '/' with
+  | None -> None
+  | Some i -> (
+      let shard = String.sub s 0 i in
+      let raw = String.sub s (i + 1) (String.length s - i - 1) in
+      match (int_of_string_opt shard, Int64.of_string_opt raw) with
+      | Some shard, Some raw when shard >= 0 -> (
+          match Event_id.of_int64 raw with
+          | id -> Some { shard; id }
+          | exception Invalid_argument _ -> None)
+      | _ -> None)
+
+let pp ppf t = Format.fprintf ppf "s%d/%a" t.shard Event_id.pp t.id

@@ -1,0 +1,30 @@
+(** Federated event identifiers: a shard id paired with that shard's local
+    {!Kronos.Event_id}.
+
+    Local event ids use all 62 payload bits of an OCaml int, so the shard
+    cannot be packed into the same word; a federated id is the explicit
+    pair, printed as ["SHARD/LOCAL"] (e.g. ["2/4194305"]) in the CLI. *)
+
+open Kronos
+
+type t = { shard : int; id : Event_id.t }
+
+val make : shard:int -> Event_id.t -> t
+(** @raise Invalid_argument on a negative shard. *)
+
+val shard : t -> int
+val id : t -> Event_id.t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val to_string : t -> string
+(** Stable textual form ["SHARD/INT64"], parseable by {!of_string}. *)
+
+val of_string : string -> t option
+
+val placement_key : t -> int64
+(** 64-bit key mixing shard and local id, for ring lookups and hashing. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,88 @@
+(* splitmix64 finalizer: a strong, allocation-free 64-bit mix that is
+   identical in every process (unlike [Hashtbl.hash], whose result is
+   version-dependent for boxed values). *)
+let hash64 x =
+  let open Int64 in
+  let z = add x 0x9e3779b97f4a7c15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let hash_string s =
+  (* FNV-1a over the bytes, then the 64-bit finalizer. *)
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    s;
+  hash64 !h
+
+type t = {
+  vnodes : int;
+  members : int list;  (* ascending *)
+  (* virtual points sorted by position; lookup binary-searches this *)
+  points : (int64 * int) array;
+}
+
+let point_of shard replica =
+  hash64 (Int64.logor (Int64.shift_left (Int64.of_int shard) 20) (Int64.of_int replica))
+
+(* Unsigned comparison: points are raw 64-bit hashes. *)
+let ucompare a b = Int64.unsigned_compare a b
+
+let build vnodes members =
+  let points =
+    Array.init
+      (List.length members * vnodes)
+      (fun i ->
+        let shard = List.nth members (i / vnodes) in
+        (point_of shard (i mod vnodes), shard))
+  in
+  Array.sort (fun (a, sa) (b, sb) ->
+      match ucompare a b with 0 -> Int.compare sa sb | c -> c)
+    points;
+  { vnodes; members; points }
+
+let create ?(vnodes = 64) shards =
+  if vnodes < 1 then invalid_arg "Ring.create: vnodes must be positive";
+  if shards = [] then invalid_arg "Ring.create: no shards";
+  List.iter
+    (fun s -> if s < 0 then invalid_arg "Ring.create: negative shard id")
+    shards;
+  let sorted = List.sort_uniq Int.compare shards in
+  if List.length sorted <> List.length shards then
+    invalid_arg "Ring.create: duplicate shard id";
+  build vnodes sorted
+
+let shards t = t.members
+let size t = List.length t.members
+
+let add t shard =
+  if List.mem shard t.members then invalid_arg "Ring.add: already a member";
+  if shard < 0 then invalid_arg "Ring.add: negative shard id";
+  build t.vnodes (List.sort Int.compare (shard :: t.members))
+
+let remove t shard =
+  if not (List.mem shard t.members) then invalid_arg "Ring.remove: not a member";
+  match List.filter (fun s -> s <> shard) t.members with
+  | [] -> invalid_arg "Ring.remove: cannot empty the ring"
+  | rest -> build t.vnodes rest
+
+let lookup t key =
+  let h = hash64 key in
+  let points = t.points in
+  let n = Array.length points in
+  (* first point with position >= h, wrapping to 0 *)
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if ucompare (fst points.(mid)) h < 0 then lo := mid + 1 else hi := mid
+  done;
+  snd points.(if !lo = n then 0 else !lo)
+
+let lookup_string t key =
+  let h = hash_string key in
+  (* [lookup] hashes again, which is fine: the double mix is still a
+     uniform point on the ring. *)
+  lookup t h

@@ -1,0 +1,40 @@
+(** Consistent-hash ring: keys are mapped to shard ids so that membership
+    changes move only the keys of the affected arc.
+
+    This generalizes the kvstore's fixed modulo router
+    ([Kronos_kvstore.Router]): [shard_of ~shards key] remaps almost every
+    key when [shards] changes, while a consistent-hash ring with [v]
+    virtual nodes per shard remaps an expected [K/N] of [K] keys when the
+    [N]th shard joins (property-tested in [test_federation]).
+
+    The hash is a fixed 64-bit mix (splitmix64), not [Hashtbl.hash], so
+    every process of a federation — routers, daemons, tests — agrees on
+    placement regardless of OCaml version or flambda settings. *)
+
+type t
+
+val create : ?vnodes:int -> int list -> t
+(** [create ~vnodes shards] builds a ring with [vnodes] virtual points per
+    shard (default 64).  Shard ids must be distinct and non-negative.
+    @raise Invalid_argument on an empty or duplicated shard list. *)
+
+val add : t -> int -> t
+(** Ring with one more shard; the original is unchanged (persistent).
+    @raise Invalid_argument if the shard is already a member. *)
+
+val remove : t -> int -> t
+(** @raise Invalid_argument if absent, or removing the last shard. *)
+
+val shards : t -> int list
+(** Member shard ids, ascending. *)
+
+val size : t -> int
+
+val lookup : t -> int64 -> int
+(** Owning shard of a 64-bit key: the first virtual point clockwise of the
+    key's hash. *)
+
+val lookup_string : t -> string -> int
+
+val hash64 : int64 -> int64
+(** The mix function (exposed for tests and for stable derived keys). *)

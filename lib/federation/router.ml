@@ -1,0 +1,1235 @@
+open Kronos
+module Transport = Kronos_transport.Transport
+module Chain = Kronos_replication.Chain
+module Client = Kronos_service.Client
+module Error = Kronos_service.Error
+
+module M = struct
+  let scope = Kronos_metrics.scope "federation"
+  let cross_commits = Kronos_metrics.counter scope "cross_commits_total"
+  let cross_aborts = Kronos_metrics.counter scope "cross_aborts_total"
+  let cross_retries = Kronos_metrics.counter scope "cross_retries_total"
+  let cross_queries = Kronos_metrics.counter scope "cross_queries_total"
+  let internal_edges = Kronos_metrics.counter scope "internal_edges_total"
+  let reflections = Kronos_metrics.counter scope "reflection_edges_total"
+  let probe_pairs = Kronos_metrics.counter scope "probe_pairs_total"
+  let frontier_hits = Kronos_metrics.counter scope "frontier_short_circuits_total"
+  let rollbacks = Kronos_metrics.counter scope "portal_rollbacks_total"
+  let inconsistencies = Kronos_metrics.counter scope "inconsistencies_total"
+end
+
+type endpoint = { shard : int; coordinator : Transport.addr }
+
+type spec = {
+  left : Fid.t;
+  direction : Order.direction;
+  kind : Order.kind;
+  right : Fid.t;
+}
+
+let constrain ~kind ~direction left right = { left; direction; kind; right }
+let must_before a b = constrain ~kind:Order.Must ~direction:Order.Happens_before a b
+let must_after a b = constrain ~kind:Order.Must ~direction:Order.Happens_after a b
+
+let prefer_before a b =
+  constrain ~kind:Order.Prefer ~direction:Order.Happens_before a b
+
+let prefer_after a b =
+  constrain ~kind:Order.Prefer ~direction:Order.Happens_after a b
+
+type fault =
+  [ `Probe
+  | `Prepare_create
+  | `Prepare_apply
+  | `Apply_create
+  | `Apply_apply
+  | `Record
+  | `Reflect ]
+
+(* A committed cross-shard edge src -> dst, witnessed by its portal pair:
+   [src.id -> out_portal] on the source shard, [in_portal -> dst.id] on the
+   destination shard.  [gen_pair] names the (ingress, egress) edge pair whose
+   reflection derived this edge, so a rollback can unmark it. *)
+type edge = {
+  e_id : int;
+  src : Fid.t;
+  dst : Fid.t;
+  out_portal : Event_id.t;
+  in_portal : Event_id.t;
+  frontier_snap : int array;
+  internal : bool;
+  gen_pair : (int * int) option;
+}
+
+type commit_ok = { edge : edge; recorded : edge list }
+
+type commit_result =
+  | Committed of commit_ok
+  | Implied
+  | Refused
+  | Contended
+  | Failed of Error.t
+
+type stats_gather = {
+  g_targets : (int * Transport.addr) list;
+  g_timeout : float;
+  g_k : (int * (string * float) list) list -> unit;
+}
+
+type stats_active = {
+  a_map : (Transport.addr, int) Hashtbl.t;
+  mutable a_acc : (int * (string * float) list) list;
+  mutable a_left : int;
+  a_k : (int * (string * float) list) list -> unit;
+  mutable a_timer : Transport.timer option;
+}
+
+type t = {
+  net : Chain.msg Transport.t;
+  stats_addr : Transport.addr;
+  f_ring : Ring.t;
+  ids : int array; (* ascending shard ids *)
+  slots : (int, int) Hashtbl.t; (* shard id -> dense index *)
+  clients : (int, Client.t) Hashtbl.t;
+  mutable rr : int;
+  mutable next_edge : int;
+  edges : (int, edge) Hashtbl.t;
+  direct_tbl : (int * int, int list ref) Hashtbl.t; (* (src, dst) shard pair *)
+  ingress : (int, int list ref) Hashtbl.t; (* dst shard -> edge ids *)
+  egress : (int, int list ref) Hashtbl.t; (* src shard -> edge ids *)
+  reflected : (int * int, unit) Hashtbl.t; (* composed (ingress, egress) pairs *)
+  frontier_counts : int array; (* per slot: committed egress edges *)
+  jobs : ((unit -> unit) -> unit) Queue.t;
+  mutable lane_busy : bool;
+  mutable fault : (fault -> bool) option;
+  mutable bad : int; (* acked-edge reflection rejections *)
+  mutable internal_count : int;
+  stats_queue : stats_gather Queue.t;
+  mutable stats_active : stats_active option;
+}
+
+(* ---------- small helpers ---------- *)
+
+let list_tbl tbl key =
+  match Hashtbl.find_opt tbl key with Some r -> !r | None -> []
+
+let add_tbl tbl key v =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> r := v :: !r
+  | None -> Hashtbl.add tbl key (ref [ v ])
+
+let remove_tbl tbl key v =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> r := List.filter (fun x -> x <> v) !r
+  | None -> ()
+
+let client t shard = Hashtbl.find_opt t.clients shard
+let client_exn t shard = Hashtbl.find t.clients shard
+let slot t shard = Hashtbl.find t.slots shard
+
+let direct_edges t i j =
+  List.filter_map (Hashtbl.find_opt t.edges) (list_tbl t.direct_tbl (i, j))
+
+let faulted t step = match t.fault with Some f -> f step | None -> false
+
+(* The serial lane: cross-shard commits and intra-shard assigns that can
+   connect portals run one at a time, so the reflection closure is always
+   complete before the next ordering decision relies on it. *)
+let rec pump t =
+  if not t.lane_busy then
+    match Queue.take_opt t.jobs with
+    | None -> ()
+    | Some job ->
+      t.lane_busy <- true;
+      job (fun () ->
+          t.lane_busy <- false;
+          pump t)
+
+let enqueue t job =
+  Queue.add job t.jobs;
+  pump t
+
+(* ---------- probes ---------- *)
+
+let probe t ?timeout shard pairs k =
+  if pairs = [] then k (Ok [||])
+  else begin
+    Kronos_metrics.Counter.add M.probe_pairs (List.length pairs);
+    Client.query_order (client_exn t shard) ?timeout pairs (function
+      | Ok rels -> k (Ok (Array.of_list rels))
+      | Error e -> k (Error e))
+  end
+
+let probe2 t ?timeout (s1, p1) (s2, p2) k =
+  let r1 = ref None and r2 = ref None in
+  let try_finish () =
+    match (!r1, !r2) with
+    | Some a, Some b -> (
+        match (a, b) with
+        | Ok x, Ok y -> k (Ok (x, y))
+        | (Error _ as e), _ | _, (Error _ as e) ->
+          k (match e with Error e -> Error e | Ok _ -> assert false))
+    | _ -> ()
+  in
+  probe t ?timeout s1 p1 (fun r ->
+      r1 := Some r;
+      try_finish ());
+  probe t ?timeout s2 p2 (fun r ->
+      r2 := Some r;
+      try_finish ())
+
+(* ---------- edge registry ---------- *)
+
+let release_portal t ?timeout shard portal =
+  match client t shard with
+  | None -> ()
+  | Some c -> Client.release_ref c ?timeout portal (fun _ -> ())
+
+let record_edge t ~src ~dst ~out_portal ~in_portal ~internal ~gen_pair =
+  let e_id = t.next_edge in
+  t.next_edge <- e_id + 1;
+  let i = src.Fid.shard and j = dst.Fid.shard in
+  let si = slot t i in
+  t.frontier_counts.(si) <- t.frontier_counts.(si) + 1;
+  let e =
+    {
+      e_id;
+      src;
+      dst;
+      out_portal;
+      in_portal;
+      frontier_snap = Array.copy t.frontier_counts;
+      internal;
+      gen_pair;
+    }
+  in
+  Hashtbl.replace t.edges e_id e;
+  add_tbl t.direct_tbl (i, j) e_id;
+  add_tbl t.egress i e_id;
+  add_tbl t.ingress j e_id;
+  if internal then begin
+    t.internal_count <- t.internal_count + 1;
+    Kronos_metrics.Counter.incr M.internal_edges
+  end;
+  Kronos_metrics.Counter.incr M.cross_commits;
+  e
+
+(* Undo a recorded edge: released portals are unobservable, so the edge's
+   constraint disappears with them; unmark the reflection pair that derived
+   it so a later scan may retry the composition. *)
+let rollback_edge t ?timeout e =
+  Hashtbl.remove t.edges e.e_id;
+  let i = e.src.Fid.shard and j = e.dst.Fid.shard in
+  remove_tbl t.direct_tbl (i, j) e.e_id;
+  remove_tbl t.egress i e.e_id;
+  remove_tbl t.ingress j e.e_id;
+  let si = slot t i in
+  t.frontier_counts.(si) <- t.frontier_counts.(si) - 1;
+  if e.internal then t.internal_count <- t.internal_count - 1;
+  (match e.gen_pair with
+  | Some p -> Hashtbl.remove t.reflected p
+  | None -> ());
+  let stale =
+    Hashtbl.fold
+      (fun (a, b) () acc ->
+        if a = e.e_id || b = e.e_id then (a, b) :: acc else acc)
+      t.reflected []
+  in
+  List.iter (Hashtbl.remove t.reflected) stale;
+  Kronos_metrics.Counter.incr M.rollbacks;
+  release_portal t ?timeout i e.out_portal;
+  release_portal t ?timeout j e.in_portal
+
+let rollback_list t ?timeout edges = List.iter (rollback_edge t ?timeout) edges
+
+let unreflected_pairs t sh =
+  let find = Hashtbl.find_opt t.edges in
+  let ins = List.filter_map find (list_tbl t.ingress sh) in
+  let outs = List.filter_map find (list_tbl t.egress sh) in
+  List.concat_map
+    (fun x ->
+      List.filter_map
+        (fun y ->
+          if x.e_id = y.e_id || Hashtbl.mem t.reflected (x.e_id, y.e_id) then
+            None
+          else Some (x, y))
+        outs)
+    ins
+
+(* ---------- the two-shard commit and the reflection closure ---------- *)
+
+(* One side of the commit: mint a portal, then apply the half-edge under the
+   guards probed for that shard.  Any failure releases the portal, which is
+   all the rollback a half-edge ever needs. *)
+let side t ?timeout ~shard ~guards ~batch_of ~fault_create ~fault_apply k =
+  if faulted t fault_create then k (Error `Fault)
+  else
+    Client.create_event (client_exn t shard) ?timeout (function
+      | Error e -> k (Error (`Err e))
+      | Ok p ->
+        if faulted t fault_apply then begin
+          release_portal t ?timeout shard p;
+          k (Error `Fault)
+        end
+        else
+          Client.guarded_assign (client_exn t shard) ?timeout ~guards
+            (batch_of p) (function
+            | Ok _ -> k (Ok p)
+            | Error (Error.Rejected (Order.Guard_failed _)) ->
+              release_portal t ?timeout shard p;
+              k (Error `Guard)
+            | Error e ->
+              release_portal t ?timeout shard p;
+              k (Error (`Err e))))
+
+let rec commit_cross t ?timeout ~internal ~gen_pair ~attempt a b k =
+  let abort result =
+    Kronos_metrics.Counter.incr M.cross_aborts;
+    k result
+  in
+  let retry () =
+    Kronos_metrics.Counter.incr M.cross_retries;
+    if attempt >= 2 then abort Contended
+    else commit_cross t ?timeout ~internal ~gen_pair ~attempt:(attempt + 1) a b k
+  in
+  if faulted t `Probe then abort (Failed Error.Timeout)
+  else begin
+    let i = a.Fid.shard and j = b.Fid.shard in
+    let fwd = direct_edges t i j and bwd = direct_edges t j i in
+    let nb = List.length bwd in
+    let pa =
+      List.map (fun s -> (s.in_portal, a.Fid.id)) bwd
+      @ List.map (fun r -> (a.Fid.id, r.out_portal)) fwd
+    and pb =
+      List.map (fun s -> (b.Fid.id, s.out_portal)) bwd
+      @ List.map (fun r -> (r.in_portal, b.Fid.id)) fwd
+    in
+    probe2 t ?timeout (i, pa) (j, pb) (function
+      | Error e -> k (Failed e)
+      | Ok (ra, rb) ->
+        let both idx = ra.(idx) = Order.Before && rb.(idx) = Order.Before in
+        let exists lo hi =
+          let rec go idx = idx < hi && (both idx || go (idx + 1)) in
+          go lo
+        in
+        let conflict = exists 0 nb in
+        let implied = exists nb (Array.length ra) in
+        if conflict then begin
+          if implied then begin
+            t.bad <- t.bad + 1;
+            Kronos_metrics.Counter.incr M.inconsistencies
+          end;
+          abort Refused
+        end
+        else if implied then k Implied
+        else begin
+          let triple pairs rels =
+            List.mapi (fun idx (e1, e2) -> (e1, e2, rels.(idx))) pairs
+          in
+          let guards_i = triple pa ra and guards_j = triple pb rb in
+          let s1 = min i j and s2 = max i j in
+          let guards_of s = if s = i then guards_i else guards_j in
+          let batch_of s p =
+            if s = i then [ Order.must_before a.Fid.id p ]
+            else [ Order.must_before p b.Fid.id ]
+          in
+          side t ?timeout ~shard:s1 ~guards:(guards_of s1) ~batch_of:(batch_of s1)
+            ~fault_create:`Prepare_create ~fault_apply:`Prepare_apply (function
+            | Error `Guard -> retry ()
+            | Error `Fault -> abort (Failed Error.Timeout)
+            | Error (`Err e) -> abort (Failed e)
+            | Ok p1 ->
+              side t ?timeout ~shard:s2 ~guards:(guards_of s2)
+                ~batch_of:(batch_of s2) ~fault_create:`Apply_create
+                ~fault_apply:`Apply_apply (function
+                | Error `Guard ->
+                  release_portal t ?timeout s1 p1;
+                  retry ()
+                | Error `Fault ->
+                  release_portal t ?timeout s1 p1;
+                  abort (Failed Error.Timeout)
+                | Error (`Err e) ->
+                  release_portal t ?timeout s1 p1;
+                  abort (Failed e)
+                | Ok p2 ->
+                  if faulted t `Record then begin
+                    release_portal t ?timeout s1 p1;
+                    release_portal t ?timeout s2 p2;
+                    abort (Failed Error.Timeout)
+                  end
+                  else begin
+                    let out_portal, in_portal =
+                      if s1 = i then (p1, p2) else (p2, p1)
+                    in
+                    let e =
+                      record_edge t ~src:a ~dst:b ~out_portal ~in_portal
+                        ~internal ~gen_pair
+                    in
+                    let acc = ref [ e ] in
+                    if faulted t `Reflect then begin
+                      rollback_list t ?timeout !acc;
+                      abort (Failed Error.Timeout)
+                    end
+                    else
+                      reflect_edge t ?timeout ~acc e (function
+                        | Ok () -> k (Committed { edge = e; recorded = !acc })
+                        | Error `Cycle ->
+                          rollback_list t ?timeout !acc;
+                          abort Refused
+                        | Error `Contended ->
+                          rollback_list t ?timeout !acc;
+                          retry ()
+                        | Error (`Err err) ->
+                          rollback_list t ?timeout !acc;
+                          abort (Failed err))
+                  end))
+        end)
+  end
+
+(* Materialize the composition of ingress edge [x] with egress edge [y]
+   (their portals are locally connected on the shared shard): a derived
+   constraint from [x]'s source to [y]'s destination.  [acc], when given,
+   collects every edge recorded so the caller can roll the whole set back. *)
+and compose_pair t ?timeout ~acc (x, y) k =
+  let mark () = Hashtbl.replace t.reflected (x.e_id, y.e_id) () in
+  let m = x.src.Fid.shard and n = y.dst.Fid.shard in
+  if m = n then
+    Client.assign_order (client_exn t m) ?timeout
+      [ Order.must_before x.out_portal y.in_portal ]
+      (function
+      | Ok _ ->
+        mark ();
+        Kronos_metrics.Counter.incr M.reflections;
+        k (Ok ())
+      | Error (Error.Rejected (Order.Must_violated _)) -> k (Error `Cycle)
+      | Error e -> k (Error (`Err e)))
+  else
+    let ox = Fid.make ~shard:m x.out_portal
+    and iy = Fid.make ~shard:n y.in_portal in
+    commit_cross t ?timeout ~internal:true
+      ~gen_pair:(Some (x.e_id, y.e_id))
+      ~attempt:0 ox iy (function
+      | Committed { recorded; _ } ->
+        (match acc with Some r -> r := recorded @ !r | None -> ());
+        mark ();
+        Kronos_metrics.Counter.incr M.reflections;
+        k (Ok ())
+      | Implied ->
+        mark ();
+        k (Ok ())
+      | Refused -> k (Error `Cycle)
+      | Contended -> k (Error `Contended)
+      | Failed e -> k (Error (`Err e)))
+
+and compose_seq t ?timeout ~acc pairs k =
+  match pairs with
+  | [] -> k (Ok ())
+  | p :: rest ->
+    compose_pair t ?timeout ~acc p (function
+      | Ok () -> compose_seq t ?timeout ~acc rest k
+      | Error _ as e -> k e)
+
+(* After committing edge [e], probe every still-unreflected portal pair
+   that involves [e] on its two shards and materialize the connected ones.
+   Derived edges recurse through [commit_cross], which reflects them in
+   turn, so one scan per edge reaches the closure. *)
+and reflect_edge t ?timeout ~acc e k =
+  let find = Hashtbl.find_opt t.edges in
+  let outs =
+    List.filter_map find (list_tbl t.egress e.dst.Fid.shard)
+    |> List.filter (fun y ->
+           y.e_id <> e.e_id && not (Hashtbl.mem t.reflected (e.e_id, y.e_id)))
+  and ins =
+    List.filter_map find (list_tbl t.ingress e.src.Fid.shard)
+    |> List.filter (fun x ->
+           x.e_id <> e.e_id && not (Hashtbl.mem t.reflected (x.e_id, e.e_id)))
+  in
+  if outs = [] && ins = [] then k (Ok ())
+  else
+    let p_dst = List.map (fun y -> (e.in_portal, y.out_portal)) outs
+    and p_src = List.map (fun x -> (x.in_portal, e.out_portal)) ins in
+    probe2 t ?timeout (e.dst.Fid.shard, p_dst) (e.src.Fid.shard, p_src)
+      (function
+      | Error err -> k (Error (`Err err))
+      | Ok (rd, rs) ->
+        let connected =
+          List.filteri (fun idx _ -> rd.(idx) = Order.Before) outs
+          |> List.map (fun y -> (e, y))
+        in
+        let connected =
+          connected
+          @ (List.filteri (fun idx _ -> rs.(idx) = Order.Before) ins
+            |> List.map (fun x -> (x, e)))
+        in
+        compose_seq t ?timeout ~acc:(Some acc) connected k)
+
+(* Repair pass: compositions witnessed by the committed graph but not yet
+   in the registry (an intra-shard assign raced a concurrent commit on the
+   open path).  Run before any decision that relies on the direct tables;
+   repaired edges are justified by acked state and stay regardless of what
+   the enclosing operation does. *)
+let rec repair_scan t ?timeout sh k =
+  let pairs = unreflected_pairs t sh in
+  if pairs = [] then k (Ok ())
+  else
+    probe t ?timeout sh
+      (List.map (fun (x, y) -> (x.in_portal, y.out_portal)) pairs)
+      (function
+      | Error e -> k (Error (`Err e))
+      | Ok rels ->
+        let connected =
+          List.filteri (fun idx _ -> rels.(idx) = Order.Before) pairs
+        in
+        let rec go = function
+          | [] -> k (Ok ())
+          | p :: rest ->
+            compose_pair t ?timeout ~acc:None p (function
+              | Ok () -> go rest
+              | Error `Cycle ->
+                (* a cycle among acked edges: count it, mark the pair so
+                   the scan terminates, and keep going *)
+                let x, y = p in
+                t.bad <- t.bad + 1;
+                Kronos_metrics.Counter.incr M.inconsistencies;
+                Hashtbl.replace t.reflected (x.e_id, y.e_id) ();
+                go rest
+              | Error `Contended -> k (Error `Contended)
+              | Error (`Err e) -> k (Error (`Err e)))
+        in
+        go connected)
+
+and repair_shards t ?timeout shards k =
+  match shards with
+  | [] -> k (Ok ())
+  | sh :: rest ->
+    repair_scan t ?timeout sh (function
+      | Ok () -> repair_shards t ?timeout rest k
+      | Error _ as e -> k e)
+
+(* ---------- lane-side spec processing ---------- *)
+
+let remap_err idx = function
+  | Error.Rejected (Order.Must_violated _) ->
+    Error.Rejected (Order.Must_violated idx)
+  | Error.Rejected (Order.Must_self _) -> Error.Rejected (Order.Must_self idx)
+  | Error.Rejected (Order.Guard_failed _) ->
+    Error.Rejected (Order.Guard_failed idx)
+  | e -> e
+
+let to_local (s : spec) : Order.spec =
+  Order.constrain ~kind:s.kind ~direction:s.direction s.left.Fid.id
+    s.right.Fid.id
+
+let normalize (s : spec) =
+  match s.direction with
+  | Order.Happens_before -> (s.left, s.right)
+  | Order.Happens_after -> (s.right, s.left)
+
+let single_outcome = function
+  | [ o ] -> o
+  | _ -> assert false (* single-spec batch *)
+
+(* An intra-shard constraint on a shard holding both ingress and egress
+   portals, processed inside the lane: predict which portal pairs the new
+   edge would connect, materialize those compositions first (so a
+   cycle-closing constraint is refused and so the closure never lags), then
+   apply the constraint under guards pinning the probed relations. *)
+let lane_intra t ?timeout spec idx k =
+  let u, v = normalize spec in
+  let sh = u.Fid.shard in
+  let c = client_exn t sh in
+  let direct () =
+    Client.assign_order c ?timeout [ to_local spec ] (function
+      | Ok outs -> k (Ok (single_outcome outs))
+      | Error e -> k (Error (remap_err idx e)))
+  in
+  let rec attempt_apply n =
+    let pairs = unreflected_pairs t sh in
+    if pairs = [] then direct ()
+    else begin
+      let module S = Set.Make (Int) in
+      let ins =
+        S.elements (S.of_list (List.map (fun (x, _) -> x.e_id) pairs))
+        |> List.map (Hashtbl.find t.edges)
+      and outs =
+        S.elements (S.of_list (List.map (fun (_, y) -> y.e_id) pairs))
+        |> List.map (Hashtbl.find t.edges)
+      in
+      let np = List.length pairs and ni = List.length ins in
+      let probe_pairs =
+        List.map (fun (x, y) -> (x.in_portal, y.out_portal)) pairs
+        @ List.map (fun x -> (x.in_portal, u.Fid.id)) ins
+        @ List.map (fun y -> (v.Fid.id, y.out_portal)) outs
+      in
+      let pos_in x =
+        let rec go i = function
+          | [] -> assert false
+          | e :: _ when e.e_id = x.e_id -> i
+          | _ :: rest -> go (i + 1) rest
+        in
+        np + go 0 ins
+      and pos_out y =
+        let rec go i = function
+          | [] -> assert false
+          | e :: _ when e.e_id = y.e_id -> i
+          | _ :: rest -> go (i + 1) rest
+        in
+        np + ni + go 0 outs
+      in
+      probe t ?timeout sh probe_pairs (function
+        | Error e -> k (Error e)
+        | Ok rels ->
+          let repairs =
+            List.filteri (fun i _ -> rels.(i) = Order.Before) pairs
+          and speculative =
+            List.filteri
+              (fun i (x, y) ->
+                rels.(i) <> Order.Before
+                && rels.(pos_in x) = Order.Before
+                && rels.(pos_out y) = Order.Before)
+              pairs
+          in
+          let guards =
+            List.mapi (fun i (e1, e2) -> (e1, e2, rels.(i))) probe_pairs
+          in
+          let spec_acc = ref [] in
+          let fail e =
+            rollback_list t ?timeout !spec_acc;
+            k (Error e)
+          in
+          let refuse () =
+            rollback_list t ?timeout !spec_acc;
+            match spec.kind with
+            | Order.Must -> k (Error (Error.Rejected (Order.Must_violated idx)))
+            | Order.Prefer -> k (Ok Order.Reversed)
+          in
+          (* Speculative compositions whose derived edge is cross-shard are
+             applied before the spec through [commit_cross] (portal release
+             rolls them back if the spec is not applied).  Ones whose
+             derived edge is local to a single other shard connect two
+             committed edges' portals with a plain local assign — that
+             cannot be rolled back, so they are only cycle-probed before
+             the spec and materialized after it succeeds. *)
+          let spec_cross, spec_local =
+            List.partition
+              (fun (x, y) -> x.src.Fid.shard <> y.dst.Fid.shard)
+              speculative
+          in
+          (* After the spec is in, the lane still serializes every mutation
+             that could touch these portals, so a refusal here means the
+             acked state already held a cycle. *)
+          let rec post_compose o = function
+            | [] -> k (Ok o)
+            | p :: rest ->
+              compose_pair t ?timeout ~acc:None p (function
+                | Ok () -> post_compose o rest
+                | Error `Cycle ->
+                  let x, y = p in
+                  t.bad <- t.bad + 1;
+                  Kronos_metrics.Counter.incr M.inconsistencies;
+                  Hashtbl.replace t.reflected (x.e_id, y.e_id) ();
+                  post_compose o rest
+                | Error `Contended | Error (`Err _) ->
+                  (* recoverable: the pair stays unreflected and a later
+                     repair scan composes it *)
+                  post_compose o rest)
+          in
+          let apply posts =
+            Client.guarded_assign c ?timeout ~guards [ to_local spec ]
+              (function
+              | Ok outs ->
+                let o = single_outcome outs in
+                (* a reversed prefer means the constraint was not applied:
+                   its speculative compositions are unjustified *)
+                if o = Order.Reversed then begin
+                  rollback_list t ?timeout !spec_acc;
+                  k (Ok o)
+                end
+                else post_compose o posts
+              | Error (Error.Rejected (Order.Guard_failed _)) ->
+                rollback_list t ?timeout !spec_acc;
+                if n >= 2 then
+                  k (Error (Error.Rejected (Order.Guard_failed idx)))
+                else attempt_apply (n + 1)
+              | Error e -> fail (remap_err idx e))
+          in
+          (* Cycle-probe the local compositions on their target shards: a
+             reverse path there means the spec would close a multi-shard
+             cycle, so it is refused before anything is applied.  Pairs
+             already connected are just marked reflected. *)
+          let probe_locals k2 =
+            let groups = Hashtbl.create 4 in
+            List.iter
+              (fun (x, y) -> add_tbl groups x.src.Fid.shard (x, y))
+              spec_local;
+            let shs =
+              List.sort Int.compare
+                (Hashtbl.fold (fun sh _ acc -> sh :: acc) groups [])
+            in
+            let rec go acc = function
+              | [] -> k2 (`Go acc)
+              | sh :: rest ->
+                let items = List.rev !(Hashtbl.find groups sh) in
+                probe t ?timeout sh
+                  (List.map (fun (x, y) -> (x.out_portal, y.in_portal)) items)
+                  (function
+                  | Error e -> k2 (`Err e)
+                  | Ok prels ->
+                    if Array.exists (fun r -> r = Order.After) prels then
+                      k2 `Cycle
+                    else begin
+                      let keep = ref acc in
+                      List.iteri
+                        (fun i (x, y) ->
+                          if prels.(i) = Order.Before then
+                            Hashtbl.replace t.reflected (x.e_id, y.e_id) ()
+                          else keep := (x, y) :: !keep)
+                        items;
+                      go !keep rest
+                    end)
+            in
+            go [] shs
+          in
+          (* repairs first (permanent), then the compositions this spec
+             would enable *)
+          let rec do_repairs = function
+            | [] ->
+              probe_locals (function
+                | `Err e -> k (Error e)
+                | `Cycle -> refuse ()
+                | `Go posts -> do_spec posts spec_cross)
+            | p :: rest ->
+              compose_pair t ?timeout ~acc:None p (function
+                | Ok () -> do_repairs rest
+                | Error `Cycle ->
+                  let x, y = p in
+                  t.bad <- t.bad + 1;
+                  Kronos_metrics.Counter.incr M.inconsistencies;
+                  Hashtbl.replace t.reflected (x.e_id, y.e_id) ();
+                  do_repairs rest
+                | Error `Contended ->
+                  k (Error (Error.Rejected (Order.Guard_failed idx)))
+                | Error (`Err e) -> k (Error e))
+          and do_spec posts = function
+            | [] -> apply posts
+            | p :: rest ->
+              compose_pair t ?timeout ~acc:(Some spec_acc) p (function
+                | Ok () -> do_spec posts rest
+                | Error `Cycle -> refuse ()
+                | Error `Contended ->
+                  rollback_list t ?timeout !spec_acc;
+                  k (Error (Error.Rejected (Order.Guard_failed idx)))
+                | Error (`Err e) -> fail e)
+          in
+          do_repairs repairs)
+    end
+  in
+  if Event_id.equal u.Fid.id v.Fid.id then direct () else attempt_apply 0
+
+let lane_cross t ?timeout spec idx k =
+  let u, v = normalize spec in
+  repair_shards t ?timeout [ u.Fid.shard; v.Fid.shard ] (function
+    | Error `Contended -> k (Error (Error.Rejected (Order.Guard_failed idx)))
+    | Error (`Err e) -> k (Error e)
+    | Ok () ->
+      commit_cross t ?timeout ~internal:false ~gen_pair:None ~attempt:0 u v
+        (function
+        | Committed _ -> k (Ok Order.Applied)
+        | Implied -> k (Ok Order.Already)
+        | Refused -> (
+            match spec.kind with
+            | Order.Must -> k (Error (Error.Rejected (Order.Must_violated idx)))
+            | Order.Prefer -> k (Ok Order.Reversed))
+        | Contended -> k (Error (Error.Rejected (Order.Guard_failed idx)))
+        | Failed e -> k (Error e)))
+
+(* ---------- construction ---------- *)
+
+let stats_finish t =
+  match t.stats_active with
+  | None -> ()
+  | Some a ->
+    (match a.a_timer with Some tm -> Transport.cancel tm | None -> ());
+    t.stats_active <- None;
+    let acc =
+      List.sort (fun (s1, _) (s2, _) -> Int.compare s1 s2) a.a_acc
+    in
+    a.a_k acc
+
+let rec stats_start t =
+  match t.stats_active with
+  | Some _ -> ()
+  | None -> (
+      match Queue.take_opt t.stats_queue with
+      | None -> ()
+      | Some g ->
+        let map = Hashtbl.create 8 in
+        List.iter (fun (shard, addr) -> Hashtbl.replace map addr shard)
+          g.g_targets;
+        let a =
+          { a_map = map; a_acc = []; a_left = Hashtbl.length map; a_k = g.g_k;
+            a_timer = None }
+        in
+        t.stats_active <- Some a;
+        a.a_timer <-
+          Some
+            (Transport.schedule t.net ~delay:g.g_timeout (fun () ->
+                 stats_finish t;
+                 stats_start t));
+        List.iter
+          (fun (_, addr) ->
+            Transport.send t.net ~src:t.stats_addr ~dst:addr
+              (Chain.Get_stats { client = t.stats_addr }))
+          g.g_targets)
+
+let on_stats t ~src msg =
+  match msg with
+  | Chain.Stats_is { samples } -> (
+      match t.stats_active with
+      | Some a when Hashtbl.mem a.a_map src ->
+        let shard = Hashtbl.find a.a_map src in
+        Hashtbl.remove a.a_map src;
+        a.a_acc <- (shard, samples) :: a.a_acc;
+        a.a_left <- a.a_left - 1;
+        if a.a_left = 0 then begin
+          stats_finish t;
+          stats_start t
+        end
+      | _ -> ())
+  | _ -> ()
+
+let create ~net ~addr ~shards ?vnodes ?cache_capacity ?request_timeout () =
+  if shards = [] then invalid_arg "Router.create: no shards";
+  let sorted =
+    List.sort (fun a b -> Int.compare a.shard b.shard) shards
+  in
+  let ids = Array.of_list (List.map (fun e -> e.shard) sorted) in
+  let f_ring = Ring.create ?vnodes (Array.to_list ids) in
+  let slots = Hashtbl.create 8 in
+  Array.iteri (fun i s -> Hashtbl.replace slots s i) ids;
+  let clients = Hashtbl.create 8 in
+  List.iteri
+    (fun i e ->
+      Hashtbl.replace clients e.shard
+        (Client.create ~net ~addr:(addr + i) ~coordinator:e.coordinator
+           ?cache_capacity ?request_timeout ()))
+    sorted;
+  let t =
+    {
+      net;
+      stats_addr = addr + Array.length ids;
+      f_ring;
+      ids;
+      slots;
+      clients;
+      (* Start the keyless round-robin at an addr-dependent offset:
+         one-shot processes (each kronos_cli run is a fresh pid-derived
+         addr) would otherwise all place their first event on shard 0. *)
+      rr = abs addr mod Array.length ids;
+      next_edge = 0;
+      edges = Hashtbl.create 64;
+      direct_tbl = Hashtbl.create 16;
+      ingress = Hashtbl.create 8;
+      egress = Hashtbl.create 8;
+      reflected = Hashtbl.create 64;
+      frontier_counts = Array.make (Array.length ids) 0;
+      jobs = Queue.create ();
+      lane_busy = false;
+      fault = None;
+      bad = 0;
+      internal_count = 0;
+      stats_queue = Queue.create ();
+      stats_active = None;
+    }
+  in
+  Transport.register net t.stats_addr (fun ~src msg -> on_stats t ~src msg);
+  t
+
+(* ---------- public operations ---------- *)
+
+let known t fid = Hashtbl.mem t.clients fid.Fid.shard
+
+let validate t fids =
+  List.find_opt (fun fid -> not (known t fid)) fids
+
+let unknown_error fid = Error.Rejected (Order.Unknown_event fid.Fid.id)
+
+let create_event t ?timeout ?key k =
+  let sh =
+    match key with
+    | Some key -> Ring.lookup_string t.f_ring key
+    | None ->
+      let s = t.ids.(t.rr mod Array.length t.ids) in
+      t.rr <- t.rr + 1;
+      s
+  in
+  Client.create_event (client_exn t sh) ?timeout (function
+    | Ok id -> k (Ok (Fid.make ~shard:sh id))
+    | Error e -> k (Error e))
+
+let acquire_ref t ?timeout fid k =
+  if not (known t fid) then k (Error (unknown_error fid))
+  else Client.acquire_ref (client_exn t fid.Fid.shard) ?timeout fid.Fid.id k
+
+let release_ref t ?timeout fid k =
+  if not (known t fid) then k (Error (unknown_error fid))
+  else Client.release_ref (client_exn t fid.Fid.shard) ?timeout fid.Fid.id k
+
+(* Cross-shard read: no witnesses between the two shards means no cross
+   ordering (frontier short-circuit); otherwise one probe per side over the
+   direct witness portals decides the relation. *)
+let cross_query t ?timeout x y k =
+  Kronos_metrics.Counter.incr M.cross_queries;
+  let i = x.Fid.shard and j = y.Fid.shard in
+  let fwd = direct_edges t i j and bwd = direct_edges t j i in
+  if fwd = [] && bwd = [] then begin
+    Kronos_metrics.Counter.incr M.frontier_hits;
+    k (Ok Order.Concurrent)
+  end
+  else
+    let nf = List.length fwd in
+    let pa =
+      List.map (fun r -> (x.Fid.id, r.out_portal)) fwd
+      @ List.map (fun s -> (s.in_portal, x.Fid.id)) bwd
+    and pb =
+      List.map (fun r -> (r.in_portal, y.Fid.id)) fwd
+      @ List.map (fun s -> (y.Fid.id, s.out_portal)) bwd
+    in
+    probe2 t ?timeout (i, pa) (j, pb) (function
+      | Error e -> k (Error e)
+      | Ok (ra, rb) ->
+        let both idx = ra.(idx) = Order.Before && rb.(idx) = Order.Before in
+        let exists lo hi =
+          let rec go idx = idx < hi && (both idx || go (idx + 1)) in
+          go lo
+        in
+        let before = exists 0 nf and after = exists nf (Array.length ra) in
+        if before && after then begin
+          t.bad <- t.bad + 1;
+          Kronos_metrics.Counter.incr M.inconsistencies;
+          k (Ok Order.Before)
+        end
+        else if before then k (Ok Order.Before)
+        else if after then k (Ok Order.After)
+        else k (Ok Order.Concurrent))
+
+let query_order t ?timeout pairs callback =
+  match
+    validate t (List.concat_map (fun (x, y) -> [ x; y ]) pairs)
+  with
+  | Some fid -> callback (Error (unknown_error fid))
+  | None ->
+    if pairs = [] then callback (Ok [])
+    else begin
+      let n = List.length pairs in
+      let results = Array.make n Order.Concurrent in
+      let err = ref None in
+      let record_err idx e =
+        match !err with
+        | Some (prev, _) when prev <= idx -> ()
+        | _ -> err := Some (idx, e)
+      in
+      (* per-shard groups of same-shard pairs, plus individual cross pairs *)
+      let groups = Hashtbl.create 8 in
+      let cross = ref [] in
+      List.iteri
+        (fun idx (x, y) ->
+          if x.Fid.shard = y.Fid.shard then
+            add_tbl groups x.Fid.shard (idx, (x.Fid.id, y.Fid.id))
+          else cross := (idx, x, y) :: !cross)
+        pairs;
+      let jobs = Hashtbl.length groups + List.length !cross in
+      let left = ref jobs in
+      let finish_one () =
+        decr left;
+        if !left = 0 then
+          match !err with
+          | Some (_, e) -> callback (Error e)
+          | None -> callback (Ok (Array.to_list results))
+      in
+      Hashtbl.iter
+        (fun sh group ->
+          let items = List.rev !group in
+          Client.query_order (client_exn t sh) ?timeout
+            (List.map snd items)
+            (function
+            | Ok rels ->
+              List.iter2 (fun (idx, _) r -> results.(idx) <- r) items rels;
+              finish_one ()
+            | Error e ->
+              record_err (fst (List.hd items)) e;
+              finish_one ()))
+        groups;
+      List.iter
+        (fun (idx, x, y) ->
+          cross_query t ?timeout x y (function
+            | Ok r ->
+              results.(idx) <- r;
+              finish_one ()
+            | Error e ->
+              record_err idx e;
+              finish_one ()))
+        !cross
+    end
+
+let biportal t sh = list_tbl t.ingress sh <> [] && list_tbl t.egress sh <> []
+
+let assign_order t ?timeout specs callback =
+  match
+    validate t (List.concat_map (fun s -> [ s.left; s.right ]) specs)
+  with
+  | Some fid -> callback (Error (unknown_error fid))
+  | None ->
+    if specs = [] then callback (Ok [])
+    else begin
+      let cross =
+        List.exists (fun s -> s.left.Fid.shard <> s.right.Fid.shard) specs
+      in
+      let shards_used =
+        List.sort_uniq Int.compare
+          (List.concat_map
+             (fun s -> [ s.left.Fid.shard; s.right.Fid.shard ])
+             specs)
+      in
+      let any_biportal = List.exists (biportal t) shards_used in
+      match (cross || any_biportal, shards_used) with
+      | false, [ sh ] ->
+        (* the scaling fast path: a whole-batch atomic assign on the
+           owning chain, untouched by the lane *)
+        Client.assign_order (client_exn t sh) ?timeout
+          (List.map to_local specs) callback
+      | false, _ ->
+        (* multi-shard, portal-quiet: scatter per-shard sub-batches in
+           parallel; each is atomic on its shard *)
+        let groups = Hashtbl.create 8 in
+        List.iteri
+          (fun idx s -> add_tbl groups s.left.Fid.shard (idx, to_local s))
+          specs;
+        let outcomes = Array.make (List.length specs) Order.Applied in
+        let err = ref None in
+        let left = ref (Hashtbl.length groups) in
+        let finish_one () =
+          decr left;
+          if !left = 0 then
+            match !err with
+            | Some (_, e) -> callback (Error e)
+            | None -> callback (Ok (Array.to_list outcomes))
+        in
+        Hashtbl.iter
+          (fun sh group ->
+            let items = List.rev !group in
+            let idxs = List.map fst items in
+            Client.assign_order (client_exn t sh) ?timeout
+              (List.map snd items)
+              (function
+              | Ok outs ->
+                List.iter2 (fun idx o -> outcomes.(idx) <- o) idxs outs;
+                finish_one ()
+              | Error e ->
+                let e =
+                  match e with
+                  | Error.Rejected (Order.Must_violated g) ->
+                    Error.Rejected (Order.Must_violated (List.nth idxs g))
+                  | Error.Rejected (Order.Must_self g) ->
+                    Error.Rejected (Order.Must_self (List.nth idxs g))
+                  | Error.Rejected (Order.Guard_failed g) ->
+                    Error.Rejected (Order.Guard_failed (List.nth idxs g))
+                  | e -> e
+                in
+                let first = List.hd idxs in
+                (match !err with
+                | Some (prev, _) when prev <= first -> ()
+                | _ -> err := Some (first, e));
+                finish_one ()))
+          groups
+      | true, _ ->
+        (* the serialized path: constraints processed one at a time in
+           request order; atomic per constraint, not per batch *)
+        enqueue t (fun release_lane ->
+            let outcomes = Array.make (List.length specs) Order.Applied in
+            let rec step idx = function
+              | [] ->
+                release_lane ();
+                callback (Ok (Array.to_list outcomes))
+              | spec :: rest ->
+                let k = function
+                  | Ok o ->
+                    outcomes.(idx) <- o;
+                    step (idx + 1) rest
+                  | Error e ->
+                    release_lane ();
+                    callback (Error e)
+                in
+                if spec.left.Fid.shard = spec.right.Fid.shard then
+                  lane_intra t ?timeout spec idx k
+                else lane_cross t ?timeout spec idx k
+            in
+            step 0 specs)
+    end
+
+(* ---------- stats plane ---------- *)
+
+let merged_stats t ?(timeout = 5.0) ~targets k =
+  Queue.add { g_targets = targets; g_timeout = timeout; g_k = k }
+    t.stats_queue;
+  stats_start t
+
+let merge_samples per_shard =
+  let per_shard =
+    List.sort (fun (s1, _) (s2, _) -> Int.compare s1 s2) per_shard
+  in
+  let sums = Hashtbl.create 64 in
+  let names = ref [] in
+  List.iter
+    (fun (_, samples) ->
+      List.iter
+        (fun (name, v) ->
+          match Hashtbl.find_opt sums name with
+          | Some r -> r := !r +. v
+          | None ->
+            Hashtbl.add sums name (ref v);
+            names := name :: !names)
+        samples)
+    per_shard;
+  let agg =
+    List.rev_map (fun n -> ("fed." ^ n, !(Hashtbl.find sums n))) !names
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let pers =
+    List.concat_map
+      (fun (shard, samples) ->
+        List.map
+          (fun (n, v) -> (Printf.sprintf "shard%d.%s" shard n, v))
+          samples)
+      per_shard
+  in
+  (("fed.shards", float_of_int (List.length per_shard)) :: agg) @ pers
+
+(* ---------- introspection and test hooks ---------- *)
+
+let ring t = t.f_ring
+let shard_ids t = Array.to_list t.ids
+let shard_count t = Array.length t.ids
+let client_of t shard = client t shard
+let cross_edges t = Hashtbl.length t.edges
+let internal_edges t = t.internal_count
+
+let frontier t =
+  Array.to_list (Array.mapi (fun i s -> (s, t.frontier_counts.(i))) t.ids)
+
+let edge_frontiers t =
+  Hashtbl.fold (fun id e acc -> (id, e.frontier_snap) :: acc) t.edges []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let inconsistencies t = t.bad
+let set_fault_injection t f = t.fault <- f
+
+(* ---------- edge-table persistence ---------- *)
+
+(* The edge table is the one piece of federation state the router cannot
+   rediscover from the shards: portals are anonymous events to the
+   engines.  [dump]/[restore] serialize it so a short-lived process (one
+   kronos_cli invocation) can hand its knowledge of committed cross edges
+   to the next one — a fresh router with an empty table would answer
+   cross queries [Concurrent] and, worse, probe blindly and admit an edge
+   that reverses a committed one. *)
+
+let dump t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "kronos-fed-state 1\n";
+  Hashtbl.fold (fun _ e acc -> e :: acc) t.edges []
+  |> List.sort (fun a b -> Int.compare a.e_id b.e_id)
+  |> List.iter (fun e ->
+         let gen =
+           match e.gen_pair with
+           | Some (x, y) -> Printf.sprintf "%d %d" x y
+           | None -> "- -"
+         in
+         Buffer.add_string b
+           (Printf.sprintf "edge %d %s %s %Ld %Ld %d %s\n" e.e_id
+              (Fid.to_string e.src) (Fid.to_string e.dst)
+              (Event_id.to_int64 e.out_portal)
+              (Event_id.to_int64 e.in_portal)
+              (if e.internal then 1 else 0)
+              gen));
+  Hashtbl.fold (fun p () acc -> p :: acc) t.reflected []
+  |> List.sort compare
+  |> List.iter (fun (x, y) ->
+         Buffer.add_string b (Printf.sprintf "refl %d %d\n" x y));
+  Buffer.contents b
+
+let restore t s =
+  if Hashtbl.length t.edges > 0 then
+    Error "restore: router already has cross edges"
+  else
+    match String.split_on_char '\n' s with
+    | header :: rest when String.trim header = "kronos-fed-state 1" -> (
+      try
+        let edges = ref [] and refl = ref [] in
+        List.iter
+          (fun line ->
+            match String.split_on_char ' ' (String.trim line) with
+            | [ "" ] | [] -> ()
+            | [ "edge"; e_id; src; dst; outp; inp; internal; gx; gy ] ->
+              let fid name = function
+                | Some f ->
+                  if not (Hashtbl.mem t.slots f.Fid.shard) then
+                    failwith
+                      (Printf.sprintf "unknown shard %d in %s" f.Fid.shard
+                         name);
+                  f
+                | None -> failwith ("bad fid in " ^ name)
+              in
+              let gen_pair =
+                match (gx, gy) with
+                | "-", "-" -> None
+                | _ -> Some (int_of_string gx, int_of_string gy)
+              in
+              edges :=
+                ( int_of_string e_id,
+                  fid "src" (Fid.of_string src),
+                  fid "dst" (Fid.of_string dst),
+                  Event_id.of_int64 (Int64.of_string outp),
+                  Event_id.of_int64 (Int64.of_string inp),
+                  internal = "1",
+                  gen_pair )
+                :: !edges
+            | [ "refl"; x; y ] ->
+              refl := (int_of_string x, int_of_string y) :: !refl
+            | _ -> failwith ("bad line: " ^ String.trim line))
+          rest;
+        (* Insert in ascending e_id order so the incremental frontier
+           snapshots come out exactly as [record_edge] wrote them. *)
+        List.sort (fun (a, _, _, _, _, _, _) (b, _, _, _, _, _, _) ->
+            Int.compare a b)
+          !edges
+        |> List.iter
+             (fun (e_id, src, dst, out_portal, in_portal, internal, gen_pair)
+             ->
+               let i = src.Fid.shard and j = dst.Fid.shard in
+               let si = slot t i in
+               t.frontier_counts.(si) <- t.frontier_counts.(si) + 1;
+               let e =
+                 {
+                   e_id;
+                   src;
+                   dst;
+                   out_portal;
+                   in_portal;
+                   frontier_snap = Array.copy t.frontier_counts;
+                   internal;
+                   gen_pair;
+                 }
+               in
+               Hashtbl.replace t.edges e_id e;
+               add_tbl t.direct_tbl (i, j) e_id;
+               add_tbl t.egress i e_id;
+               add_tbl t.ingress j e_id;
+               if internal then t.internal_count <- t.internal_count + 1;
+               t.next_edge <- max t.next_edge (e_id + 1));
+        List.iter (fun p -> Hashtbl.replace t.reflected p ()) !refl;
+        Ok ()
+      with
+      | Failure m -> Error m
+      | Invalid_argument m -> Error m)
+    | _ -> Error "restore: not a kronos-fed-state file"

@@ -1,0 +1,190 @@
+(** Federation router: one event graph sharded across N independent Kronos
+    chains (DESIGN §12).
+
+    Events live on the shard that minted them; a {!Ring} places fresh
+    events.  Intra-shard operations go straight to the owning chain, so
+    the write plane scales with the number of shards.  A cross-shard
+    [must] edge [a\@i -> b\@j] commits through a deterministic {b
+    two-shard commit}: a {e portal} pair is materialized — [a -> out_k] on
+    shard [i], [in_k -> b] on shard [j] — by guarded atomic batches
+    applied in shard-id order, with abort-safe rollback (released portals
+    are unobservable, so an aborted or half-finished commit never leaves a
+    visible constraint).
+
+    The router maintains a {e reflection closure}: whenever a local path
+    connects an ingress portal to an egress portal on some shard, the
+    composed ordering is materialized as a derived (internal) edge between
+    the corresponding opposite portals.  The closure gives two guarantees:
+
+    - {b direct witnesses}: any cross-shard ordering [x\@i ⇝ y\@j] is
+      witnessed by a direct [i -> j] edge, so [query_order] needs at most
+      one probe per side (the "two-shard probe");
+    - {b local cycle detection}: an intra-shard assign that would close a
+      multi-shard cycle hits a locally materialized portal edge and is
+      rejected by the owning engine's ordinary cycle check.
+
+    Per-shard-pair frontier counters short-circuit queries between shard
+    pairs with no cross edges, and each committed edge records the
+    per-shard frontier at commit time.
+
+    A federation has {e one} router: all ordering mutations must flow
+    through it (reads may go anywhere).  Cross-edge commits and
+    portal-relevant intra-shard assigns serialize through an internal
+    lane; everything else runs concurrently. *)
+
+open Kronos
+module Transport = Kronos_transport.Transport
+module Error = Kronos_service.Error
+
+type t
+
+type endpoint = { shard : int; coordinator : Transport.addr }
+(** One shard of the federation: its id and its chain's coordinator. *)
+
+val create :
+  net:Kronos_replication.Chain.msg Transport.t ->
+  addr:Transport.addr ->
+  shards:endpoint list ->
+  ?vnodes:int ->
+  ?cache_capacity:int ->
+  ?request_timeout:float ->
+  unit ->
+  t
+(** Connect to every shard chain.  The router claims the address block
+    [addr .. addr + length shards + 1]: one proxy address per shard plus
+    one for the stats plane.  [cache_capacity] sizes each per-shard
+    client's order cache. *)
+
+(** {1 Federated ordering specs} *)
+
+type spec = {
+  left : Fid.t;
+  direction : Order.direction;
+  kind : Order.kind;
+  right : Fid.t;
+}
+
+val constrain :
+  kind:Order.kind -> direction:Order.direction -> Fid.t -> Fid.t -> spec
+
+val must_before : Fid.t -> Fid.t -> spec
+val must_after : Fid.t -> Fid.t -> spec
+val prefer_before : Fid.t -> Fid.t -> spec
+val prefer_after : Fid.t -> Fid.t -> spec
+
+(** {1 Operations}
+
+    Semantics match {!Kronos_service.Client} lifted to federated ids,
+    with one weakening: a batch that spans shards (or lands on a shard
+    with both ingress and egress portals) is atomic {e per constraint},
+    not per batch — on failure the reported index is the first constraint
+    that was not applied; earlier ones remain.  Single-shard batches on
+    portal-quiet shards keep full batch atomicity. *)
+
+val create_event :
+  t -> ?timeout:float -> ?key:string -> ((Fid.t, Error.t) result -> unit) -> unit
+(** Mint an event.  With [key] the owning shard is [Ring.lookup_string];
+    without, shards are used round-robin. *)
+
+val acquire_ref :
+  t -> ?timeout:float -> Fid.t -> ((unit, Error.t) result -> unit) -> unit
+
+val release_ref :
+  t -> ?timeout:float -> Fid.t -> ((int, Error.t) result -> unit) -> unit
+
+val query_order :
+  t ->
+  ?timeout:float ->
+  (Fid.t * Fid.t) list ->
+  ((Order.relation list, Error.t) result -> unit) ->
+  unit
+(** Scatter-gather: same-shard pairs are answered by one batched query per
+    shard; cross-shard pairs by frontier comparison (no cross edges
+    between the two shards — [Concurrent] with no probe) or a two-shard
+    probe over the direct witness portals. *)
+
+val assign_order :
+  t -> ?timeout:float -> spec list -> ((Order.outcome list, Error.t) result -> unit) -> unit
+
+(** {1 Stats plane} *)
+
+val merged_stats :
+  t ->
+  ?timeout:float ->
+  targets:(int * Transport.addr) list ->
+  ((int * (string * float) list) list -> unit) ->
+  unit
+(** Scatter [Get_stats] to one replica (or coordinator) per shard and
+    gather the registries: the callback receives [(shard, samples)] for
+    every shard that answered within [timeout] (default 5 s).  Use
+    {!merge_samples} to flatten the result into one registry view. *)
+
+val merge_samples :
+  (int * (string * float) list) list -> (string * float) list
+(** One merged registry: per-shard series prefixed ["shard<i>."] plus
+    summed aggregates prefixed ["fed."] — the federated replacement for a
+    single replica's [Get_stats] answer. *)
+
+(** {1 Introspection} *)
+
+val ring : t -> Ring.t
+val shard_ids : t -> int list
+val shard_count : t -> int
+
+val client_of : t -> int -> Kronos_service.Client.t option
+(** The per-shard service client (tests and the CLI stats plane). *)
+
+val cross_edges : t -> int
+(** Committed cross edges, including derived (internal) ones. *)
+
+val internal_edges : t -> int
+
+val frontier : t -> (int * int) list
+(** Per-shard committed cross-edge counts [(shard, egress count)] — the
+    frontier table queries compare against. *)
+
+val edge_frontiers : t -> (int * int array) list
+(** Per committed edge: its id and the frontier snapshot recorded at
+    commit (ascending shard order), for tests and observability. *)
+
+val inconsistencies : t -> int
+(** Number of reflection batches rejected for an already-acked edge set —
+    0 unless the single-router discipline was violated. *)
+
+(** {1 Edge-table persistence}
+
+    The edge table is the one piece of federation state a router cannot
+    rediscover from the shards (portals are anonymous events to the
+    engines), and the single-router discipline requires a successor
+    router to inherit it: a fresh router with an empty table answers
+    cross queries [Concurrent] and can admit an edge reversing a
+    committed one.  Short-lived processes — each [kronos_cli] invocation
+    — persist it with [dump] and hand it to the next invocation via
+    [restore]. *)
+
+val dump : t -> string
+(** Serialize the committed cross-edge table (edges, reflection marks)
+    to a stable line-oriented text format. *)
+
+val restore : t -> string -> (unit, string) result
+(** Load a {!dump} into a router that has not committed any cross edge
+    yet.  Fails (without partial effects on the edge registry) on a
+    malformed dump, an unknown shard id, or a router that already holds
+    edges. *)
+
+(** {1 Test hooks} *)
+
+type fault =
+  [ `Probe  (** before the conflict probe *)
+  | `Prepare_create  (** before creating the first shard's portal *)
+  | `Prepare_apply  (** before the first shard's guarded batch *)
+  | `Apply_create  (** before creating the second shard's portal *)
+  | `Apply_apply  (** before the second shard's guarded batch *)
+  | `Record  (** before recording the edge in the registry *)
+  | `Reflect  (** before the reflection closure *) ]
+
+val set_fault_injection : t -> (fault -> bool) option -> unit
+(** When the hook returns [true] for a step of a cross-edge commit, the
+    commit aborts at that step (rolling back whatever was applied) and the
+    caller sees [Error Timeout] — the harness injects an abort at every
+    step and checks that no half-applied constraint is ever observable. *)

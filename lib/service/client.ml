@@ -179,29 +179,39 @@ let query_order t ?timeout ?(stale = false) ?(revalidate = true) pairs callback 
                     finish ())
           end)
 
-let assign_order t ?timeout specs callback =
-  let callback = timed M.assign_order callback in
-  Proxy.write t.proxy ?timeout
-    (Message.encode_request (Message.Assign_order specs))
+(* Every pair of a successful batch now has a committed order we can
+   cache: Applied/Already mean the requested direction holds; Reversed
+   means the opposite one does. *)
+let cache_outcomes t specs outs =
+  List.iter2
+    (fun (s : Order.spec) out ->
+      let before, after =
+        match s.direction with
+        | Order.Happens_before -> (s.left, s.right)
+        | Order.Happens_after -> (s.right, s.left)
+      in
+      match (out : Order.outcome) with
+      | Applied | Already ->
+        if not (Event_id.equal before after) then
+          cache_insert t before after Order.Before
+      | Reversed -> cache_insert t after before Order.Before)
+    specs outs
+
+let send_assign t ?timeout request specs callback =
+  Proxy.write t.proxy ?timeout (Message.encode_request request)
     (decoded (function
       | Ok (Message.Outcomes outs) ->
-        (* Every pair of a successful batch now has a committed order we can
-           cache: Applied/Already mean the requested direction holds;
-           Reversed means the opposite one does. *)
-        List.iter2
-          (fun (s : Order.spec) out ->
-            let before, after =
-              match s.direction with
-              | Order.Happens_before -> (s.left, s.right)
-              | Order.Happens_after -> (s.right, s.left)
-            in
-            match (out : Order.outcome) with
-            | Applied | Already ->
-              if not (Event_id.equal before after) then
-                cache_insert t before after Order.Before
-            | Reversed -> cache_insert t after before Order.Before)
-          specs outs;
+        cache_outcomes t specs outs;
         callback (Ok outs)
       | Ok (Message.Rejected err) -> callback (Error (Error.Rejected err))
       | Ok _ -> callback (Error unexpected)
       | Error e -> callback (Error e)))
+
+let assign_order t ?timeout specs callback =
+  let callback = timed M.assign_order callback in
+  send_assign t ?timeout (Message.Assign_order specs) specs callback
+
+let guarded_assign t ?timeout ~guards specs callback =
+  let callback = timed M.assign_order callback in
+  send_assign t ?timeout (Message.Guarded_assign { guards; specs }) specs
+    callback

@@ -73,6 +73,19 @@ val assign_order :
     the specs with {!Order.must_before} and friends.  On success, every
     applied or implied pair is inserted into the local order cache. *)
 
+val guarded_assign :
+  t ->
+  ?timeout:float ->
+  guards:(Event_id.t * Event_id.t * Order.relation) list ->
+  Order.spec list ->
+  ((Order.outcome list, Error.t) result -> unit) ->
+  unit
+(** {!assign_order} preceded by atomically evaluated guards: the batch
+    applies only if every guard pair still has the expected relation,
+    otherwise it fails with [Rejected (Guard_failed i)] and no side
+    effects.  The federation router uses this to commit cross-shard
+    edges without a window for concurrent contradicting assigns. *)
+
 (** {1 Introspection} *)
 
 val cache : t -> Order_cache.t option

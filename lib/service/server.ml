@@ -16,6 +16,7 @@ module M = struct
   let release_ref = op_metrics "release_ref"
   let query_order = op_metrics "query_order"
   let assign_order = op_metrics "assign_order"
+  let guarded_assign = op_metrics "guarded_assign"
   let malformed = Kronos_metrics.counter scope "malformed_requests_total"
 end
 
@@ -57,6 +58,11 @@ let apply engine cmd =
     | Message.Assign_order reqs ->
       timed M.assign_order (fun () ->
           match Engine.assign_order engine reqs with
+          | Ok outs -> Message.Outcomes outs
+          | Error err -> Message.Rejected err)
+    | Message.Guarded_assign { guards; specs } ->
+      timed M.guarded_assign (fun () ->
+          match Engine.guarded_assign engine ~guards specs with
           | Ok outs -> Message.Outcomes outs
           | Error err -> Message.Rejected err)
   in

@@ -6,6 +6,10 @@ type request =
   | Release_ref of Event_id.t
   | Query_order of (Event_id.t * Event_id.t) list
   | Assign_order of Order.spec list
+  | Guarded_assign of {
+      guards : (Event_id.t * Event_id.t * Order.relation) list;
+      specs : Order.spec list;
+    }
 
 type response =
   | Event_created of Event_id.t
@@ -74,13 +78,28 @@ let put_error b = function
   | Order.Must_violated i -> Codec.put_u8 b 0; Codec.put_u32 b i
   | Order.Must_self i -> Codec.put_u8 b 1; Codec.put_u32 b i
   | Order.Unknown_event e -> Codec.put_u8 b 2; put_event b e
+  | Order.Guard_failed i -> Codec.put_u8 b 3; Codec.put_u32 b i
 
 let get_error d =
   match Codec.get_u8 d with
   | 0 -> Order.Must_violated (Codec.get_u32 d)
   | 1 -> Order.Must_self (Codec.get_u32 d)
   | 2 -> Order.Unknown_event (get_event d)
+  | 3 -> Order.Guard_failed (Codec.get_u32 d)
   | n -> raise (Codec.Decode_error (Printf.sprintf "bad error tag %d" n))
+
+let put_spec b (s : Order.spec) =
+  put_event b s.left;
+  put_direction b s.direction;
+  put_kind b s.kind;
+  put_event b s.right
+
+let get_spec d =
+  let left = get_event d in
+  let direction = get_direction d in
+  let kind = get_kind d in
+  let right = get_event d in
+  { Order.left; direction; kind; right }
 
 let encode_request r =
   let b = Codec.encoder () in
@@ -95,13 +114,16 @@ let encode_request r =
      Codec.put_u8 b 4;
      (* field order matches the pre-[Order.spec] tuple encoding byte for
         byte, so the wire format is unchanged *)
+     Codec.put_list b put_spec reqs
+   | Guarded_assign { guards; specs } ->
+     Codec.put_u8 b 5;
      Codec.put_list b
-       (fun b (s : Order.spec) ->
-         put_event b s.left;
-         put_direction b s.direction;
-         put_kind b s.kind;
-         put_event b s.right)
-       reqs);
+       (fun b (e1, e2, rel) ->
+         put_event b e1;
+         put_event b e2;
+         put_relation b rel)
+       guards;
+     Codec.put_list b put_spec specs);
   Codec.to_string b
 
 let decode_request s =
@@ -117,14 +139,17 @@ let decode_request s =
              let e1 = get_event d in
              let e2 = get_event d in
              (e1, e2)))
-    | 4 ->
-      Assign_order
-        (Codec.get_list d (fun d ->
-             let left = get_event d in
-             let direction = get_direction d in
-             let kind = get_kind d in
-             let right = get_event d in
-             { Order.left; direction; kind; right }))
+    | 4 -> Assign_order (Codec.get_list d get_spec)
+    | 5 ->
+      let guards =
+        Codec.get_list d (fun d ->
+            let e1 = get_event d in
+            let e2 = get_event d in
+            let rel = get_relation d in
+            (e1, e2, rel))
+      in
+      let specs = Codec.get_list d get_spec in
+      Guarded_assign { guards; specs }
     | n -> raise (Codec.Decode_error (Printf.sprintf "bad request tag %d" n))
   in
   Codec.expect_end d;
@@ -165,6 +190,9 @@ let pp_request ppf = function
   | Release_ref e -> Format.fprintf ppf "release_ref(%a)" Event_id.pp e
   | Query_order pairs -> Format.fprintf ppf "query_order(%d pairs)" (List.length pairs)
   | Assign_order reqs -> Format.fprintf ppf "assign_order(%d pairs)" (List.length reqs)
+  | Guarded_assign { guards; specs } ->
+    Format.fprintf ppf "guarded_assign(%d guards, %d pairs)"
+      (List.length guards) (List.length specs)
 
 let pp_response ppf = function
   | Event_created e -> Format.fprintf ppf "event_created(%a)" Event_id.pp e
@@ -184,4 +212,6 @@ let pp_response ppf = function
 
 let is_read_only = function
   | Query_order _ -> true
-  | Create_event | Acquire_ref _ | Release_ref _ | Assign_order _ -> false
+  | Create_event | Acquire_ref _ | Release_ref _ | Assign_order _
+  | Guarded_assign _ ->
+    false

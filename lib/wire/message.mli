@@ -12,6 +12,14 @@ type request =
   | Release_ref of Event_id.t
   | Query_order of (Event_id.t * Event_id.t) list
   | Assign_order of Order.spec list
+  | Guarded_assign of {
+      guards : (Event_id.t * Event_id.t * Order.relation) list;
+      specs : Order.spec list;
+    }
+      (** atomically check that each guard pair currently has the expected
+          relation, then apply [specs] as one {!Assign_order} batch; any
+          mismatch rejects with [Order.Guard_failed] and no side effects
+          (the federation layer's cross-shard commit primitive) *)
 
 type response =
   | Event_created of Event_id.t

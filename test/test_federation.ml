@@ -1,0 +1,597 @@
+(* Federation tests: consistent-hash ring properties, the two-shard
+   cross-edge commit with fault injection at every step, the reflection
+   closure, frontier-short-circuit queries, merged stats, the
+   deterministic crash/partition nemesis harness and write scaling. *)
+
+open Kronos
+open Kronos_simnet
+open Kronos_service
+module Fed = Kronos_federation.Deploy
+module Router = Kronos_federation.Router
+module Fid = Kronos_federation.Fid
+module Ring = Kronos_federation.Ring
+
+let relation = Alcotest.testable Order.pp_relation Order.relation_equal
+let outcome = Alcotest.testable Order.pp_outcome Order.outcome_equal
+
+type env = { sim : Sim.t; raw : Kronos_replication.Chain.msg Net.t; fed : Fed.t }
+
+let make_env ?(shards = [ 0; 1 ]) ?(replicas = 3) ?(seed = 7L) ?service () =
+  let sim = Sim.create ~seed () in
+  let raw = Net.create sim in
+  let net = Kronos_transport.Sim_transport.of_net raw in
+  let fed =
+    Fed.deploy ~net ~shards ~replicas_per_shard:replicas ?service
+      ~request_timeout:0.4 ~ping_interval:0.1 ~failure_timeout:0.35 ()
+  in
+  { sim; raw; fed }
+
+let await env f =
+  let result = ref None in
+  f (fun x -> result := Some x);
+  let deadline = Sim.now env.sim +. 60.0 in
+  while !result = None && Sim.now env.sim < deadline && Sim.pending env.sim > 0 do
+    ignore (Sim.step env.sim)
+  done;
+  match !result with
+  | Some x -> x
+  | None -> Alcotest.fail "federated call did not complete"
+
+let ok = function
+  | Ok x -> x
+  | Error e -> Alcotest.failf "unexpected error: %a" Error.pp e
+
+let router env = env.fed.Fed.router
+
+(* Mint an event pinned to [shard] through that shard's own client, so
+   tests control placement regardless of the router's round-robin. *)
+let mint_on env shard =
+  let c = Option.get (Router.client_of (router env) shard) in
+  Fid.make ~shard (ok (await env (Client.create_event c)))
+
+let assign env specs = await env (Router.assign_order (router env) specs)
+let query env pairs = await env (Router.query_order (router env) pairs)
+
+(* ---------- ring ---------- *)
+
+let test_ring_basics () =
+  let ring = Ring.create [ 0; 1; 2 ] in
+  Alcotest.(check (list int)) "members" [ 0; 1; 2 ] (Ring.shards ring);
+  Alcotest.(check int) "size" 3 (Ring.size ring);
+  let counts = Array.make 3 0 in
+  for k = 0 to 2999 do
+    let s = Ring.lookup ring (Int64.of_int k) in
+    Alcotest.(check bool) "member" true (List.mem s [ 0; 1; 2 ]);
+    Alcotest.(check int) "stable" s (Ring.lookup ring (Int64.of_int k));
+    counts.(s) <- counts.(s) + 1
+  done;
+  (* each shard owns a non-trivial share of 3000 keys *)
+  Array.iter
+    (fun c -> Alcotest.(check bool) "balanced" true (c > 300))
+    counts;
+  Alcotest.(check bool) "string lookup member" true
+    (List.mem (Ring.lookup_string ring "some/key") [ 0; 1; 2 ])
+
+let prop_ring_remap =
+  QCheck2.Test.make ~name:"ring join moves ~K/N keys, all to the joiner"
+    ~count:50
+    QCheck2.Gen.(pair (int_range 1 8) (int_range 1 10_000))
+    (fun (n, salt) ->
+      let keys = List.init 512 (fun i -> Int64.of_int ((i * 7919) + salt)) in
+      let before = Ring.create (List.init n (fun i -> i)) in
+      let after = Ring.add before n in
+      let moved =
+        List.filter (fun k -> Ring.lookup before k <> Ring.lookup after k) keys
+      in
+      (* consistency: a key only ever moves to the joining shard *)
+      List.for_all (fun k -> Ring.lookup after k = n) moved
+      (* volume: expected K/(N+1) with generous statistical slack *)
+      && List.length moved <= (3 * 512 / (n + 1)) + 32
+      && List.length moved >= 1
+      (* removing the joiner restores every placement *)
+      && List.for_all
+           (fun k -> Ring.lookup (Ring.remove after n) k = Ring.lookup before k)
+           keys)
+
+(* ---------- cross-shard commit ---------- *)
+
+let test_cross_edge_commit () =
+  let env = make_env () in
+  let a = mint_on env 0 and b = mint_on env 1 in
+  Alcotest.(check (list relation)) "initially concurrent"
+    [ Order.Concurrent ]
+    (ok (query env [ (a, b) ]));
+  Alcotest.(check (list outcome)) "applied" [ Order.Applied ]
+    (ok (assign env [ Router.must_before a b ]));
+  Alcotest.(check (list relation)) "ordered both ways"
+    [ Order.Before; Order.After ]
+    (ok (query env [ (a, b); (b, a) ]));
+  Alcotest.(check (list outcome)) "re-assign is implied" [ Order.Already ]
+    (ok (assign env [ Router.must_before a b ]));
+  Alcotest.(check int) "one witness edge" 1 (Router.cross_edges (router env));
+  Alcotest.(check (list (pair int int))) "frontier counts egress"
+    [ (0, 1); (1, 0) ]
+    (Router.frontier (router env));
+  Alcotest.(check int) "consistent" 0 (Router.inconsistencies (router env))
+
+let test_cross_edge_conflict () =
+  let env = make_env () in
+  let a = mint_on env 0 and b = mint_on env 1 in
+  ignore (ok (assign env [ Router.must_before a b ]));
+  (match assign env [ Router.must_after a b ] with
+  | Error (Error.Rejected (Order.Must_violated 0)) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "conflicting must was not refused");
+  Alcotest.(check (list outcome)) "conflicting prefer reverses"
+    [ Order.Reversed ]
+    (ok (assign env [ Router.prefer_after a b ]));
+  Alcotest.(check (list relation)) "original order stands" [ Order.Before ]
+    (ok (query env [ (a, b) ]));
+  Alcotest.(check int) "only the first edge" 1 (Router.cross_edges (router env))
+
+let test_concurrent_conflicting_edges () =
+  let env = make_env () in
+  let a = mint_on env 0 and b = mint_on env 1 in
+  let r1 = ref None and r2 = ref None in
+  Router.assign_order (router env) [ Router.must_before a b ] (fun x ->
+      r1 := Some x);
+  Router.assign_order (router env) [ Router.must_before b a ] (fun x ->
+      r2 := Some x);
+  Sim.run ~until:(Sim.now env.sim +. 30.0) env.sim;
+  let applied = function Some (Ok [ Order.Applied ]) -> true | _ -> false in
+  let refused = function
+    | Some (Error (Error.Rejected (Order.Must_violated _))) -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "exactly one of the two racing edges wins" true
+    ((applied !r1 && refused !r2) || (applied !r2 && refused !r1));
+  Alcotest.(check int) "one witness edge" 1 (Router.cross_edges (router env));
+  Alcotest.(check int) "consistent" 0 (Router.inconsistencies (router env))
+
+let test_mixed_batch_atomiclike () =
+  (* a batch mixing an intra pair and a cross pair: outcomes keep request
+     order, and a conflicting cross constraint reports its own index *)
+  let env = make_env () in
+  let a = mint_on env 0 and b = mint_on env 0 and c = mint_on env 1 in
+  Alcotest.(check (list outcome)) "mixed batch"
+    [ Order.Applied; Order.Applied ]
+    (ok (assign env [ Router.must_before a b; Router.must_before b c ]));
+  (match assign env [ Router.prefer_before a b; Router.must_before c a ] with
+  | Error (Error.Rejected (Order.Must_violated 1)) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "cycle-closing cross edge not refused at 1");
+  Alcotest.(check (list relation)) "transitive across the portal"
+    [ Order.Before ]
+    (ok (query env [ (a, c) ]))
+
+(* A successor router (a later kronos_cli invocation, a standby taking
+   over) inherits the edge table via dump/restore; without it a fresh
+   router would answer this pair Concurrent and admit the reversing
+   edge. *)
+let test_dump_restore_handoff () =
+  let env = make_env () in
+  let a = mint_on env 0 and b = mint_on env 1 in
+  Alcotest.(check (list outcome)) "applied" [ Order.Applied ]
+    (ok (assign env [ Router.must_before a b ]));
+  let state = Router.dump (router env) in
+  let net = Kronos_transport.Sim_transport.of_net env.raw in
+  let r2 =
+    Router.create ~net ~addr:3000
+      ~shards:
+        (List.map (fun s -> { Router.shard = s; coordinator = 1000 + s }) [ 0; 1 ])
+      ~request_timeout:0.4 ()
+  in
+  (match Router.restore r2 state with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  Alcotest.(check int) "edge table carried over"
+    (Router.cross_edges (router env))
+    (Router.cross_edges r2);
+  Alcotest.(check string) "dump roundtrips" state (Router.dump r2);
+  Alcotest.(check (list relation)) "successor sees the order"
+    [ Order.Before; Order.After ]
+    (ok (await env (Router.query_order r2 [ (a, b); (b, a) ])));
+  (match await env (Router.assign_order r2 [ Router.must_before b a ]) with
+  | Error (Error.Rejected (Order.Must_violated 0)) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "successor admitted the reversing edge");
+  (match Router.restore r2 state with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "restore into a non-empty router must fail")
+
+(* ---------- reflection closure ---------- *)
+
+let test_reflection_transitivity () =
+  let env = make_env ~shards:[ 0; 1; 2 ] () in
+  let a = mint_on env 0 and b = mint_on env 1 and c = mint_on env 2 in
+  ignore (ok (assign env [ Router.must_before a b ]));
+  ignore (ok (assign env [ Router.must_before b c ]));
+  (* the closure materializes a direct 0 -> 2 witness, so the cross query
+     resolves transitively with one probe per side *)
+  Alcotest.(check bool) "derived witness recorded" true
+    (Router.internal_edges (router env) >= 1);
+  Alcotest.(check (list relation)) "transitive order"
+    [ Order.Before; Order.After ]
+    (ok (query env [ (a, c); (c, a) ]));
+  (match assign env [ Router.must_before c a ] with
+  | Error (Error.Rejected (Order.Must_violated 0)) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "three-shard cycle not refused");
+  Alcotest.(check int) "consistent" 0 (Router.inconsistencies (router env))
+
+let test_intra_assign_connects_portals () =
+  (* a -> x on shard 1, y -> c back to shard 0; the local edge x -> y on
+     the bi-portal shard must compose both cross edges, giving a -> c on
+     shard 0 and refusing the cycle c -> a *)
+  let env = make_env () in
+  let a = mint_on env 0 and c = mint_on env 0 in
+  let x = mint_on env 1 and y = mint_on env 1 in
+  ignore (ok (assign env [ Router.must_before a x ]));
+  ignore (ok (assign env [ Router.must_before y c ]));
+  Alcotest.(check (list relation)) "not yet ordered" [ Order.Concurrent ]
+    (ok (query env [ (a, c) ]));
+  Alcotest.(check (list outcome)) "local edge applied" [ Order.Applied ]
+    (ok (assign env [ Router.must_before x y ]));
+  Alcotest.(check (list relation)) "composed through shard 1"
+    [ Order.Before; Order.After ]
+    (ok (query env [ (a, c); (c, a) ]));
+  (match assign env [ Router.must_before c a ] with
+  | Error (Error.Rejected (Order.Must_violated 0)) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "portal-composed cycle not refused");
+  (* the composition a -> c is local to shard 0 (a portal-to-portal edge),
+     so no extra cross edge is recorded *)
+  Alcotest.(check int) "still two cross edges" 2 (Router.cross_edges (router env));
+  Alcotest.(check int) "consistent" 0 (Router.inconsistencies (router env))
+
+(* ---------- frontier short-circuit ---------- *)
+
+let test_frontier_short_circuit () =
+  let env = make_env () in
+  let rt = router env in
+  let a = mint_on env 0 and b = mint_on env 1 in
+  let c0 = Option.get (Router.client_of rt 0)
+  and c1 = Option.get (Router.client_of rt 1) in
+  let q0 = Client.server_queries c0 and q1 = Client.server_queries c1 in
+  Alcotest.(check (list relation)) "no witnesses, no order"
+    [ Order.Concurrent ]
+    (ok (query env [ (a, b) ]));
+  (* no cross edges between the shards: answered from the frontier alone *)
+  Alcotest.(check int) "no probe on shard 0" q0 (Client.server_queries c0);
+  Alcotest.(check int) "no probe on shard 1" q1 (Client.server_queries c1);
+  let d = mint_on env 0 and e = mint_on env 1 in
+  ignore (ok (assign env [ Router.must_before d e ]));
+  Alcotest.(check (list relation)) "still concurrent" [ Order.Concurrent ]
+    (ok (query env [ (a, b) ]));
+  (* now there is a witness edge, so the pair needed a real probe *)
+  Alcotest.(check bool) "probed once witnesses exist" true
+    (Client.server_queries c0 > q0 && Client.server_queries c1 > q1)
+
+(* ---------- fault injection: no observable half-edge ---------- *)
+
+let fault_steps : Router.fault array =
+  [|
+    `Probe;
+    `Prepare_create;
+    `Prepare_apply;
+    `Apply_create;
+    `Apply_apply;
+    `Record;
+    `Reflect;
+  |]
+
+(* Abort a cross-edge commit at step [step]; whatever was already applied
+   must be rolled back so that no constraint is observable, and the same
+   edge must commit cleanly on a later attempt. *)
+let check_abort_invariant step seed =
+  let env = make_env ~seed () in
+  let rt = router env in
+  let a = mint_on env 0 and b = mint_on env 1 in
+  (* a pre-existing cross edge makes probes and guards non-trivial *)
+  let d = mint_on env 0 and e = mint_on env 1 in
+  ignore (ok (assign env [ Router.must_before d e ]));
+  let fired = ref false in
+  Router.set_fault_injection rt
+    (Some
+       (fun s ->
+         if s = fault_steps.(step) && not !fired then begin
+           fired := true;
+           true
+         end
+         else false));
+  (match assign env [ Router.must_before a b ] with
+  | Error Error.Timeout -> ()
+  | Ok _ -> Alcotest.fail "faulted commit reported success"
+  | Error e -> Alcotest.failf "faulted commit: unexpected %a" Error.pp e);
+  Alcotest.(check bool) "fault step reached" true !fired;
+  Router.set_fault_injection rt None;
+  (* the aborted commit left nothing behind *)
+  Alcotest.(check int) "only the pre-existing edge" 1 (Router.cross_edges rt);
+  Alcotest.(check (list relation)) "no observable half-edge"
+    [ Order.Concurrent; Order.Concurrent ]
+    (ok (query env [ (a, b); (b, a) ]));
+  Alcotest.(check (list (pair int int))) "frontier restored"
+    [ (0, 1); (1, 0) ]
+    (Router.frontier rt);
+  (* and the edge still commits once the fault is gone *)
+  Alcotest.(check (list outcome)) "retry applies" [ Order.Applied ]
+    (ok (assign env [ Router.must_before a b ]));
+  Alcotest.(check (list relation)) "retry ordered" [ Order.Before ]
+    (ok (query env [ (a, b) ]));
+  Alcotest.(check int) "consistent" 0 (Router.inconsistencies rt)
+
+let test_abort_every_step () =
+  Array.iteri (fun step _ -> check_abort_invariant step 11L) fault_steps
+
+let prop_abort_no_half_edge =
+  QCheck2.Test.make
+    ~name:"aborted two-shard commit leaves no dangling half-edge" ~count:14
+    QCheck2.Gen.(pair (int_bound 6) (int_range 1 1000))
+    (fun (step, salt) ->
+      check_abort_invariant step (Int64.of_int ((2 * salt) + 1));
+      true)
+
+(* ---------- merged stats ---------- *)
+
+let test_merged_stats () =
+  Kronos_metrics.set_enabled true;
+  let env = make_env () in
+  let rt = router env in
+  let a = mint_on env 0 and b = mint_on env 1 in
+  ignore (ok (assign env [ Router.must_before a b ]));
+  let per_shard =
+    await env (fun k ->
+        Router.merged_stats rt ~timeout:5.0
+          ~targets:(Fed.stats_targets env.fed) k)
+  in
+  Alcotest.(check (list int)) "both shards answered" [ 0; 1 ]
+    (List.map fst per_shard);
+  let merged = Router.merge_samples per_shard in
+  let value name = List.assoc_opt name merged in
+  Alcotest.(check (option (float 0.0))) "shard count" (Some 2.0)
+    (value "fed.shards");
+  let has prefix =
+    List.exists (fun (n, _) -> String.starts_with ~prefix n) merged
+  in
+  Alcotest.(check bool) "per-shard series" true (has "shard0." && has "shard1.");
+  Alcotest.(check bool) "summed aggregates" true (has "fed.");
+  (* every per-shard series has a summed counterpart under fed. *)
+  List.iter
+    (fun (n, _) ->
+      if String.starts_with ~prefix:"shard0." n then
+        let base = String.sub n 7 (String.length n - 7) in
+        Alcotest.(check bool) ("fed aggregate for " ^ base) true
+          (List.mem_assoc ("fed." ^ base) merged))
+    merged
+
+(* ---------- the nemesis harness ---------- *)
+
+(* One scripted federated run under crash and partition nemeses.  Returns
+   a textual trace (virtual timestamps included) for the determinism gate
+   and asserts the ordering invariants:
+
+   - every acked cross or intra edge is queryable as [Before] afterwards
+     (nothing acked is lost, despite a replica crash and a partition);
+   - [Before] answers are explainable: they lie within the closure of
+     acked plus possibly-applied (timed-out intra) constraints — a
+     half-applied cross commit would show up as an unexplainable order;
+   - antisymmetry holds for every pair (no cycle was ever admitted);
+   - the router observed no inconsistency. *)
+let run_nemesis ~seed =
+  let env = make_env ~seed () in
+  let rt = router env in
+  let trace = ref [] in
+  let emit fmt =
+    Printf.ksprintf
+      (fun s ->
+        trace := Printf.sprintf "%8.4f %s" (Sim.now env.sim) s :: !trace)
+      fmt
+  in
+  let per_shard = 10 in
+  let ev =
+    Array.init 2 (fun s -> Array.init per_shard (fun _ -> mint_on env s))
+  in
+  let node fid =
+    (* dense node id for the closure matrix *)
+    let s = Fid.shard fid in
+    let arr = ev.(s) in
+    let rec idx i = if Fid.equal arr.(i) fid then i else idx (i + 1) in
+    (s * per_shard) + idx 0
+  in
+  let n = 2 * per_shard in
+  let acked = Array.make_matrix n n false in
+  let maybe = Array.make_matrix n n false in
+  let ops =
+    List.init 30 (fun i ->
+        match i mod 3 with
+        | 0 -> (ev.(0).(i / 3 mod per_shard), ev.(1).((7 * i / 3) mod per_shard))
+        | 1 ->
+          (ev.(1).(((5 * i) + 1) mod per_shard), ev.(0).(((11 * i) + 2) mod per_shard))
+        | _ ->
+          let s = i / 3 mod 2 in
+          (ev.(s).((3 * i) mod per_shard), ev.(s).(((3 * i) + 4) mod per_shard)))
+  in
+  let everyone_else =
+    [ 100; 101; 102; 200; 202; 1000; 1001; 2000; 2001; 2002 ]
+  in
+  List.iteri
+    (fun i (x, y) ->
+      (match i with
+      | 8 ->
+        emit "nemesis: crash replica 101 (shard 0)";
+        Server.crash (Option.get (Fed.cluster_of env.fed 0)) 101
+      | 14 ->
+        emit "nemesis: partition replica 201 (shard 1)";
+        Net.partition env.raw [ 201 ] everyone_else
+      | 20 ->
+        emit "nemesis: heal";
+        Net.heal env.raw
+      | _ -> ());
+      let u = node x and v = node y in
+      match
+        await env (Router.assign_order rt ~timeout:3.0 [ Router.must_before x y ])
+      with
+      | Ok [ o ] ->
+        acked.(u).(v) <- true;
+        maybe.(u).(v) <- true;
+        emit "op %02d %s->%s: %s" i (Fid.to_string x) (Fid.to_string y)
+          (Format.asprintf "%a" Order.pp_outcome o)
+      | Ok _ -> Alcotest.fail "single-spec batch returned a non-singleton"
+      | Error (Error.Rejected r) ->
+        emit "op %02d %s->%s: rejected %s" i (Fid.to_string x) (Fid.to_string y)
+          (Format.asprintf "%a" Order.pp_assign_error r)
+      | Error Error.Timeout ->
+        (* an intra-shard assign that timed out may still have applied on
+           the chain; a cross commit rolls back, so it may not *)
+        if Fid.shard x = Fid.shard y then maybe.(u).(v) <- true;
+        emit "op %02d %s->%s: timeout" i (Fid.to_string x) (Fid.to_string y))
+    ops;
+  Sim.run ~until:(Sim.now env.sim +. 5.0) env.sim;
+  (* transitive closures of the acked (lower bound) and possibly-applied
+     (upper bound) edge sets *)
+  let close m =
+    for k = 0 to n - 1 do
+      for i = 0 to n - 1 do
+        if m.(i).(k) then
+          for j = 0 to n - 1 do
+            if m.(k).(j) then m.(i).(j) <- true
+          done
+      done
+    done
+  in
+  close acked;
+  close maybe;
+  let fid_of id = ev.(id / per_shard).(id mod per_shard) in
+  let pairs = ref [] in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v then pairs := (u, v) :: !pairs
+    done
+  done;
+  let pairs = List.rev !pairs in
+  let rels =
+    ok
+      (await env
+         (Router.query_order rt ~timeout:10.0
+            (List.map (fun (u, v) -> (fid_of u, fid_of v)) pairs)))
+  in
+  let rel = Hashtbl.create (n * n) in
+  List.iter2 (fun (u, v) r -> Hashtbl.replace rel (u, v) r) pairs rels;
+  List.iter2
+    (fun (u, v) r ->
+      let name = Printf.sprintf "pair %d,%d" u v in
+      (* acked order is never lost *)
+      if acked.(u).(v) then Alcotest.check relation name Order.Before r;
+      (* observed order is always explainable *)
+      (match r with
+      | Order.Before ->
+        Alcotest.(check bool) (name ^ " explainable") true maybe.(u).(v)
+      | Order.After ->
+        Alcotest.(check bool) (name ^ " explainable") true maybe.(v).(u)
+      | Order.Concurrent | Order.Same -> ());
+      (* antisymmetry: the reverse pair answers the flipped relation *)
+      Alcotest.check relation (name ^ " antisymmetric")
+        (Order.flip_relation r)
+        (Hashtbl.find rel (v, u)))
+    pairs rels;
+  Alcotest.(check int) "router saw no inconsistency" 0
+    (Router.inconsistencies rt);
+  emit "final: %d cross edges (%d internal)" (Router.cross_edges rt)
+    (Router.internal_edges rt);
+  List.rev !trace
+
+let test_nemesis_harness () =
+  let trace = run_nemesis ~seed:42L in
+  Alcotest.(check bool) "trace recorded" true (List.length trace > 30)
+
+let test_nemesis_determinism () =
+  Alcotest.(check (list string)) "bit-identical reruns"
+    (run_nemesis ~seed:42L) (run_nemesis ~seed:42L)
+
+(* ---------- write scaling ---------- *)
+
+(* Aggregate assign throughput with [shards] chains, each replica charging
+   a fixed virtual service time per command.  Four closed loops per shard
+   issue chains of must-edges over disjoint events (the portal-quiet fast
+   path), so the aggregate rate is bounded by per-shard service capacity
+   and must rise with the shard count. *)
+let run_scaling ~shards =
+  let env =
+    make_env ~seed:11L ~replicas:2
+      ~shards:(List.init shards (fun i -> i))
+      ~service:(`Fixed 0.002) ()
+  in
+  let rt = router env in
+  let loops_per_shard = 4 and ops_per_loop = 12 in
+  let evs =
+    List.concat_map
+      (fun s ->
+        List.init loops_per_shard (fun _ ->
+            Array.init (ops_per_loop + 1) (fun _ -> mint_on env s)))
+      (List.init shards (fun i -> i))
+  in
+  let live = ref (List.length evs) in
+  let started = Sim.now env.sim in
+  List.iter
+    (fun chain ->
+      let rec step i =
+        if i >= ops_per_loop then decr live
+        else
+          Router.assign_order rt
+            [ Router.must_before chain.(i) chain.(i + 1) ]
+            (function
+            | Ok _ -> step (i + 1)
+            | Error e -> Alcotest.failf "scaling assign: %a" Error.pp e)
+      in
+      step 0)
+    evs;
+  while !live > 0 && Sim.pending env.sim > 0 do
+    ignore (Sim.step env.sim)
+  done;
+  Alcotest.(check int) "all loops finished" 0 !live;
+  let elapsed = Sim.now env.sim -. started in
+  float_of_int (shards * loops_per_shard * ops_per_loop) /. elapsed
+
+let test_write_scaling () =
+  let t1 = run_scaling ~shards:1 in
+  let t4 = run_scaling ~shards:4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "4 shards (%.0f/s) beat 2x 1 shard (%.0f/s)" t4 t1)
+    true
+    (t4 > 2.0 *. t1)
+
+let suites =
+  [
+    ( "federation.ring",
+      [
+        Alcotest.test_case "basics" `Quick test_ring_basics;
+        QCheck_alcotest.to_alcotest prop_ring_remap;
+      ] );
+    ( "federation.commit",
+      [
+        Alcotest.test_case "cross edge commit" `Quick test_cross_edge_commit;
+        Alcotest.test_case "conflict refused" `Quick test_cross_edge_conflict;
+        Alcotest.test_case "racing conflicting edges" `Quick
+          test_concurrent_conflicting_edges;
+        Alcotest.test_case "mixed batch" `Quick test_mixed_batch_atomiclike;
+        Alcotest.test_case "abort at every step" `Quick test_abort_every_step;
+        Alcotest.test_case "dump/restore handoff" `Quick
+          test_dump_restore_handoff;
+        QCheck_alcotest.to_alcotest prop_abort_no_half_edge;
+      ] );
+    ( "federation.closure",
+      [
+        Alcotest.test_case "three-shard transitivity" `Quick
+          test_reflection_transitivity;
+        Alcotest.test_case "intra assign connects portals" `Quick
+          test_intra_assign_connects_portals;
+        Alcotest.test_case "frontier short-circuit" `Quick
+          test_frontier_short_circuit;
+      ] );
+    ( "federation.stats",
+      [ Alcotest.test_case "merged registry view" `Quick test_merged_stats ] );
+    ( "federation.nemesis",
+      [
+        Alcotest.test_case "crash and partition invariants" `Slow
+          test_nemesis_harness;
+        Alcotest.test_case "deterministic reruns" `Slow
+          test_nemesis_determinism;
+      ] );
+    ( "federation.scaling",
+      [ Alcotest.test_case "4 shards vs 1" `Slow test_write_scaling ] );
+  ]

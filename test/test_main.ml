@@ -24,4 +24,5 @@ let () =
      @ Test_fault_injection.suites
      @ Test_transport.suites
      @ Test_loopback.suites
-     @ Test_stats.suites)
+     @ Test_stats.suites
+     @ Test_federation.suites)
