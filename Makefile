@@ -1,6 +1,6 @@
 # Tier-1 verification in one command: build every target (libraries,
 # executables, tests, benches) and run the full test suite.
-.PHONY: check build test loopback bench bench-smoke bench-check fed-determinism clean
+.PHONY: check build test loopback certify-check bench bench-smoke bench-check fed-determinism clean
 
 check: build test
 
@@ -15,6 +15,14 @@ test:
 loopback: build
 	dune exec test/test_main.exe -- test transport
 	dune exec test/test_main.exe -- test loopback
+
+# Verifiable-causality gate (DESIGN.md §13): commitment chains,
+# prover/verifier roundtrips, the tamper-injection suite (flipped digest,
+# truncated path, spliced proof, reordered suffix — all rejected),
+# snapshot v1/v2 upgrades, verified reads over simnet and real TCP, and
+# audit pinning against a history rewrite.
+certify-check: build
+	dune exec test/test_main.exe -- test certify
 
 bench:
 	dune exec bench/main.exe

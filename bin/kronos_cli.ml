@@ -7,7 +7,12 @@
    CMD:
      create                  mint an event, print its id
      assign E1 E2            order E1 happens-before E2 (ids as printed)
-     query E1 E2             ask the relation between two events
+     query E1 E2             ask the relation between two events; with
+                             --verify the answer must come with a
+                             happens-before certificate that checks out
+                             locally (DESIGN.md §13) or the call fails
+     proof E1 E2             fetch and verify a certificate and print it
+                             (endpoint commitments and the event path)
      release E               drop the client reference on an event
      load                    closed-loop generator: create+assign pairs,
                              report throughput and latency percentiles
@@ -43,8 +48,8 @@ module Fid = Kronos_federation.Fid
 module Router = Kronos_federation.Router
 
 let usage =
-  "kronos_cli [options] (create | assign E1 E2 | query E1 E2 | release E | \
-   load | stats [ADDR])\n\
+  "kronos_cli [options] (create | assign E1 E2 | query [--verify] E1 E2 | \
+   proof E1 E2 | release E | load | stats [ADDR])\n\
    federation: add --shards N (ids become S/ID; stats merges all shards)"
 
 type peer = { addr : int; host : string; port : int }
@@ -91,6 +96,7 @@ let () =
   let ops = ref 1000 in
   let concurrency = ref 8 in
   let watch = ref false in
+  let verify = ref false in
   let interval = ref 1.0 in
   let shards = ref 0 in
   let shard_coordinators = ref [] in
@@ -107,6 +113,9 @@ let () =
       ("--ops", Arg.Set_int ops, "N operations for load (default 1000)");
       ("--concurrency", Arg.Set_int concurrency, "N closed loops for load (default 8)");
       ("--watch", Arg.Set watch, " with stats: keep polling and print diffs");
+      ( "--verify",
+        Arg.Set verify,
+        " with query: demand a locally checked happens-before certificate" );
       ( "--interval",
         Arg.Set_float interval,
         "S polling period for stats --watch (default 1.0)" );
@@ -234,11 +243,13 @@ let () =
          %sclient.order_cache.hits      %d\n\
          %sclient.order_cache.misses    %d\n\
          %sclient.order_cache.prefills  %d\n\
+         %sclient.order_cache.evictions %d\n\
          %sclient.order_cache.hit_rate  %.1f%%\n"
         prefix s.Order_cache.stat_size s.Order_cache.stat_capacity
         prefix s.Order_cache.stat_hits
         prefix s.Order_cache.stat_misses
         prefix s.Order_cache.stat_prefills
+        prefix s.Order_cache.stat_evictions
         prefix (100. *. Order_cache.hit_rate s);
       flush stdout
   in
@@ -499,6 +510,35 @@ let () =
       done
     end
   in
+  (* Certificates are per-shard objects (a chain commits only its own
+     graph), so verified reads are single-chain mode only for now. *)
+  let fail_fed_verify what =
+    prerr_endline
+      ("kronos_cli: " ^ what
+     ^ " is not supported in federation mode (certificates cover one \
+        shard's chain; see DESIGN.md §13)");
+    exit 2
+  in
+  let print_cert (c : Kronos_certify.Certificate.t) =
+    Printf.printf "source  %s  commit %s\n" (string_of_event c.source)
+      (Chain_digest.to_hex c.source_commit);
+    Printf.printf "target  %s  commit %s\n" (string_of_event c.target)
+      (Chain_digest.to_hex c.target_commit);
+    Printf.printf "path    %d edge(s), %d byte(s) encoded\n"
+      (Kronos_certify.Certificate.path_length c)
+      (String.length (Kronos_certify.Certificate.encode c));
+    List.iter
+      (fun (pred, event) ->
+        Printf.printf "        %s -> %s\n" (string_of_event pred)
+          (string_of_event event))
+      (List.rev (Kronos_certify.Certificate.path_edges c));
+    flush stdout
+  in
+  let pp_unproved ppf (rel : Order.relation) =
+    match rel with
+    | Order.Before | Order.After -> Format.fprintf ppf "  (unproved)"
+    | Order.Concurrent | Order.Same -> Format.fprintf ppf "  (nothing to prove)"
+  in
   let fid_of_string s =
     match Fid.of_string s with
     | Some f -> f
@@ -538,17 +578,42 @@ let () =
        | Ok [ outcome ] -> Format.printf "%a@." Order.pp_outcome outcome
        | Ok _ -> assert false
        | Error e -> fail_error e)
+   | [ "query"; _; _ ], Some _ when !verify -> fail_fed_verify "query --verify"
    | [ "query"; e1; e2 ], Some r -> (
        let f1 = fid_of_string e1 and f2 = fid_of_string e2 in
        match await (Router.query_order r ~timeout:!timeout [ (f1, f2) ]) with
        | Ok [ rel ] -> Format.printf "%a@." Order.pp_relation rel
        | Ok _ -> assert false
        | Error e -> fail_error e)
+   | [ "query"; e1; e2 ], None when !verify -> (
+       let e1 = event_of_string e1 and e2 = event_of_string e2 in
+       match
+         await (Client.query_verified client ~timeout:!timeout e1 e2)
+       with
+       | Ok (rel, Some c) ->
+         Format.printf "%a  (verified, %d-edge certificate)@."
+           Order.pp_relation rel
+           (Kronos_certify.Certificate.path_length c)
+       | Ok (rel, None) ->
+         Format.printf "%a%a@." Order.pp_relation rel pp_unproved rel
+       | Error e -> fail_error e)
    | [ "query"; e1; e2 ], None -> (
        let e1 = event_of_string e1 and e2 = event_of_string e2 in
        match await (Client.query_order client ~timeout:!timeout [ (e1, e2) ]) with
        | Ok [ rel ] -> Format.printf "%a@." Order.pp_relation rel
        | Ok _ -> assert false
+       | Error e -> fail_error e)
+   | [ "proof"; _; _ ], Some _ -> fail_fed_verify "proof"
+   | [ "proof"; e1; e2 ], None -> (
+       let e1 = event_of_string e1 and e2 = event_of_string e2 in
+       match
+         await (Client.query_verified client ~timeout:!timeout e1 e2)
+       with
+       | Ok (rel, Some c) ->
+         Format.printf "%a@." Order.pp_relation rel;
+         print_cert c
+       | Ok (rel, None) ->
+         Format.printf "%a%a@." Order.pp_relation rel pp_unproved rel
        | Error e -> fail_error e)
    | [ "release"; e ], Some r -> (
        match

@@ -1,0 +1,56 @@
+open Kronos
+
+module M = struct
+  let scope = Kronos_metrics.scope "certify"
+  let conflicts = Kronos_metrics.counter scope "audit_conflicts_total"
+end
+
+type conflict = {
+  event : Event_id.t;
+  pinned : string;
+  observed : string;
+}
+
+type t = {
+  pins : (Event_id.t, string) Hashtbl.t;
+  mutable conflicts : int;
+}
+
+let create () = { pins = Hashtbl.create 64; conflicts = 0 }
+
+let pinned t e = Hashtbl.find_opt t.pins e
+
+let pin_count t = Hashtbl.length t.pins
+
+let conflict_count t = t.conflicts
+
+let pin t e commit =
+  match Hashtbl.find_opt t.pins e with
+  | None ->
+    Hashtbl.replace t.pins e commit;
+    Ok ()
+  | Some prev when Chain_digest.equal prev commit -> Ok ()
+  | Some prev ->
+    t.conflicts <- t.conflicts + 1;
+    Kronos_metrics.Counter.incr M.conflicts;
+    Error { event = e; pinned = prev; observed = commit }
+
+let check t (c : Certificate.t) =
+  (* Pin endpoints first: a replica that rewrote history presents a
+     commitment that disagrees with one recorded earlier, and the pin
+     conflict is the tamper evidence — even when the certificate itself is
+     internally consistent with the rewritten chains. *)
+  match pin t c.source c.source_commit with
+  | Error conflict -> Error (`Conflict conflict)
+  | Ok () ->
+    (match pin t c.target c.target_commit with
+     | Error conflict -> Error (`Conflict conflict)
+     | Ok () ->
+       (match Verifier.verify c with
+        | Ok () -> Ok ()
+        | Error m -> Error (`Invalid m)))
+
+let pp_conflict ppf c =
+  Format.fprintf ppf
+    "commitment for %a changed: pinned %a, now presented as %a"
+    Event_id.pp c.event Chain_digest.pp c.pinned Chain_digest.pp c.observed

@@ -1,0 +1,39 @@
+(** Client-side commitment pinning: tamper evidence across answers.
+
+    A single verified certificate authenticates a path relative to the
+    endpoint commitments {e the server presented}.  A byzantine replica
+    that rewrites history can still answer consistently with its rewritten
+    chains — what it cannot do is keep its commitments equal to the ones it
+    presented before the rewrite (that would be a hash collision).  An
+    audit log therefore {e pins} the first commitment observed for every
+    event and flags any later answer that presents a different one. *)
+
+open Kronos
+
+type t
+
+type conflict = {
+  event : Event_id.t;
+  pinned : string;    (** commitment recorded earlier *)
+  observed : string;  (** commitment presented now *)
+}
+
+val create : unit -> t
+
+val pin : t -> Event_id.t -> string -> (unit, conflict) result
+(** Record the event's commitment; succeed silently when it matches the
+    existing pin, report a {!conflict} (and count it) when it does not.
+    Conflicting pins are kept as first recorded — the original is the
+    evidence. *)
+
+val check : t -> Certificate.t ->
+  (unit, [ `Conflict of conflict | `Invalid of string ]) result
+(** Pin both endpoint commitments, then {!Verifier.verify}.  [`Conflict]
+    is tamper evidence (history rewritten since an earlier answer);
+    [`Invalid] means the certificate itself does not check. *)
+
+val pinned : t -> Event_id.t -> string option
+val pin_count : t -> int
+val conflict_count : t -> int
+
+val pp_conflict : Format.formatter -> conflict -> unit

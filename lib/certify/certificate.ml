@@ -1,0 +1,128 @@
+open Kronos
+
+type step = {
+  event : Event_id.t;
+  pred : Event_id.t;
+  pre : string;
+  pred_head : string;
+  suffix : string list;
+}
+
+type t = {
+  source : Event_id.t;
+  target : Event_id.t;
+  source_commit : string;
+  target_commit : string;
+  steps : step list;
+  source_suffix : string list;
+}
+
+let path_length c = List.length c.steps
+
+let path_edges c =
+  List.map (fun s -> (s.pred, s.event)) c.steps
+
+(* Wire encoding.  The certificate travels inside wire messages but the
+   wire library depends on this one, so the encoding is hand-rolled here:
+   a 4-byte magic, fixed-width big-endian integers, raw digests.  Digest
+   lists carry a u32 count (chains can outgrow u16 in long-lived graphs). *)
+
+let magic = "KCT1"
+let dlen = Chain_digest.length
+let max_list = 1 lsl 20 (* sanity bound on decoded list lengths *)
+
+let buf_add_i64 b v =
+  let s = Bytes.create 8 in
+  Bytes.set_int64_be s 0 v;
+  Buffer.add_bytes b s
+
+let buf_add_u32 b v =
+  let s = Bytes.create 4 in
+  Bytes.set_int32_be s 0 (Int32.of_int v);
+  Buffer.add_bytes b s
+
+let buf_add_digest b d =
+  assert (String.length d = dlen);
+  Buffer.add_string b d
+
+let encode c =
+  let b = Buffer.create 256 in
+  Buffer.add_string b magic;
+  buf_add_i64 b (Event_id.to_int64 c.source);
+  buf_add_i64 b (Event_id.to_int64 c.target);
+  buf_add_digest b c.source_commit;
+  buf_add_digest b c.target_commit;
+  buf_add_u32 b (List.length c.steps);
+  List.iter
+    (fun s ->
+      buf_add_i64 b (Event_id.to_int64 s.event);
+      buf_add_i64 b (Event_id.to_int64 s.pred);
+      buf_add_digest b s.pre;
+      buf_add_digest b s.pred_head;
+      buf_add_u32 b (List.length s.suffix);
+      List.iter (buf_add_digest b) s.suffix)
+    c.steps;
+  buf_add_u32 b (List.length c.source_suffix);
+  List.iter (buf_add_digest b) c.source_suffix;
+  Buffer.contents b
+
+exception Bad of string
+
+let decode s =
+  let pos = ref 0 in
+  let len = String.length s in
+  let need n what = if len - !pos < n then raise (Bad ("truncated " ^ what)) in
+  let get_i64 what =
+    need 8 what;
+    let v = String.get_int64_be s !pos in
+    pos := !pos + 8;
+    v
+  in
+  let get_u32 what =
+    need 4 what;
+    let v = Int32.to_int (String.get_int32_be s !pos) land 0xffffffff in
+    pos := !pos + 4;
+    if v > max_list then raise (Bad ("oversized " ^ what));
+    v
+  in
+  let get_digest what =
+    need dlen what;
+    let v = String.sub s !pos dlen in
+    pos := !pos + dlen;
+    v
+  in
+  let get_id what =
+    try Event_id.of_int64 (get_i64 what)
+    with Invalid_argument _ -> raise (Bad ("bad identifier in " ^ what))
+  in
+  let get_digests what =
+    let n = get_u32 what in
+    List.init n (fun _ -> get_digest what)
+  in
+  try
+    need 4 "magic";
+    if String.sub s 0 4 <> magic then raise (Bad "bad magic");
+    pos := 4;
+    let source = get_id "source" in
+    let target = get_id "target" in
+    let source_commit = get_digest "source commitment" in
+    let target_commit = get_digest "target commitment" in
+    let nsteps = get_u32 "step count" in
+    let steps =
+      List.init nsteps (fun _ ->
+          let event = get_id "step event" in
+          let pred = get_id "step predecessor" in
+          let pre = get_digest "step pre-head" in
+          let pred_head = get_digest "step predecessor head" in
+          let suffix = get_digests "step suffix" in
+          { event; pred; pre; pred_head; suffix })
+    in
+    let source_suffix = get_digests "source suffix" in
+    if !pos <> len then raise (Bad "trailing bytes");
+    Ok { source; target; source_commit; target_commit; steps; source_suffix }
+  with Bad what -> Error ("Certificate.decode: " ^ what)
+
+let pp ppf c =
+  Format.fprintf ppf "@[<v>certificate %a => %a (%d steps)@ source %a@ target %a@]"
+    Event_id.pp c.source Event_id.pp c.target (path_length c)
+    Chain_digest.pp c.source_commit Chain_digest.pp c.target_commit

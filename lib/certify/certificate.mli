@@ -1,0 +1,54 @@
+(** Happens-before certificates (DESIGN.md §13).
+
+    A certificate is a self-contained proof that [source ⇝ target] holds in
+    the committed event graph, checkable by {!Verifier.verify} against the
+    two endpoint commitments alone — no graph access, no trust in the
+    server that produced it.
+
+    The proof walks a happens-before path top-down.  Each {!step} opens one
+    event's commitment chain: it exhibits the chain head just before the
+    path link was folded ([pre]), the path predecessor and its head at link
+    time ([pred], [pred_head]), and the partner digests folded after the
+    path link ([suffix]) up to the {e anchor} — the value the verifier has
+    already authenticated for this event (the target's commitment for the
+    first step, the previous step's [pred_head] for the rest).  The final
+    anchor is a historic head of [source]; [source_suffix] folds it forward
+    to [source]'s commitment, tying the path to the second endpoint. *)
+
+open Kronos
+
+type step = {
+  event : Event_id.t;   (** the event whose chain this step opens *)
+  pred : Event_id.t;    (** path predecessor linked into [event] *)
+  pre : string;         (** [event]'s chain head before the path link *)
+  pred_head : string;   (** [pred]'s chain head at link time *)
+  suffix : string list; (** partners folded after the path link, up to the
+                            anchor *)
+}
+
+type t = {
+  source : Event_id.t;
+  target : Event_id.t;
+  source_commit : string;  (** [source]'s commitment the proof ties to *)
+  target_commit : string;  (** [target]'s commitment the proof starts from *)
+  steps : step list;       (** top-down: the first step opens [target] *)
+  source_suffix : string list;
+      (** partners folding the last anchor into [source_commit] *)
+}
+
+val path_length : t -> int
+(** Number of edges on the proven path. *)
+
+val path_edges : t -> (Event_id.t * Event_id.t) list
+(** The path's edges as [(pred, event)] pairs, top-down.  Authenticated
+    only after {!Verifier.verify} succeeds. *)
+
+val encode : t -> string
+(** Self-describing binary encoding (magic, big-endian integers, raw
+    digests); stable across versions of the wire protocol. *)
+
+val decode : string -> (t, string) result
+(** Inverse of {!encode}; rejects truncated, oversized or trailing input.
+    Decoding checks shape only — {!Verifier.verify} checks truth. *)
+
+val pp : Format.formatter -> t -> unit

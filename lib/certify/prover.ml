@@ -1,0 +1,174 @@
+open Kronos
+
+module M = struct
+  let scope = Kronos_metrics.scope "certify"
+  let proved = Kronos_metrics.counter scope "proofs_generated_total"
+  let unproved = Kronos_metrics.counter scope "proofs_unproved_total"
+  let visited = Kronos_metrics.counter scope "prover_visited_total"
+end
+
+(* Bound-tracking backward search (DESIGN.md §13).
+
+   A path [source -> ... -> target] is provable only when it is
+   {e commitment-closed}: walking it top-down, each event's path link must
+   have been folded before the chain position the step above anchored —
+   the anchor for event [e] is [e]'s head at position [l_pred_pos] of the
+   link above, so only [e]'s links at indices [< l_pred_pos] can be opened
+   under it.  (Edges admitted into an upstream event after its downstream
+   link was folded are invisible to the downstream commitment; such paths
+   exist in the graph but not in the hash chains.)
+
+   The search therefore tracks, per reached event, the best (largest)
+   {e bound}: the number of its links usable under some anchor chain back
+   to the target.  The target starts with its full chain; following link
+   [j < bound e] of [e] reaches [l_pred] with bound [l_pred_pos].  A later
+   visit that improves an event's bound re-queues it — more links become
+   usable.  Reaching the source with any bound completes: the source's
+   chain only grows, so folding its suffix from the recorded position
+   forward always lands on the current commitment. *)
+
+type reached = {
+  mutable bound : int;               (* best usable prefix of the chain *)
+  mutable via : Event_id.t;          (* successor that set the bound *)
+  mutable via_link : int;            (* link index of [via] followed *)
+  mutable processed : int;           (* links already expanded, -1 if never *)
+}
+
+let prove g ~source ~target =
+  if not (Graph.digests_enabled g) then None
+  else
+    match
+      ( Graph.rank g source, Graph.rank g target,
+        Graph.chain_length g target )
+    with
+    | Some rs, Some rt, Some tlen
+      when rs < rt && not (Event_id.equal source target) ->
+      let best : (Event_id.t, reached) Hashtbl.t = Hashtbl.create 64 in
+      let queue = Queue.create () in
+      let start =
+        { bound = tlen; via = Event_id.none; via_link = -1; processed = -1 }
+      in
+      Hashtbl.replace best target start;
+      Queue.add target queue;
+      let found = ref false in
+      let visited = ref 0 in
+      while (not !found) && not (Queue.is_empty queue) do
+        let e = Queue.pop queue in
+        let r = Hashtbl.find best e in
+        if r.processed < r.bound then begin
+          let from = max r.processed 0 in
+          r.processed <- r.bound;
+          let j = ref from in
+          while (not !found) && !j < r.bound do
+            (match Graph.chain_link g e !j with
+             | None -> ()
+             | Some l ->
+               incr visited;
+               let p = l.Graph.l_pred in
+               if Event_id.equal p source then begin
+                 (* reach the source directly; bound = link position *)
+                 let upd =
+                   match Hashtbl.find_opt best p with
+                   | Some u -> u
+                   | None ->
+                     let u =
+                       { bound = -1; via = Event_id.none; via_link = -1;
+                         processed = 0 }
+                     in
+                     Hashtbl.replace best p u;
+                     u
+                 in
+                 upd.bound <- l.Graph.l_pred_pos;
+                 upd.via <- e;
+                 upd.via_link <- !j;
+                 found := true
+               end
+               else begin
+                 match Graph.rank g p with
+                 | Some rp when rp > rs && rp < rt ->
+                   let improve u =
+                     u.bound <- l.Graph.l_pred_pos;
+                     u.via <- e;
+                     u.via_link <- !j;
+                     Queue.add p queue
+                   in
+                   (match Hashtbl.find_opt best p with
+                    | None ->
+                      let u =
+                        { bound = -1; via = Event_id.none; via_link = -1;
+                          processed = -1 }
+                      in
+                      Hashtbl.replace best p u;
+                      improve u
+                    | Some u when l.Graph.l_pred_pos > u.bound -> improve u
+                    | Some _ -> ())
+                 | Some _ | None -> ()
+                 (* rank-pruned, or the predecessor was collected: its own
+                    chain is gone, so the path cannot continue through it *)
+               end);
+            incr j
+          done
+        end
+      done;
+      Kronos_metrics.Counter.add M.visited !visited;
+      if not !found then begin
+        Kronos_metrics.Counter.incr M.unproved;
+        None
+      end
+      else begin
+        (* Backtrack source -> target: each hop prepends the successor whose
+           chain the step opens, so the accumulated list comes out top-down
+           (the target's step first). *)
+        let rec collect acc e =
+          if Event_id.equal e target then acc
+          else
+            let r = Hashtbl.find best e in
+            collect ((r.via, r.via_link) :: acc) r.via
+        in
+        let opened = collect [] source in
+        let partner_suffix e lo hi =
+          (* partners of links [lo..hi-1] of [e], in fold order *)
+          List.init (hi - lo) (fun k ->
+              match Graph.chain_link g e (lo + k) with
+              | Some l -> l.Graph.l_partner
+              | None -> assert false (* indices below the live chain length *))
+        in
+        let steps =
+          List.map
+            (fun (e, j) ->
+              let l =
+                match Graph.chain_link g e j with
+                | Some l -> l
+                | None -> assert false
+              in
+              let bound = (Hashtbl.find best e).bound in
+              let pre =
+                match Graph.head_at g e j with
+                | Some h -> h
+                | None -> assert false
+              in
+              { Certificate.event = e; pred = l.Graph.l_pred; pre;
+                pred_head = l.Graph.l_pred_head;
+                suffix = partner_suffix e (j + 1) bound })
+            opened
+        in
+        let source_pos = (Hashtbl.find best source).bound in
+        let source_len =
+          match Graph.chain_length g source with
+          | Some n -> n
+          | None -> assert false
+        in
+        let commit e =
+          match Graph.commitment g e with
+          | Some c -> c
+          | None -> assert false
+        in
+        Kronos_metrics.Counter.incr M.proved;
+        Some
+          { Certificate.source; target;
+            source_commit = commit source;
+            target_commit = commit target;
+            steps;
+            source_suffix = partner_suffix source source_pos source_len }
+      end
+    | _ -> None

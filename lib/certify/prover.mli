@@ -1,0 +1,26 @@
+(** Server-side certificate construction (DESIGN.md §13).
+
+    [prove g ~source ~target] searches the committed graph for a
+    {e commitment-closed} happens-before path [source ⇝ target] and, when
+    one exists, packages it as a {!Certificate.t} that
+    {!Verifier.verify_against} accepts for the two events' current
+    commitments.
+
+    [None] does {b not} refute the relation.  It is returned when digests
+    are disabled, an endpoint is stale, the relation does not hold — or
+    when it holds but no path is visible through the hash chains: an edge
+    admitted into an upstream event {e after} its downstream link was
+    folded is invisible to the downstream commitment, and a path through a
+    since-collected event has lost that event's chain.  Callers should
+    treat [None] as "true but unproved" whenever the plain query answered
+    [Before].
+
+    The search is a backward walk over chain links from [target], pruned to
+    the open rank window ([Graph.rank]), tracking per event the largest
+    usable chain prefix; cost is proportional to the links examined, all
+    pre-hashed (no SHA-256 is computed while proving). *)
+
+open Kronos
+
+val prove :
+  Graph.t -> source:Event_id.t -> target:Event_id.t -> Certificate.t option

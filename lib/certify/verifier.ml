@@ -1,0 +1,99 @@
+open Kronos
+
+module M = struct
+  let scope = Kronos_metrics.scope "certify"
+  let ok = Kronos_metrics.counter scope "verify_ok_total"
+  let rejected = Kronos_metrics.counter scope "verify_rejected_total"
+  let folds = Kronos_metrics.counter scope "verify_folds_total"
+  let path_len = Kronos_metrics.histogram scope "verified_path_edges"
+end
+
+let dlen = Chain_digest.length
+
+let fail fmt = Format.kasprintf (fun m -> Error m) fmt
+
+let well_formed (c : Certificate.t) =
+  let bad_digest d = String.length d <> dlen in
+  if bad_digest c.source_commit || bad_digest c.target_commit then
+    fail "malformed endpoint commitment"
+  else if c.steps = [] then fail "empty path"
+  else if
+    List.exists
+      (fun (s : Certificate.step) ->
+        bad_digest s.pre || bad_digest s.pred_head
+        || List.exists bad_digest s.suffix)
+      c.steps
+    || List.exists bad_digest c.source_suffix
+  then fail "malformed digest"
+  else Ok ()
+
+(* Check that the steps form a contiguous top-down path from [target] to
+   [source]: the first step opens the target, each later step opens the
+   previous step's predecessor, and the last predecessor is the source. *)
+let rec check_linkage (c : Certificate.t) expected = function
+  | [] ->
+    if Event_id.equal expected c.source then Ok ()
+    else fail "path does not end at the source"
+  | (s : Certificate.step) :: rest ->
+    if not (Event_id.equal s.event expected) then
+      fail "path step opens the wrong event"
+    else check_linkage c s.pred rest
+
+(* Fold one step's chain opening and check it reproduces [anchor]; on
+   success the step's [pred_head] becomes the next anchor.  Every value on
+   the authenticated side flows from the endpoint commitments through
+   SHA-256 folds, so producing a different opening for the same anchor is a
+   collision. *)
+let check_step (s : Certificate.step) anchor =
+  let partner = Chain_digest.link_partner s.pred s.pred_head in
+  let folded = Chain_digest.fold (Chain_digest.fold_link s.pre partner) s.suffix in
+  Kronos_metrics.Counter.add M.folds (2 + List.length s.suffix);
+  if Chain_digest.equal folded anchor then Ok s.pred_head
+  else fail "step for %a does not reproduce its anchor" Event_id.pp s.event
+
+let verify (c : Certificate.t) =
+  let result =
+    match well_formed c with
+    | Error _ as e -> e
+    | Ok () ->
+      if Event_id.equal c.source c.target then fail "source equals target"
+      else begin
+        match check_linkage c c.target c.steps with
+        | Error _ as e -> e
+        | Ok () ->
+          let rec fold_steps anchor = function
+            | [] ->
+              (* the last anchor is a historic head of the source; tie it to
+                 the source's commitment *)
+              let commit = Chain_digest.fold anchor c.source_suffix in
+              Kronos_metrics.Counter.add M.folds (List.length c.source_suffix);
+              if Chain_digest.equal commit c.source_commit then Ok ()
+              else fail "source suffix does not reproduce the commitment"
+            | s :: rest ->
+              (match check_step s anchor with
+               | Ok next -> fold_steps next rest
+               | Error _ as e -> e)
+          in
+          fold_steps c.target_commit c.steps
+      end
+  in
+  (match result with
+   | Ok () ->
+     Kronos_metrics.Counter.incr M.ok;
+     Kronos_metrics.Histogram.observe M.path_len
+       (float_of_int (Certificate.path_length c))
+   | Error _ -> Kronos_metrics.Counter.incr M.rejected);
+  result
+
+let verify_against ~source_commit ~target_commit (c : Certificate.t) =
+  if not (Chain_digest.equal c.source_commit source_commit) then begin
+    Kronos_metrics.Counter.incr M.rejected;
+    fail "source commitment mismatch (expected %a, certificate has %a)"
+      Chain_digest.pp source_commit Chain_digest.pp c.source_commit
+  end
+  else if not (Chain_digest.equal c.target_commit target_commit) then begin
+    Kronos_metrics.Counter.incr M.rejected;
+    fail "target commitment mismatch (expected %a, certificate has %a)"
+      Chain_digest.pp target_commit Chain_digest.pp c.target_commit
+  end
+  else verify c

@@ -1,0 +1,23 @@
+(** Certificate verification with no graph access (DESIGN.md §13).
+
+    The verifier recomputes the commitment-chain folds a certificate
+    exhibits and accepts iff every step reproduces its anchor.  Soundness
+    rests on the collision resistance of the SHA-256 compression function:
+    accepting a certificate for a pair the committed graph never ordered
+    requires a collision along one of the folds.  Completeness is
+    deliberately partial — the prover answers [None] for true facts whose
+    path is not commitment-closed — so rejection here means the {e proof}
+    is wrong, never that the relation is. *)
+
+val verify : Certificate.t -> (unit, string) result
+(** Structural and cryptographic check of the certificate against the
+    endpoint commitments {e it carries}.  Use {!verify_against} when the
+    commitments are known from elsewhere (a pinned audit log, a previous
+    answer); a bare [verify] trusts the certificate's own endpoints and
+    therefore only authenticates the path {e relative to them}. *)
+
+val verify_against :
+  source_commit:string -> target_commit:string ->
+  Certificate.t -> (unit, string) result
+(** {!verify}, but first require the certificate's endpoint commitments to
+    equal externally-known values. *)

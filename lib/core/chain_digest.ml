@@ -1,0 +1,38 @@
+let length = Sha256.digest_length
+
+(* Identity digests are raw injective encodings, not hashes: 16 bytes of
+   domain tag, the 8-byte identifier, 8 zero bytes.  Saves a compression
+   on every create_event; collision with a hash output would be a second
+   preimage into this tagged sparse subspace. *)
+let init_tag = "KRONOS-EVENT-v1\000"
+
+let init id =
+  let b = Bytes.make length '\000' in
+  Bytes.blit_string init_tag 0 b 0 16;
+  Bytes.set_int64_be b 16 (Event_id.to_int64 id);
+  Bytes.unsafe_to_string b
+
+(* 12-byte tag + 8-byte id + 32-byte head = 52 bytes: one padded SHA-256
+   block, so link_partner costs a single compression too. *)
+let link_tag = "KRONOS-LNK1\000"
+
+let link_partner id head =
+  if String.length head <> length then
+    invalid_arg "Chain_digest.link_partner: bad head length";
+  let b = Bytes.create (12 + 8 + length) in
+  Bytes.blit_string link_tag 0 b 0 12;
+  Bytes.set_int64_be b 12 (Event_id.to_int64 id);
+  Bytes.blit_string head 0 b 20 length;
+  Sha256.digest_string (Bytes.unsafe_to_string b)
+
+let fold_link head partner = Sha256.compress_pair head partner
+
+let fold head partners = List.fold_left fold_link head partners
+
+let equal (a : string) b = String.equal a b
+
+let to_hex = Sha256.hex
+
+let pp ppf d =
+  Format.pp_print_string ppf
+    (if String.length d >= 4 then Sha256.hex (String.sub d 0 4) else Sha256.hex d)

@@ -1,0 +1,45 @@
+(** The event commitment scheme shared by the graph (which maintains the
+    chains) and the certify library (whose verifier recomputes them with no
+    graph access).  DESIGN.md §13 documents the construction; in short:
+
+    - every event starts from an {e identity digest} [init e] that binds its
+      identifier injectively (no hashing needed: distinct events get
+      distinct 32-byte encodings by construction);
+    - admitting an edge [u -> v] folds one {e link} into [v]'s chain:
+      [head' v = fold_link (head v) (link_partner (id u) (head u))], where
+      [head u] is [u]'s chain head {e at that moment};
+    - an event's {e commitment} is its current chain head.
+
+    [link_partner] hashes the predecessor's identifier together with its
+    head, so a certificate step authenticates {e which} event was linked,
+    not just an anonymous digest; [fold_link] is a single application of
+    the SHA-256 compression function (collision-resistant, one compression
+    per edge). *)
+
+val length : int
+(** Digest size in bytes (32). *)
+
+val init : Event_id.t -> string
+(** Identity digest of a fresh event: an injective 32-byte encoding of the
+    identifier under a domain tag.  Two distinct events can never share it,
+    and no [fold_link]/[link_partner] output can collide with it short of a
+    second preimage (outputs of the hash hitting the tagged sparse encoding
+    space). *)
+
+val link_partner : Event_id.t -> string -> string
+(** [link_partner u head_u] is the digest folded into a successor's chain
+    when an edge out of [u] is admitted while [u]'s chain head is [head_u]:
+    [SHA-256(tag || id u || head_u)] (one compression). *)
+
+val fold_link : string -> string -> string
+(** [fold_link head partner] is the chain head after folding one link:
+    a single SHA-256 compression of the 64-byte block [head || partner]. *)
+
+val fold : string -> string list -> string
+(** [fold head partners] folds a list of link partners in order. *)
+
+val equal : string -> string -> bool
+val pp : Format.formatter -> string -> unit
+(** Short (8-hex-digit) rendering for logs and error messages. *)
+
+val to_hex : string -> string

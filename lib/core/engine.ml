@@ -10,9 +10,14 @@ module M = struct
   let reversals = Kronos_metrics.counter scope "reversals_total"
 end
 
-type config = { initial_capacity : int; traversal_cache : int }
+type config = {
+  initial_capacity : int;
+  traversal_cache : int;
+  digests : bool;
+}
 
-let default_config = { initial_capacity = 1024; traversal_cache = 0 }
+let default_config =
+  { initial_capacity = 1024; traversal_cache = 0; digests = true }
 
 type t = {
   g : Graph.t;
@@ -26,7 +31,7 @@ type t = {
 
 let create ?(config = default_config) () =
   { g = Graph.create ~initial_capacity:config.initial_capacity
-      ~traversal_cache:config.traversal_cache ();
+      ~traversal_cache:config.traversal_cache ~digests:config.digests ();
     creates = 0; queries = 0; assigns = 0; aborted_batches = 0;
     reversals = 0; collected = 0 }
 
@@ -212,7 +217,8 @@ let of_snapshot ?(config = default_config) s =
   {
     g =
       Graph.of_snapshot ~initial_capacity:config.initial_capacity
-        ~traversal_cache:config.traversal_cache s.snap_graph;
+        ~traversal_cache:config.traversal_cache ~digests:config.digests
+        s.snap_graph;
     creates = s.snap_creates;
     queries = s.snap_queries;
     assigns = s.snap_assigns;
@@ -224,6 +230,7 @@ let of_snapshot ?(config = default_config) s =
 let live_events t = Graph.live_count t.g
 let edges t = Graph.edge_count t.g
 let memory_bytes t = Graph.memory_bytes t.g
+let commitment t e = Graph.commitment t.g e
 
 type stats = {
   creates : int;

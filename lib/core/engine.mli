@@ -10,6 +10,9 @@ type config = {
   traversal_cache : int;
       (** size of the internal positive-reachability memo (Section 2.5);
           0 (the default) disables it *)
+  digests : bool;
+      (** maintain hash-chained event commitments (DESIGN.md §13) so
+          happens-before answers can be proved; [true] by default *)
 }
 
 val default_config : config
@@ -102,6 +105,10 @@ val graph : t -> Graph.t
 val live_events : t -> int
 val edges : t -> int
 val memory_bytes : t -> int
+
+val commitment : t -> Event_id.t -> string option
+(** The event's commitment-chain head ({!Graph.commitment}); [None] when
+    the identifier is stale or the engine runs with [digests = false]. *)
 
 type stats = {
   creates : int;

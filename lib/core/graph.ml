@@ -10,9 +10,25 @@ module M = struct
   let rank_relabels = Kronos_metrics.counter scope "rank_relabels_total"
   let rank_pruned = Kronos_metrics.counter scope "rank_pruned_queries_total"
   let bidir = Kronos_metrics.counter scope "bidir_traversals_total"
+  let digest_folds = Kronos_metrics.counter scope "digest_folds_total"
   let live = Kronos_metrics.gauge scope "graph_live_events"
   let edges = Kronos_metrics.gauge scope "graph_edges"
 end
+
+(* One commitment-chain link, recorded when an edge into this event was
+   admitted (DESIGN.md §13).  Immutable once pushed; only batch rollback
+   pops it again. *)
+type link = {
+  l_pred : Event_id.t;    (* predecessor identifier at link time *)
+  l_pred_head : string;   (* predecessor chain head at link time *)
+  l_pred_pos : int;       (* predecessor link count at link time *)
+  l_partner : string;     (* Chain_digest.link_partner l_pred l_pred_head *)
+  l_head : string;        (* this event's head after folding this link *)
+}
+
+let dummy_link =
+  { l_pred = Event_id.none; l_pred_head = ""; l_pred_pos = 0;
+    l_partner = ""; l_head = "" }
 
 type t = {
   mutable refcount : int array;  (* -1 marks a free slot *)
@@ -52,16 +68,29 @@ type t = {
   reach_cache : (Event_id.t * Event_id.t, unit) Hashtbl.t;
   reach_cache_capacity : int;  (* 0 disables caching *)
   mutable reach_cache_hits : int;
+  (* Commitment chains (DESIGN.md §13).  Per live slot, the ordered list of
+     links folded into the event's chain, one per admitted incoming edge;
+     the event's commitment is the head of the last link (or its identity
+     digest while the chain is empty).  Identity digests are recomputed
+     from the identifier on demand — they encode (slot, gen) injectively —
+     so only the links need storing. *)
+  digests : bool;
+  mutable chains : link Vec.t array;
+  mutable digest_folds : int;
 }
 
 let max_gen = (1 lsl 22) - 1
 
-let create ?(initial_capacity = 1024) ?(traversal_cache = 0) () =
+let create ?(initial_capacity = 1024) ?(traversal_cache = 0) ?(digests = true)
+    () =
   let cap = max initial_capacity 16 in
   {
     reach_cache = Hashtbl.create (max 16 (min traversal_cache 4096));
     reach_cache_capacity = max 0 traversal_cache;
     reach_cache_hits = 0;
+    digests;
+    chains = Array.init cap (fun _ -> Vec.create ~dummy:dummy_link ());
+    digest_folds = 0;
     refcount = Array.make cap (-1);
     gen = Array.make cap 0;
     indeg = Array.make cap 0;
@@ -94,6 +123,8 @@ let traversal_cache_hits g = g.reach_cache_hits
 let rank_relabel_count g = g.rank_relabels
 let rank_pruned_count g = g.rank_pruned
 let bidir_traversal_count g = g.bidir_traversals
+let digests_enabled g = g.digests
+let digest_fold_count g = g.digest_folds
 
 let grow g =
   let old = capacity g in
@@ -113,6 +144,9 @@ let grow g =
   in
   g.succ <- grow_adj g.succ;
   g.pred <- grow_adj g.pred;
+  g.chains <-
+    Array.init cap (fun i ->
+      if i < old then g.chains.(i) else Vec.create ~dummy:dummy_link ());
   Sparse_set.grow g.visited cap;
   Sparse_set.grow g.visited_b cap;
   g.queue <- Array.make cap 0;
@@ -144,6 +178,7 @@ let create_event g =
   g.indeg.(s) <- 0;
   Int_vec.clear g.succ.(s);
   Int_vec.clear g.pred.(s);
+  Vec.clear g.chains.(s);
   (* fresh events take increasing ranks, so edges that follow creation
      order — the common case — never trigger a relabel *)
   g.rank.(s) <- g.next_rank;
@@ -195,6 +230,10 @@ let collect g s =
     Int_vec.iter kill g.succ.(u);
     Int_vec.clear g.succ.(u);
     Int_vec.clear g.pred.(u);
+    (* Chain links of still-live successors keep referencing this event by
+       identifier + head, so certificates through committed history stay
+       checkable; only this event's own chain is dropped. *)
+    Vec.clear g.chains.(u);
     (* Retire the slot permanently if its generation space is exhausted. *)
     if g.gen.(u) < max_gen then begin
       g.gen.(u) <- g.gen.(u) + 1;
@@ -367,11 +406,36 @@ let query g e1 e2 =
       end
     end
 
+(* Chain head of slot [s] after its first [n] links (n = length for the
+   current commitment).  n = 0 is the identity digest, recomputed from the
+   identifier rather than stored. *)
+let head_at_slot g s n =
+  if n = 0 then Chain_digest.init (id_of_slot g s)
+  else (Vec.get g.chains.(s) (n - 1)).l_head
+
+(* Fold one commitment link for the admitted edge su -> sv: two SHA-256
+   compressions (partner digest + chain fold). *)
+let fold_edge g su sv =
+  let pred_id = id_of_slot g su in
+  let pred_pos = Vec.length g.chains.(su) in
+  let pred_head = head_at_slot g su pred_pos in
+  let partner = Chain_digest.link_partner pred_id pred_head in
+  let head =
+    Chain_digest.fold_link (head_at_slot g sv (Vec.length g.chains.(sv)))
+      partner
+  in
+  Vec.push g.chains.(sv)
+    { l_pred = pred_id; l_pred_head = pred_head; l_pred_pos = pred_pos;
+      l_partner = partner; l_head = head };
+  g.digest_folds <- g.digest_folds + 2;
+  Kronos_metrics.Counter.add M.digest_folds 2
+
 let push_edge g su sv =
   Int_vec.push g.succ.(su) sv;
   Int_vec.push g.pred.(sv) su;
   g.indeg.(sv) <- g.indeg.(sv) + 1;
   g.edges <- g.edges + 1;
+  if g.digests then fold_edge g su sv;
   Kronos_metrics.Gauge.set M.edges g.edges
 
 (* Restricted cycle probe for an edge su -> sv arriving with
@@ -483,6 +547,9 @@ let remove_last_edge g u v =
     ignore (Int_vec.remove_first g.pred.(sv) su);
     g.indeg.(sv) <- g.indeg.(sv) - 1;
     g.edges <- g.edges - 1;
+    (* the chain link folded for this edge is necessarily the newest one on
+       [sv] (edges roll back in LIFO order within the aborting batch) *)
+    if g.digests then ignore (Vec.pop g.chains.(sv));
     (* Ranks are deliberately not rolled back: removing an edge cannot
        break "u ⇝ v implies rank u < rank v", it only removes paths.  The
        relabel the edge may have caused stays — it is a valid order for the
@@ -502,6 +569,7 @@ type snapshot = {
   snap_next_rank : int;
   snap_traversals : int;
   snap_visited_total : int;
+  snap_links : (int64 * string * int) array array option;
 }
 
 let to_snapshot g =
@@ -517,6 +585,15 @@ let to_snapshot g =
     snap_next_rank = g.next_rank;
     snap_traversals = g.traversals;
     snap_visited_total = g.visited_total;
+    snap_links =
+      (if not g.digests then None
+       else
+         Some
+           (Array.init n (fun i ->
+                let c = g.chains.(i) in
+                Array.init (Vec.length c) (fun j ->
+                    let l = Vec.get c j in
+                    (Event_id.to_int64 l.l_pred, l.l_pred_head, l.l_pred_pos)))));
   }
 
 (* Deterministic rank reconstruction for rank-less (version-1) snapshots:
@@ -545,7 +622,37 @@ let rebuild_ranks g fail =
   if !r <> g.live then fail "cyclic dependency graph";
   g.next_rank <- !r
 
-let of_snapshot ?(initial_capacity = 1024) ?(traversal_cache = 0) s =
+(* Deterministic commitment reconstruction for captures without a digest
+   section (pre-version-3 snapshots, or snapshots of a digest-less engine
+   restored into a digest-enabled one).  Live slots are processed in
+   (rank, slot) order — a topological order by the rank invariant — and each
+   slot folds one link per stored predecessor, in reverse-adjacency order,
+   using the predecessor's {e final} head.  The result depends only on the
+   snapshot's adjacency (reverse adjacency is rebuilt in slot-iteration
+   order by [of_snapshot]) and not on which valid rank assignment is in
+   force: any topological order finalizes predecessors first and yields the
+   same folds.  Restores of the same logical graph therefore agree on every
+   commitment, whether ranks were persisted (v2) or Kahn-rebuilt (v1).
+
+   The rebuilt chains are generally {e not} the ones the captured engine
+   held — the original interleaving of edge admissions is not recorded — so
+   an upgrade re-anchors commitments; DESIGN.md §13 spells this out. *)
+let rebuild_chains g =
+  let n = g.next_slot in
+  let order = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      let c = compare g.rank.(a) g.rank.(b) in
+      if c <> 0 then c else compare a b)
+    order;
+  Array.iter
+    (fun v ->
+      if g.refcount.(v) >= 0 then
+        Int_vec.iter (fun u -> fold_edge g u v) g.pred.(v))
+    order
+
+let of_snapshot ?(initial_capacity = 1024) ?(traversal_cache = 0)
+    ?(digests = true) s =
   let fail what = invalid_arg ("Graph.of_snapshot: " ^ what) in
   let n = s.snap_next_slot in
   if n < 0 || n > Event_id.max_slot + 1 then fail "bad slot count";
@@ -553,7 +660,10 @@ let of_snapshot ?(initial_capacity = 1024) ?(traversal_cache = 0) s =
      || Array.length s.snap_gen <> n
      || Array.length s.snap_succ <> n
   then fail "mismatched array lengths";
-  let g = create ~initial_capacity:(max initial_capacity n) ~traversal_cache () in
+  let g =
+    create ~initial_capacity:(max initial_capacity n) ~traversal_cache
+      ~digests ()
+  in
   g.next_slot <- n;
   let live = ref 0 in
   for i = 0 to n - 1 do
@@ -603,9 +713,62 @@ let of_snapshot ?(initial_capacity = 1024) ?(traversal_cache = 0) s =
         correctness, but genuine snapshots always satisfy this *)
      g.next_rank <- max s.snap_next_rank (!max_rank + 1)
    | None -> rebuild_ranks g fail);
+  (if digests then
+     match s.snap_links with
+     | Some links ->
+       if Array.length links <> n then fail "mismatched link table length";
+       for v = 0 to n - 1 do
+         let ls = links.(v) in
+         if Array.length ls > 0 && g.refcount.(v) < 0 then
+           fail "chain links on a free slot";
+         Array.iter
+           (fun (pred64, pred_head, pred_pos) ->
+             let pred =
+               try Event_id.of_int64 pred64
+               with Invalid_argument _ -> fail "bad link predecessor"
+             in
+             if String.length pred_head <> Chain_digest.length then
+               fail "bad link head length";
+             if pred_pos < 0 then fail "bad link position";
+             let partner = Chain_digest.link_partner pred pred_head in
+             let head =
+               Chain_digest.fold_link
+                 (head_at_slot g v (Vec.length g.chains.(v)))
+                 partner
+             in
+             Vec.push g.chains.(v)
+               { l_pred = pred; l_pred_head = pred_head;
+                 l_pred_pos = pred_pos; l_partner = partner; l_head = head };
+             g.digest_folds <- g.digest_folds + 2;
+             Kronos_metrics.Counter.add M.digest_folds 2)
+           ls
+       done
+     | None -> rebuild_chains g);
   g.traversals <- s.snap_traversals;
   g.visited_total <- s.snap_visited_total;
   g
+
+let commitment g id =
+  match resolve g id with
+  | Some s when g.digests -> Some (head_at_slot g s (Vec.length g.chains.(s)))
+  | Some _ | None -> None
+
+let chain_length g id =
+  match resolve g id with
+  | Some s when g.digests -> Some (Vec.length g.chains.(s))
+  | Some _ | None -> None
+
+let chain_link g id i =
+  match resolve g id with
+  | Some s when g.digests && i >= 0 && i < Vec.length g.chains.(s) ->
+    Some (Vec.get g.chains.(s) i)
+  | Some _ | None -> None
+
+let head_at g id n =
+  match resolve g id with
+  | Some s when g.digests && n >= 0 && n <= Vec.length g.chains.(s) ->
+    Some (head_at_slot g s n)
+  | Some _ | None -> None
 
 let out_degree g id =
   match resolve g id with
@@ -655,3 +818,9 @@ let memory_bytes g =
   + Sparse_set.memory_bytes g.visited_b
   + Int_vec.capacity_bytes g.free
   + Int_vec.capacity_bytes g.relabel_stack
+  (* chains: pointer array + per-link record (5 fields + header) + the
+     three digest strings it owns (~32 bytes + header each) *)
+  + ((capacity g + 2) * word)
+  + Array.fold_left
+      (fun acc c -> acc + (Vec.length c * ((6 * word) + (3 * (40 + word)))))
+      0 g.chains

@@ -31,7 +31,8 @@
 
 type t
 
-val create : ?initial_capacity:int -> ?traversal_cache:int -> unit -> t
+val create :
+  ?initial_capacity:int -> ?traversal_cache:int -> ?digests:bool -> unit -> t
 (** [create ()] is an empty graph.  [initial_capacity] (default 1024) sizes
     the initial slot arrays; they double on demand.
 
@@ -41,7 +42,14 @@ val create : ?initial_capacity:int -> ?traversal_cache:int -> unit -> t
     negative results never are.  Entries key on full identifiers
     (slot + generation), so garbage collection cannot resurrect them.
     Rank pruning runs {e before} the memo: a rank-refuted pair never pays
-    the hash lookup. *)
+    the hash lookup.
+
+    [digests] (default [true]) maintains hash-chained event commitments
+    alongside the graph (DESIGN.md §13): admitting an edge folds one link —
+    two SHA-256 compressions — into the target's chain, and an event's
+    {!commitment} is its current chain head.  The certify library proves
+    happens-before facts against these commitments.  Disabling trades
+    verifiability for the fold cost. *)
 
 (** {1 Events and references} *)
 
@@ -110,6 +118,45 @@ val remove_last_edge : t -> Event_id.t -> Event_id.t -> unit
     invariant cannot break.
     @raise Invalid_argument if the last edge out of [u] is not [v]. *)
 
+(** {1 Commitment chains}
+
+    Maintained when {!create} was given [~digests:true] (the default); all
+    accessors below answer [None] otherwise, and on stale identifiers. *)
+
+(** One link of an event's commitment chain, recorded when an edge into it
+    was admitted.  [l_partner = Chain_digest.link_partner l_pred l_pred_head]
+    and [l_head = Chain_digest.fold_link previous_head l_partner] are cached
+    so provers never re-hash. *)
+type link = private {
+  l_pred : Event_id.t;   (** predecessor identifier at link time *)
+  l_pred_head : string;  (** predecessor chain head at link time *)
+  l_pred_pos : int;      (** predecessor link count at link time *)
+  l_partner : string;
+  l_head : string;
+}
+
+val digests_enabled : t -> bool
+
+val commitment : t -> Event_id.t -> string option
+(** The event's current chain head: its identity digest while no edge has
+    been admitted into it, else the head after the newest link. *)
+
+val chain_length : t -> Event_id.t -> int option
+(** Number of links folded so far (= edges admitted into the event and not
+    rolled back). *)
+
+val chain_link : t -> Event_id.t -> int -> link option
+(** [chain_link g e i] is the event's [i]-th link (0-based), [None] when out
+    of range. *)
+
+val head_at : t -> Event_id.t -> int -> string option
+(** [head_at g e n] is the chain head after the first [n] links
+    ([0 <= n <= chain_length]); [head_at g e 0] is the identity digest. *)
+
+val digest_fold_count : t -> int
+(** SHA-256 compressions spent maintaining chains (2 per admitted edge,
+    including folds replayed by snapshot restore). *)
+
 (** {1 Serialization} *)
 
 (** A self-contained copy of the graph's logical state, for the durability
@@ -140,19 +187,39 @@ type snapshot = {
   snap_next_rank : int;          (** rank allocator high-water mark *)
   snap_traversals : int;
   snap_visited_total : int;
+  snap_links : (int64 * string * int) array array option;
+  (** per-slot commitment-chain links as
+      [(predecessor id, predecessor head, predecessor position)] triples;
+      partners and heads are refolded on restore.  [None] marks a capture
+      without a digest section (legacy version, or digests disabled):
+      chains are then rebuilt deterministically from adjacency — see
+      {!of_snapshot}. *)
 }
 
 val to_snapshot : t -> snapshot
 (** Deep copy; the snapshot does not alias the graph's arrays.
-    [snap_rank] is always [Some _]. *)
+    [snap_rank] is always [Some _]; [snap_links] is [Some _] iff digests
+    are enabled. *)
 
 val of_snapshot :
-  ?initial_capacity:int -> ?traversal_cache:int -> snapshot -> t
+  ?initial_capacity:int -> ?traversal_cache:int -> ?digests:bool ->
+  snapshot -> t
 (** Rebuild a graph behaviourally identical to the one captured.  The
     options mirror {!create}; capacity is raised to fit the snapshot.
+
+    With [~digests:true] (default) and [snap_links = None] — a legacy
+    capture upgraded in place — commitment chains are rebuilt canonically:
+    live slots in (rank, slot) order, one link per stored predecessor in
+    reverse-adjacency order, each fold using the predecessor's final head.
+    The rebuild is a function of the snapshot's adjacency alone, so every
+    upgrade of the same logical graph agrees on every commitment (whether
+    ranks were persisted or reconstructed); it does {e not} reproduce the
+    captured engine's original chains, whose admission interleaving the
+    snapshot never recorded.
     @raise Invalid_argument if the snapshot is internally inconsistent
     (mismatched array lengths, edges to free slots, out-of-range values,
-    ranks violating the edge invariant, or a cyclic edge set). *)
+    ranks violating the edge invariant, a cyclic edge set, or malformed
+    chain links). *)
 
 (** {1 Introspection} *)
 

@@ -20,6 +20,7 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable prefills : int;
+  mutable evictions : int;
 }
 
 let create ?(prefill_fanout = 16) ~capacity () =
@@ -36,6 +37,7 @@ let create ?(prefill_fanout = 16) ~capacity () =
     hits = 0;
     misses = 0;
     prefills = 0;
+    evictions = 0;
   }
 
 let size t = t.size
@@ -43,6 +45,7 @@ let capacity t = t.capacity
 let hits t = t.hits
 let misses t = t.misses
 let prefills t = t.prefills
+let evictions t = t.evictions
 
 type stats = {
   stat_size : int;
@@ -50,6 +53,7 @@ type stats = {
   stat_hits : int;
   stat_misses : int;
   stat_prefills : int;
+  stat_evictions : int;
 }
 
 let stats t =
@@ -59,6 +63,7 @@ let stats t =
     stat_hits = t.hits;
     stat_misses = t.misses;
     stat_prefills = t.prefills;
+    stat_evictions = t.evictions;
   }
 
 let hit_rate s =
@@ -123,7 +128,8 @@ let evict t =
     unlink t node;
     Hashtbl.remove t.table node.key;
     unindex_node t node;
-    t.size <- t.size - 1
+    t.size <- t.size - 1;
+    t.evictions <- t.evictions + 1
 
 (* Insert a stable [before -> after] fact; when [hop] is true, also pre-fill
    one transitive hop in each direction (never recursively, so a single

@@ -32,6 +32,9 @@ val misses : t -> int
 val prefills : t -> int
 (** Number of entries added by transitive pre-fill. *)
 
+val evictions : t -> int
+(** Number of entries dropped by LRU eviction (capacity pressure). *)
+
 (** One consistent reading of all cache counters, for stats reporting. *)
 type stats = {
   stat_size : int;
@@ -39,6 +42,7 @@ type stats = {
   stat_hits : int;
   stat_misses : int;
   stat_prefills : int;
+  stat_evictions : int;
 }
 
 val stats : t -> stats

@@ -1,0 +1,137 @@
+(* SHA-256 over native ints.  Words live in the low 32 bits of an OCaml
+   int (we require a 64-bit platform, as the rest of the engine already
+   does); [mask] truncates after additions.  Keeping everything in
+   immediate ints avoids the Int32 boxing that would otherwise dominate
+   the per-edge commitment fold. *)
+
+let mask = 0xffffffff
+
+let k = [|
+  0x428a2f98; 0x71374491; 0xb5c0fbcf; 0xe9b5dba5;
+  0x3956c25b; 0x59f111f1; 0x923f82a4; 0xab1c5ed5;
+  0xd807aa98; 0x12835b01; 0x243185be; 0x550c7dc3;
+  0x72be5d74; 0x80deb1fe; 0x9bdc06a7; 0xc19bf174;
+  0xe49b69c1; 0xefbe4786; 0x0fc19dc6; 0x240ca1cc;
+  0x2de92c6f; 0x4a7484aa; 0x5cb0a9dc; 0x76f988da;
+  0x983e5152; 0xa831c66d; 0xb00327c8; 0xbf597fc7;
+  0xc6e00bf3; 0xd5a79147; 0x06ca6351; 0x14292967;
+  0x27b70a85; 0x2e1b2138; 0x4d2c6dfc; 0x53380d13;
+  0x650a7354; 0x766a0abb; 0x81c2c92e; 0x92722c85;
+  0xa2bfe8a1; 0xa81a664b; 0xc24b8b70; 0xc76c51a3;
+  0xd192e819; 0xd6990624; 0xf40e3585; 0x106aa070;
+  0x19a4c116; 0x1e376c08; 0x2748774c; 0x34b0bcb5;
+  0x391c0cb3; 0x4ed8aa4a; 0x5b9cca4f; 0x682e6ff3;
+  0x748f82ee; 0x78a5636f; 0x84c87814; 0x8cc70208;
+  0x90befffa; 0xa4506ceb; 0xbef9a3f7; 0xc67178f2;
+|]
+
+let iv = [|
+  0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a;
+  0x510e527f; 0x9b05688c; 0x1f83d9ab; 0x5be0cd19;
+|]
+
+let digest_length = 32
+
+let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask
+
+(* One compression round over the 64-byte block at [off] in [s], updating
+   the state array [h] in place.  [w] is a scratch schedule of 64 ints. *)
+let compress h w (s : string) off =
+  for i = 0 to 15 do
+    let j = off + (i * 4) in
+    w.(i) <-
+      (Char.code s.[j] lsl 24)
+      lor (Char.code s.[j + 1] lsl 16)
+      lor (Char.code s.[j + 2] lsl 8)
+      lor Char.code s.[j + 3]
+  done;
+  for i = 16 to 63 do
+    let x = w.(i - 15) and y = w.(i - 2) in
+    let s0 = rotr x 7 lxor rotr x 18 lxor (x lsr 3) in
+    let s1 = rotr y 17 lxor rotr y 19 lxor (y lsr 10) in
+    w.(i) <- (w.(i - 16) + s0 + w.(i - 7) + s1) land mask
+  done;
+  let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
+  let e = ref h.(4) and f = ref h.(5) and g = ref h.(6) and hh = ref h.(7) in
+  for i = 0 to 63 do
+    let s1 = rotr !e 6 lxor rotr !e 11 lxor rotr !e 25 in
+    let ch = (!e land !f) lxor (lnot !e land !g) in
+    let t1 = (!hh + s1 + ch + k.(i) + w.(i)) land mask in
+    let s0 = rotr !a 2 lxor rotr !a 13 lxor rotr !a 22 in
+    let maj = (!a land !b) lxor (!a land !c) lxor (!b land !c) in
+    let t2 = (s0 + maj) land mask in
+    hh := !g;
+    g := !f;
+    f := !e;
+    e := (!d + t1) land mask;
+    d := !c;
+    c := !b;
+    b := !a;
+    a := (t1 + t2) land mask
+  done;
+  h.(0) <- (h.(0) + !a) land mask;
+  h.(1) <- (h.(1) + !b) land mask;
+  h.(2) <- (h.(2) + !c) land mask;
+  h.(3) <- (h.(3) + !d) land mask;
+  h.(4) <- (h.(4) + !e) land mask;
+  h.(5) <- (h.(5) + !f) land mask;
+  h.(6) <- (h.(6) + !g) land mask;
+  h.(7) <- (h.(7) + !hh) land mask
+
+let state_to_string h =
+  let out = Bytes.create digest_length in
+  for i = 0 to 7 do
+    let v = h.(i) in
+    Bytes.set out (i * 4) (Char.chr ((v lsr 24) land 0xff));
+    Bytes.set out ((i * 4) + 1) (Char.chr ((v lsr 16) land 0xff));
+    Bytes.set out ((i * 4) + 2) (Char.chr ((v lsr 8) land 0xff));
+    Bytes.set out ((i * 4) + 3) (Char.chr (v land 0xff))
+  done;
+  Bytes.unsafe_to_string out
+
+let digest_string msg =
+  let len = String.length msg in
+  (* padded length: message + 0x80 + zeros + 64-bit bit length *)
+  let total = ((len + 8) / 64 * 64) + 64 in
+  let buf = Bytes.make total '\000' in
+  Bytes.blit_string msg 0 buf 0 len;
+  Bytes.set buf len '\x80';
+  let bits = len * 8 in
+  for i = 0 to 7 do
+    Bytes.set buf (total - 1 - i) (Char.chr ((bits lsr (8 * i)) land 0xff))
+  done;
+  let padded = Bytes.unsafe_to_string buf in
+  let h = Array.copy iv in
+  let w = Array.make 64 0 in
+  let blocks = total / 64 in
+  for b = 0 to blocks - 1 do
+    compress h w padded (b * 64)
+  done;
+  state_to_string h
+
+(* Scratch buffers for [compress_pair].  The engine is single-writer (the
+   replicated state machine applies commands one at a time), so shared
+   scratch is safe; a concurrent reader-pool design would give each domain
+   its own graph view and never fold links. *)
+let pair_block = Bytes.create 64
+let pair_w = Array.make 64 0
+
+let compress_pair a b =
+  if String.length a <> digest_length || String.length b <> digest_length then
+    invalid_arg "Sha256.compress_pair: arguments must be 32 bytes";
+  Bytes.blit_string a 0 pair_block 0 digest_length;
+  Bytes.blit_string b 0 pair_block digest_length digest_length;
+  let h = Array.copy iv in
+  compress h pair_w (Bytes.unsafe_to_string pair_block) 0;
+  state_to_string h
+
+let hex s =
+  let out = Bytes.create (2 * String.length s) in
+  String.iteri
+    (fun i c ->
+      let v = Char.code c in
+      let d n = "0123456789abcdef".[n] in
+      Bytes.set out (2 * i) (d (v lsr 4));
+      Bytes.set out ((2 * i) + 1) (d (v land 0xf)))
+    s;
+  Bytes.unsafe_to_string out

@@ -1,0 +1,27 @@
+(** Pure-OCaml SHA-256 (FIPS 180-4).
+
+    The implementation works on native [int]s (all words are masked to 32
+    bits), so hashing allocates nothing beyond the result string and runs
+    fast enough to sit on the engine's edge-admission hot path.
+
+    Besides the standard full hash, {!compress_pair} exposes a single
+    application of the SHA-256 compression function to two 32-byte digests
+    (one 64-byte block, standard IV, no padding).  That is the primitive the
+    event commitment chains fold links with: collision resistance of the
+    compression function is all the chain construction needs, and one
+    compression per edge is half the cost of a padded two-block hash. *)
+
+val digest_length : int
+(** 32. *)
+
+val digest_string : string -> string
+(** Full SHA-256 of a string, as 32 raw bytes. *)
+
+val compress_pair : string -> string -> string
+(** [compress_pair a b] is one application of the SHA-256 compression
+    function to the 64-byte block [a ^ b], starting from the standard IV.
+    Both arguments must be exactly 32 bytes.
+    @raise Invalid_argument otherwise. *)
+
+val hex : string -> string
+(** Lowercase hex rendering of a raw digest. *)

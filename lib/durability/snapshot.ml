@@ -5,8 +5,16 @@ module Codec = Kronos_wire.Codec
    the rank allocator) to the version-1 body.  Version-1 snapshots are still
    decoded: they surface as [snap_rank = None] and [Graph.of_snapshot]
    rebuilds an equivalent rank assignment deterministically with Kahn's
-   algorithm, so pre-rank snapshot files stay loadable after an upgrade. *)
-let version = 2
+   algorithm, so pre-rank snapshot files stay loadable after an upgrade.
+
+   Version 3 appends the commitment-chain links (DESIGN.md §13): per live
+   slot, one [(predecessor id, predecessor head, predecessor position)]
+   triple per link; partners and heads are refolded on restore.  Version-1
+   and version-2 snapshots surface as [snap_links = None] and
+   [Graph.of_snapshot] rebuilds the chains canonically from adjacency, so
+   every upgrade of the same logical graph re-anchors to identical
+   commitments. *)
+let version = 3
 
 let oldest_supported_version = 1
 
@@ -49,6 +57,23 @@ let encode ~seq (s : Engine.snapshot) =
   Codec.put_i64 e (Int64.of_int s.Engine.snap_aborted_batches);
   Codec.put_i64 e (Int64.of_int s.Engine.snap_reversals);
   Codec.put_i64 e (Int64.of_int s.Engine.snap_collected);
+  (* v3 suffix: commitment-chain links.  Positions travel as i64 like the
+     ranks (chain lengths are unbounded ints in principle). *)
+  (match g.Graph.snap_links with
+   | Some links ->
+     Codec.put_bool e true;
+     Codec.put_u32 e (Array.length links);
+     Array.iter
+       (fun ls ->
+         Codec.put_u32 e (Array.length ls);
+         Array.iter
+           (fun (pred, head, pos) ->
+             Codec.put_i64 e pred;
+             Codec.put_string e head;
+             Codec.put_i64 e (Int64.of_int pos))
+           ls)
+       links
+   | None -> Codec.put_bool e false);
   let body = Codec.to_string e in
   let b = Buffer.create (String.length body + header_bytes) in
   Buffer.add_string b magic;
@@ -109,6 +134,25 @@ let decode data =
   let snap_aborted_batches = get_int64 d in
   let snap_reversals = get_int64 d in
   let snap_collected = get_int64 d in
+  let snap_links =
+    if v < 3 then None
+    else if not (Codec.get_bool d) then None
+    else begin
+      let len = Codec.get_u32 d in
+      if len > String.length body then
+        raise (Codec.Decode_error "snapshot: absurd link table count");
+      Some
+        (Array.init len (fun _ ->
+             let m = Codec.get_u32 d in
+             if m > String.length body then
+               raise (Codec.Decode_error "snapshot: absurd link count");
+             Array.init m (fun _ ->
+                 let pred = Codec.get_i64 d in
+                 let head = Codec.get_string d in
+                 let pos = get_int64 d in
+                 (pred, head, pos))))
+    end
+  in
   Codec.expect_end d;
   ( seq,
     {
@@ -123,6 +167,7 @@ let decode data =
           snap_next_rank;
           snap_traversals;
           snap_visited_total;
+          snap_links;
         };
       snap_creates;
       snap_queries;

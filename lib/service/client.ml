@@ -15,7 +15,11 @@ module M = struct
   let acquire_ref = op_seconds "acquire_ref"
   let release_ref = op_seconds "release_ref"
   let query_order = op_seconds "query_order"
+  let query_verified = op_seconds "query_verified"
   let assign_order = op_seconds "assign_order"
+  let proofs_checked = Kronos_metrics.counter scope "proofs_checked_total"
+  let proofs_rejected = Kronos_metrics.counter scope "proofs_rejected_total"
+  let proof_prefills = Kronos_metrics.counter scope "proof_prefill_edges_total"
 end
 
 (* Wrap a callback so the wall-clock time until it fires lands in [h].
@@ -178,6 +182,63 @@ let query_order t ?timeout ?(stale = false) ?(revalidate = true) pairs callback 
                     List.iter2 (fun m rel -> record m rel) unresolved rels;
                     finish ())
           end)
+
+(* A verified certificate authenticates every edge on its path, not just
+   the queried endpoints: each one becomes a free stable cache entry, and
+   the cache's own transitive pre-fill multiplies them further. *)
+let prefill_from_cert t (cert : Kronos_certify.Certificate.t) =
+  let edges = Kronos_certify.Certificate.path_edges cert in
+  Kronos_metrics.Counter.add M.proof_prefills (List.length edges);
+  List.iter (fun (pred, event) -> cache_insert t pred event Order.Before) edges
+
+let query_verified t ?timeout ?(stale = false) e1 e2 callback =
+  let callback = timed M.query_verified callback in
+  let target = if stale then Proxy.Any else Proxy.Tail in
+  t.server_queries <- t.server_queries + 1;
+  Proxy.read t.proxy ?timeout ~target
+    (Message.encode_request (Message.Query_proof (e1, e2)))
+    (decoded (function
+      | Ok (Message.Proof_is { relation; cert }) ->
+        (match cert with
+         | None ->
+           (* unproved: fall back to plain-query trust rules — ordered
+              answers are definitive even from a stale replica, an
+              unvalidated Concurrent is reported but not cached *)
+           (match relation with
+            | Order.Before | Order.After | Order.Same ->
+              cache_insert t e1 e2 relation
+            | Order.Concurrent -> ());
+           callback (Ok (relation, None))
+         | Some c ->
+           Kronos_metrics.Counter.incr M.proofs_checked;
+           let endpoints_ok =
+             match relation with
+             | Order.Before ->
+               Event_id.equal c.source e1 && Event_id.equal c.target e2
+             | Order.After ->
+               Event_id.equal c.source e2 && Event_id.equal c.target e1
+             | Order.Concurrent | Order.Same -> false
+           in
+           if not endpoints_ok then begin
+             Kronos_metrics.Counter.incr M.proofs_rejected;
+             callback
+               (Error
+                  (Error.Proof_invalid
+                     "certificate endpoints do not match the query"))
+           end
+           else begin
+             match Kronos_certify.Verifier.verify c with
+             | Error m ->
+               Kronos_metrics.Counter.incr M.proofs_rejected;
+               callback (Error (Error.Proof_invalid m))
+             | Ok () ->
+               cache_insert t e1 e2 relation;
+               prefill_from_cert t c;
+               callback (Ok (relation, Some c))
+           end)
+      | Ok (Message.Rejected err) -> callback (Error (Error.Rejected err))
+      | Ok _ -> callback (Error unexpected)
+      | Error e -> callback (Error e)))
 
 (* Every pair of a successful batch now has a committed order we can
    cache: Applied/Already mean the requested direction holds; Reversed

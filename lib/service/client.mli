@@ -86,6 +86,35 @@ val guarded_assign :
     effects.  The federation router uses this to commit cross-shard
     edges without a window for concurrent contradicting assigns. *)
 
+val query_verified :
+  t ->
+  ?timeout:float ->
+  ?stale:bool ->
+  Event_id.t ->
+  Event_id.t ->
+  ((Order.relation * Kronos_certify.Certificate.t option, Error.t) result ->
+   unit) ->
+  unit
+(** Verified read (DESIGN.md §13): query one pair and, when the answer is
+    ordered, ask the server for a happens-before certificate, which is
+    checked locally with {!Kronos_certify.Verifier.verify} before the
+    callback fires.  A certificate that fails verification (or names
+    different endpoints than the query) fails the call with
+    [Error.Proof_invalid] — the relation claimed by the server is {e not}
+    reported.
+
+    On success every edge of the verified path is inserted into the order
+    cache (it is an authenticated stable fact), so one verified read
+    pre-fills the whole chain of events it crossed.
+
+    [Ok (relation, None)] means the server answered without a proof:
+    either the relation is [Concurrent]/[Same] (nothing to prove), or it
+    holds but is not provable from the hash chains (see
+    {!Kronos_certify.Prover}); the answer is then exactly as trustworthy
+    as a plain {!query_order}.  Callers needing cross-answer tamper
+    evidence should feed returned certificates to
+    {!Kronos_certify.Audit}. *)
+
 (** {1 Introspection} *)
 
 val cache : t -> Order_cache.t option

@@ -1,15 +1,20 @@
-type t = Rejected of Kronos.Order.assign_error | Timeout
+type t =
+  | Rejected of Kronos.Order.assign_error
+  | Timeout
+  | Proof_invalid of string
 
 let equal a b =
   match (a, b) with
   | Rejected e, Rejected f -> Kronos.Order.assign_error_equal e f
   | Timeout, Timeout -> true
-  | (Rejected _ | Timeout), _ -> false
+  | Proof_invalid m, Proof_invalid n -> String.equal m n
+  | (Rejected _ | Timeout | Proof_invalid _), _ -> false
 
 let of_proxy `Timeout = Timeout
 
 let pp ppf = function
   | Rejected err -> Kronos.Order.pp_assign_error ppf err
   | Timeout -> Format.pp_print_string ppf "timeout"
+  | Proof_invalid m -> Format.fprintf ppf "proof invalid: %s" m
 
 let to_string e = Format.asprintf "%a" pp e

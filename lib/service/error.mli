@@ -10,6 +10,10 @@ type t =
   | Rejected of Kronos.Order.assign_error
       (** the replicated state machine refused the operation *)
   | Timeout  (** the per-call deadline expired without a reply *)
+  | Proof_invalid of string
+      (** a verified read received a certificate that fails verification —
+          the server's answer was {e not} accepted (byzantine or corrupted
+          replica) *)
 
 val equal : t -> t -> bool
 

@@ -15,6 +15,7 @@ module M = struct
   let acquire_ref = op_metrics "acquire_ref"
   let release_ref = op_metrics "release_ref"
   let query_order = op_metrics "query_order"
+  let query_proof = op_metrics "query_proof"
   let assign_order = op_metrics "assign_order"
   let guarded_assign = op_metrics "guarded_assign"
   let malformed = Kronos_metrics.counter scope "malformed_requests_total"
@@ -55,6 +56,22 @@ let apply engine cmd =
           match Engine.query_order engine pairs with
           | Ok rels -> Message.Orders rels
           | Error err -> Message.Rejected err)
+    | Message.Query_proof (e1, e2) ->
+      timed M.query_proof (fun () ->
+          match Engine.query_order engine [ (e1, e2) ] with
+          | Error err -> Message.Rejected err
+          | Ok [ relation ] ->
+            let g = Engine.graph engine in
+            let cert =
+              match relation with
+              | Order.Before ->
+                Kronos_certify.Prover.prove g ~source:e1 ~target:e2
+              | Order.After ->
+                Kronos_certify.Prover.prove g ~source:e2 ~target:e1
+              | Order.Concurrent | Order.Same -> None
+            in
+            Message.Proof_is { relation; cert }
+          | Ok _ -> assert false (* one pair in, one relation out *))
     | Message.Assign_order reqs ->
       timed M.assign_order (fun () ->
           match Engine.assign_order engine reqs with

@@ -10,6 +10,7 @@ type request =
       guards : (Event_id.t * Event_id.t * Order.relation) list;
       specs : Order.spec list;
     }
+  | Query_proof of (Event_id.t * Event_id.t)
 
 type response =
   | Event_created of Event_id.t
@@ -18,6 +19,10 @@ type response =
   | Orders of Order.relation list
   | Outcomes of Order.outcome list
   | Rejected of Order.assign_error
+  | Proof_is of {
+      relation : Order.relation;
+      cert : Kronos_certify.Certificate.t option;
+    }
 
 let put_event b e = Codec.put_i64 b (Event_id.to_int64 e)
 
@@ -123,7 +128,11 @@ let encode_request r =
          put_event b e2;
          put_relation b rel)
        guards;
-     Codec.put_list b put_spec specs);
+     Codec.put_list b put_spec specs
+   | Query_proof (e1, e2) ->
+     Codec.put_u8 b 6;
+     put_event b e1;
+     put_event b e2);
   Codec.to_string b
 
 let decode_request s =
@@ -150,6 +159,10 @@ let decode_request s =
       in
       let specs = Codec.get_list d get_spec in
       Guarded_assign { guards; specs }
+    | 6 ->
+      let e1 = get_event d in
+      let e2 = get_event d in
+      Query_proof (e1, e2)
     | n -> raise (Codec.Decode_error (Printf.sprintf "bad request tag %d" n))
   in
   Codec.expect_end d;
@@ -163,7 +176,17 @@ let encode_response r =
    | Ref_released n -> Codec.put_u8 b 2; Codec.put_u32 b n
    | Orders rels -> Codec.put_u8 b 3; Codec.put_list b put_relation rels
    | Outcomes outs -> Codec.put_u8 b 4; Codec.put_list b put_outcome outs
-   | Rejected e -> Codec.put_u8 b 5; put_error b e);
+   | Rejected e -> Codec.put_u8 b 5; put_error b e
+   | Proof_is { relation; cert } ->
+     Codec.put_u8 b 6;
+     put_relation b relation;
+     (match cert with
+      | None -> Codec.put_bool b false
+      | Some c ->
+        Codec.put_bool b true;
+        (* the certificate carries its own self-describing encoding; the
+           wire layer only frames it as an opaque string *)
+        Codec.put_string b (Kronos_certify.Certificate.encode c)));
   Codec.to_string b
 
 let decode_response s =
@@ -176,6 +199,16 @@ let decode_response s =
     | 3 -> Orders (Codec.get_list d get_relation)
     | 4 -> Outcomes (Codec.get_list d get_outcome)
     | 5 -> Rejected (get_error d)
+    | 6 ->
+      let relation = get_relation d in
+      let cert =
+        if not (Codec.get_bool d) then None
+        else
+          match Kronos_certify.Certificate.decode (Codec.get_string d) with
+          | Ok c -> Some c
+          | Error m -> raise (Codec.Decode_error m)
+      in
+      Proof_is { relation; cert }
     | n -> raise (Codec.Decode_error (Printf.sprintf "bad response tag %d" n))
   in
   Codec.expect_end d;
@@ -193,6 +226,8 @@ let pp_request ppf = function
   | Guarded_assign { guards; specs } ->
     Format.fprintf ppf "guarded_assign(%d guards, %d pairs)"
       (List.length guards) (List.length specs)
+  | Query_proof (e1, e2) ->
+    Format.fprintf ppf "query_proof(%a, %a)" Event_id.pp e1 Event_id.pp e2
 
 let pp_response ppf = function
   | Event_created e -> Format.fprintf ppf "event_created(%a)" Event_id.pp e
@@ -209,9 +244,16 @@ let pp_response ppf = function
          Order.pp_outcome)
       outs
   | Rejected e -> Format.fprintf ppf "rejected(%a)" Order.pp_assign_error e
+  | Proof_is { relation; cert } ->
+    Format.fprintf ppf "proof_is(%a, %s)" Order.pp_relation relation
+      (match cert with
+       | Some c ->
+         Printf.sprintf "%d-step certificate"
+           (Kronos_certify.Certificate.path_length c)
+       | None -> "no certificate")
 
 let is_read_only = function
-  | Query_order _ -> true
+  | Query_order _ | Query_proof _ -> true
   | Create_event | Acquire_ref _ | Release_ref _ | Assign_order _
   | Guarded_assign _ ->
     false

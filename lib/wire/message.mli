@@ -20,6 +20,11 @@ type request =
           relation, then apply [specs] as one {!Assign_order} batch; any
           mismatch rejects with [Order.Guard_failed] and no side effects
           (the federation layer's cross-shard commit primitive) *)
+  | Query_proof of (Event_id.t * Event_id.t)
+      (** like a one-pair {!Query_order}, but when the answer is
+          [Before]/[After] the server also attempts a happens-before
+          certificate the client can check against the endpoint
+          commitments alone (DESIGN.md §13) *)
 
 type response =
   | Event_created of Event_id.t
@@ -28,6 +33,14 @@ type response =
   | Orders of Order.relation list
   | Outcomes of Order.outcome list
   | Rejected of Order.assign_error
+  | Proof_is of {
+      relation : Order.relation;
+      cert : Kronos_certify.Certificate.t option;
+    }
+      (** answer to {!Query_proof}; [cert = None] when the relation is
+          [Concurrent]/[Same], when digests are disabled, or when the
+          relation holds but no commitment-closed path exists ("true but
+          unproved" — see {!Kronos_certify.Prover}) *)
 
 val encode_request : request -> string
 val decode_request : string -> request
@@ -45,4 +58,5 @@ val pp_response : Format.formatter -> response -> unit
 
 val is_read_only : request -> bool
 (** [true] for requests that never mutate the event dependency graph
-    ({!Query_order}); these may be served by stale replicas (Section 2.5). *)
+    ({!Query_order}, {!Query_proof}); these may be served by stale replicas
+    (Section 2.5). *)

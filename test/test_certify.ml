@@ -1,0 +1,763 @@
+(* Verifiable causality (DESIGN.md §13): the SHA-256 primitive, the
+   commitment chains the graph maintains, prover/verifier roundtrips over
+   random DAGs, the tamper-injection suite (flipped digests, truncated and
+   spliced paths, reordered suffixes — all rejected), snapshot v3 and the
+   v1/v2 upgrade differential, the verified read end-to-end on the simnet
+   service and over real loopback TCP, and audit pinning against a
+   byzantine replica that rewrote history. *)
+
+open Kronos
+module Certificate = Kronos_certify.Certificate
+module Prover = Kronos_certify.Prover
+module Verifier = Kronos_certify.Verifier
+module Audit = Kronos_certify.Audit
+
+let relation = Alcotest.testable Order.pp_relation Order.relation_equal
+
+let ok_assign = function
+  | Ok outs -> outs
+  | Error e -> Alcotest.failf "assign failed: %a" Order.pp_assign_error e
+
+let must engine a b = ignore (ok_assign (Engine.assign_order engine [ Order.must_before a b ]))
+
+let rel engine a b =
+  match Engine.query_order engine [ (a, b) ] with
+  | Ok [ r ] -> r
+  | Ok _ | Error _ -> Alcotest.fail "query failed"
+
+let commit engine e =
+  match Engine.commitment engine e with
+  | Some c -> c
+  | None -> Alcotest.fail "commitment missing"
+
+(* ---------- sha256 ---------- *)
+
+let test_nist_vectors () =
+  let check_hex msg input expected =
+    Alcotest.(check string) msg expected (Sha256.hex (Sha256.digest_string input))
+  in
+  check_hex "empty" ""
+    "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855";
+  check_hex "abc" "abc"
+    "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad";
+  check_hex "two blocks" "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1";
+  (* one million 'a's, the long NIST vector *)
+  check_hex "million a" (String.make 1_000_000 'a')
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+
+let test_compress_pair_args () =
+  let d = Sha256.digest_string "x" in
+  let expect_invalid msg f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail (msg ^ ": bad argument accepted")
+  in
+  expect_invalid "short left" (fun () -> Sha256.compress_pair "short" d);
+  expect_invalid "short right" (fun () -> Sha256.compress_pair d "short")
+
+(* ---------- commitment chains ---------- *)
+
+let test_chain_maintenance () =
+  let engine = Engine.create () in
+  let a = Engine.create_event engine in
+  let b = Engine.create_event engine in
+  Alcotest.(check string) "identity digest before any edge"
+    (Chain_digest.to_hex (Chain_digest.init b))
+    (Chain_digest.to_hex (commit engine b));
+  let g = Engine.graph engine in
+  let folds0 = Graph.digest_fold_count g in
+  must engine a b;
+  Alcotest.(check int) "2 compressions per edge" (folds0 + 2)
+    (Graph.digest_fold_count g);
+  (* the head is exactly the documented fold *)
+  let expected =
+    Chain_digest.fold_link (Chain_digest.init b)
+      (Chain_digest.link_partner a (Chain_digest.init a))
+  in
+  Alcotest.(check string) "fold matches construction"
+    (Chain_digest.to_hex expected)
+    (Chain_digest.to_hex (commit engine b));
+  (* the predecessor's commitment is untouched by its out-edge *)
+  Alcotest.(check string) "out-edges don't move the predecessor"
+    (Chain_digest.to_hex (Chain_digest.init a))
+    (Chain_digest.to_hex (commit engine a));
+  Alcotest.(check (option int)) "chain length" (Some 1) (Graph.chain_length g b);
+  match Graph.chain_link g b 0 with
+  | None -> Alcotest.fail "missing link"
+  | Some l ->
+    Alcotest.(check bool) "link names the predecessor" true
+      (Event_id.equal l.Graph.l_pred a)
+
+let test_rollback_restores_chain () =
+  let engine = Engine.create () in
+  let a = Engine.create_event engine in
+  let b = Engine.create_event engine in
+  must engine a b;
+  let before = commit engine b in
+  (* an aborted batch must roll its partial folds back *)
+  let c = Engine.create_event engine in
+  (match
+     Engine.assign_order engine
+       [ Order.must_before b c; Order.must_before c a ]
+   with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "cyclic batch must abort");
+  Alcotest.(check string) "aborted batch leaves commitments untouched"
+    (Chain_digest.to_hex before)
+    (Chain_digest.to_hex (commit engine b));
+  Alcotest.(check string) "partial fold into c rolled back"
+    (Chain_digest.to_hex (Chain_digest.init c))
+    (Chain_digest.to_hex (commit engine c))
+
+let test_digests_off () =
+  let engine =
+    Engine.create ~config:{ Engine.default_config with digests = false } ()
+  in
+  let a = Engine.create_event engine in
+  let b = Engine.create_event engine in
+  must engine a b;
+  Alcotest.(check bool) "no commitment" true (Engine.commitment engine b = None);
+  Alcotest.(check relation) "ordering still works" Order.Before (rel engine a b);
+  Alcotest.(check bool) "no proofs" true
+    (Prover.prove (Engine.graph engine) ~source:a ~target:b = None)
+
+(* ---------- prove / verify ---------- *)
+
+let prove_exn engine a b =
+  match Prover.prove (Engine.graph engine) ~source:a ~target:b with
+  | Some c -> c
+  | None -> Alcotest.fail "expected a certificate"
+
+let verify_ok msg cert =
+  match Verifier.verify cert with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "%s: %s" msg m
+
+let test_direct_edge () =
+  let engine = Engine.create () in
+  let a = Engine.create_event engine in
+  let b = Engine.create_event engine in
+  must engine a b;
+  let cert = prove_exn engine a b in
+  verify_ok "direct edge" cert;
+  Alcotest.(check int) "one edge" 1 (Certificate.path_length cert);
+  (* the proof ties to the live commitments *)
+  (match
+     Verifier.verify_against cert ~source_commit:(commit engine a)
+       ~target_commit:(commit engine b)
+   with
+   | Ok () -> ()
+   | Error m -> Alcotest.fail m);
+  (match
+     Verifier.verify_against cert ~source_commit:(commit engine b)
+       ~target_commit:(commit engine b)
+   with
+   | Ok () -> Alcotest.fail "wrong pinned commitment accepted"
+   | Error _ -> ())
+
+let test_chain_path () =
+  let engine = Engine.create () in
+  let n = 24 in
+  let ids = Array.init n (fun _ -> Engine.create_event engine) in
+  for i = 0 to n - 2 do
+    must engine ids.(i) ids.(i + 1)
+  done;
+  let cert = prove_exn engine ids.(0) ids.(n - 1) in
+  verify_ok "chain" cert;
+  Alcotest.(check int) "full path" (n - 1) (Certificate.path_length cert);
+  (* every claimed path edge is a real committed edge *)
+  List.iter
+    (fun (p, e) ->
+      Alcotest.(check relation) "path edge holds" Order.Before (rel engine p e))
+    (Certificate.path_edges cert)
+
+(* Only commitment-closed paths are provable: a predecessor linked into the
+   path *after* the downstream fold recorded its head is out of reach.
+   [x -> a] is admitted after [a -> b], so [a]'s head inside [b]'s link
+   predates the [x] link — the relation holds but has no certificate. *)
+let test_unprovable_is_none () =
+  let engine = Engine.create () in
+  let a = Engine.create_event engine in
+  let b = Engine.create_event engine in
+  must engine a b;
+  let x = Engine.create_event engine in
+  must engine x a;
+  Alcotest.(check relation) "relation holds" Order.Before (rel engine x b);
+  Alcotest.(check bool) "but is unprovable" true
+    (Prover.prove (Engine.graph engine) ~source:x ~target:b = None);
+  (* while the closed path is still provable *)
+  verify_ok "closed path stays provable" (prove_exn engine a b)
+
+let prop_random_dag_roundtrip =
+  let open QCheck2 in
+  Test.make ~name:"certify: random DAG proofs verify" ~count:40
+    Gen.(pair (int_range 0 10_000) (int_range 8 24))
+    (fun (seed, n) ->
+      let rng = Kronos_simnet.Rng.create ~seed:(Int64.of_int seed) in
+      let engine = Engine.create () in
+      let ids = Array.init n (fun _ -> Engine.create_event engine) in
+      let m = 3 * n in
+      for _ = 1 to m do
+        let i = Kronos_simnet.Rng.int rng (n - 1) in
+        let j = i + 1 + Kronos_simnet.Rng.int rng (n - i - 1) in
+        ignore (Engine.assign_order engine [ Order.must_before ids.(i) ids.(j) ])
+      done;
+      let proofs = ref 0 in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if i <> j && rel engine ids.(i) ids.(j) = Order.Before then begin
+            match Prover.prove (Engine.graph engine) ~source:ids.(i) ~target:ids.(j) with
+            | None -> () (* true but not commitment-closed: allowed *)
+            | Some cert ->
+              incr proofs;
+              (match Verifier.verify cert with
+               | Ok () -> ()
+               | Error m -> Test.fail_reportf "proof rejected: %s" m);
+              (match
+                 Verifier.verify_against cert
+                   ~source_commit:(commit engine ids.(i))
+                   ~target_commit:(commit engine ids.(j))
+               with
+               | Ok () -> ()
+               | Error m -> Test.fail_reportf "live commitments rejected: %s" m);
+              List.iter
+                (fun (p, e) ->
+                  if rel engine p e <> Order.Before then
+                    Test.fail_report "certificate claims a non-edge")
+                (Certificate.path_edges cert)
+          end
+        done
+      done;
+      (* edges admitted in topological batches are closed: some must prove *)
+      !proofs > 0)
+
+(* ---------- tamper injection ---------- *)
+
+(* A diamond on top of a chain gives certificates with non-empty suffixes
+   (several predecessors folded into one event after the path link). *)
+let tamper_fixture () =
+  let engine = Engine.create () in
+  let a = Engine.create_event engine in
+  let b = Engine.create_event engine in
+  let c = Engine.create_event engine in
+  let d = Engine.create_event engine in
+  let t = Engine.create_event engine in
+  must engine a b;
+  must engine b t;
+  must engine c t;
+  must engine d t;
+  let cert = prove_exn engine a t in
+  verify_ok "fixture" cert;
+  (engine, a, t, cert)
+
+let flip_byte s i =
+  let b = Bytes.of_string s in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
+  Bytes.to_string b
+
+let expect_reject msg cert =
+  match Verifier.verify cert with
+  | Ok () -> Alcotest.fail (msg ^ ": tampered certificate accepted")
+  | Error _ -> ()
+
+let test_tamper_flipped_digest () =
+  let _, _, _, cert = tamper_fixture () in
+  expect_reject "target commit"
+    { cert with Certificate.target_commit = flip_byte cert.Certificate.target_commit 3 };
+  expect_reject "source commit"
+    { cert with Certificate.source_commit = flip_byte cert.Certificate.source_commit 3 };
+  let steps =
+    List.mapi
+      (fun i (s : Certificate.step) ->
+        if i = 0 then { s with Certificate.pre = flip_byte s.Certificate.pre 0 } else s)
+      cert.Certificate.steps
+  in
+  expect_reject "step pre" { cert with Certificate.steps = steps };
+  let steps =
+    List.mapi
+      (fun i (s : Certificate.step) ->
+        if i = 0 then
+          { s with Certificate.pred_head = flip_byte s.Certificate.pred_head 7 }
+        else s)
+      cert.Certificate.steps
+  in
+  expect_reject "step pred_head" { cert with Certificate.steps = steps }
+
+let test_tamper_truncated_path () =
+  let _, _, _, cert = tamper_fixture () in
+  (match cert.Certificate.steps with
+   | [] -> Alcotest.fail "fixture has no steps"
+   | _ :: tl -> expect_reject "dropped first step" { cert with Certificate.steps = tl });
+  expect_reject "no steps at all" { cert with Certificate.steps = [] };
+  match List.rev cert.Certificate.steps with
+  | [] -> assert false
+  | _ :: rtl ->
+    expect_reject "dropped last step"
+      { cert with Certificate.steps = List.rev rtl }
+
+(* Splicing: graft a step or an endpoint commitment from a *different*
+   (individually valid) certificate. *)
+let test_tamper_spliced_proof () =
+  let engine, a, t, cert = tamper_fixture () in
+  let x = Engine.create_event engine in
+  let y = Engine.create_event engine in
+  must engine x y;
+  let other = prove_exn engine x y in
+  verify_ok "other" other;
+  expect_reject "foreign steps" { cert with Certificate.steps = other.Certificate.steps };
+  expect_reject "foreign source commitment"
+    { cert with Certificate.source_commit = other.Certificate.source_commit };
+  expect_reject "foreign step grafted on"
+    { cert with Certificate.steps = other.Certificate.steps @ cert.Certificate.steps };
+  (* endpoints renamed to foreign events, commitments kept *)
+  expect_reject "renamed source" { cert with Certificate.source = x };
+  ignore a;
+  ignore t
+
+let test_tamper_reordered_suffix () =
+  let _, _, _, cert = tamper_fixture () in
+  let reordered = ref false in
+  let steps =
+    List.map
+      (fun (s : Certificate.step) ->
+        match s.Certificate.suffix with
+        | p :: q :: rest ->
+          reordered := true;
+          { s with Certificate.suffix = q :: p :: rest }
+        | _ -> s)
+      cert.Certificate.steps
+  in
+  if not !reordered then Alcotest.fail "fixture produced no multi-link suffix";
+  expect_reject "reordered suffix" { cert with Certificate.steps = steps }
+
+let test_codec_roundtrip () =
+  let _, _, _, cert = tamper_fixture () in
+  (match Certificate.decode (Certificate.encode cert) with
+   | Ok c ->
+     Alcotest.(check bool) "roundtrip equal" true (c = cert);
+     verify_ok "decoded" c
+   | Error m -> Alcotest.fail m);
+  (match Certificate.decode "garbage" with
+   | Ok _ -> Alcotest.fail "garbage decoded"
+   | Error _ -> ());
+  let enc = Certificate.encode cert in
+  (match Certificate.decode (String.sub enc 0 (String.length enc - 3)) with
+   | Ok _ -> Alcotest.fail "truncated bytes decoded"
+   | Error _ -> ());
+  match Certificate.decode (enc ^ "x") with
+  | Ok _ -> Alcotest.fail "trailing bytes accepted"
+  | Error _ -> ()
+
+(* ---------- snapshots ---------- *)
+
+module Snapshot = Kronos_durability.Snapshot
+
+(* A deterministic engine with slot reuse: random must-edges over n events,
+   then a few releases so restores exercise collected slots. *)
+let build_engine ~seed ~n =
+  let rng = Kronos_simnet.Rng.create ~seed:(Int64.of_int seed) in
+  let engine = Engine.create () in
+  let ids = Array.init n (fun _ -> Engine.create_event engine) in
+  for _ = 1 to 3 * n do
+    let i = Kronos_simnet.Rng.int rng (n - 1) in
+    let j = i + 1 + Kronos_simnet.Rng.int rng (n - i - 1) in
+    ignore (Engine.assign_order engine [ Order.must_before ids.(i) ids.(j) ])
+  done;
+  Array.iteri
+    (fun i e -> if i mod 7 = 3 then ignore (Engine.release_ref engine e))
+    ids;
+  (engine, ids)
+
+let live_commitments engine ids =
+  Array.to_list ids
+  |> List.filter_map (fun e ->
+         Option.map (fun c -> (e, c)) (Engine.commitment engine e))
+
+let check_same_commitments msg expected candidate =
+  List.iter
+    (fun (e, c) ->
+      match Engine.commitment candidate e with
+      | Some c' when Chain_digest.equal c c' -> ()
+      | Some _ -> Alcotest.failf "%s: commitment diverges" msg
+      | None -> Alcotest.failf "%s: commitment lost" msg)
+    expected
+
+let test_snapshot_v3_roundtrip () =
+  let engine, ids = build_engine ~seed:5 ~n:24 in
+  let data = Snapshot.encode ~seq:9 (Engine.to_snapshot engine) in
+  let seq, snap = Snapshot.decode data in
+  Alcotest.(check int) "seq" 9 seq;
+  Alcotest.(check bool) "v3 carries links" true
+    (snap.Engine.snap_graph.Graph.snap_links <> None);
+  let restored = Engine.of_snapshot snap in
+  (* exact chains restored: every live commitment is bit-identical *)
+  check_same_commitments "v3 roundtrip" (live_commitments engine ids) restored;
+  (* and proofs generated on the restored engine still verify (released
+     events are gone on both sides: prove only over the live ones) *)
+  let g = Engine.graph restored in
+  let live = List.map fst (live_commitments restored ids) in
+  let proved = ref 0 in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if (not (Event_id.equal a b)) && rel restored a b = Order.Before then
+            match Prover.prove g ~source:a ~target:b with
+            | Some cert ->
+              incr proved;
+              verify_ok "restored proof" cert
+            | None -> ())
+        live)
+    live;
+  Alcotest.(check bool) "restored engine proves" true (!proved > 0)
+
+(* Re-encode a v3 snapshot as the byte-exact v1 and v2 formats (the same
+   construction test_durability uses for v1). *)
+let downgrade_bytes ~version:v (s : Engine.snapshot) =
+  let module Codec = Kronos_wire.Codec in
+  let module Crc32 = Kronos_durability.Crc32 in
+  let g = s.Engine.snap_graph in
+  let e = Codec.encoder () in
+  let put_arr a =
+    Codec.put_u32 e (Array.length a);
+    Array.iter (fun x -> Codec.put_u32 e x) a
+  in
+  Codec.put_i64 e 7L;
+  Codec.put_u32 e g.Graph.snap_next_slot;
+  Codec.put_u32 e (Array.length g.Graph.snap_refcount);
+  Array.iter (fun rc -> Codec.put_u32 e (rc + 1)) g.Graph.snap_refcount;
+  put_arr g.Graph.snap_gen;
+  Codec.put_u32 e (Array.length g.Graph.snap_succ);
+  Array.iter put_arr g.Graph.snap_succ;
+  put_arr g.Graph.snap_free;
+  Codec.put_i64 e (Int64.of_int g.Graph.snap_traversals);
+  Codec.put_i64 e (Int64.of_int g.Graph.snap_visited_total);
+  if v >= 2 then begin
+    match g.Graph.snap_rank with
+    | Some ranks ->
+      Codec.put_bool e true;
+      Codec.put_u32 e (Array.length ranks);
+      Array.iter (fun r -> Codec.put_i64 e (Int64.of_int r)) ranks;
+      Codec.put_i64 e (Int64.of_int g.Graph.snap_next_rank)
+    | None -> Codec.put_bool e false
+  end;
+  List.iter
+    (fun x -> Codec.put_i64 e (Int64.of_int x))
+    [
+      s.Engine.snap_creates; s.Engine.snap_queries; s.Engine.snap_assigns;
+      s.Engine.snap_aborted_batches; s.Engine.snap_reversals;
+      s.Engine.snap_collected;
+    ];
+  let body = Codec.to_string e in
+  let b = Buffer.create (String.length body + 10) in
+  Buffer.add_string b "KSNP";
+  Buffer.add_uint16_be b v;
+  Buffer.add_int32_be b (Crc32.string body);
+  Buffer.add_string b body;
+  Buffer.contents b
+
+let prop_upgrade_chain =
+  let open QCheck2 in
+  Test.make ~name:"certify: v1/v2 snapshots upgrade to identical chains"
+    ~count:25
+    Gen.(int_range 0 10_000)
+    (fun seed ->
+      let engine, ids = build_engine ~seed ~n:20 in
+      let snap = Engine.to_snapshot engine in
+      let restore v =
+        let _, decoded = Snapshot.decode (downgrade_bytes ~version:v snap) in
+        if v >= 2 && decoded.Engine.snap_graph.Graph.snap_rank = None then
+          Test.fail_report "v2 bytes lost the rank index";
+        if decoded.Engine.snap_graph.Graph.snap_links <> None then
+          Test.fail_reportf "v%d bytes carry links" v;
+        Engine.of_snapshot decoded
+      in
+      let r1 = restore 1 in
+      let r2 = restore 2 in
+      (* both rebuilds answer exactly like the original... *)
+      Array.iter
+        (fun a ->
+          Array.iter
+            (fun b ->
+              if not (Event_id.equal a b) then begin
+                let expect = Engine.query_order engine [ (a, b) ] in
+                if Engine.query_order r1 [ (a, b) ] <> expect then
+                  Test.fail_report "v1 restore diverges on a query";
+                if Engine.query_order r2 [ (a, b) ] <> expect then
+                  Test.fail_report "v2 restore diverges on a query"
+              end)
+            ids)
+        ids;
+      (* ...and rebuild the *same* canonical commitments, even though v1
+         re-derives ranks with Kahn's algorithm while v2 restores the
+         original index: the canonical fold order is rank-independent. *)
+      let c1 = live_commitments r1 ids in
+      let c2 = live_commitments r2 ids in
+      if List.length c1 = 0 then Test.fail_report "no live commitments";
+      if
+        not
+          (List.for_all2
+             (fun (e, a) (e', b) ->
+               Event_id.equal e e' && Chain_digest.equal a b)
+             c1 c2)
+      then Test.fail_report "v1 and v2 upgrades disagree on commitments";
+      (* a links-stripped v3 snapshot rebuilds the same canonical chains *)
+      let stripped =
+        {
+          snap with
+          Engine.snap_graph =
+            { snap.Engine.snap_graph with Graph.snap_links = None };
+        }
+      in
+      let r3 = Engine.of_snapshot stripped in
+      if
+        not
+          (List.for_all
+             (fun (e, a) ->
+               match Engine.commitment r3 e with
+               | Some b -> Chain_digest.equal a b
+               | None -> false)
+             c1)
+      then Test.fail_report "stripped v3 rebuild disagrees";
+      true)
+
+(* ---------- verified reads on the simnet service ---------- *)
+
+module Sim = Kronos_simnet.Sim
+module Net = Kronos_simnet.Net
+module Server = Kronos_service.Server
+module Client = Kronos_service.Client
+module Error = Kronos_service.Error
+
+type env = { sim : Sim.t; client : Client.t }
+
+let make_env ?(seed = 5L) () =
+  let sim = Sim.create ~seed () in
+  let net = Kronos_transport.Sim_transport.of_net (Net.create sim) in
+  ignore
+    (Server.deploy ~net ~coordinator:1000 ~replicas:[ 0; 1; 2 ]
+       ~ping_interval:0.1 ~failure_timeout:0.35 ());
+  let client =
+    Client.create ~net ~addr:2000 ~coordinator:1000 ~request_timeout:0.4 ()
+  in
+  { sim; client }
+
+let await env f =
+  let result = ref None in
+  f (fun x -> result := Some x);
+  let deadline = Sim.now env.sim +. 30.0 in
+  while !result = None && Sim.now env.sim < deadline && Sim.pending env.sim > 0 do
+    ignore (Sim.step env.sim)
+  done;
+  match !result with
+  | Some x -> x
+  | None -> Alcotest.fail "service call did not complete"
+
+let ok = function
+  | Ok x -> x
+  | Error e -> Alcotest.failf "unexpected error: %a" Error.pp e
+
+let test_verified_read_service () =
+  let env = make_env () in
+  let n = 6 in
+  let ids = Array.init n (fun _ -> ok (await env (Client.create_event env.client))) in
+  for i = 0 to n - 2 do
+    ignore
+      (ok
+         (await env
+            (Client.assign_order env.client
+               [ Order.must_before ids.(i) ids.(i + 1) ])))
+  done;
+  (* drop everything assign_order itself cached so the prefill is visible *)
+  Option.iter Order_cache.clear (Client.cache env.client);
+  let queries0 = Client.server_queries env.client in
+  (match await env (Client.query_verified env.client ids.(0) ids.(n - 1)) with
+   | Ok (r, Some cert) ->
+     Alcotest.(check relation) "verified before" Order.Before r;
+     Alcotest.(check int) "whole chain proven" (n - 1)
+       (Certificate.path_length cert)
+   | Ok (_, None) -> Alcotest.fail "chain head-to-tail must be provable"
+   | Error e -> Alcotest.failf "verified read failed: %a" Error.pp e);
+  (* flipped endpoints answer After, also verified *)
+  (match await env (Client.query_verified env.client ids.(n - 1) ids.(0)) with
+   | Ok (r, Some _) -> Alcotest.(check relation) "verified after" Order.After r
+   | Ok (_, None) -> Alcotest.fail "after must be provable too"
+   | Error e -> Alcotest.failf "verified read failed: %a" Error.pp e);
+  (* the verified path pre-filled the cache: inner pairs answer locally *)
+  let stats = Option.get (Client.cache_stats env.client) in
+  Alcotest.(check bool) "prefills recorded" true
+    (stats.Order_cache.stat_prefills > 0);
+  let queries1 = Client.server_queries env.client in
+  let r = ok (await env (Client.query_order env.client [ (ids.(1), ids.(4)) ])) in
+  Alcotest.(check (list relation)) "inner pair" [ Order.Before ] r;
+  Alcotest.(check int) "inner pair came from the cache" queries1
+    (Client.server_queries env.client);
+  Alcotest.(check bool) "hit counter moved" true
+    ((Option.get (Client.cache_stats env.client)).Order_cache.stat_hits
+     > stats.Order_cache.stat_hits);
+  ignore queries0;
+  (* a concurrent pair carries no certificate *)
+  let x = ok (await env (Client.create_event env.client)) in
+  match await env (Client.query_verified env.client x ids.(0)) with
+  | Ok (r, cert) ->
+    Alcotest.(check relation) "concurrent" Order.Concurrent r;
+    Alcotest.(check bool) "no certificate" true (cert = None)
+  | Error e -> Alcotest.failf "concurrent verified read failed: %a" Error.pp e
+
+(* ---------- verified read over real loopback TCP ---------- *)
+
+module Chain = Kronos_replication.Chain
+module Transport = Kronos_transport.Transport
+module Event_loop = Kronos_transport.Event_loop
+module Tcp = Kronos_transport.Tcp_transport
+
+let test_verified_read_tcp () =
+  let loop = Event_loop.create () in
+  let chain_tcp () =
+    Tcp.create ~loop ~encode:Kronos_replication.Chain_codec.encode
+      ~decode:Kronos_replication.Chain_codec.decode ()
+  in
+  let ts = chain_tcp () in
+  let port = Tcp.listen ts ~port:0 () in
+  let tc = chain_tcp () in
+  List.iter
+    (fun t ->
+      List.iter
+        (fun a -> Tcp.add_peer t a ~host:"127.0.0.1" ~port)
+        [ 1000; 1 ])
+    [ ts; tc ];
+  let _replica = Server.start_node ~net:(Tcp.transport ts) ~addr:1 () in
+  let _coord =
+    Chain.Coordinator.create ~net:(Tcp.transport ts) ~addr:1000 ~chain:[ 1 ]
+      ~ping_interval:0.1 ~failure_timeout:0.5 ()
+  in
+  let client =
+    Client.create ~net:(Tcp.transport tc) ~addr:5000 ~coordinator:1000
+      ~request_timeout:0.2 ()
+  in
+  Tcp.connect_peers tc;
+  let await f =
+    let result = ref None in
+    f (fun x -> result := Some x);
+    if not
+         (Event_loop.run_until loop
+            ~deadline:(Event_loop.now loop +. 30.)
+            (fun () -> !result <> None))
+    then Alcotest.fail "TCP call did not complete";
+    Option.get !result
+  in
+  let a = ok (await (Client.create_event client ~timeout:10.)) in
+  let b = ok (await (Client.create_event client ~timeout:10.)) in
+  let c = ok (await (Client.create_event client ~timeout:10.)) in
+  ignore (ok (await (Client.assign_order client ~timeout:10. [ Order.must_before a b ])));
+  ignore (ok (await (Client.assign_order client ~timeout:10. [ Order.must_before b c ])));
+  (match await (Client.query_verified client ~timeout:10. a c) with
+   | Ok (r, Some cert) ->
+     Alcotest.(check relation) "verified over TCP" Order.Before r;
+     Alcotest.(check int) "two-edge path" 2 (Certificate.path_length cert);
+     verify_ok "TCP certificate" cert
+   | Ok (_, None) -> Alcotest.fail "TCP verified read returned no certificate"
+   | Error e -> Alcotest.failf "TCP verified read failed: %a" Error.pp e);
+  Tcp.shutdown tc;
+  Tcp.shutdown ts
+
+(* ---------- audit pinning ---------- *)
+
+let test_audit_detects_rewrite () =
+  (* honest history: a -> b -> c *)
+  let honest = Engine.create () in
+  let a = Engine.create_event honest in
+  let b = Engine.create_event honest in
+  let c = Engine.create_event honest in
+  must honest a b;
+  must honest b c;
+  let audit = Audit.create () in
+  (match Audit.check audit (prove_exn honest b c) with
+   | Ok () -> ()
+   | Error _ -> Alcotest.fail "honest certificate rejected");
+  (* append-only growth never disturbs existing pins *)
+  let d = Engine.create_event honest in
+  must honest c d;
+  (match Audit.check audit (prove_exn honest a d) with
+   | Ok () -> ()
+   | Error _ -> Alcotest.fail "append-only growth flagged");
+  Alcotest.(check int) "no conflicts yet" 0 (Audit.conflict_count audit);
+  (* byzantine rewrite: same event ids, b -> c replaced by a -> c *)
+  let byz = Engine.create () in
+  let a' = Engine.create_event byz in
+  let b' = Engine.create_event byz in
+  let c' = Engine.create_event byz in
+  Alcotest.(check bool) "same identifiers" true (Event_id.equal c c');
+  must byz a' b';
+  must byz a' c';
+  let forged = prove_exn byz a' c' in
+  (* internally consistent on its own... *)
+  verify_ok "forged cert verifies standalone" forged;
+  (* ...but conflicts with the pinned history *)
+  (match Audit.check audit forged with
+   | Error (`Conflict conflict) ->
+     Alcotest.(check bool) "conflict names the rewritten event" true
+       (Event_id.equal conflict.Audit.event c)
+   | Ok () -> Alcotest.fail "rewrite not detected"
+   | Error (`Invalid m) -> Alcotest.failf "unexpected invalid: %s" m);
+  Alcotest.(check int) "conflict counted" 1 (Audit.conflict_count audit);
+  (* tampered certificates report `Invalid, not `Conflict *)
+  let cert = prove_exn honest c d in
+  match
+    Audit.check audit
+      { cert with Certificate.target_commit = flip_byte cert.Certificate.target_commit 2 }
+  with
+  | Error (`Conflict _) | Error (`Invalid _) -> ()
+  | Ok () -> Alcotest.fail "tampered certificate accepted by audit"
+
+let suites =
+  [
+    ( "certify.sha256",
+      [
+        Alcotest.test_case "NIST vectors" `Quick test_nist_vectors;
+        Alcotest.test_case "compress_pair arguments" `Quick
+          test_compress_pair_args;
+      ] );
+    ( "certify.chain",
+      [
+        Alcotest.test_case "incremental maintenance" `Quick
+          test_chain_maintenance;
+        Alcotest.test_case "abort rolls folds back" `Quick
+          test_rollback_restores_chain;
+        Alcotest.test_case "digests off" `Quick test_digests_off;
+      ] );
+    ( "certify.proof",
+      [
+        Alcotest.test_case "direct edge" `Quick test_direct_edge;
+        Alcotest.test_case "chain path" `Quick test_chain_path;
+        Alcotest.test_case "unprovable answers None" `Quick
+          test_unprovable_is_none;
+        QCheck_alcotest.to_alcotest prop_random_dag_roundtrip;
+      ] );
+    ( "certify.tamper",
+      [
+        Alcotest.test_case "flipped digest" `Quick test_tamper_flipped_digest;
+        Alcotest.test_case "truncated path" `Quick test_tamper_truncated_path;
+        Alcotest.test_case "spliced proof" `Quick test_tamper_spliced_proof;
+        Alcotest.test_case "reordered suffix" `Quick
+          test_tamper_reordered_suffix;
+        Alcotest.test_case "wire roundtrip and garbage" `Quick
+          test_codec_roundtrip;
+      ] );
+    ( "certify.snapshot",
+      [
+        Alcotest.test_case "v3 roundtrip" `Quick test_snapshot_v3_roundtrip;
+        QCheck_alcotest.to_alcotest prop_upgrade_chain;
+      ] );
+    ( "certify.service",
+      [
+        Alcotest.test_case "verified read + cache prefill" `Quick
+          test_verified_read_service;
+        Alcotest.test_case "verified read over TCP" `Quick
+          test_verified_read_tcp;
+      ] );
+    ( "certify.audit",
+      [ Alcotest.test_case "byzantine rewrite detected" `Quick
+          test_audit_detects_rewrite ] );
+  ]

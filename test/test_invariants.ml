@@ -17,7 +17,7 @@ let test_empty_batches () =
 let test_growth_under_load () =
   (* a tiny initial capacity must be invisible to behaviour *)
   let t =
-    Engine.create ~config:{ Engine.initial_capacity = 2; traversal_cache = 0 } ()
+    Engine.create ~config:{ Engine.initial_capacity = 2; traversal_cache = 0; digests = true } ()
   in
   let ids = Array.init 500 (fun _ -> Engine.create_event t) in
   for i = 0 to 498 do
@@ -167,7 +167,7 @@ let prop_traversal_cache_transparent =
     Gen.(list_size (int_bound 80) gen_op)
     (fun ops ->
       let cached =
-        Engine.create ~config:{ Engine.initial_capacity = 16; traversal_cache = 64 } ()
+        Engine.create ~config:{ Engine.initial_capacity = 16; traversal_cache = 64; digests = true } ()
       in
       let plain = Engine.create () in
       let ids_c = Array.init n (fun _ -> Engine.create_event cached) in
@@ -202,7 +202,7 @@ let prop_traversal_cache_transparent =
 
 let test_traversal_cache_hits () =
   let t =
-    Engine.create ~config:{ Engine.initial_capacity = 16; traversal_cache = 128 } ()
+    Engine.create ~config:{ Engine.initial_capacity = 16; traversal_cache = 128; digests = true } ()
   in
   let a = Engine.create_event t in
   let b = Engine.create_event t in

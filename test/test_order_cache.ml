@@ -65,6 +65,31 @@ let test_lru_eviction () =
   Alcotest.(check (option relation)) "evicted" None
     (Order_cache.find c e.(2) e.(3))
 
+(* Regression: with no lookups at all, hit_rate must be 0.0, not NaN
+   (0/0) — `kronos_cli stats` renders it as a percentage. *)
+let test_hit_rate_no_lookups () =
+  let c = Order_cache.create ~capacity:8 () in
+  let r = Order_cache.hit_rate (Order_cache.stats c) in
+  Alcotest.(check bool) "not NaN" false (Float.is_nan r);
+  Alcotest.(check (float 0.0)) "exactly zero" 0.0 r
+
+let test_eviction_counter () =
+  let c = Order_cache.create ~capacity:2 () in
+  let e = ids 8 in
+  Alcotest.(check int) "starts at zero" 0 (Order_cache.evictions c);
+  Order_cache.insert c e.(0) e.(1) Order.Before;
+  Order_cache.insert c e.(2) e.(3) Order.Before;
+  Alcotest.(check int) "no eviction while under capacity" 0
+    (Order_cache.evictions c);
+  Order_cache.insert c e.(4) e.(5) Order.Before;
+  Order_cache.insert c e.(6) e.(7) Order.Before;
+  Alcotest.(check int) "one eviction per overflow" 2 (Order_cache.evictions c);
+  Alcotest.(check int) "stats field agrees" 2
+    (Order_cache.stats c).Order_cache.stat_evictions;
+  (* re-inserting a resident pair evicts nothing *)
+  Order_cache.insert c e.(6) e.(7) Order.Before;
+  Alcotest.(check int) "update in place" 2 (Order_cache.evictions c)
+
 let test_counters_and_clear () =
   let c = Order_cache.create ~capacity:8 () in
   let e = ids 2 in
@@ -123,6 +148,9 @@ let suites =
         Alcotest.test_case "concurrent not cached" `Quick test_concurrent_not_cached;
         Alcotest.test_case "transitive prefill" `Quick test_transitive_prefill;
         Alcotest.test_case "lru eviction" `Quick test_lru_eviction;
+        Alcotest.test_case "hit rate without lookups" `Quick
+          test_hit_rate_no_lookups;
+        Alcotest.test_case "eviction counter" `Quick test_eviction_counter;
         Alcotest.test_case "counters and clear" `Quick test_counters_and_clear;
         QCheck_alcotest.to_alcotest prop_cache_consistent_with_engine;
       ] );
