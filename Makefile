@@ -1,6 +1,6 @@
 # Tier-1 verification in one command: build every target (libraries,
 # executables, tests, benches) and run the full test suite.
-.PHONY: check build test loopback certify-check bench bench-smoke bench-check fed-determinism clean
+.PHONY: check build test loopback certify-check query-plane race-smoke bench bench-smoke bench-check fed-determinism clean
 
 check: build test
 
@@ -23,6 +23,21 @@ loopback: build
 # audit pinning against a history rewrite.
 certify-check: build
 	dune exec test/test_main.exe -- test certify
+
+# Multicore query plane (DESIGN.md §14): frozen-view differential suites
+# and the real-TCP chain with 4 reader domains per node under a mid-run
+# kill/restart — the `kronosd --query-domains 4` configuration.
+query-plane: build
+	dune exec test/test_main.exe -- test view
+	dune exec test/test_main.exe -- test query_plane
+
+# Publish/read race hammer: one writer domain mutating and publishing as
+# fast as it can while reader domains chase the latest view.  A small
+# minor heap (s=4k) forces frequent minor collections, so unpublished
+# mutable state leaking into a frozen view would be caught as a torn
+# read rather than hidden by generous heap slack.
+race-smoke: build
+	OCAMLRUNPARAM="s=4k" dune exec test/test_main.exe -- test view_race
 
 bench:
 	dune exec bench/main.exe

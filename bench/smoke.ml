@@ -83,6 +83,64 @@ let engine_hot_paths () =
   in
   record "engine.assign_must_dense" must_dense_ns "ns/op"
 
+(* Multicore query plane (DESIGN.md §14): the worst-case concurrent
+   workload of [engine.query_concurrent], answered from a frozen
+   {!Engine.View} by every available domain at once.  Three series:
+   - [engine.query_frozen_1]: single-domain ns/op over the frozen view —
+     the publication-path sanity check (should track
+     [engine.query_concurrent], minus cache/counter upkeep);
+   - [engine.query_parallel]: aggregate ops/s with
+     [Domain.recommended_domain_count] reader domains;
+   - [engine.query_parallel_speedup]: that rate divided by the measured
+     single-domain *live* rate — the number the multicore work exists
+     for.  [check] holds it above a hard 2x floor, but only on machines
+     with at least 4 recommended domains; on smaller hosts the series is
+     still recorded and baseline-gated like everything else. *)
+let query_parallel_smoke () =
+  let engine = Engine.create () in
+  let n = 2_000 in
+  let chain len = Array.init len (fun _ -> Engine.create_event engine) in
+  let c1 = chain n and c2 = chain n in
+  Array.iter
+    (fun c ->
+      for i = 0 to n - 2 do
+        ignore (Engine.assign_order engine [ Order.must_before c.(i) c.(i + 1) ])
+      done)
+    [| c1; c2 |];
+  let rng = Kronos_simnet.Rng.create ~seed:13L in
+  let live_ns =
+    Bench_util.bechamel_ns_per_op ~quota:0.25 ~name:"smoke/parallel_base"
+      (fun () ->
+        let u = Kronos_simnet.Rng.int rng n and v = Kronos_simnet.Rng.int rng n in
+        ignore (Engine.query_order engine [ (c1.(u), c2.(v)) ]))
+  in
+  let view = Engine.publish engine in
+  let domains = max 1 (Domain.recommended_domain_count ()) in
+  let total = if !Bench_util.full_scale then 400_000 else 120_000 in
+  let run_with d =
+    let per = total / d in
+    let t0 = Unix.gettimeofday () in
+    let workers =
+      Array.init d (fun k ->
+          Domain.spawn (fun () ->
+              let rng =
+                Kronos_simnet.Rng.create ~seed:(Int64.of_int (100 + k))
+              in
+              for _ = 1 to per do
+                let u = Kronos_simnet.Rng.int rng n
+                and v = Kronos_simnet.Rng.int rng n in
+                ignore (Engine.View.query view c1.(u) c2.(v))
+              done))
+    in
+    Array.iter Domain.join workers;
+    float_of_int (per * d) /. (Unix.gettimeofday () -. t0)
+  in
+  let rate1 = run_with 1 in
+  let rate_all = run_with domains in
+  record "engine.query_frozen_1" (1e9 /. rate1) "ns/op";
+  record "engine.query_parallel" rate_all "ops/s";
+  record "engine.query_parallel_speedup" (rate_all *. live_ns /. 1e9) "x"
+
 (* Certify hot paths (DESIGN.md §13): proof generation and verification
    over a real chain, plus the assign-path cost of digest maintenance —
    the dense must-edge workload of [engine.assign_must_dense] with
@@ -101,7 +159,7 @@ let certify_smoke () =
   for i = 0 to n - 2 do
     ignore (Engine.assign_order engine [ Order.must_before ids.(i) ids.(i + 1) ])
   done;
-  let g = Engine.graph engine in
+  let g = Engine.current_view engine in
   let module Prover = Kronos_certify.Prover in
   let module Verifier = Kronos_certify.Verifier in
   let rng = Kronos_simnet.Rng.create ~seed:41L in
@@ -201,6 +259,89 @@ let service_closed_loop () =
           "us"
       end)
     [ "create_event"; "assign_order" ]
+
+(* The query plane end to end: a single-replica chain over real loopback
+   TCP whose reads are offloaded to a 4-domain query pool — the
+   [kronosd --query-domains 4] configuration.  A closed loop of
+   create/assign/query triples measures acknowledged ops/s through the
+   whole stack (wire codec, chain, view publication, reader domain,
+   completion queue).  A service-level series: recorded, never gated. *)
+let service_closed_loop_domains4 () =
+  let module Tcp = Kronos_transport.Tcp_transport in
+  let module Event_loop = Kronos_transport.Event_loop in
+  let module Chain = Kronos_replication.Chain in
+  let module Query_pool = Kronos_service.Query_pool in
+  let loop = Event_loop.create () in
+  let config =
+    { Tcp.default_config with backoff_min = 0.02; backoff_max = 0.2 }
+  in
+  let tcp () =
+    Tcp.create ~loop ~encode:Kronos_replication.Chain_codec.encode
+      ~decode:Kronos_replication.Chain_codec.decode ~config ()
+  in
+  let st = tcp () in
+  let port = Tcp.listen st ~port:0 () in
+  let pool = Query_pool.create ~loop ~domains:4 () in
+  let _replica, _engine =
+    Server.start_node ~net:(Tcp.transport st) ~addr:1 ~query_pool:pool ()
+  in
+  ignore
+    (Chain.Coordinator.create ~net:(Tcp.transport st) ~addr:1000 ~chain:[ 1 ]
+       ~ping_interval:0.1 ~failure_timeout:1.0 ());
+  let ct = tcp () in
+  List.iter
+    (fun t ->
+      Tcp.add_peer t 1 ~host:"127.0.0.1" ~port;
+      Tcp.add_peer t 1000 ~host:"127.0.0.1" ~port)
+    [ st; ct ];
+  Tcp.connect_peers ct;
+  let client =
+    Client.create ~net:(Tcp.transport ct) ~addr:9001 ~coordinator:1000
+      ~cache_capacity:0 ~request_timeout:0.25 ()
+  in
+  let iters = if !Bench_util.full_scale then 1_000 else 300 in
+  let completed = ref 0 in
+  let finished = ref false in
+  let fail what = failwith ("smoke: domains4 " ^ what ^ " failed") in
+  let rec step prev n =
+    if n = 0 then finished := true
+    else
+      Client.create_event client (function
+        | Error _ -> fail "create_event"
+        | Ok e -> (
+            incr completed;
+            match prev with
+            | None -> step (Some e) (n - 1)
+            | Some p ->
+                Client.assign_order client
+                  [ Order.must_before p e ]
+                  (function
+                    | Error _ -> fail "assign_order"
+                    | Ok _ ->
+                        incr completed;
+                        Client.query_order_e client
+                          [ (p, e) ]
+                          (function
+                            | Error _ -> fail "query_order"
+                            | Ok _ ->
+                                incr completed;
+                                step (Some e) (n - 1)))))
+  in
+  let t0 = Unix.gettimeofday () in
+  step None iters;
+  if
+    not
+      (Event_loop.run_until loop
+         ~deadline:(Event_loop.now loop +. 120.)
+         (fun () -> !finished))
+  then failwith "smoke: domains4 closed loop timed out";
+  let elapsed = Unix.gettimeofday () -. t0 in
+  record "service.closed_loop_domains4"
+    (float_of_int !completed /. elapsed)
+    "ops/s";
+  Query_pool.stop pool;
+  Tcp.shutdown ct;
+  Tcp.shutdown st
 
 (* Federated service on the simulated network: a 2-shard deployment
    behind one router.  [fed.assign_cross_shard] is the closed-loop rate
@@ -379,7 +520,11 @@ let read_file path =
    ratio inverts.  [fed.write_scaling] additionally carries the hard
    floor graduated from the old federation.scaling test: 4 shards must
    beat 1 shard by more than 2x in absolute terms, not just stay within
-   2.5x of the committed snapshot. *)
+   2.5x of the committed snapshot.  [engine.query_parallel_speedup]
+   carries the analogous floor for the multicore query plane — the
+   parallel reader domains must beat the single-domain live rate by
+   more than 2x — applied only on hosts with at least 4 recommended
+   domains (a single-core machine cannot show parallel speedup). *)
 let check () =
   Bench_util.section "Smoke: regression gate vs BENCH_smoke.json";
   let baseline_path =
@@ -395,6 +540,7 @@ let check () =
   let threshold = 2.5 in
   results := [];
   engine_hot_paths ();
+  query_parallel_smoke ();
   certify_smoke ();
   federation_smoke ();
   write_scaling_smoke ();
@@ -407,6 +553,17 @@ let check () =
         incr failures;
         Printf.printf "  %-32s %12.6g %s  below the hard 2x floor  FAIL\n"
           name value unit_
+      end
+      else if
+        name = "engine.query_parallel_speedup"
+        && Domain.recommended_domain_count () >= 4
+        && value <= 2.0
+      then begin
+        incr failures;
+        Printf.printf
+          "  %-32s %12.6g %s  below the hard 2x floor (%d domains)  FAIL\n"
+          name value unit_
+          (Domain.recommended_domain_count ())
       end
       else
         match List.assoc_opt name baseline with
@@ -441,8 +598,10 @@ let run () =
   Bench_util.section "Smoke: quick performance snapshot -> BENCH_smoke.json";
   results := [];
   engine_hot_paths ();
+  query_parallel_smoke ();
   certify_smoke ();
   service_closed_loop ();
+  service_closed_loop_domains4 ();
   federation_smoke ();
   write_scaling_smoke ();
   let path =

@@ -599,8 +599,9 @@ let () =
        | Error e -> fail_error e)
    | [ "query"; e1; e2 ], None -> (
        let e1 = event_of_string e1 and e2 = event_of_string e2 in
-       match await (Client.query_order client ~timeout:!timeout [ (e1, e2) ]) with
-       | Ok [ rel ] -> Format.printf "%a@." Order.pp_relation rel
+       match await (Client.query_order_e client ~timeout:!timeout [ (e1, e2) ]) with
+       | Ok ([ rel ], epoch) ->
+         Format.printf "%a  (epoch %Ld)@." Order.pp_relation rel epoch
        | Ok _ -> assert false
        | Error e -> fail_error e)
    | [ "proof"; _; _ ], Some _ -> fail_fed_verify "proof"

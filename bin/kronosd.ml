@@ -68,6 +68,7 @@ let () =
   let metrics_addr = ref "" in
   let no_metrics = ref false in
   let snapshot_every = ref 1024 in
+  let query_domains = ref (max 1 (Domain.recommended_domain_count () - 1)) in
   let ping_interval = ref 0.2 in
   let failure_timeout = ref 1.0 in
   let verbose = ref false in
@@ -111,6 +112,10 @@ let () =
       ( "--snapshot-every",
         Arg.Set_int snapshot_every,
         "N snapshot + truncate the WAL every N commands (default 1024)" );
+      ( "--query-domains",
+        Arg.Set_int query_domains,
+        "N reader domains answering queries over published views (default \
+         cores-1, min 1; 0 keeps all queries on the event-loop thread)" );
       ( "--ping-interval",
         Arg.Set_float ping_interval,
         "S coordinator ping period (default 0.2, with --coordinate)" );
@@ -188,7 +193,20 @@ let () =
                ~dir:(Filename.concat !data_dir (string_of_int a)))
            ())
   in
-  let replica, _engine = Server.start_node ~net ~addr:!addr ?durability () in
+  let query_pool =
+    if !query_domains <= 0 then None
+    else begin
+      let pool =
+        Kronos_service.Query_pool.create ~loop ~domains:!query_domains ()
+      in
+      Printf.printf "kronosd: %d query domain(s) over published views\n%!"
+        (Kronos_service.Query_pool.domains pool);
+      Some pool
+    end
+  in
+  let replica, _engine =
+    Server.start_node ~net ~addr:!addr ?durability ?query_pool ()
+  in
   Printf.printf "kronosd: replica %d listening on %s:%d (recovered seq %d)\n%!"
     !addr !host actual_port
     (Chain.Replica.last_applied replica);
@@ -243,4 +261,5 @@ let () =
   if Chain.Replica.is_removed replica then
     Printf.printf "kronosd: removed from the chain, exiting\n%!"
   else Printf.printf "kronosd: shutting down\n%!";
+  Option.iter Kronos_service.Query_pool.stop query_pool;
   Tcp.shutdown tcp

@@ -43,7 +43,7 @@ let append engine ~after label =
 let audited_read audit engine ~replica (source : record_) (target : record_) =
   Format.printf "@.auditor asks %s: did %S happen before %S?@." replica
     source.label target.label;
-  match Prover.prove (Engine.graph engine) ~source:source.event ~target:target.event with
+  match Prover.prove (Engine.current_view engine) ~source:source.event ~target:target.event with
   | None -> Format.printf "  no certificate (unordered or unprovable)@."
   | Some cert ->
     Format.printf "  certificate: %d edge(s), standalone verify: %s@."

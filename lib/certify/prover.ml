@@ -35,11 +35,11 @@ type reached = {
 }
 
 let prove g ~source ~target =
-  if not (Graph.digests_enabled g) then None
+  if not (Engine.View.digests_enabled g) then None
   else
     match
-      ( Graph.rank g source, Graph.rank g target,
-        Graph.chain_length g target )
+      ( Engine.View.rank g source, Engine.View.rank g target,
+        Engine.View.chain_length g target )
     with
     | Some rs, Some rt, Some tlen
       when rs < rt && not (Event_id.equal source target) ->
@@ -60,7 +60,7 @@ let prove g ~source ~target =
           r.processed <- r.bound;
           let j = ref from in
           while (not !found) && !j < r.bound do
-            (match Graph.chain_link g e !j with
+            (match Engine.View.chain_link g e !j with
              | None -> ()
              | Some l ->
                incr visited;
@@ -84,7 +84,7 @@ let prove g ~source ~target =
                  found := true
                end
                else begin
-                 match Graph.rank g p with
+                 match Engine.View.rank g p with
                  | Some rp when rp > rs && rp < rt ->
                    let improve u =
                      u.bound <- l.Graph.l_pred_pos;
@@ -129,7 +129,7 @@ let prove g ~source ~target =
         let partner_suffix e lo hi =
           (* partners of links [lo..hi-1] of [e], in fold order *)
           List.init (hi - lo) (fun k ->
-              match Graph.chain_link g e (lo + k) with
+              match Engine.View.chain_link g e (lo + k) with
               | Some l -> l.Graph.l_partner
               | None -> assert false (* indices below the live chain length *))
         in
@@ -137,13 +137,13 @@ let prove g ~source ~target =
           List.map
             (fun (e, j) ->
               let l =
-                match Graph.chain_link g e j with
+                match Engine.View.chain_link g e j with
                 | Some l -> l
                 | None -> assert false
               in
               let bound = (Hashtbl.find best e).bound in
               let pre =
-                match Graph.head_at g e j with
+                match Engine.View.head_at g e j with
                 | Some h -> h
                 | None -> assert false
               in
@@ -154,12 +154,12 @@ let prove g ~source ~target =
         in
         let source_pos = (Hashtbl.find best source).bound in
         let source_len =
-          match Graph.chain_length g source with
+          match Engine.View.chain_length g source with
           | Some n -> n
           | None -> assert false
         in
         let commit e =
-          match Graph.commitment g e with
+          match Engine.View.commitment g e with
           | Some c -> c
           | None -> assert false
         in

@@ -1,6 +1,8 @@
 (** Server-side certificate construction (DESIGN.md §13).
 
-    [prove g ~source ~target] searches the committed graph for a
+    [prove v ~source ~target] searches the committed graph — through an
+    {!Engine.View.t}, so proofs can be generated from a live engine or
+    from a frozen view on a reader domain (DESIGN.md §14) — for a
     {e commitment-closed} happens-before path [source ⇝ target] and, when
     one exists, packages it as a {!Certificate.t} that
     {!Verifier.verify_against} accepts for the two events' current
@@ -16,11 +18,14 @@
     [Before].
 
     The search is a backward walk over chain links from [target], pruned to
-    the open rank window ([Graph.rank]), tracking per event the largest
-    usable chain prefix; cost is proportional to the links examined, all
-    pre-hashed (no SHA-256 is computed while proving). *)
+    the open rank window ([Engine.View.rank]), tracking per event the
+    largest usable chain prefix; cost is proportional to the links
+    examined, all pre-hashed (no SHA-256 is computed while proving). *)
 
 open Kronos
 
 val prove :
-  Graph.t -> source:Event_id.t -> target:Event_id.t -> Certificate.t option
+  Engine.View.t ->
+  source:Event_id.t ->
+  target:Event_id.t ->
+  Certificate.t option

@@ -261,3 +261,101 @@ let pp_stats ppf s =
      collected=%d traversals=%d visited=%d@]"
     s.creates s.queries s.assigns s.aborted_batches s.reversals s.collected
     s.traversals s.visited
+
+(* ------------------------------------------------------------------ *)
+(* Read views (DESIGN.md §14).                                         *)
+(* ------------------------------------------------------------------ *)
+
+let epoch t = Int64.of_int (Graph.version t.g)
+
+(* A [Live] view reads the engine's own graph directly — zero publication
+   cost, single-domain only, and queries keep feeding the engine's
+   counters exactly as before.  A [Frozen] view is a deeply immutable
+   snapshot safe to read from any domain; its queries touch no mutable
+   state at all (no counters, no caches). *)
+type view = Live of t | Frozen of Graph.Frozen.g
+
+let current_view t = Live t
+
+let publish t = Frozen (Graph.freeze t.g)
+
+module View = struct
+  type t = view
+
+  let epoch = function
+    | Live e -> Int64.of_int (Graph.version e.g)
+    | Frozen f -> Int64.of_int (Graph.Frozen.version f)
+
+  let is_live v id =
+    match v with
+    | Live e -> Graph.is_live e.g id
+    | Frozen f -> Graph.Frozen.is_live f id
+
+  let rank v id =
+    match v with
+    | Live e -> Graph.rank e.g id
+    | Frozen f -> Graph.Frozen.rank f id
+
+  let query v e1 e2 =
+    match v with
+    | Live e -> Graph.query e.g e1 e2
+    | Frozen f -> Graph.Frozen.query f e1 e2
+
+  let reachable v u w =
+    match v with
+    | Live e -> Graph.reachable e.g u w
+    | Frozen f -> Graph.Frozen.reachable f u w
+
+  let query_order v pairs =
+    match v with
+    | Live e -> query_order e pairs
+    | Frozen f ->
+      let rec check = function
+        | [] -> None
+        | (e1, e2) :: rest ->
+          if not (Graph.Frozen.is_live f e1) then Some e1
+          else if not (Graph.Frozen.is_live f e2) then Some e2
+          else check rest
+      in
+      (match check pairs with
+       | Some e -> Error (Order.Unknown_event e)
+       | None ->
+         let answer (e1, e2) =
+           match Graph.Frozen.query f e1 e2 with
+           | Ok r -> r
+           | Error _ -> assert false (* all arguments were checked live *)
+         in
+         Ok (List.map answer pairs))
+
+  let digests_enabled = function
+    | Live e -> Graph.digests_enabled e.g
+    | Frozen f -> Graph.Frozen.digests_enabled f
+
+  let commitment v id =
+    match v with
+    | Live e -> Graph.commitment e.g id
+    | Frozen f -> Graph.Frozen.commitment f id
+
+  let chain_length v id =
+    match v with
+    | Live e -> Graph.chain_length e.g id
+    | Frozen f -> Graph.Frozen.chain_length f id
+
+  let chain_link v id i =
+    match v with
+    | Live e -> Graph.chain_link e.g id i
+    | Frozen f -> Graph.Frozen.chain_link f id i
+
+  let head_at v id n =
+    match v with
+    | Live e -> Graph.head_at e.g id n
+    | Frozen f -> Graph.Frozen.head_at f id n
+
+  let live_events = function
+    | Live e -> Graph.live_count e.g
+    | Frozen f -> Graph.Frozen.live_count f
+
+  let edges = function
+    | Live e -> Graph.edge_count e.g
+    | Frozen f -> Graph.Frozen.edge_count f
+end

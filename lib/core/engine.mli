@@ -97,10 +97,78 @@ val of_snapshot : ?config:config -> snapshot -> t
     traversal memo restarts cold).
     @raise Invalid_argument on an internally inconsistent snapshot. *)
 
+(** {1 Read views}
+
+    The engine's entire read path goes through {!View.t} (DESIGN.md §14).
+    A view is either {e live} — reading the engine's own graph directly,
+    zero publication cost, valid only on the domain that owns the engine —
+    or {e frozen} — a deeply immutable, epoch-stamped copy that any domain
+    may query concurrently without synchronization.  Single-threaded
+    callers use {!current_view}; the multicore query plane calls
+    {!publish} from the writer domain and hands the frozen view to reader
+    domains. *)
+
+module View : sig
+  type t
+
+  val epoch : t -> int64
+  (** The graph mutation version this view reflects.  Epochs are
+      monotonic: a higher epoch sees a superset of the committed order
+      (monotonicity, paper §2.5), which is what makes answering from a
+      slightly stale view safe. *)
+
+  val is_live : t -> Event_id.t -> bool
+  val rank : t -> Event_id.t -> int option
+
+  val query :
+    t -> Event_id.t -> Event_id.t -> (Order.relation, Event_id.t) result
+  (** Relation of one pair ({!Graph.query} semantics).  On a frozen view
+      this runs entirely over immutable arrays with per-domain scratch:
+      no locks, no counters, no allocation once warm. *)
+
+  val query_order :
+    t ->
+    (Event_id.t * Event_id.t) list ->
+    (Order.relation list, Order.assign_error) result
+  (** Batch form with the engine's atomic staleness contract.  On a live
+      view this is exactly {!Engine.query_order} (counters included); on a
+      frozen view it updates nothing. *)
+
+  val reachable : t -> Event_id.t -> Event_id.t -> bool
+
+  val digests_enabled : t -> bool
+  val commitment : t -> Event_id.t -> string option
+  val chain_length : t -> Event_id.t -> int option
+  val chain_link : t -> Event_id.t -> int -> Graph.link option
+  val head_at : t -> Event_id.t -> int -> string option
+  (** Commitment-chain accessors, the certify prover's working set; all
+      answer [None] when digests are disabled. *)
+
+  val live_events : t -> int
+  val edges : t -> int
+end
+
+val current_view : t -> View.t
+(** A live view of this engine: always reflects the latest state, costs
+    nothing to obtain, and must only be used from the domain that owns
+    the engine. *)
+
+val publish : t -> View.t
+(** Freeze the current state into an immutable view ({!Graph.freeze}:
+    incremental, sharing clean slots with the previous publication) and
+    return it.  Safe to hand to other domains; returns the cached view
+    unchanged when no mutation happened since the last call. *)
+
+val epoch : t -> int64
+(** Current mutation version — the epoch the next {!publish} would
+    carry, and the epoch stamped on write replies so clients can demand
+    read-your-writes ([`At_least]) from the query plane. *)
+
 (** {1 Introspection} *)
 
 val graph : t -> Graph.t
-(** The underlying dependency graph (read-only use expected). *)
+(** The underlying dependency graph.  {b Write-side use only} (durability,
+    federation portals): query paths must go through {!View}. *)
 
 val live_events : t -> int
 val edges : t -> int

@@ -30,6 +30,24 @@ let dummy_link =
   { l_pred = Event_id.none; l_pred_head = ""; l_pred_pos = 0;
     l_partner = ""; l_head = "" }
 
+(* A deeply immutable copy of the graph's query-visible state, safe to
+   share across domains (see [freeze]).  Flat int arrays are private copies;
+   the per-slot adjacency and chain arrays are immutable and may be shared
+   structurally with other frozen views of the same graph. *)
+type frozen = {
+  f_version : int;
+  f_next_slot : int;
+  f_live : int;
+  f_edges : int;
+  f_refcount : int array;
+  f_gen : int array;
+  f_rank : int array;
+  f_succ : int array array;
+  f_pred : int array array;
+  f_digests : bool;
+  f_chains : link array array;
+}
+
 type t = {
   mutable refcount : int array;  (* -1 marks a free slot *)
   mutable gen : int array;       (* generation of the current/next tenant *)
@@ -77,6 +95,15 @@ type t = {
   digests : bool;
   mutable chains : link Vec.t array;
   mutable digest_folds : int;
+  (* Epoch counter for the multicore query plane (DESIGN.md §14): bumped on
+     every mutation a read view could observe (event creation, collection,
+     edge admission/rollback) and never on invisible ones (refcount moves
+     that do not collect).  [dirty] tracks the slots whose per-slot arrays
+     (succ/pred/chains) changed since the last [freeze], so a freeze copies
+     only those and shares the rest with the previous frozen view. *)
+  mutable version : int;
+  dirty : Sparse_set.t;
+  mutable frozen_cache : frozen option;
 }
 
 let max_gen = (1 lsl 22) - 1
@@ -112,6 +139,9 @@ let create ?(initial_capacity = 1024) ?(traversal_cache = 0) ?(digests = true)
     rank_relabels = 0;
     rank_pruned = 0;
     bidir_traversals = 0;
+    version = 0;
+    dirty = Sparse_set.create cap;
+    frozen_cache = None;
   }
 
 let capacity g = Array.length g.refcount
@@ -149,8 +179,15 @@ let grow g =
       if i < old then g.chains.(i) else Vec.create ~dummy:dummy_link ());
   Sparse_set.grow g.visited cap;
   Sparse_set.grow g.visited_b cap;
+  Sparse_set.grow g.dirty cap;
   g.queue <- Array.make cap 0;
   g.queue_b <- Array.make cap 0
+
+let version g = g.version
+
+(* Record a view-visible mutation of slot [s]: its per-slot arrays must be
+   re-copied by the next [freeze] instead of shared with the previous one. *)
+let touch g s = Sparse_set.add g.dirty s
 
 (* Resolve an identifier to its slot, checking liveness and generation. *)
 let resolve g id =
@@ -184,6 +221,8 @@ let create_event g =
   g.rank.(s) <- g.next_rank;
   g.next_rank <- g.next_rank + 1;
   g.live <- g.live + 1;
+  g.version <- g.version + 1;
+  touch g s;
   Kronos_metrics.Gauge.set M.live g.live;
   id_of_slot g s
 
@@ -207,6 +246,7 @@ let rank g id =
    collection untouched; the freed slot keeps its stale rank until
    [create_event] overwrites it. *)
 let collect g s =
+  g.version <- g.version + 1;
   let stack = g.queue in
   let top = ref 0 in
   stack.(0) <- s;
@@ -218,10 +258,12 @@ let collect g s =
     g.refcount.(u) <- (-1);
     g.live <- g.live - 1;
     incr collected;
+    touch g u;
     let kill w =
       g.indeg.(w) <- g.indeg.(w) - 1;
       g.edges <- g.edges - 1;
       ignore (Int_vec.remove_first g.pred.(w) u);
+      touch g w;
       if g.indeg.(w) = 0 && g.refcount.(w) = 0 then begin
         stack.(!top) <- w;
         incr top
@@ -435,6 +477,9 @@ let push_edge g su sv =
   Int_vec.push g.pred.(sv) su;
   g.indeg.(sv) <- g.indeg.(sv) + 1;
   g.edges <- g.edges + 1;
+  g.version <- g.version + 1;
+  touch g su;
+  touch g sv;
   if g.digests then fold_edge g su sv;
   Kronos_metrics.Gauge.set M.edges g.edges
 
@@ -547,6 +592,9 @@ let remove_last_edge g u v =
     ignore (Int_vec.remove_first g.pred.(sv) su);
     g.indeg.(sv) <- g.indeg.(sv) - 1;
     g.edges <- g.edges - 1;
+    g.version <- g.version + 1;
+    touch g su;
+    touch g sv;
     (* the chain link folded for this edge is necessarily the newest one on
        [sv] (edges roll back in LIFO order within the aborting batch) *)
     if g.digests then ignore (Vec.pop g.chains.(sv));
@@ -570,6 +618,7 @@ type snapshot = {
   snap_traversals : int;
   snap_visited_total : int;
   snap_links : (int64 * string * int) array array option;
+  snap_version : int;
 }
 
 let to_snapshot g =
@@ -594,6 +643,7 @@ let to_snapshot g =
                 Array.init (Vec.length c) (fun j ->
                     let l = Vec.get c j in
                     (Event_id.to_int64 l.l_pred, l.l_pred_head, l.l_pred_pos)))));
+    snap_version = g.version;
   }
 
 (* Deterministic rank reconstruction for rank-less (version-1) snapshots:
@@ -746,6 +796,13 @@ let of_snapshot ?(initial_capacity = 1024) ?(traversal_cache = 0)
      | None -> rebuild_chains g);
   g.traversals <- s.snap_traversals;
   g.visited_total <- s.snap_visited_total;
+  (* Restored epochs must continue monotonically so a client's
+     [`At_least e] demand issued before a restart is still satisfiable
+     after it.  Legacy captures (pre snap_version) fall back to the rank
+     allocator, a deterministic lower bound of the mutation count: epochs
+     then restart from a smaller value, exactly like the documented
+     traversal-statistics caveat of rank-less restores. *)
+  g.version <- (if s.snap_version > 0 then s.snap_version else g.next_rank);
   g
 
 let commitment g id =
@@ -824,3 +881,249 @@ let memory_bytes g =
   + Array.fold_left
       (fun acc c -> acc + (Vec.length c * ((6 * word) + (3 * (40 + word)))))
       0 g.chains
+
+(* ------------------------------------------------------------------ *)
+(* Frozen views (DESIGN.md §14).                                       *)
+(* ------------------------------------------------------------------ *)
+
+let int_vec_array v = Array.init (Int_vec.length v) (Int_vec.get v)
+let vec_array c = Array.init (Vec.length c) (Vec.get c)
+
+(* Publish an immutable copy of the query-visible state.  Incremental: the
+   flat per-slot int arrays (refcount/gen/rank) are copied wholesale — one
+   memcpy each — while the per-slot succ/pred/chain arrays are re-copied
+   only for slots dirtied since the previous freeze; clean slots share the
+   previous frozen view's immutable arrays.  Sharing is sound because
+   [frozen_cache] always holds the {e latest} freeze and [dirty] records
+   exactly the slots mutated since it.  Must be called from the writer
+   domain only (it consumes the dirty set and updates the cache); the
+   returned value may then be read from any domain. *)
+let freeze g =
+  match g.frozen_cache with
+  | Some f when f.f_version = g.version -> f
+  | prev ->
+    let n = g.next_slot in
+    let f_succ = Array.make n [||] in
+    let f_pred = Array.make n [||] in
+    let f_chains = Array.make n [||] in
+    let copy_slot s =
+      f_succ.(s) <- int_vec_array g.succ.(s);
+      f_pred.(s) <- int_vec_array g.pred.(s);
+      if g.digests then f_chains.(s) <- vec_array g.chains.(s)
+    in
+    (match prev with
+     | Some p ->
+       let shared = min p.f_next_slot n in
+       Array.blit p.f_succ 0 f_succ 0 shared;
+       Array.blit p.f_pred 0 f_pred 0 shared;
+       Array.blit p.f_chains 0 f_chains 0 shared;
+       (* slots created since the previous freeze are necessarily dirty,
+          so everything in [shared, n) is re-copied here too *)
+       Sparse_set.iter (fun s -> if s < n then copy_slot s) g.dirty
+     | None ->
+       for s = 0 to n - 1 do
+         copy_slot s
+       done);
+    Sparse_set.clear g.dirty;
+    let f =
+      {
+        f_version = g.version;
+        f_next_slot = n;
+        f_live = g.live;
+        f_edges = g.edges;
+        f_refcount = Array.sub g.refcount 0 n;
+        f_gen = Array.sub g.gen 0 n;
+        f_rank = Array.sub g.rank 0 n;
+        f_succ;
+        f_pred;
+        f_digests = g.digests;
+        f_chains;
+      }
+    in
+    g.frozen_cache <- Some f;
+    f
+
+module Frozen = struct
+  type g = frozen
+
+  let version f = f.f_version
+  let live_count f = f.f_live
+  let edge_count f = f.f_edges
+  let digests_enabled f = f.f_digests
+
+  let resolve f id =
+    let s = Event_id.slot id in
+    if id <> Event_id.none
+       && s < f.f_next_slot
+       && f.f_refcount.(s) >= 0
+       && f.f_gen.(s) = Event_id.gen id
+    then Some s
+    else None
+
+  let is_live f id = resolve f id <> None
+
+  let rank f id =
+    match resolve f id with Some s -> Some f.f_rank.(s) | None -> None
+
+  (* Per-domain reusable traversal scratch — the frozen twin of the live
+     graph's preallocated sparse sets and queues.  Keyed by domain-local
+     storage, so concurrent readers never share it and a query allocates
+     nothing once the scratch has grown to the view's slot count.  Frozen
+     queries deliberately touch no process-wide metrics counters and no
+     mutable graph state: the whole read path is write-free. *)
+  type scratch = {
+    mutable visited : Sparse_set.t;
+    mutable visited_b : Sparse_set.t;
+    mutable queue : int array;
+    mutable queue_b : int array;
+  }
+
+  let scratch_key =
+    Domain.DLS.new_key (fun () ->
+        {
+          visited = Sparse_set.create 16;
+          visited_b = Sparse_set.create 16;
+          queue = Array.make 16 0;
+          queue_b = Array.make 16 0;
+        })
+
+  let scratch_for n =
+    let s = Domain.DLS.get scratch_key in
+    if Array.length s.queue < n then begin
+      let cap = max n (2 * Array.length s.queue) in
+      Sparse_set.grow s.visited cap;
+      Sparse_set.grow s.visited_b cap;
+      s.queue <- Array.make cap 0;
+      s.queue_b <- Array.make cap 0
+    end;
+    s
+
+  (* Rank-pruned level-synchronous bidirectional BFS over the frozen
+     arrays; the same algorithm as the live graph's [reachable_slots], with
+     in-degree read off the immutable reverse adjacency. *)
+  let reachable_slots f sc src dst =
+    if src = dst then true
+    else begin
+      let rlo = f.f_rank.(src) and rhi = f.f_rank.(dst) in
+      if rlo >= rhi then false
+      else if
+        Array.length f.f_succ.(src) = 0 || Array.length f.f_pred.(dst) = 0
+      then false
+      else begin
+        let vf = sc.visited and vb = sc.visited_b in
+        Sparse_set.clear vf;
+        Sparse_set.clear vb;
+        Sparse_set.add vf src;
+        Sparse_set.add vb dst;
+        let qf = sc.queue and qb = sc.queue_b in
+        qf.(0) <- src;
+        qb.(0) <- dst;
+        let fh = ref 0 and ft = ref 1 in
+        let bh = ref 0 and bt = ref 1 in
+        let found = ref false in
+        let expand_forward () =
+          let lo = !fh and hi = !ft in
+          fh := hi;
+          for i = lo to hi - 1 do
+            let outs = f.f_succ.(qf.(i)) in
+            for k = 0 to Array.length outs - 1 do
+              let w = outs.(k) in
+              if Sparse_set.mem vb w then found := true
+              else if
+                (not (Sparse_set.mem vf w))
+                && f.f_rank.(w) > rlo
+                && f.f_rank.(w) < rhi
+              then begin
+                Sparse_set.add vf w;
+                qf.(!ft) <- w;
+                incr ft
+              end
+            done
+          done
+        in
+        let expand_backward () =
+          let lo = !bh and hi = !bt in
+          bh := hi;
+          for i = lo to hi - 1 do
+            let ins = f.f_pred.(qb.(i)) in
+            for k = 0 to Array.length ins - 1 do
+              let w = ins.(k) in
+              if Sparse_set.mem vf w then found := true
+              else if
+                (not (Sparse_set.mem vb w))
+                && f.f_rank.(w) > rlo
+                && f.f_rank.(w) < rhi
+              then begin
+                Sparse_set.add vb w;
+                qb.(!bt) <- w;
+                incr bt
+              end
+            done
+          done
+        in
+        while (not !found) && !fh < !ft && !bh < !bt do
+          if !ft - !fh <= !bt - !bh then expand_forward ()
+          else expand_backward ()
+        done;
+        !found
+      end
+    end
+
+  let reachable f u v =
+    match (resolve f u, resolve f v) with
+    | Some su, Some sv ->
+      if su = sv then false
+      else if f.f_rank.(su) >= f.f_rank.(sv) then false
+      else reachable_slots f (scratch_for f.f_next_slot) su sv
+    | _ -> false
+
+  let query f e1 e2 =
+    match (resolve f e1, resolve f e2) with
+    | None, _ -> Error e1
+    | _, None -> Error e2
+    | Some s1, Some s2 ->
+      if s1 = s2 then Ok Order.Same
+      else begin
+        let r1 = f.f_rank.(s1) and r2 = f.f_rank.(s2) in
+        if r1 < r2 then begin
+          if reachable_slots f (scratch_for f.f_next_slot) s1 s2 then
+            Ok Order.Before
+          else Ok Order.Concurrent
+        end
+        else if r2 < r1 then begin
+          if reachable_slots f (scratch_for f.f_next_slot) s2 s1 then
+            Ok Order.After
+          else Ok Order.Concurrent
+        end
+        else Ok Order.Concurrent
+      end
+
+  let id_of_slot f s = Event_id.make ~slot:s ~gen:f.f_gen.(s)
+
+  let head_at_slot f s n =
+    if n = 0 then Chain_digest.init (id_of_slot f s)
+    else f.f_chains.(s).(n - 1).l_head
+
+  let commitment f id =
+    match resolve f id with
+    | Some s when f.f_digests ->
+      Some (head_at_slot f s (Array.length f.f_chains.(s)))
+    | Some _ | None -> None
+
+  let chain_length f id =
+    match resolve f id with
+    | Some s when f.f_digests -> Some (Array.length f.f_chains.(s))
+    | Some _ | None -> None
+
+  let chain_link f id i =
+    match resolve f id with
+    | Some s when f.f_digests && i >= 0 && i < Array.length f.f_chains.(s) ->
+      Some f.f_chains.(s).(i)
+    | Some _ | None -> None
+
+  let head_at f id n =
+    match resolve f id with
+    | Some s when f.f_digests && n >= 0 && n <= Array.length f.f_chains.(s) ->
+      Some (head_at_slot f s n)
+    | Some _ | None -> None
+end

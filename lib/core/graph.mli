@@ -194,6 +194,12 @@ type snapshot = {
       without a digest section (legacy version, or digests disabled):
       chains are then rebuilt deterministically from adjacency — see
       {!of_snapshot}. *)
+  snap_version : int;
+  (** the graph {!version} at capture time, so the view epoch continues
+      monotonically across restarts.  [0] marks a legacy capture (snapshot
+      format < 4): restore then seeds the version from the rank allocator,
+      which is deterministic across replicas but not continuous with the
+      captured engine's epoch. *)
 }
 
 val to_snapshot : t -> snapshot
@@ -264,3 +270,62 @@ val rank_pruned_count : t -> int
 
 val bidir_traversal_count : t -> int
 (** Backward frontier expansions performed by bidirectional searches. *)
+
+(** {1 Frozen views}
+
+    A {!Frozen.g} is a deeply immutable copy of the query-visible state —
+    liveness, generations, ranks, adjacency in both directions, and
+    commitment chains — stamped with the graph {!version} at capture time.
+    It shares nothing mutable with the live graph, so it may be read from
+    any domain without synchronization while the writer domain keeps
+    mutating the original (DESIGN.md §14). *)
+
+val version : t -> int
+(** Monotonic mutation counter, bumped once per view-visible change:
+    event creation, collection, edge admission, edge rollback.  Reference
+    count changes that do not collect, and internal rank relabels, are
+    invisible to views and do not bump it.  This is the epoch stamped on
+    frozen views and surfaced in wire replies. *)
+
+module Frozen : sig
+  type g
+  (** An immutable snapshot of the query-visible graph state.  Values of
+      this type are never mutated after {!val:freeze} returns, so they are
+      safe to share across domains; reclamation is the garbage collector's
+      (a view dies when the last domain drops its reference). *)
+
+  val version : g -> int
+  val live_count : g -> int
+  val edge_count : g -> int
+  val digests_enabled : g -> bool
+  val is_live : g -> Event_id.t -> bool
+  val rank : g -> Event_id.t -> int option
+
+  val query : g -> Event_id.t -> Event_id.t -> (Order.relation, Event_id.t) result
+  (** Same contract as the live {!val:query}, evaluated against the frozen
+      state: rank comparison refutes one direction in O(1), the remaining
+      direction runs a rank-pruned bidirectional BFS.  Traversal scratch
+      (sparse visited sets, queues) is kept in domain-local storage and
+      reused, so concurrent queries from different domains share no mutable
+      state and allocate nothing once warm.  Frozen queries update no
+      counters and no caches. *)
+
+  val reachable : g -> Event_id.t -> Event_id.t -> bool
+
+  val commitment : g -> Event_id.t -> string option
+  val chain_length : g -> Event_id.t -> int option
+  val chain_link : g -> Event_id.t -> int -> link option
+  val head_at : g -> Event_id.t -> int -> string option
+  (** Chain accessors mirror the live graph's; all answer [None] when the
+      view was frozen with digests disabled. *)
+end
+
+val freeze : t -> Frozen.g
+(** Capture the current query-visible state as an immutable view.
+    Incremental: flat per-slot arrays (refcounts, generations, ranks) are
+    copied wholesale, while adjacency and chain arrays are re-copied only
+    for slots mutated since the previous freeze — clean slots share the
+    previous view's immutable arrays structurally.  When nothing changed
+    since the last call, the cached view is returned as-is.  Must be
+    called from the domain that owns the graph (the writer); the result
+    may be handed to any domain. *)

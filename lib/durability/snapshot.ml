@@ -13,8 +13,14 @@ module Codec = Kronos_wire.Codec
    and version-2 snapshots surface as [snap_links = None] and
    [Graph.of_snapshot] rebuilds the chains canonically from adjacency, so
    every upgrade of the same logical graph re-anchors to identical
-   commitments. *)
-let version = 3
+   commitments.
+
+   Version 4 appends the graph mutation version (the view epoch,
+   DESIGN.md §14) so epochs continue monotonically across restarts.
+   Pre-v4 snapshots surface as [snap_version = 0] and [Graph.of_snapshot]
+   seeds the epoch from the rank allocator — deterministic across
+   replicas, though not continuous with the captured engine's epoch. *)
+let version = 4
 
 let oldest_supported_version = 1
 
@@ -74,6 +80,8 @@ let encode ~seq (s : Engine.snapshot) =
            ls)
        links
    | None -> Codec.put_bool e false);
+  (* v4 suffix: graph mutation version (view epoch). *)
+  Codec.put_i64 e (Int64.of_int g.Graph.snap_version);
   let body = Codec.to_string e in
   let b = Buffer.create (String.length body + header_bytes) in
   Buffer.add_string b magic;
@@ -153,6 +161,7 @@ let decode data =
                  (pred, head, pos))))
     end
   in
+  let snap_version = if v < 4 then 0 else get_int64 d in
   Codec.expect_end d;
   ( seq,
     {
@@ -168,6 +177,7 @@ let decode data =
           snap_traversals;
           snap_visited_total;
           snap_links;
+          snap_version;
         };
       snap_creates;
       snap_queries;

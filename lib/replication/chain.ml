@@ -90,6 +90,14 @@ module Replica = struct
     net : msg Transport.t;
     addr : addr;
     apply : string -> string;
+    read_async :
+      (client:addr -> req_id:int -> cmd:string -> reply:(string -> unit) ->
+       bool)
+      option;
+    (* offload hook for local reads (DESIGN.md §14): when it returns [true]
+       it has taken ownership of the request and will call [reply] later
+       (e.g. from a reader-domain completion); [false] falls back to the
+       synchronous [apply] path *)
     persist : persist option;
     mutable cfg : config;
     mutable last_applied : int;
@@ -319,8 +327,11 @@ module Replica = struct
     if not t.removed then
       match msg with
       | Client_write { client; req_id; cmd } -> handle_write t ~client ~req_id ~cmd
-      | Client_read { client; req_id; cmd } ->
-        send t client (Reply { req_id; resp = t.apply cmd })
+      | Client_read { client; req_id; cmd } -> (
+        let reply resp = send t client (Reply { req_id; resp }) in
+        match t.read_async with
+        | Some offload when offload ~client ~req_id ~cmd ~reply -> ()
+        | Some _ | None -> reply (t.apply cmd))
       | Forward { seq; client; req_id; cmd } ->
         handle_forward t { seq; client; req_id; cmd }
       | Ack { seq } -> handle_ack t seq
@@ -361,13 +372,14 @@ module Replica = struct
         Hashtbl.replace t.dedup (client, req_id) seq)
       entries
 
-  let create ~net ~addr ~apply ?(config = { version = 0; chain = [] }) ?service
-      ?persist () =
+  let create ~net ~addr ~apply ?read_async
+      ?(config = { version = 0; chain = [] }) ?service ?persist () =
     let t =
       {
         net;
         addr;
         apply;
+        read_async;
         persist;
         cfg = config;
         last_applied = 0;

@@ -106,6 +106,12 @@ module Replica : sig
     net:msg Kronos_transport.Transport.t ->
     addr:addr ->
     apply:(string -> string) ->
+    ?read_async:
+      (client:addr ->
+       req_id:int ->
+       cmd:string ->
+       reply:(string -> unit) ->
+       bool) ->
     ?config:config ->
     ?service:[ `Fixed of float | `Measured of float ] ->
     ?persist:persist ->
@@ -114,6 +120,13 @@ module Replica : sig
   (** Create a replica and register it on the network.  [apply] must be
       deterministic.  [config] seeds the initial chain configuration (all
       replicas and the coordinator must agree on it).
+
+      [read_async] offloads local reads ([Client_read]): when it returns
+      [true] it has taken ownership and will call [reply] exactly once,
+      possibly later and possibly computed on another domain (the
+      multicore query plane, DESIGN.md §14); [false] — or no hook — serves
+      the read synchronously through [apply].  Only reads go through it;
+      replicated writes always apply in sequence on the owning thread.
 
       [service] models the replica's CPU: each non-heartbeat message
       occupies the server for a fixed virtual duration, or — with

@@ -39,6 +39,10 @@ type t = {
   cache : Order_cache.t option;
   mutable server_queries : int;
   mutable stale_revalidations : int;
+  mutable last_epoch : int64;
+      (* highest view epoch observed in any epoch-stamped reply; what
+         [`At_least (last_epoch t)] demands for read-your-writes *)
+  mutable epoch_retries : int;
 }
 
 let create ~net ~addr ~coordinator ?(cache_capacity = 65536) ?request_timeout () =
@@ -47,12 +51,17 @@ let create ~net ~addr ~coordinator ?(cache_capacity = 65536) ?request_timeout ()
     if cache_capacity > 0 then Some (Order_cache.create ~capacity:cache_capacity ())
     else None
   in
-  { proxy; cache; server_queries = 0; stale_revalidations = 0 }
+  { proxy; cache; server_queries = 0; stale_revalidations = 0;
+    last_epoch = 0L; epoch_retries = 0 }
 
 let cache t = t.cache
 let cache_stats t = Option.map Order_cache.stats t.cache
 let server_queries t = t.server_queries
 let stale_revalidations t = t.stale_revalidations
+let last_epoch t = t.last_epoch
+let epoch_retries t = t.epoch_retries
+
+let note_epoch t e = if e > t.last_epoch then t.last_epoch <- e
 
 let unexpected = Error.Rejected (Order.Unknown_event Event_id.none)
 
@@ -94,20 +103,41 @@ let cache_find t e1 e2 =
 let cache_insert t e1 e2 rel =
   match t.cache with None -> () | Some c -> Order_cache.insert c e1 e2 rel
 
-(* Issue one Query_order to the service for [pairs]; [target] selects the
-   replica.  The callback receives the decoded result. *)
-let send_query t ?timeout ~target pairs callback =
+(* Issue one query to the service for [pairs]; [target] selects the
+   replica.  Without [min_epoch] this is a plain [Query_order]; with it,
+   an epoch-stamped [Query_order_at], and a reply from a replica whose
+   view is behind the demanded epoch is retried once at the tail — the
+   tail applied the write that produced the demand, so it can never be
+   behind it (DESIGN.md §14).  The callback receives the relations plus
+   the reply epoch (0 when the server answered the legacy message). *)
+let rec send_query t ?timeout ?min_epoch ~target pairs callback =
   t.server_queries <- t.server_queries + 1;
+  let request =
+    match min_epoch with
+    | None -> Message.Query_order pairs
+    | Some e -> Message.Query_order_at { min_epoch = e; pairs }
+  in
   Proxy.read t.proxy ?timeout ~target
-    (Message.encode_request (Message.Query_order pairs))
+    (Message.encode_request request)
     (decoded (function
-      | Ok (Message.Orders rels) -> callback (Ok rels)
+      | Ok (Message.Orders rels) -> callback (Ok (rels, 0L))
+      | Ok (Message.Orders_at { epoch; rels }) ->
+        note_epoch t epoch;
+        (match min_epoch with
+         | Some e when epoch < e && target <> Proxy.Tail ->
+           t.epoch_retries <- t.epoch_retries + 1;
+           send_query t ?timeout ?min_epoch ~target:Proxy.Tail pairs callback
+         | _ -> callback (Ok (rels, epoch)))
       | Ok (Message.Rejected err) -> callback (Error (Error.Rejected err))
       | Ok _ -> callback (Error unexpected)
       | Error e -> callback (Error e)))
 
-let query_order t ?timeout ?(stale = false) ?(revalidate = true) pairs callback =
+let query_order t ?timeout ?(stale = false) ?(revalidate = true)
+    ?(consistency = `Latest) pairs callback =
   let callback = timed M.query_order callback in
+  let min_epoch =
+    match consistency with `Latest -> None | `At_least e -> Some e
+  in
   (* Resolve from the cache first. *)
   let n = List.length pairs in
   let answers = Array.make n None in
@@ -140,10 +170,10 @@ let query_order t ?timeout ?(stale = false) ?(revalidate = true) pairs callback 
   | _ ->
     let miss_pairs = List.map snd misses in
     let target = if stale then Proxy.Any else Proxy.Tail in
-    send_query t ?timeout ~target miss_pairs (fun result ->
+    send_query t ?timeout ?min_epoch ~target miss_pairs (fun result ->
         match result with
         | Error err -> callback (Error err)
-        | Ok rels ->
+        | Ok (rels, _epoch) ->
           let answered = List.combine misses rels in
           if (not stale) || not revalidate then begin
             List.iter
@@ -174,14 +204,38 @@ let query_order t ?timeout ?(stale = false) ?(revalidate = true) pairs callback 
             | _ ->
               t.stale_revalidations <- t.stale_revalidations + List.length unresolved;
               Kronos_metrics.Counter.add M.revalidations (List.length unresolved);
-              send_query t ?timeout ~target:Proxy.Tail (List.map snd unresolved)
+              send_query t ?timeout ?min_epoch ~target:Proxy.Tail
+                (List.map snd unresolved)
                 (fun result ->
                   match result with
                   | Error err -> callback (Error err)
-                  | Ok rels ->
+                  | Ok (rels, _epoch) ->
                     List.iter2 (fun m rel -> record m rel) unresolved rels;
                     finish ())
           end)
+
+(* Cache-bypassing epoch-stamped query: every pair goes to the service,
+   and the callback learns the exact view epoch the answers reflect.
+   Answers still feed the cache (they are facts at that epoch, and stable
+   ones stay true forever). *)
+let query_order_e t ?timeout ?(stale = false) ?(consistency = `Latest) pairs
+    callback =
+  let callback = timed M.query_order callback in
+  let min_epoch =
+    match consistency with `Latest -> Some 0L | `At_least e -> Some e
+  in
+  let target = if stale then Proxy.Any else Proxy.Tail in
+  send_query t ?timeout ?min_epoch ~target pairs (fun result ->
+      match result with
+      | Error err -> callback (Error err)
+      | Ok (rels, epoch) ->
+        List.iter2
+          (fun (e1, e2) rel ->
+            match (rel : Order.relation) with
+            | Before | After | Same -> cache_insert t e1 e2 rel
+            | Concurrent -> ())
+          pairs rels;
+        callback (Ok (rels, epoch)))
 
 (* A verified certificate authenticates every edge on its path, not just
    the queried endpoints: each one becomes a free stable cache entry, and
@@ -264,13 +318,19 @@ let send_assign t ?timeout request specs callback =
       | Ok (Message.Outcomes outs) ->
         cache_outcomes t specs outs;
         callback (Ok outs)
+      | Ok (Message.Outcomes_at { epoch; outs }) ->
+        (* the ack's epoch covers this batch: a subsequent
+           [`At_least (last_epoch t)] query reads its own writes *)
+        note_epoch t epoch;
+        cache_outcomes t specs outs;
+        callback (Ok outs)
       | Ok (Message.Rejected err) -> callback (Error (Error.Rejected err))
       | Ok _ -> callback (Error unexpected)
       | Error e -> callback (Error e)))
 
 let assign_order t ?timeout specs callback =
   let callback = timed M.assign_order callback in
-  send_assign t ?timeout (Message.Assign_order specs) specs callback
+  send_assign t ?timeout (Message.Assign_order_at specs) specs callback
 
 let guarded_assign t ?timeout ~guards specs callback =
   let callback = timed M.assign_order callback in

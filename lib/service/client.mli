@@ -55,13 +55,37 @@ val query_order :
   ?timeout:float ->
   ?stale:bool ->
   ?revalidate:bool ->
+  ?consistency:[ `Latest | `At_least of int64 ] ->
   (Event_id.t * Event_id.t) list ->
   ((Order.relation list, Error.t) result -> unit) ->
   unit
 (** [stale] (default false) picks a random replica and — when [revalidate]
     (default true) — re-checks concurrent answers at the tail.  Disable
     revalidation only when the caller knows replicas cannot be behind (e.g.
-    a read-only phase), as in the paper's scalability experiment. *)
+    a read-only phase), as in the paper's scalability experiment.
+
+    [consistency] (default [`Latest]) is the view-epoch demand
+    (DESIGN.md §14).  [`At_least e] sends the epoch-stamped wire message;
+    if the answering replica's view is older than [e], the client retries
+    once at the tail — which applied the write that produced [e], so
+    cannot be behind it.  Pass [`At_least (last_epoch t)] after an
+    {!assign_order} ack for read-your-writes.  Cached answers are served
+    regardless of the demand: cache entries are stable facts, true at
+    every later epoch (monotonicity). *)
+
+val query_order_e :
+  t ->
+  ?timeout:float ->
+  ?stale:bool ->
+  ?consistency:[ `Latest | `At_least of int64 ] ->
+  (Event_id.t * Event_id.t) list ->
+  ((Order.relation list * int64, Error.t) result -> unit) ->
+  unit
+(** Like {!query_order} but cache-{e bypassing} and epoch-{e reporting}:
+    every pair is sent to the service and the callback also receives the
+    exact view epoch the answers reflect (0 only when talking to a server
+    predating epoch stamps).  Answers still populate the cache.  This is
+    what [kronos_cli query] prints. *)
 
 val assign_order :
   t ->
@@ -131,3 +155,12 @@ val server_queries : t -> int
 val stale_revalidations : t -> int
 (** Pairs a stale replica answered [Concurrent] that were re-validated at
     the tail. *)
+
+val last_epoch : t -> int64
+(** Highest view epoch observed in any epoch-stamped reply ({!assign_order}
+    acks, {!query_order_e}, [`At_least] queries); 0 before the first one.
+    [`At_least (last_epoch t)] demands read-your-writes. *)
+
+val epoch_retries : t -> int
+(** Queries re-sent to the tail because a stale replica's view was behind
+    the demanded epoch. *)

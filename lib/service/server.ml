@@ -61,7 +61,7 @@ let apply engine cmd =
           match Engine.query_order engine [ (e1, e2) ] with
           | Error err -> Message.Rejected err
           | Ok [ relation ] ->
-            let g = Engine.graph engine in
+            let g = Engine.current_view engine in
             let cert =
               match relation with
               | Order.Before ->
@@ -81,6 +81,23 @@ let apply engine cmd =
       timed M.guarded_assign (fun () ->
           match Engine.guarded_assign engine ~guards specs with
           | Ok outs -> Message.Outcomes outs
+          | Error err -> Message.Rejected err)
+    | Message.Query_order_at { min_epoch = _; pairs } ->
+      (* [min_epoch] is advisory: the live engine is the freshest state
+         this replica has, so it answers regardless and the stamped epoch
+         lets the client detect and escalate staleness *)
+      timed M.query_order (fun () ->
+          match Engine.query_order engine pairs with
+          | Ok rels -> Message.Orders_at { epoch = Engine.epoch engine; rels }
+          | Error err -> Message.Rejected err)
+    | Message.Assign_order_at reqs ->
+      (* the reply epoch is replicated state (every replica encodes its own
+         answer), which is why the epoch must be deterministic across
+         replicas: it is the graph mutation version, persisted in
+         snapshots *)
+      timed M.assign_order (fun () ->
+          match Engine.assign_order engine reqs with
+          | Ok outs -> Message.Outcomes_at { epoch = Engine.epoch engine; outs }
           | Error err -> Message.Rejected err)
   in
   Message.encode_response response
@@ -106,11 +123,24 @@ type cluster = {
   service : [ `Fixed of float | `Measured of float ] option;
 }
 
-let start_replica ~net ~addr ~engine_config ~service =
+(* Wire a query pool to a replica's engine cell: attach (so views are
+   published from whatever engine currently occupies the cell — snapshot
+   installs and restarts swap it) and return the replica's [read_async]
+   hook. *)
+let read_async_of query_pool engine =
+  Option.map
+    (fun pool ->
+      Query_pool.attach pool ~engine:(fun () -> !engine);
+      fun ~client ~req_id:_ ~cmd ~reply ->
+        Query_pool.offload pool ~client ~cmd ~reply)
+    query_pool
+
+let start_replica ~net ~addr ~engine_config ~service ~query_pool =
   let engine = ref (Engine.create ?config:engine_config ()) in
   let replica =
     Chain.Replica.create ~net ~addr
       ~apply:(fun cmd -> apply !engine cmd)
+      ?read_async:(read_async_of query_pool engine)
       ~config:{ Chain.version = 0; chain = [] } ?service ()
   in
   (replica, engine)
@@ -119,7 +149,7 @@ let start_replica ~net ~addr ~engine_config ~service =
    suffix), then runs with persistence hooks: log each applied command,
    group-commit per message, snapshot every [snapshot_every] commands and
    truncate the log segments the snapshot covers. *)
-let start_durable_replica ~net ~addr ~engine_config ~service d =
+let start_durable_replica ~net ~addr ~engine_config ~service ~query_pool d =
   let storage = d.storage_of addr in
   let replayed = ref [] in
   let outcome =
@@ -172,6 +202,7 @@ let start_durable_replica ~net ~addr ~engine_config ~service d =
   let replica =
     Chain.Replica.create ~net ~addr
       ~apply:(fun cmd -> apply !engine cmd)
+      ?read_async:(read_async_of query_pool engine)
       ~config:{ Chain.version = 0; chain = [] } ?service ~persist ()
   in
   if outcome.Durability.Recovery.next_seq > 1 then
@@ -180,13 +211,14 @@ let start_durable_replica ~net ~addr ~engine_config ~service d =
       ~entries:(List.rev !replayed);
   (replica, engine)
 
-let start ~net ~addr ~engine_config ~service dur =
+let start ~net ~addr ~engine_config ~service ?query_pool dur =
   match dur with
-  | Some d -> start_durable_replica ~net ~addr ~engine_config ~service d
-  | None -> start_replica ~net ~addr ~engine_config ~service
+  | Some d ->
+    start_durable_replica ~net ~addr ~engine_config ~service ~query_pool d
+  | None -> start_replica ~net ~addr ~engine_config ~service ~query_pool
 
-let start_node ~net ~addr ?engine_config ?service ?durability () =
-  start ~net ~addr ~engine_config ~service durability
+let start_node ~net ~addr ?engine_config ?service ?durability ?query_pool () =
+  start ~net ~addr ~engine_config ~service ?query_pool durability
 
 let deploy ~net ~coordinator ~replicas ?engine_config ?service ?durability
     ?(ping_interval = 0.2) ?(failure_timeout = 1.0) () =

@@ -57,13 +57,18 @@ val start_node :
   ?engine_config:Engine.config ->
   ?service:[ `Fixed of float | `Measured of float ] ->
   ?durability:durability ->
+  ?query_pool:Query_pool.t ->
   unit ->
   Kronos_replication.Chain.Replica.t * Engine.t ref
 (** Start a single engine-backed replica without a coordinator or cluster
     handle — the building block for hosting one replica per process (see
     [kronosd]).  The caller wires it into a chain with
     {!Kronos_replication.Chain.Replica.announce_join}.  With [durability]
-    the replica recovers from its storage first, exactly as in {!deploy}. *)
+    the replica recovers from its storage first, exactly as in {!deploy}.
+    With [query_pool] the replica's local reads are offloaded to reader
+    domains over published engine views ({!Query_pool}, DESIGN.md §14);
+    the pool follows the engine cell across snapshot installs and
+    restarts. *)
 
 val deploy :
   net:Kronos_replication.Chain.msg Kronos_transport.Transport.t ->

@@ -12,9 +12,51 @@ type t = {
   fds : (Unix.file_descr, watcher) Hashtbl.t;
   mutable seq : int;
   mutable live : int;
+  (* Self-pipe (DESIGN.md §14): [notify] — callable from any domain —
+     writes one byte to [wake_w], which makes the select (or the idle
+     sleep, since [wake_r] is always in the read set) return promptly;
+     the loop thread drains the pipe and runs the [on_notify] callbacks.
+     [notified] dedupes writes so a burst of completions costs one byte. *)
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  notified : bool Atomic.t;
+  wake_buf : Bytes.t;
+  mutable notify_callbacks : (unit -> unit) list;
 }
 
-let create () = { heap = Heap.create (); fds = Hashtbl.create 16; seq = 0; live = 0 }
+let drain_wake t () =
+  (* clear the pending flag first: a notify that lands after the drain
+     below starts will write a fresh byte and wake the next round *)
+  Atomic.set t.notified false;
+  (try
+     while Unix.read t.wake_r t.wake_buf 0 (Bytes.length t.wake_buf) > 0 do
+       ()
+     done
+   with
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  | Unix.Unix_error (Unix.EINTR, _, _) -> ());
+  List.iter (fun f -> f ()) t.notify_callbacks
+
+let create () =
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  let t =
+    { heap = Heap.create (); fds = Hashtbl.create 16; seq = 0; live = 0;
+      wake_r; wake_w; notified = Atomic.make false;
+      wake_buf = Bytes.create 64; notify_callbacks = [] }
+  in
+  t
+
+let notify t =
+  if not (Atomic.exchange t.notified true) then
+    try ignore (Unix.write t.wake_w t.wake_buf 0 1) with
+    | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      (* pipe full: the loop is already guaranteed to wake *)
+      ()
+    | Unix.Unix_error (Unix.EINTR, _, _) -> Atomic.set t.notified false
+
+let on_notify t f = t.notify_callbacks <- t.notify_callbacks @ [ f ]
 
 let now _t = Unix.gettimeofday ()
 
@@ -99,30 +141,32 @@ let run_once t ?(max_wait = 0.05) () =
     | Some time -> max 0.0 (min max_wait (time -. now t))
     | None -> max 0.0 max_wait
   in
+  (* the self-pipe read end is always selected, so the loop never sleeps
+     blind: a cross-domain [notify] interrupts both a busy select and the
+     idle wait (before the pipe existed, an fd-less loop slept the whole
+     timer interval regardless of completions) *)
   let reads =
-    Hashtbl.fold (fun fd w acc -> if w.on_read <> None then fd :: acc else acc) t.fds []
+    Hashtbl.fold
+      (fun fd w acc -> if w.on_read <> None then fd :: acc else acc)
+      t.fds [ t.wake_r ]
   in
   let writes =
     Hashtbl.fold (fun fd w acc -> if w.on_write <> None then fd :: acc else acc) t.fds []
   in
   let ready_r, ready_w =
-    if reads = [] && writes = [] then begin
-      (* nothing to select on: just sleep until the next timer *)
-      if timeout > 0.0 then Unix.sleepf timeout;
-      ([], [])
-    end
-    else
-      match Unix.select reads writes [] timeout with
-      | r, w, _ -> (r, w)
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [])
+    match Unix.select reads writes [] timeout with
+    | r, w, _ -> (r, w)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [])
   in
   (* A callback may unwatch or forget descriptors later in the ready list;
      re-check the table before each dispatch. *)
   List.iter
     (fun fd ->
-      match Hashtbl.find_opt t.fds fd with
-      | Some { on_read = Some f; _ } -> f ()
-      | Some _ | None -> ())
+      if fd = t.wake_r then drain_wake t ()
+      else
+        match Hashtbl.find_opt t.fds fd with
+        | Some { on_read = Some f; _ } -> f ()
+        | Some _ | None -> ())
     ready_r;
   List.iter
     (fun fd ->

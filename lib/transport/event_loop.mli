@@ -42,6 +42,23 @@ val unwatch_write : t -> Unix.file_descr -> unit
 val forget : t -> Unix.file_descr -> unit
 (** Drop both callbacks for the descriptor. *)
 
+(** {1 Cross-domain wakeup}
+
+    The loop owns a self-pipe whose read end is always in the select set,
+    so it never waits blind — this also fixes the historical idle path
+    where an fd-less loop slept the full timer interval no matter what. *)
+
+val notify : t -> unit
+(** Wake the loop promptly.  Safe to call from any domain (the only
+    operation on this type that is); coalesces — any number of calls
+    between two loop iterations cost one pipe byte and one wakeup. *)
+
+val on_notify : t -> (unit -> unit) -> unit
+(** Register a callback run (on the loop's own thread) every time the
+    loop wakes from a {!notify}.  Callbacks run in registration order and
+    must themselves be cheap; typical use is draining a completion queue
+    filled by other domains. *)
+
 (** {1 Driving} *)
 
 val run_once : t -> ?max_wait:float -> unit -> unit

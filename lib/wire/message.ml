@@ -11,6 +11,11 @@ type request =
       specs : Order.spec list;
     }
   | Query_proof of (Event_id.t * Event_id.t)
+  | Query_order_at of {
+      min_epoch : int64;
+      pairs : (Event_id.t * Event_id.t) list;
+    }
+  | Assign_order_at of Order.spec list
 
 type response =
   | Event_created of Event_id.t
@@ -23,6 +28,8 @@ type response =
       relation : Order.relation;
       cert : Kronos_certify.Certificate.t option;
     }
+  | Orders_at of { epoch : int64; rels : Order.relation list }
+  | Outcomes_at of { epoch : int64; outs : Order.outcome list }
 
 let put_event b e = Codec.put_i64 b (Event_id.to_int64 e)
 
@@ -132,7 +139,14 @@ let encode_request r =
    | Query_proof (e1, e2) ->
      Codec.put_u8 b 6;
      put_event b e1;
-     put_event b e2);
+     put_event b e2
+   | Query_order_at { min_epoch; pairs } ->
+     Codec.put_u8 b 7;
+     Codec.put_i64 b min_epoch;
+     Codec.put_list b (fun b (e1, e2) -> put_event b e1; put_event b e2) pairs
+   | Assign_order_at reqs ->
+     Codec.put_u8 b 8;
+     Codec.put_list b put_spec reqs);
   Codec.to_string b
 
 let decode_request s =
@@ -163,6 +177,16 @@ let decode_request s =
       let e1 = get_event d in
       let e2 = get_event d in
       Query_proof (e1, e2)
+    | 7 ->
+      let min_epoch = Codec.get_i64 d in
+      let pairs =
+        Codec.get_list d (fun d ->
+            let e1 = get_event d in
+            let e2 = get_event d in
+            (e1, e2))
+      in
+      Query_order_at { min_epoch; pairs }
+    | 8 -> Assign_order_at (Codec.get_list d get_spec)
     | n -> raise (Codec.Decode_error (Printf.sprintf "bad request tag %d" n))
   in
   Codec.expect_end d;
@@ -186,7 +210,15 @@ let encode_response r =
         Codec.put_bool b true;
         (* the certificate carries its own self-describing encoding; the
            wire layer only frames it as an opaque string *)
-        Codec.put_string b (Kronos_certify.Certificate.encode c)));
+        Codec.put_string b (Kronos_certify.Certificate.encode c))
+   | Orders_at { epoch; rels } ->
+     Codec.put_u8 b 7;
+     Codec.put_i64 b epoch;
+     Codec.put_list b put_relation rels
+   | Outcomes_at { epoch; outs } ->
+     Codec.put_u8 b 8;
+     Codec.put_i64 b epoch;
+     Codec.put_list b put_outcome outs);
   Codec.to_string b
 
 let decode_response s =
@@ -209,6 +241,14 @@ let decode_response s =
           | Error m -> raise (Codec.Decode_error m)
       in
       Proof_is { relation; cert }
+    | 7 ->
+      let epoch = Codec.get_i64 d in
+      let rels = Codec.get_list d get_relation in
+      Orders_at { epoch; rels }
+    | 8 ->
+      let epoch = Codec.get_i64 d in
+      let outs = Codec.get_list d get_outcome in
+      Outcomes_at { epoch; outs }
     | n -> raise (Codec.Decode_error (Printf.sprintf "bad response tag %d" n))
   in
   Codec.expect_end d;
@@ -228,6 +268,11 @@ let pp_request ppf = function
       (List.length guards) (List.length specs)
   | Query_proof (e1, e2) ->
     Format.fprintf ppf "query_proof(%a, %a)" Event_id.pp e1 Event_id.pp e2
+  | Query_order_at { min_epoch; pairs } ->
+    Format.fprintf ppf "query_order_at(>=%Ld, %d pairs)" min_epoch
+      (List.length pairs)
+  | Assign_order_at reqs ->
+    Format.fprintf ppf "assign_order_at(%d pairs)" (List.length reqs)
 
 let pp_response ppf = function
   | Event_created e -> Format.fprintf ppf "event_created(%a)" Event_id.pp e
@@ -251,9 +296,19 @@ let pp_response ppf = function
          Printf.sprintf "%d-step certificate"
            (Kronos_certify.Certificate.path_length c)
        | None -> "no certificate")
+  | Orders_at { epoch; rels } ->
+    Format.fprintf ppf "orders_at(@%Ld, %a)" epoch
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+         Order.pp_relation)
+      rels
+  | Outcomes_at { epoch; outs } ->
+    Format.fprintf ppf "outcomes_at(@%Ld, %a)" epoch
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+         Order.pp_outcome)
+      outs
 
 let is_read_only = function
-  | Query_order _ | Query_proof _ -> true
+  | Query_order _ | Query_proof _ | Query_order_at _ -> true
   | Create_event | Acquire_ref _ | Release_ref _ | Assign_order _
-  | Guarded_assign _ ->
+  | Assign_order_at _ | Guarded_assign _ ->
     false

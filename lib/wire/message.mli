@@ -25,6 +25,19 @@ type request =
           [Before]/[After] the server also attempts a happens-before
           certificate the client can check against the endpoint
           commitments alone (DESIGN.md §13) *)
+  | Query_order_at of {
+      min_epoch : int64;
+      pairs : (Event_id.t * Event_id.t) list;
+    }
+      (** epoch-aware {!Query_order} (DESIGN.md §14): the reply is an
+          {!Orders_at} carrying the view epoch it was answered at.
+          [min_epoch] is the client's consistency demand — a server whose
+          view is older answers anyway (its epoch exposes the staleness)
+          and the client escalates to a fresher replica *)
+  | Assign_order_at of Order.spec list
+      (** {!Assign_order} whose reply ({!Outcomes_at}) carries the
+          post-apply epoch, so the caller can demand read-your-writes
+          ([`At_least]) from subsequent queries *)
 
 type response =
   | Event_created of Event_id.t
@@ -41,6 +54,12 @@ type response =
           [Concurrent]/[Same], when digests are disabled, or when the
           relation holds but no commitment-closed path exists ("true but
           unproved" — see {!Kronos_certify.Prover}) *)
+  | Orders_at of { epoch : int64; rels : Order.relation list }
+      (** answer to {!Query_order_at}: the relations plus the view epoch
+          they were computed against *)
+  | Outcomes_at of { epoch : int64; outs : Order.outcome list }
+      (** answer to {!Assign_order_at}: the outcomes plus the engine epoch
+          after the batch applied (deterministic, so replicas agree) *)
 
 val encode_request : request -> string
 val decode_request : string -> request
@@ -58,5 +77,5 @@ val pp_response : Format.formatter -> response -> unit
 
 val is_read_only : request -> bool
 (** [true] for requests that never mutate the event dependency graph
-    ({!Query_order}, {!Query_proof}); these may be served by stale replicas
-    (Section 2.5). *)
+    ({!Query_order}, {!Query_proof}, {!Query_order_at}); these may be
+    served by stale replicas (Section 2.5). *)

@@ -120,12 +120,12 @@ let test_digests_off () =
   Alcotest.(check bool) "no commitment" true (Engine.commitment engine b = None);
   Alcotest.(check relation) "ordering still works" Order.Before (rel engine a b);
   Alcotest.(check bool) "no proofs" true
-    (Prover.prove (Engine.graph engine) ~source:a ~target:b = None)
+    (Prover.prove (Engine.current_view engine) ~source:a ~target:b = None)
 
 (* ---------- prove / verify ---------- *)
 
 let prove_exn engine a b =
-  match Prover.prove (Engine.graph engine) ~source:a ~target:b with
+  match Prover.prove (Engine.current_view engine) ~source:a ~target:b with
   | Some c -> c
   | None -> Alcotest.fail "expected a certificate"
 
@@ -185,7 +185,7 @@ let test_unprovable_is_none () =
   must engine x a;
   Alcotest.(check relation) "relation holds" Order.Before (rel engine x b);
   Alcotest.(check bool) "but is unprovable" true
-    (Prover.prove (Engine.graph engine) ~source:x ~target:b = None);
+    (Prover.prove (Engine.current_view engine) ~source:x ~target:b = None);
   (* while the closed path is still provable *)
   verify_ok "closed path stays provable" (prove_exn engine a b)
 
@@ -207,7 +207,7 @@ let prop_random_dag_roundtrip =
       for i = 0 to n - 1 do
         for j = 0 to n - 1 do
           if i <> j && rel engine ids.(i) ids.(j) = Order.Before then begin
-            match Prover.prove (Engine.graph engine) ~source:ids.(i) ~target:ids.(j) with
+            match Prover.prove (Engine.current_view engine) ~source:ids.(i) ~target:ids.(j) with
             | None -> () (* true but not commitment-closed: allowed *)
             | Some cert ->
               incr proofs;
@@ -395,7 +395,7 @@ let test_snapshot_v3_roundtrip () =
   check_same_commitments "v3 roundtrip" (live_commitments engine ids) restored;
   (* and proofs generated on the restored engine still verify (released
      events are gone on both sides: prove only over the live ones) *)
-  let g = Engine.graph restored in
+  let g = Engine.current_view restored in
   let live = List.map fst (live_commitments restored ids) in
   let proved = ref 0 in
   List.iter
