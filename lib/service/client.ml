@@ -43,6 +43,9 @@ type t = {
       (* highest view epoch observed in any epoch-stamped reply; what
          [`At_least (last_epoch t)] demands for read-your-writes *)
   mutable epoch_retries : int;
+  mutable assign_compat : bool;
+      (* the server rejected the epoch-stamped assign tag as unparseable
+         (pre-epoch release): speak legacy [Assign_order] from now on *)
 }
 
 let create ~net ~addr ~coordinator ?(cache_capacity = 65536) ?request_timeout () =
@@ -52,7 +55,7 @@ let create ~net ~addr ~coordinator ?(cache_capacity = 65536) ?request_timeout ()
     else None
   in
   { proxy; cache; server_queries = 0; stale_revalidations = 0;
-    last_epoch = 0L; epoch_retries = 0 }
+    last_epoch = 0L; epoch_retries = 0; assign_compat = false }
 
 let cache t = t.cache
 let cache_stats t = Option.map Order_cache.stats t.cache
@@ -312,7 +315,16 @@ let cache_outcomes t specs outs =
       | Reversed -> cache_insert t after before Order.Before)
     specs outs
 
-let send_assign t ?timeout request specs callback =
+(* The canonical rejection an old server sends for a request whose tag its
+   decoder does not know (its [apply] maps [Decode_error] to
+   [Rejected (Unknown_event none)]); a genuine unknown-event rejection
+   names the offending id, which is never [none] for a batch the client
+   itself encoded from live ids. *)
+let rejected_as_unparseable = function
+  | Order.Unknown_event e -> Event_id.equal e Event_id.none
+  | Order.Must_violated _ | Order.Must_self _ | Order.Guard_failed _ -> false
+
+let send_assign t ?timeout ?on_old_server request specs callback =
   Proxy.write t.proxy ?timeout (Message.encode_request request)
     (decoded (function
       | Ok (Message.Outcomes outs) ->
@@ -324,13 +336,29 @@ let send_assign t ?timeout request specs callback =
         note_epoch t epoch;
         cache_outcomes t specs outs;
         callback (Ok outs)
-      | Ok (Message.Rejected err) -> callback (Error (Error.Rejected err))
+      | Ok (Message.Rejected err) -> (
+        match on_old_server with
+        | Some retry when rejected_as_unparseable err -> retry ()
+        | _ -> callback (Error (Error.Rejected err)))
       | Ok _ -> callback (Error unexpected)
       | Error e -> callback (Error e)))
 
+(* Prefer the epoch-stamped assign so the ack carries the view epoch, but
+   degrade gracefully in a mixed-version cluster: a server predating the
+   tag rejects it as unparseable (and applies nothing), so we retry the
+   same batch once with the legacy encoding and stay on it for the rest of
+   this client's life.  The only false positive is a batch that really
+   names [Event_id.none] — the legacy retry then draws the identical
+   rejection, costing one extra round trip before the same error. *)
 let assign_order t ?timeout specs callback =
   let callback = timed M.assign_order callback in
-  send_assign t ?timeout (Message.Assign_order_at specs) specs callback
+  if t.assign_compat then
+    send_assign t ?timeout (Message.Assign_order specs) specs callback
+  else
+    send_assign t ?timeout (Message.Assign_order_at specs) specs callback
+      ~on_old_server:(fun () ->
+        t.assign_compat <- true;
+        send_assign t ?timeout (Message.Assign_order specs) specs callback)
 
 let guarded_assign t ?timeout ~guards specs callback =
   let callback = timed M.assign_order callback in

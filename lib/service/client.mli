@@ -95,7 +95,16 @@ val assign_order :
   unit
 (** Atomic ordering batch, applied by the replicated state machine; build
     the specs with {!Order.must_before} and friends.  On success, every
-    applied or implied pair is inserted into the local order cache. *)
+    applied or implied pair is inserted into the local order cache.
+
+    The batch is sent with the epoch-stamped wire encoding so the ack
+    advances {!last_epoch}; a server predating epoch stamps rejects that
+    tag as unparseable (applying nothing), in which case the client
+    transparently retries the batch once with the legacy encoding and
+    keeps using it for the rest of its life — mixed-version clusters and
+    rolling upgrades keep writing, at the cost that such acks carry no
+    epoch (so [`At_least (last_epoch t)] demands only up to the newest
+    epoch some stamped reply did report). *)
 
 val guarded_assign :
   t ->

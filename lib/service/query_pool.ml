@@ -46,6 +46,7 @@ type t = {
   view : Engine.View.t option Atomic.t;
   mutable engine : (unit -> Engine.t) option; (* loop thread only *)
   mutable last_epoch : int64;                 (* loop thread only *)
+  mutable publish_tick : int;                 (* loop thread only *)
   stopping : bool Atomic.t;
   mutable joined : bool;
   comp_mutex : Mutex.t;
@@ -163,6 +164,7 @@ let create ~loop ~domains () =
       view = Atomic.make None;
       engine = None;
       last_epoch = -1L;
+      publish_tick = -1;
       stopping = Atomic.make false;
       joined = false;
       comp_mutex = Mutex.create ();
@@ -206,7 +208,32 @@ let offload t ~client ~cmd ~reply =
         false
       | (Message.Query_order _ | Message.Query_order_at _
         | Message.Query_proof _) as req ->
-        publish t (engine ());
+        (* Publish at most once per event-loop iteration: re-freezing on
+           every offloaded read made interleaved write/read workloads pay
+           the freeze's O(live slots) flat-array copy per request.  One
+           view per tick is fresh enough — an ack must cross a select
+           round before the client that received it can have a follow-up
+           query dispatched, so every write acked before this iteration
+           began is already in the engine we freeze here.  The one caller
+           that can outrun that argument is an [`At_least] demand raced
+           onto an already-ready connection: an explicit [min_epoch] above
+           the published view's epoch forces a mid-tick re-publish (a
+           no-op freeze when nothing actually changed), so a demanding
+           query never observes this amortization. *)
+        let tick = Event_loop.ticks t.loop in
+        let behind_demand =
+          match Atomic.get t.view with
+          | None -> true
+          | Some v -> (
+            match req with
+            | Message.Query_order_at { min_epoch; _ } ->
+              Engine.View.epoch v < min_epoch
+            | _ -> false)
+        in
+        if tick <> t.publish_tick || behind_demand then begin
+          publish t (engine ());
+          t.publish_tick <- tick
+        end;
         let w = t.workers.(client mod Array.length t.workers) in
         w.w_submitted <- w.w_submitted + 1;
         Kronos_metrics.Gauge.set w.w_depth (w.w_submitted - w.w_completed);

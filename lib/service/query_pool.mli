@@ -10,8 +10,10 @@
 
     Data flow per request: [offload] (on the loop thread) decodes the
     command once, publishes the engine's current view — an incremental
-    {!Kronos.Graph.freeze}, cached when nothing changed — into an atomic
-    slot, and enqueues the job on the worker owning the connection
+    {!Kronos.Graph.freeze}, at most once per event-loop iteration plus a
+    forced refresh whenever a request demands an epoch newer than the
+    published view — into an atomic slot, and enqueues the job on the
+    worker owning the connection
     (connections are sharded [client mod domains], which keeps replies
     per-connection FIFO and epochs per-connection monotonic).  The worker
     answers against the latest view with zero locks on the query path and
@@ -30,9 +32,10 @@ val create : loop:Kronos_transport.Event_loop.t -> domains:int -> unit -> t
 
 val attach : t -> engine:(unit -> Kronos.Engine.t) -> unit
 (** Connect the pool to the engine it publishes views of.  The thunk is
-    read on every offload, so a replica whose engine cell is replaced
-    (snapshot install, restart) publishes the current engine's state.
-    Until [attach] is called, {!offload} declines every request. *)
+    re-read on every publish, so a replica whose engine cell is replaced
+    (snapshot install, restart) publishes the current engine's state from
+    the next view onwards.  Until [attach] is called, {!offload} declines
+    every request. *)
 
 val offload :
   t -> client:int -> cmd:string -> reply:(string -> unit) -> bool

@@ -22,12 +22,10 @@ type t = {
   notified : bool Atomic.t;
   wake_buf : Bytes.t;
   mutable notify_callbacks : (unit -> unit) list;
+  mutable ticks : int;
 }
 
 let drain_wake t () =
-  (* clear the pending flag first: a notify that lands after the drain
-     below starts will write a fresh byte and wake the next round *)
-  Atomic.set t.notified false;
   (try
      while Unix.read t.wake_r t.wake_buf 0 (Bytes.length t.wake_buf) > 0 do
        ()
@@ -35,6 +33,16 @@ let drain_wake t () =
    with
   | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
   | Unix.Unix_error (Unix.EINTR, _, _) -> ());
+  (* Clear the latch only once the pipe is empty.  Clearing it before the
+     drain lost wakeups: a notify racing the reads above would set the
+     flag and write a byte that the same drain then consumed, leaving the
+     latch set over an empty pipe — after which every later notify skipped
+     its write and the loop slept through completions until stop.  With
+     this order a notify that lands after the clear writes a fresh byte
+     (waking the next round), and one that lands before it had its
+     completion enqueued before calling notify, so the callbacks below
+     pick it up. *)
+  Atomic.set t.notified false;
   List.iter (fun f -> f ()) t.notify_callbacks
 
 let create () =
@@ -44,17 +52,22 @@ let create () =
   let t =
     { heap = Heap.create (); fds = Hashtbl.create 16; seq = 0; live = 0;
       wake_r; wake_w; notified = Atomic.make false;
-      wake_buf = Bytes.create 64; notify_callbacks = [] }
+      wake_buf = Bytes.create 64; notify_callbacks = []; ticks = 0 }
   in
   t
 
+let rec write_wake t =
+  try ignore (Unix.write t.wake_w t.wake_buf 0 1) with
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+    (* pipe full: the loop is already guaranteed to wake *)
+    ()
+  | Unix.Unix_error (Unix.EINTR, _, _) ->
+    (* the latch is already set, so no other notify will retry for us:
+       the byte must land or the wakeup is lost *)
+    write_wake t
+
 let notify t =
-  if not (Atomic.exchange t.notified true) then
-    try ignore (Unix.write t.wake_w t.wake_buf 0 1) with
-    | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-      (* pipe full: the loop is already guaranteed to wake *)
-      ()
-    | Unix.Unix_error (Unix.EINTR, _, _) -> Atomic.set t.notified false
+  if not (Atomic.exchange t.notified true) then write_wake t
 
 let on_notify t f = t.notify_callbacks <- t.notify_callbacks @ [ f ]
 
@@ -135,7 +148,10 @@ let run_due_timers t =
   in
   loop ()
 
+let ticks t = t.ticks
+
 let run_once t ?(max_wait = 0.05) () =
+  t.ticks <- t.ticks + 1;
   let timeout =
     match Heap.peek_time t.heap with
     | Some time -> max 0.0 (min max_wait (time -. now t))

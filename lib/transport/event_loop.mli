@@ -66,6 +66,12 @@ val run_once : t -> ?max_wait:float -> unit -> unit
     to the next timer deadline) for readiness, dispatch ready callbacks,
     then run due timers. *)
 
+val ticks : t -> int
+(** Number of {!run_once} iterations started so far (0 before the first).
+    Loop-thread only.  Callbacks running inside iteration [n] observe
+    [ticks t = n]; per-tick amortizations (e.g. the query pool's
+    publish-at-most-once-per-iteration) key off this. *)
+
 val run_for : t -> float -> unit
 (** Iterate for a wall-clock duration. *)
 

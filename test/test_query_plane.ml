@@ -50,6 +50,40 @@ let test_notify_interrupts_select () =
   Event_loop.run_once loop ~max_wait:0.2 ();
   Alcotest.(check int) "burst coalesced" 3 !fired
 
+(* Regression stress for the drain/notify latch: a notify racing the
+   loop's pipe drain must never wedge the latch (flag set, pipe already
+   drained) — that state made every later notify skip its wakeup byte, so
+   queued completions sat undelivered until stop.  Hammer notifies from
+   another domain while the loop drains as fast as it can, then require
+   one final notify to still cut a long select short. *)
+let test_notify_drain_race () =
+  let loop = Event_loop.create () in
+  let delivered = ref 0 in
+  Event_loop.on_notify loop (fun () -> incr delivered);
+  let stop = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          Event_loop.notify loop;
+          Domain.cpu_relax ()
+        done)
+  in
+  for _ = 1 to 2000 do
+    Event_loop.run_once loop ~max_wait:0.0005 ()
+  done;
+  Atomic.set stop true;
+  Domain.join d;
+  (* settle: deliver whatever the last pre-stop notify produced *)
+  Event_loop.run_once loop ~max_wait:0.05 ();
+  let before = !delivered in
+  Event_loop.notify loop;
+  let t0 = Unix.gettimeofday () in
+  Event_loop.run_once loop ~max_wait:5.0 ();
+  Alcotest.(check bool) "post-race notify still delivered" true
+    (!delivered > before);
+  Alcotest.(check bool) "woke promptly, latch not wedged" true
+    (Unix.gettimeofday () -. t0 < 2.0)
+
 (* {1 TCP loopback with 4 reader domains per node} *)
 
 let tcp_config =
@@ -292,6 +326,8 @@ let suites =
       [
         Alcotest.test_case "notify interrupts select" `Quick
           test_notify_interrupts_select;
+        Alcotest.test_case "notify/drain race never wedges" `Quick
+          test_notify_drain_race;
         Alcotest.test_case "4-domain pools survive kill/restart" `Slow
           test_kill_restart_with_pools;
       ] );
