@@ -204,7 +204,7 @@ let traversal_cache_ablation () =
   let n = 5_000 in
   let build ~traversal_cache =
     let engine =
-      Engine.create ~config:{ Engine.initial_capacity = n; traversal_cache; digests = true } ()
+      Engine.create ~config:{ Engine.default_config with Engine.initial_capacity = n; traversal_cache } ()
     in
     let rng = Rng.create ~seed:5L in
     let g = Graph_gen.erdos_renyi_gnm ~rng ~n ~m:100_000 in
@@ -251,7 +251,7 @@ let metrics_overhead_ablation () =
   let n = 2_000 in
   let build () =
     let engine =
-      Engine.create ~config:{ Engine.initial_capacity = n; traversal_cache = 0; digests = true } ()
+      Engine.create ~config:{ Engine.default_config with Engine.initial_capacity = n } ()
     in
     let rng = Rng.create ~seed:5L in
     let g = Graph_gen.erdos_renyi_gnm ~rng ~n ~m:20_000 in

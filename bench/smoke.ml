@@ -46,6 +46,24 @@ let engine_hot_paths () =
         ignore (Engine.query_order engine [ (ids.(u), ids.(v)) ]))
   in
   record "engine.query_chain" query_ns "ns/op";
+  (* ordered pairs on the same chain: the pure label-hit path — one
+     chain-label compare decides [Before], no BFS at any distance
+     (DESIGN.md §15) *)
+  let rng = Kronos_simnet.Rng.create ~seed:9L in
+  let label_hit_ns =
+    Bench_util.bechamel_ns_per_op ~quota:0.25 ~name:"smoke/label_hit" (fun () ->
+        let u = Kronos_simnet.Rng.int rng (n - 1) in
+        let v = u + 1 + Kronos_simnet.Rng.int rng (n - u - 1) in
+        ignore (Engine.query_order engine [ (ids.(u), ids.(v)) ]))
+  in
+  record "engine.query_chain_label_hit" label_hit_ns "ns/op";
+  (* share of reachability probes the label index answered over the two
+     query benches above; 1.0 means the BFS never ran *)
+  let hits = float_of_int (Engine.label_hits engine)
+  and misses = float_of_int (Engine.label_misses engine) in
+  record "engine.label_hit_rate"
+    (if hits +. misses > 0. then hits /. (hits +. misses) else 0.)
+    "x";
   (* two unrelated chains: every cross-chain pair is Concurrent, the worst
      case for the query path (historically two full BFS traversals) *)
   let engine = Engine.create () in
@@ -143,15 +161,13 @@ let query_parallel_smoke () =
 
 (* Certify hot paths (DESIGN.md §13): proof generation and verification
    over a real chain, plus the assign-path cost of digest maintenance —
-   the dense must-edge workload of [engine.assign_must_dense] with
-   commitment chains on and off, and the relative overhead as a
-   percentage.  The documented budget for that overhead is <10% on the
-   dense-assign path (where most batch edges are already present or
-   implied, so folds are the exception, not the rule — a *fresh* edge
-   always pays ~3 SHA-256 compressions, visible in [certify.prove]'s
-   setup and in [engine.assign_fresh]).  The pct series is recorded for
-   the human reading the snapshot and is not ratio-gated (it is a small
-   difference of two noisy numbers). *)
+   the fresh-assign workload of [engine.assign_fresh] with commitment
+   chains on and off, and the relative overhead as a percentage.  Every
+   fresh edge folds one link — two SHA-256 compressions — so the pct
+   series measures a deterministic per-edge cost; [check] holds it under
+   [assign_overhead_budget_pct] rather than ratio-gating it against the
+   baseline (a relative gate on a difference of two noisy numbers fires
+   on noise, a budget fires on extra folds). *)
 let certify_smoke () =
   let engine = Engine.create () in
   let n = 512 in
@@ -182,31 +198,36 @@ let certify_smoke () =
         | Error m -> failwith ("smoke: " ^ m))
   in
   record "certify.verify" verify_ns "ns/op";
-  (* digest-maintenance overhead on the dense-assign path; both engines
-     are prepared with the identical seeded workload *)
+  (* digest-maintenance overhead on the fresh-assign path: every benched
+     edge is brand new, so it deterministically pays its link folds.  (An
+     older variant measured the dense-DAG workload instead, where most
+     batch edges are already implied and fold nothing: the pct came out
+     as a small difference between two mostly-identical noisy numbers,
+     and once the chain-label index collapsed the base cost it swung by
+     over 100 points between runs.) *)
   let assign_ns ~digests =
     let engine =
       Engine.create ~config:{ Engine.default_config with digests } ()
     in
-    let m = 256 in
-    let dense = Array.init m (fun _ -> Engine.create_event engine) in
-    let rng = Kronos_simnet.Rng.create ~seed:23L in
-    for _ = 1 to 4 * m do
-      let i = Kronos_simnet.Rng.int rng (m - 1) in
-      let j = i + 1 + Kronos_simnet.Rng.int rng (m - i - 1) in
-      ignore (Engine.assign_order engine [ Order.must_before dense.(i) dense.(j) ])
-    done;
     Bench_util.bechamel_ns_per_op ~quota:0.25 ~name:"smoke/assign_digest"
       (fun () ->
-        let i = Kronos_simnet.Rng.int rng (m - 1) in
-        let j = i + 1 + Kronos_simnet.Rng.int rng (m - i - 1) in
-        ignore (Engine.assign_order engine [ Order.must_before dense.(i) dense.(j) ]))
+        let a = Engine.create_event engine in
+        let b = Engine.create_event engine in
+        ignore (Engine.assign_order engine [ Order.must_before a b ]))
   in
   let off = assign_ns ~digests:false in
   let on = assign_ns ~digests:true in
   record "certify.assign_digests_off" off "ns/op";
   record "certify.assign_digests_on" on "ns/op";
   record "certify.assign_overhead_pct" (100. *. (on -. off) /. off) "pct"
+
+(* Documented budget (DESIGN.md §13) for [certify.assign_overhead_pct]:
+   the two software SHA-256 compressions a fresh edge folds cost ~2 µs,
+   roughly doubling the fresh-assign path now that the chain-label index
+   collapsed the admission cost itself.  [check] holds the series under
+   this ceiling — generous against scheduler noise, but an extra fold
+   sneaking onto the path (3 compressions ≈ +200 pct) still fails. *)
+let assign_overhead_budget_pct = 150.
 
 let service_closed_loop () =
   M.reset ();
@@ -513,8 +534,9 @@ let read_file path =
    ns/op series are in-process numbers; the fed.* series are closed-loop
    rates on the simulated network (pure compute, no real sleeping), so
    both are stable enough to gate.  The service.* series swing with
-   machine load and are not gated, and pct series (small differences of
-   noisy numbers) are recorded but never ratio-gated.  The threshold is
+   machine load and are not gated, and the pct series is held under an
+   absolute budget ([assign_overhead_budget_pct]) instead of a baseline
+   ratio — it is a difference of two noisy numbers.  The threshold is
    deliberately loose (2.5x) so only real regressions fail CI, not
    measurement noise; for ops/s and x series "worse" means lower, so the
    ratio inverts.  [fed.write_scaling] additionally carries the hard
@@ -548,7 +570,14 @@ let check () =
   List.iter
     (fun (name, value, unit_) ->
       if unit_ = "pct" then
-        Printf.printf "  %-32s %12.6g %s  (not gated)\n" name value unit_
+        if value > assign_overhead_budget_pct then begin
+          incr failures;
+          Printf.printf "  %-32s %12.6g %s  above the %.0f pct budget  FAIL\n"
+            name value unit_ assign_overhead_budget_pct
+        end
+        else
+          Printf.printf "  %-32s %12.6g %s  (budget %.0f pct)  ok\n" name value
+            unit_ assign_overhead_budget_pct
       else if name = "fed.write_scaling" && value <= 2.0 then begin
         incr failures;
         Printf.printf "  %-32s %12.6g %s  below the hard 2x floor  FAIL\n"

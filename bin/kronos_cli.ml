@@ -273,6 +273,17 @@ let () =
                 (v -. old)
             | None -> Printf.printf "%-*s  %s  (new)\n" width name (fmt_value v)))
       samples;
+    (* derived: share of reachability probes the chain-label index answered
+       without a BFS (DESIGN.md §15) *)
+    (match
+       ( prev,
+         List.assoc_opt "kronos_engine_label_hits_total" samples,
+         List.assoc_opt "kronos_engine_label_misses_total" samples )
+     with
+     | None, Some h, Some m when h +. m > 0. ->
+       Printf.printf "%-*s  %.1f%%\n" width "kronos_engine_label_hit_rate"
+         (100. *. h /. (h +. m))
+     | _ -> ());
     flush stdout
   in
   let run_load () =

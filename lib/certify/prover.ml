@@ -85,7 +85,10 @@ let prove g ~source ~target =
                end
                else begin
                  match Engine.View.rank g p with
-                 | Some rp when rp > rs && rp < rt ->
+                 | Some rp
+                   when rp > rs && rp < rt
+                        && Engine.View.label_reachable g source p
+                           <> Some false ->
                    let improve u =
                      u.bound <- l.Graph.l_pred_pos;
                      u.via <- e;
@@ -103,7 +106,9 @@ let prove g ~source ~target =
                     | Some u when l.Graph.l_pred_pos > u.bound -> improve u
                     | Some _ -> ())
                  | Some _ | None -> ()
-                 (* rank-pruned, or the predecessor was collected: its own
+                 (* pruned: outside the rank window, refuted by the chain
+                    labels (the source provably cannot reach it, so no
+                    source path runs through it), or collected — its own
                     chain is gone, so the path cannot continue through it *)
                end);
             incr j

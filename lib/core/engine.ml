@@ -14,10 +14,12 @@ type config = {
   initial_capacity : int;
   traversal_cache : int;
   digests : bool;
+  max_chains : int;
 }
 
 let default_config =
-  { initial_capacity = 1024; traversal_cache = 0; digests = true }
+  { initial_capacity = 1024; traversal_cache = 0; digests = true;
+    max_chains = 64 }
 
 type t = {
   g : Graph.t;
@@ -31,7 +33,8 @@ type t = {
 
 let create ?(config = default_config) () =
   { g = Graph.create ~initial_capacity:config.initial_capacity
-      ~traversal_cache:config.traversal_cache ~digests:config.digests ();
+      ~traversal_cache:config.traversal_cache ~digests:config.digests
+      ~max_chains:config.max_chains ();
     creates = 0; queries = 0; assigns = 0; aborted_batches = 0;
     reversals = 0; collected = 0 }
 
@@ -109,6 +112,7 @@ let assign_order t requests =
     let added = ref [] in
     let rollback () =
       List.iter (fun (u, v) -> Graph.remove_last_edge t.g u v) !added;
+      Graph.commit_batch t.g;
       t.aborted_batches <- t.aborted_batches + 1;
       Kronos_metrics.Counter.incr M.aborted
     in
@@ -161,6 +165,8 @@ let assign_order t requests =
      | Error e -> Error e
      | Ok () ->
        List.iter apply_prefer prefers;
+       (* the batch is final: seal the graph's per-edge rollback journal *)
+       Graph.commit_batch t.g;
        Ok (Array.to_list outcomes))
 
 (* Guards and batch evaluate against the same engine state: the state
@@ -218,7 +224,7 @@ let of_snapshot ?(config = default_config) s =
     g =
       Graph.of_snapshot ~initial_capacity:config.initial_capacity
         ~traversal_cache:config.traversal_cache ~digests:config.digests
-        s.snap_graph;
+        ~max_chains:config.max_chains s.snap_graph;
     creates = s.snap_creates;
     queries = s.snap_queries;
     assigns = s.snap_assigns;
@@ -231,6 +237,10 @@ let live_events t = Graph.live_count t.g
 let edges t = Graph.edge_count t.g
 let memory_bytes t = Graph.memory_bytes t.g
 let commitment t e = Graph.commitment t.g e
+let label_hits t = Graph.label_hit_count t.g
+let label_misses t = Graph.label_miss_count t.g
+let label_rebuilds t = Graph.label_rebuild_count t.g
+let chain_count t = Graph.chain_count t.g
 
 type stats = {
   creates : int;
@@ -305,6 +315,11 @@ module View = struct
     match v with
     | Live e -> Graph.reachable e.g u w
     | Frozen f -> Graph.Frozen.reachable f u w
+
+  let label_reachable v u w =
+    match v with
+    | Live e -> Graph.label_reachable e.g u w
+    | Frozen f -> Graph.Frozen.label_reachable f u w
 
   let query_order v pairs =
     match v with

@@ -13,6 +13,11 @@ type config = {
   digests : bool;
       (** maintain hash-chained event commitments (DESIGN.md §13) so
           happens-before answers can be proved; [true] by default *)
+  max_chains : int;
+      (** cap on the graph's chain-decomposition reachability index
+          (DESIGN.md §15); 64 by default, 0 disables it.  Queries whose
+          destination is off every chain fall back to the BFS and count as
+          {!label_misses}. *)
 }
 
 val default_config : config
@@ -136,6 +141,12 @@ module View : sig
 
   val reachable : t -> Event_id.t -> Event_id.t -> bool
 
+  val label_reachable : t -> Event_id.t -> Event_id.t -> bool option
+  (** Index-only reachability: [Some ans] when the rank or chain-label
+      compare decides ({!Graph.label_reachable}), [None] when only a BFS
+      could.  Counter-free; the certify prover uses it to skip
+      predecessors that provably cannot sit on a source path. *)
+
   val digests_enabled : t -> bool
   val commitment : t -> Event_id.t -> string option
   val chain_length : t -> Event_id.t -> int option
@@ -177,6 +188,22 @@ val memory_bytes : t -> int
 val commitment : t -> Event_id.t -> string option
 (** The event's commitment-chain head ({!Graph.commitment}); [None] when
     the identifier is stale or the engine runs with [digests = false]. *)
+
+val label_hits : t -> int
+(** Reachability probes answered by the chain-label compare alone (surfaced
+    to the metrics plane as [engine.label_hits_total]). *)
+
+val label_misses : t -> int
+(** Probes that fell back to the memo/BFS path ([engine.label_misses_total]).
+    A high miss share means the workload's breadth defeats the chain cap —
+    raise {!config.max_chains}. *)
+
+val label_rebuilds : t -> int
+(** Full deterministic label recomputations ([engine.label_rebuilds_total]):
+    one per snapshot restore, plus any defensive rebuild. *)
+
+val chain_count : t -> int
+(** Chains currently holding live events (gauge [engine.graph_chains]). *)
 
 type stats = {
   creates : int;

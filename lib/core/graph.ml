@@ -11,8 +11,12 @@ module M = struct
   let rank_pruned = Kronos_metrics.counter scope "rank_pruned_queries_total"
   let bidir = Kronos_metrics.counter scope "bidir_traversals_total"
   let digest_folds = Kronos_metrics.counter scope "digest_folds_total"
+  let label_hits = Kronos_metrics.counter scope "label_hits_total"
+  let label_misses = Kronos_metrics.counter scope "label_misses_total"
+  let label_rebuilds = Kronos_metrics.counter scope "label_rebuilds_total"
   let live = Kronos_metrics.gauge scope "graph_live_events"
   let edges = Kronos_metrics.gauge scope "graph_edges"
+  let chains = Kronos_metrics.gauge scope "graph_chains"
 end
 
 (* One commitment-chain link, recorded when an edge into this event was
@@ -46,7 +50,23 @@ type frozen = {
   f_pred : int array array;
   f_digests : bool;
   f_chains : link array array;
+  (* chain-decomposition index (DESIGN.md §15): flat arrays are private
+     copies, the per-slot label arrays are immutable and shared
+     structurally like adjacency *)
+  f_chain_of : int array;
+  f_chain_pos : int array;
+  f_labels : int array array;
 }
+
+(* One entry of the per-edge rollback journal for the chain-decomposition
+   index.  [push_edge] opens a group with [J_mark]; [remove_last_edge] pops
+   the topmost group, restoring the exact pre-edge chains and labels.
+   [commit_batch] (and any non-batch mutation) truncates the journal. *)
+type label_undo =
+  | J_mark of int * int          (* (su, sv) of the admitted edge *)
+  | J_label of int * int array   (* slot, previous label array *)
+  | J_assign of int * int * int  (* slot appended: slot, chain, prev tail *)
+  | J_chain of int * bool        (* chain allocated: id, came from free list *)
 
 type t = {
   mutable refcount : int array;  (* -1 marks a free slot *)
@@ -104,14 +124,57 @@ type t = {
   mutable version : int;
   dirty : Sparse_set.t;
   mutable frozen_cache : frozen option;
+  (* Chain-decomposition reachability index (DESIGN.md §15).  Live events
+     are partitioned greedily into at most [max_chains] chains at edge
+     time; every member of a chain reaches all later members (consecutive
+     members are joined by a direct edge).  [labels.(s)] is a flattened,
+     chain-sorted vector of (chain, pos) pairs: the {e lowest} position in
+     each chain reachable from [s] (self included), so [u ⇝ v] iff
+     [labels.(u)] holds an entry for [chain_of.(v)] with pos <=
+     [chain_pos.(v)].  Labels are exact — kept so by merge propagation on
+     edge admission and by the journal on rollback — hence both answers of
+     a query are O(#chains) compares whenever the destination is assigned
+     to a chain; only cap saturation forces the BFS fallback.  Label
+     arrays are immutable once installed (replaced, never mutated), so
+     frozen views share them structurally. *)
+  max_chains : int;
+  mutable chain_of : int array;   (* per slot; -1 = unassigned *)
+  mutable chain_pos : int array;  (* per slot; valid when chain_of >= 0 *)
+  chain_len : Int_vec.t;          (* per chain: members ever appended *)
+  chain_live : Int_vec.t;         (* per chain: live members *)
+  chain_tail : Int_vec.t;         (* per chain: newest member, -1 if empty *)
+  free_chains : Int_vec.t;        (* fully-dead chains, reusable *)
+  mutable labels : int array array;
+  mutable journal : label_undo list;
+  label_queue : Int_vec.t;        (* label propagation worklist *)
+  mutable label_buf : int array;  (* merge scratch *)
+  mutable label_hits : int;
+  mutable label_misses : int;
+  mutable label_rebuilds : int;
 }
 
 let max_gen = (1 lsl 22) - 1
 
+let default_max_chains = 64
+
 let create ?(initial_capacity = 1024) ?(traversal_cache = 0) ?(digests = true)
-    () =
+    ?(max_chains = default_max_chains) () =
   let cap = max initial_capacity 16 in
   {
+    max_chains = max 0 max_chains;
+    chain_of = Array.make cap (-1);
+    chain_pos = Array.make cap 0;
+    chain_len = Int_vec.create ();
+    chain_live = Int_vec.create ();
+    chain_tail = Int_vec.create ();
+    free_chains = Int_vec.create ();
+    labels = Array.make cap [||];
+    journal = [];
+    label_queue = Int_vec.create ();
+    label_buf = Array.make 64 0;
+    label_hits = 0;
+    label_misses = 0;
+    label_rebuilds = 0;
     reach_cache = Hashtbl.create (max 16 (min traversal_cache 4096));
     reach_cache_capacity = max 0 traversal_cache;
     reach_cache_hits = 0;
@@ -155,6 +218,11 @@ let rank_pruned_count g = g.rank_pruned
 let bidir_traversal_count g = g.bidir_traversals
 let digests_enabled g = g.digests
 let digest_fold_count g = g.digest_folds
+let label_hit_count g = g.label_hits
+let label_miss_count g = g.label_misses
+let label_rebuild_count g = g.label_rebuilds
+let max_chains g = g.max_chains
+let chain_count g = Int_vec.length g.chain_len - Int_vec.length g.free_chains
 
 let grow g =
   let old = capacity g in
@@ -177,6 +245,11 @@ let grow g =
   g.chains <-
     Array.init cap (fun i ->
       if i < old then g.chains.(i) else Vec.create ~dummy:dummy_link ());
+  g.chain_of <- copy g.chain_of (-1);
+  g.chain_pos <- copy g.chain_pos 0;
+  let labels = Array.make cap [||] in
+  Array.blit g.labels 0 labels 0 old;
+  g.labels <- labels;
   Sparse_set.grow g.visited cap;
   Sparse_set.grow g.visited_b cap;
   Sparse_set.grow g.dirty cap;
@@ -216,6 +289,10 @@ let create_event g =
   Int_vec.clear g.succ.(s);
   Int_vec.clear g.pred.(s);
   Vec.clear g.chains.(s);
+  g.chain_of.(s) <- -1;
+  g.labels.(s) <- [||];
+  (* creation is never part of an edge batch: seal any previous journal *)
+  g.journal <- [];
   (* fresh events take increasing ranks, so edges that follow creation
      order — the common case — never trigger a relabel *)
   g.rank.(s) <- g.next_rank;
@@ -247,6 +324,7 @@ let rank g id =
    [create_event] overwrites it. *)
 let collect g s =
   g.version <- g.version + 1;
+  g.journal <- []; (* collection never runs mid-batch *)
   let stack = g.queue in
   let top = ref 0 in
   stack.(0) <- s;
@@ -276,6 +354,23 @@ let collect g s =
        identifier + head, so certificates through committed history stay
        checkable; only this event's own chain is dropped. *)
     Vec.clear g.chains.(u);
+    (* Retire the slot from the chain-decomposition index.  Members die in
+       position order (strict topological GC reclaims predecessors first),
+       so a chain empties prefix-first and is recycled only once wholly
+       dead; and no surviving label can point at a dead member — a label
+       entry witnesses ancestorship, and ancestors are collected first. *)
+    (let c = g.chain_of.(u) in
+     if c >= 0 then begin
+       g.chain_of.(u) <- -1;
+       let remaining = Int_vec.get g.chain_live c - 1 in
+       Int_vec.set g.chain_live c remaining;
+       if remaining = 0 then begin
+         Int_vec.set g.chain_len c 0;
+         Int_vec.set g.chain_tail c (-1);
+         Int_vec.push g.free_chains c
+       end
+     end);
+    g.labels.(u) <- [||];
     (* Retire the slot permanently if its generation space is exhausted. *)
     if g.gen.(u) < max_gen then begin
       g.gen.(u) <- g.gen.(u) + 1;
@@ -297,6 +392,258 @@ let release_ref g id =
     g.refcount.(s) <- g.refcount.(s) - 1;
     if g.refcount.(s) = 0 && g.indeg.(s) = 0 then Some (collect g s)
     else Some 0
+
+(* ------------------------------------------------------------------ *)
+(* Chain-decomposition reachability labels (DESIGN.md §15).            *)
+(* ------------------------------------------------------------------ *)
+
+(* Position of chain [c] in the flattened, chain-sorted label vector;
+   [max_int] when the event reaches no member of [c].  Labels hold at most
+   one entry per chain, so the scan is O(#chains) with a tiny constant. *)
+let label_find lbl c =
+  let n = Array.length lbl in
+  let rec go i =
+    if i >= n then max_int
+    else
+      let ci = lbl.(i) in
+      if ci = c then lbl.(i + 1) else if ci > c then max_int else go (i + 2)
+  in
+  go 0
+
+(* [u ⇝ v] for a label of [u] and a chain-assigned [v]: exact labels hold
+   the lowest reachable position per chain, so reaching any member at or
+   below [pos] decides the query in both directions. *)
+let label_le lbl c pos = label_find lbl c <= pos
+
+let ensure_label_buf g n =
+  if Array.length g.label_buf < n then
+    g.label_buf <- Array.make (max n (2 * Array.length g.label_buf)) 0;
+  g.label_buf
+
+(* Replace a slot's label.  The old array goes to the journal so rollback
+   restores it by pointer; [touch] makes the next freeze re-share it. *)
+let set_label g s lbl =
+  g.journal <- J_label (s, g.labels.(s)) :: g.journal;
+  g.labels.(s) <- lbl;
+  touch g s
+
+(* Pointwise-min union of [src] into slot [s]'s label.  Returns [true] iff
+   the label changed (some entry decreased or appeared) — the propagation
+   worklist only follows actual changes, which also bounds the cascade:
+   entries decrease monotonically toward 0. *)
+let merge_into g s src =
+  let a = g.labels.(s) in
+  let la = Array.length a and lb = Array.length src in
+  if lb = 0 then false
+  else begin
+    let buf = ensure_label_buf g (la + lb) in
+    let i = ref 0 and j = ref 0 and k = ref 0 in
+    let changed = ref false in
+    while !i < la && !j < lb do
+      let ca = a.(!i) and cb = src.(!j) in
+      if ca < cb then begin
+        buf.(!k) <- ca;
+        buf.(!k + 1) <- a.(!i + 1);
+        i := !i + 2;
+        k := !k + 2
+      end
+      else if cb < ca then begin
+        buf.(!k) <- cb;
+        buf.(!k + 1) <- src.(!j + 1);
+        j := !j + 2;
+        k := !k + 2;
+        changed := true
+      end
+      else begin
+        let pa = a.(!i + 1) and pb = src.(!j + 1) in
+        buf.(!k) <- ca;
+        buf.(!k + 1) <-
+          (if pb < pa then begin changed := true; pb end else pa);
+        i := !i + 2;
+        j := !j + 2;
+        k := !k + 2
+      end
+    done;
+    while !i < la do
+      buf.(!k) <- a.(!i);
+      buf.(!k + 1) <- a.(!i + 1);
+      i := !i + 2;
+      k := !k + 2
+    done;
+    while !j < lb do
+      buf.(!k) <- src.(!j);
+      buf.(!k + 1) <- src.(!j + 1);
+      j := !j + 2;
+      k := !k + 2;
+      changed := true
+    done;
+    if !changed then set_label g s (Array.sub buf 0 !k);
+    !changed
+  end
+
+(* Allocate a chain: reuse a wholly-dead one first, mint a new id under the
+   cap, or give up (-1) once saturated. *)
+let alloc_chain g =
+  if not (Int_vec.is_empty g.free_chains) then begin
+    let c = Int_vec.pop g.free_chains in
+    g.journal <- J_chain (c, true) :: g.journal;
+    c
+  end
+  else if Int_vec.length g.chain_len >= g.max_chains then -1
+  else begin
+    let c = Int_vec.length g.chain_len in
+    Int_vec.push g.chain_len 0;
+    Int_vec.push g.chain_live 0;
+    Int_vec.push g.chain_tail (-1);
+    g.journal <- J_chain (c, false) :: g.journal;
+    c
+  end
+
+(* Append slot [s] to chain [c] and give it its self entry.  Only ever
+   called when [s] can close the chain property: either [c]'s current tail
+   has a direct edge to [s] (admitted by the caller), or [c] is empty. *)
+let assign_slot g s c =
+  let pos = Int_vec.get g.chain_len c in
+  g.journal <- J_assign (s, c, Int_vec.get g.chain_tail c) :: g.journal;
+  g.chain_of.(s) <- c;
+  g.chain_pos.(s) <- pos;
+  Int_vec.set g.chain_len c (pos + 1);
+  Int_vec.set g.chain_live c (Int_vec.get g.chain_live c + 1);
+  Int_vec.set g.chain_tail c s;
+  (* self entry: min-merge is safe — [s] cannot already reach an earlier
+     member of [c] (that member would reach the tail, which reaches [s],
+     closing a cycle) *)
+  ignore (merge_into g s [| c; pos |]);
+  Kronos_metrics.Gauge.set M.chains
+    (Int_vec.length g.chain_len - Int_vec.length g.free_chains)
+
+(* Maintain the index across an admitted edge [su -> sv]: place [sv] on a
+   chain if it has none (extending [su]'s chain when [su] is its tail — the
+   in-creation-order common case — else opening a chain, pairing an
+   unassigned [su] in), then restore label exactness by propagating every
+   decreased entry backward over predecessors.  The chain-append fast path
+   propagates nothing beyond [sv]'s own predecessors: every ancestor
+   already reaches the chain at a lower position. *)
+let label_admit g su sv =
+  g.journal <- J_mark (su, sv) :: g.journal;
+  let sv_assigned = ref false in
+  let su_assigned = ref false in
+  if g.chain_of.(sv) < 0 then begin
+    let cu = g.chain_of.(su) in
+    if cu >= 0 && Int_vec.get g.chain_tail cu = su then begin
+      assign_slot g sv cu;
+      sv_assigned := true
+    end
+    else begin
+      let c = alloc_chain g in
+      if c >= 0 then begin
+        if cu < 0 then begin
+          assign_slot g su c;
+          su_assigned := true
+        end;
+        assign_slot g sv c;
+        sv_assigned := true
+      end
+      (* saturated: [sv] stays unassigned; queries to it fall back to BFS *)
+    end
+  end;
+  let su_changed = merge_into g su g.labels.(sv) || !su_assigned in
+  let q = g.label_queue in
+  Int_vec.clear q;
+  (* a newly assigned [sv] may already have other predecessors (it went
+     unassigned through a saturated period): all of them must learn its
+     self entry, not just [su] *)
+  if !sv_assigned then Int_vec.push q sv;
+  if su_changed then Int_vec.push q su;
+  while not (Int_vec.is_empty q) do
+    let w = Int_vec.pop q in
+    let lbl = g.labels.(w) in
+    Int_vec.iter (fun p -> if merge_into g p lbl then Int_vec.push q p)
+      g.pred.(w)
+  done
+
+(* Seal the per-edge rollback journal: the batch the edges belonged to has
+   committed, [remove_last_edge] can no longer be asked to undo them. *)
+let commit_batch g = g.journal <- []
+
+(* Exact label recomputation: live slots in decreasing (rank, slot) order —
+   reverse topological by the rank invariant — each taking its self entry
+   plus the min-union of its direct successors' finished labels.  Exact
+   labels are a pure function of (adjacency, chain assignment), which is
+   why snapshots persist only the chains: every restore recomputes
+   bit-identical labels. *)
+let compute_labels g =
+  g.label_rebuilds <- g.label_rebuilds + 1;
+  Kronos_metrics.Counter.incr M.label_rebuilds;
+  let n = g.next_slot in
+  let order = ref [] in
+  for s = 0 to n - 1 do
+    if g.refcount.(s) >= 0 then order := s :: !order
+  done;
+  let order = Array.of_list !order in
+  Array.sort
+    (fun a b ->
+      let c = compare g.rank.(a) g.rank.(b) in
+      if c <> 0 then c else compare a b)
+    order;
+  for i = Array.length order - 1 downto 0 do
+    let v = order.(i) in
+    g.labels.(v) <- [||];
+    touch g v;
+    if g.chain_of.(v) >= 0 then
+      ignore (merge_into g v [| g.chain_of.(v); g.chain_pos.(v) |]);
+    Int_vec.iter (fun w -> ignore (merge_into g v g.labels.(w))) g.succ.(v)
+  done;
+  g.journal <- [] (* recomputation is never part of a batch *)
+
+(* Deterministic full rebuild (restores of captures without a chain
+   section, and the defensive out-of-protocol rollback path): canonical
+   greedy chain assignment over live slots in (rank, slot) order — extend
+   the first predecessor that is its chain's tail, else open a chain until
+   the cap — then exact labels.  A function of adjacency and ranks alone,
+   so replicas restoring the same capture agree. *)
+let rebuild_label_index g =
+  Int_vec.clear g.chain_len;
+  Int_vec.clear g.chain_live;
+  Int_vec.clear g.chain_tail;
+  Int_vec.clear g.free_chains;
+  g.journal <- [];
+  let n = g.next_slot in
+  let order = ref [] in
+  for s = 0 to n - 1 do
+    g.chain_of.(s) <- -1;
+    if g.refcount.(s) >= 0 then order := s :: !order
+  done;
+  let order = Array.of_list !order in
+  Array.sort
+    (fun a b ->
+      let c = compare g.rank.(a) g.rank.(b) in
+      if c <> 0 then c else compare a b)
+    order;
+  Array.iter
+    (fun v ->
+      let c = ref (-1) in
+      Int_vec.iter
+        (fun p ->
+          if !c < 0 then begin
+            let cp = g.chain_of.(p) in
+            if cp >= 0 && Int_vec.get g.chain_tail cp = p then c := cp
+          end)
+        g.pred.(v);
+      if !c < 0 then c := alloc_chain g;
+      if !c >= 0 then begin
+        (* bare append: self entries come with compute_labels below *)
+        let pos = Int_vec.get g.chain_len !c in
+        g.chain_of.(v) <- !c;
+        g.chain_pos.(v) <- pos;
+        Int_vec.set g.chain_len !c (pos + 1);
+        Int_vec.set g.chain_live !c (Int_vec.get g.chain_live !c + 1);
+        Int_vec.set g.chain_tail !c v
+      end)
+    order;
+  Kronos_metrics.Gauge.set M.chains
+    (Int_vec.length g.chain_len - Int_vec.length g.free_chains);
+  compute_labels g
 
 (* Rank-pruned bidirectional BFS over slots; allocation-free thanks to the
    preallocated sparse sets and queues.  Degree guards make the common
@@ -401,7 +748,11 @@ let cache_reachable g u v su sv =
 
 (* A negative answer by rank comparison alone: u ⇝ v requires
    rank u < rank v, so rank u >= rank v (distinct slots) refutes it in O(1)
-   without consulting the memo (which only holds positive facts). *)
+   without consulting the memo (which only holds positive facts).  When the
+   destination sits on a chain, the label compare answers the remaining
+   direction — both ways — in O(#chains); only an unassigned destination
+   (chain cap saturated, or no admitted in-edge) falls back to the
+   memo/BFS path. *)
 let reachable_ids g u v su sv =
   if su = sv then false
   else if g.rank.(su) >= g.rank.(sv) then begin
@@ -409,8 +760,36 @@ let reachable_ids g u v su sv =
     Kronos_metrics.Counter.incr M.rank_pruned;
     false
   end
-  else if g.reach_cache_capacity = 0 then reachable_slots g su sv
-  else cache_reachable g u v su sv
+  else begin
+    let c = g.chain_of.(sv) in
+    if c >= 0 then begin
+      g.label_hits <- g.label_hits + 1;
+      Kronos_metrics.Counter.incr M.label_hits;
+      label_le g.labels.(su) c g.chain_pos.(sv)
+    end
+    else begin
+      g.label_misses <- g.label_misses + 1;
+      Kronos_metrics.Counter.incr M.label_misses;
+      if g.reach_cache_capacity = 0 then reachable_slots g su sv
+      else cache_reachable g u v su sv
+    end
+  end
+
+(* Label-only probe for provers and planners: [Some ans] when rank or label
+   decides [u ⇝ v] without traversing, [None] when only a BFS could tell.
+   Deliberately counter-free — a prover consults it per candidate edge and
+   would otherwise drown the query-path hit-rate signal. *)
+let label_reachable g u v =
+  match resolve g u, resolve g v with
+  | Some su, Some sv ->
+    if su = sv then Some false
+    else if g.rank.(su) >= g.rank.(sv) then Some false
+    else begin
+      let c = g.chain_of.(sv) in
+      if c >= 0 then Some (label_le g.labels.(su) c g.chain_pos.(sv))
+      else None
+    end
+  | (None | Some _), _ -> Some false
 
 let reachable g u v =
   match resolve g u, resolve g v with
@@ -481,6 +860,7 @@ let push_edge g su sv =
   touch g su;
   touch g sv;
   if g.digests then fold_edge g su sv;
+  label_admit g su sv;
   Kronos_metrics.Gauge.set M.edges g.edges
 
 (* Restricted cycle probe for an edge su -> sv arriving with
@@ -604,8 +984,45 @@ let remove_last_edge g u v =
        smaller edge set too. *)
     (* a rolled-back edge may have witnessed memoized reachability facts:
        drop the memo wholesale (rollbacks are rare) *)
-    if g.reach_cache_capacity > 0 then Hashtbl.reset g.reach_cache
+    if g.reach_cache_capacity > 0 then Hashtbl.reset g.reach_cache;
+    (* Labels must not over-approximate: pop this edge's journal group,
+       restoring the exact pre-edge chains and label arrays.  The topmost
+       group necessarily belongs to this edge (rollback is LIFO within the
+       aborting batch); if the journal disagrees — a caller outside the
+       batch protocol — fall back to a deterministic full rebuild. *)
+    let rec undo = function
+      | J_mark (a, b) :: rest when a = su && b = sv -> g.journal <- rest
+      | J_label (s, old) :: rest ->
+        g.labels.(s) <- old;
+        touch g s;
+        undo rest
+      | J_assign (s, c, prev_tail) :: rest ->
+        g.chain_of.(s) <- -1;
+        Int_vec.set g.chain_len c (Int_vec.get g.chain_len c - 1);
+        Int_vec.set g.chain_live c (Int_vec.get g.chain_live c - 1);
+        Int_vec.set g.chain_tail c prev_tail;
+        undo rest
+      | J_chain (c, from_free) :: rest ->
+        (if from_free then Int_vec.push g.free_chains c
+         else begin
+           ignore (Int_vec.pop g.chain_len);
+           ignore (Int_vec.pop g.chain_live);
+           ignore (Int_vec.pop g.chain_tail)
+         end);
+        Kronos_metrics.Gauge.set M.chains
+          (Int_vec.length g.chain_len - Int_vec.length g.free_chains);
+        undo rest
+      | (J_mark _ :: _ | []) -> rebuild_label_index g
+    in
+    undo g.journal
   | (None | Some _), _ -> invalid_arg "Graph.remove_last_edge: stale event"
+
+type chain_snapshot = {
+  cs_chain_of : int array;    (* per slot; -1 = unassigned *)
+  cs_chain_pos : int array;   (* per slot *)
+  cs_chain_len : int array;   (* per chain *)
+  cs_free_chains : int array; (* wholly-dead chains, stack order *)
+}
 
 type snapshot = {
   snap_next_slot : int;
@@ -619,6 +1036,7 @@ type snapshot = {
   snap_visited_total : int;
   snap_links : (int64 * string * int) array array option;
   snap_version : int;
+  snap_chains : chain_snapshot option;
 }
 
 let to_snapshot g =
@@ -644,6 +1062,14 @@ let to_snapshot g =
                     let l = Vec.get c j in
                     (Event_id.to_int64 l.l_pred, l.l_pred_head, l.l_pred_pos)))));
     snap_version = g.version;
+    snap_chains =
+      Some
+        {
+          cs_chain_of = Array.sub g.chain_of 0 n;
+          cs_chain_pos = Array.sub g.chain_pos 0 n;
+          cs_chain_len = int_vec_to_array g.chain_len;
+          cs_free_chains = int_vec_to_array g.free_chains;
+        };
   }
 
 (* Deterministic rank reconstruction for rank-less (version-1) snapshots:
@@ -702,7 +1128,7 @@ let rebuild_chains g =
     order
 
 let of_snapshot ?(initial_capacity = 1024) ?(traversal_cache = 0)
-    ?(digests = true) s =
+    ?(digests = true) ?(max_chains = default_max_chains) s =
   let fail what = invalid_arg ("Graph.of_snapshot: " ^ what) in
   let n = s.snap_next_slot in
   if n < 0 || n > Event_id.max_slot + 1 then fail "bad slot count";
@@ -712,7 +1138,7 @@ let of_snapshot ?(initial_capacity = 1024) ?(traversal_cache = 0)
   then fail "mismatched array lengths";
   let g =
     create ~initial_capacity:(max initial_capacity n) ~traversal_cache
-      ~digests ()
+      ~digests ~max_chains ()
   in
   g.next_slot <- n;
   let live = ref 0 in
@@ -794,6 +1220,75 @@ let of_snapshot ?(initial_capacity = 1024) ?(traversal_cache = 0)
            ls
        done
      | None -> rebuild_chains g);
+  (* Chain-decomposition index.  A persisted chain section is validated
+     against its own invariants (one member per position, live members a
+     consecutive suffix joined by direct edges, dead chains reset and
+     freed) and installed verbatim — the cap only gates {e new} chains, so
+     a capture from a larger-capped engine still loads.  Captures without
+     the section (format < 5, or hand-built) get the canonical rebuild.
+     Labels are never persisted: exact labels are a pure function of
+     adjacency + chains, recomputed identically on every restore. *)
+  (match s.snap_chains with
+   | None -> rebuild_label_index g
+   | Some cs ->
+     if Array.length cs.cs_chain_of <> n || Array.length cs.cs_chain_pos <> n
+     then fail "mismatched chain index length";
+     let nc = Array.length cs.cs_chain_len in
+     Array.iter (fun l -> if l < 0 then fail "bad chain length")
+       cs.cs_chain_len;
+     let members = Array.make (max nc 1) [] in
+     for i = 0 to n - 1 do
+       let c = cs.cs_chain_of.(i) in
+       if c < -1 || c >= nc then fail "bad chain id";
+       if c >= 0 then begin
+         if g.refcount.(i) < 0 then fail "chain entry on a free slot";
+         let p = cs.cs_chain_pos.(i) in
+         if p < 0 || p >= cs.cs_chain_len.(c) then fail "bad chain position";
+         g.chain_of.(i) <- c;
+         g.chain_pos.(i) <- p;
+         members.(c) <- i :: members.(c)
+       end
+     done;
+     let on_free = Array.make (max nc 1) false in
+     Array.iter
+       (fun c ->
+         if c < 0 || c >= nc || on_free.(c) then fail "bad free chain";
+         on_free.(c) <- true)
+       cs.cs_free_chains;
+     for c = 0 to nc - 1 do
+       let ms =
+         List.sort
+           (fun a b -> compare cs.cs_chain_pos.(a) cs.cs_chain_pos.(b))
+           members.(c)
+       in
+       let live = List.length ms in
+       Int_vec.push g.chain_len cs.cs_chain_len.(c);
+       Int_vec.push g.chain_live live;
+       if live = 0 then begin
+         if cs.cs_chain_len.(c) <> 0 || not on_free.(c) then
+           fail "dead chain not reset";
+         Int_vec.push g.chain_tail (-1)
+       end
+       else begin
+         if on_free.(c) then fail "live chain on the free list";
+         let expect = ref (cs.cs_chain_len.(c) - live) in
+         let prev = ref (-1) in
+         List.iter
+           (fun m ->
+             if cs.cs_chain_pos.(m) <> !expect then
+               fail "chain positions not a suffix";
+             incr expect;
+             if !prev >= 0 && not (Int_vec.mem g.succ.(!prev) m) then
+               fail "chain members not joined by an edge";
+             prev := m)
+           ms;
+         Int_vec.push g.chain_tail !prev
+       end
+     done;
+     Array.iter (fun c -> Int_vec.push g.free_chains c) cs.cs_free_chains;
+     Kronos_metrics.Gauge.set M.chains
+       (Int_vec.length g.chain_len - Int_vec.length g.free_chains);
+     compute_labels g);
   g.traversals <- s.snap_traversals;
   g.visited_total <- s.snap_visited_total;
   (* Restored epochs must continue monotonically so a client's
@@ -875,6 +1370,14 @@ let memory_bytes g =
   + Sparse_set.memory_bytes g.visited_b
   + Int_vec.capacity_bytes g.free
   + Int_vec.capacity_bytes g.relabel_stack
+  (* chain-decomposition index: flat arrays + per-slot label vectors *)
+  + array_bytes g.chain_of + array_bytes g.chain_pos
+  + array_bytes g.label_buf
+  + ((capacity g + 2) * word)
+  + Array.fold_left
+      (fun acc l ->
+        acc + if Array.length l = 0 then 0 else (Array.length l + 2) * word)
+      0 g.labels
   (* chains: pointer array + per-link record (5 fields + header) + the
      three digest strings it owns (~32 bytes + header each) *)
   + ((capacity g + 2) * word)
@@ -906,10 +1409,13 @@ let freeze g =
     let f_succ = Array.make n [||] in
     let f_pred = Array.make n [||] in
     let f_chains = Array.make n [||] in
+    let f_labels = Array.make n [||] in
     let copy_slot s =
       f_succ.(s) <- int_vec_array g.succ.(s);
       f_pred.(s) <- int_vec_array g.pred.(s);
-      if g.digests then f_chains.(s) <- vec_array g.chains.(s)
+      if g.digests then f_chains.(s) <- vec_array g.chains.(s);
+      (* label arrays are immutable once installed: share the pointer *)
+      f_labels.(s) <- g.labels.(s)
     in
     (match prev with
      | Some p ->
@@ -917,6 +1423,7 @@ let freeze g =
        Array.blit p.f_succ 0 f_succ 0 shared;
        Array.blit p.f_pred 0 f_pred 0 shared;
        Array.blit p.f_chains 0 f_chains 0 shared;
+       Array.blit p.f_labels 0 f_labels 0 shared;
        (* slots created since the previous freeze are necessarily dirty,
           so everything in [shared, n) is re-copied here too *)
        Sparse_set.iter (fun s -> if s < n then copy_slot s) g.dirty
@@ -938,6 +1445,9 @@ let freeze g =
         f_pred;
         f_digests = g.digests;
         f_chains;
+        f_chain_of = Array.sub g.chain_of 0 n;
+        f_chain_pos = Array.sub g.chain_pos 0 n;
+        f_labels;
       }
     in
     g.frozen_cache <- Some f;
@@ -1069,13 +1579,36 @@ module Frozen = struct
       end
     end
 
+  (* The same label fast path as the live graph's [reachable_ids]: frozen
+     views carry the chain index, so reader domains answer assigned
+     destinations — both polarities — by an O(#chains) compare and only
+     fall back to the scratch BFS on cap saturation.  (This closes the
+     PR 7 open item: frozen views used to have no positive fast path at
+     all, the live reach memo being unshareable.) *)
+  let reach f su sv =
+    let c = f.f_chain_of.(sv) in
+    if c >= 0 then label_le f.f_labels.(su) c f.f_chain_pos.(sv)
+    else reachable_slots f (scratch_for f.f_next_slot) su sv
+
   let reachable f u v =
     match (resolve f u, resolve f v) with
     | Some su, Some sv ->
       if su = sv then false
       else if f.f_rank.(su) >= f.f_rank.(sv) then false
-      else reachable_slots f (scratch_for f.f_next_slot) su sv
+      else reach f su sv
     | _ -> false
+
+  let label_reachable f u v =
+    match (resolve f u, resolve f v) with
+    | Some su, Some sv ->
+      if su = sv then Some false
+      else if f.f_rank.(su) >= f.f_rank.(sv) then Some false
+      else begin
+        let c = f.f_chain_of.(sv) in
+        if c >= 0 then Some (label_le f.f_labels.(su) c f.f_chain_pos.(sv))
+        else None
+      end
+    | _ -> Some false
 
   let query f e1 e2 =
     match (resolve f e1, resolve f e2) with
@@ -1086,14 +1619,10 @@ module Frozen = struct
       else begin
         let r1 = f.f_rank.(s1) and r2 = f.f_rank.(s2) in
         if r1 < r2 then begin
-          if reachable_slots f (scratch_for f.f_next_slot) s1 s2 then
-            Ok Order.Before
-          else Ok Order.Concurrent
+          if reach f s1 s2 then Ok Order.Before else Ok Order.Concurrent
         end
         else if r2 < r1 then begin
-          if reachable_slots f (scratch_for f.f_next_slot) s2 s1 then
-            Ok Order.After
-          else Ok Order.Concurrent
+          if reach f s2 s1 then Ok Order.After else Ok Order.Concurrent
         end
         else Ok Order.Concurrent
       end

@@ -25,6 +25,17 @@
     survives slot reuse, garbage collection, {!remove_last_edge} rollback
     and snapshot round-trips.
 
+    {b Chain-decomposition labels.}  On top of the ranks, live events are
+    partitioned greedily into at most [max_chains] chains (DESIGN.md §15):
+    every chain member reaches all later members, and each slot carries an
+    exact label — per chain, the lowest position it reaches — so when the
+    query destination sits on a chain, {e both} the positive and the
+    negative answer are an O(#chains) compare.  Labels are maintained
+    incrementally at edge admission, restored exactly by rollback, survive
+    GC slot reuse, and are rebuilt deterministically on snapshot restore;
+    only chain-cap saturation falls back to the BFS (counted by
+    {!label_miss_count}).
+
     All memory needed to traverse (visited sparse sets, BFS queues) is
     preallocated and grows with the vertex capacity, so queries allocate
     nothing. *)
@@ -32,9 +43,16 @@
 type t
 
 val create :
-  ?initial_capacity:int -> ?traversal_cache:int -> ?digests:bool -> unit -> t
+  ?initial_capacity:int -> ?traversal_cache:int -> ?digests:bool ->
+  ?max_chains:int -> unit -> t
 (** [create ()] is an empty graph.  [initial_capacity] (default 1024) sizes
     the initial slot arrays; they double on demand.
+
+    [max_chains] (default 64) caps the chain-decomposition reachability
+    index.  Wholly-dead chains are recycled, so the cap bounds concurrent
+    breadth, not history; events admitted while every chain is occupied
+    stay unassigned and queries to them fall back to the BFS.  [0]
+    disables the label index entirely.
 
     [traversal_cache] (default 0 = off) bounds an internal memo of
     {e positive} reachability results (Section 2.5 of the paper): a
@@ -89,6 +107,13 @@ val reachable : t -> Event_id.t -> Event_id.t -> bool
 (** [reachable g u v] is [true] iff a happens-before path [u ->* v] exists.
     Returns [false] on stale identifiers and when [u = v]. *)
 
+val label_reachable : t -> Event_id.t -> Event_id.t -> bool option
+(** [label_reachable g u v] answers [reachable g u v] from the rank and
+    chain-label indexes alone: [Some ans] in O(#chains) worst case, [None]
+    when only a traversal could tell (the destination has no chain).
+    Touches no counters — safe for provers to consult per candidate edge
+    without distorting the query-path hit rate. *)
+
 val rank : t -> Event_id.t -> int option
 (** The event's current topological rank ([None] when stale).  Ranks only
     promise [u ⇝ v] implies [rank u < rank v]; they are sparse, change on
@@ -115,8 +140,19 @@ val remove_last_edge : t -> Event_id.t -> Event_id.t -> unit
 (** Roll back the most recent [add_edge g u v].  Only valid in LIFO order on
     edges added by the current (not yet exposed) batch.  Any relabel the
     edge caused is kept: removing an edge only removes paths, so the rank
-    invariant cannot break.
+    invariant cannot break.  Chain labels {e are} rolled back exactly (an
+    over-approximate label would corrupt negative answers): each admitted
+    edge journals its chain and label changes until {!commit_batch}, and
+    rollback pops the journal.
     @raise Invalid_argument if the last edge out of [u] is not [v]. *)
+
+val commit_batch : t -> unit
+(** Seal the chain-label rollback journal: the edges added since the last
+    seal are final and {!remove_last_edge} will no longer be asked to undo
+    them.  The engine calls this at every batch boundary; event creation
+    and collection seal implicitly.  Calling it is never required for
+    correctness of queries — only for bounding journal memory and keeping
+    rollback O(changed slots). *)
 
 (** {1 Commitment chains}
 
@@ -177,6 +213,17 @@ val digest_fold_count : t -> int
 
     In-degrees, reverse adjacency, live/edge counts and the traversal memo
     are reconstructed (the memo restarts cold: it is a cache, not state). *)
+
+(** The chain-decomposition assignment (snapshot format v5).  Labels are
+    deliberately absent: exact labels are a pure function of adjacency +
+    chains, recomputed identically on every restore. *)
+type chain_snapshot = {
+  cs_chain_of : int array;    (** per slot; -1 = unassigned *)
+  cs_chain_pos : int array;   (** per slot; valid when assigned *)
+  cs_chain_len : int array;   (** per chain: members ever appended *)
+  cs_free_chains : int array; (** wholly-dead chains, stack order *)
+}
+
 type snapshot = {
   snap_next_slot : int;          (** high-water mark of ever-used slots *)
   snap_refcount : int array;     (** per slot; -1 marks a free slot *)
@@ -200,16 +247,23 @@ type snapshot = {
       format < 4): restore then seeds the version from the rank allocator,
       which is deterministic across replicas but not continuous with the
       captured engine's epoch. *)
+  snap_chains : chain_snapshot option;
+  (** the chain-decomposition assignment; [None] marks a legacy capture
+      (format < 5): chains are then rebuilt canonically — live slots in
+      (rank, slot) order, each extending the first predecessor that is its
+      chain's tail — so replicas restoring the same capture agree, though
+      the assignment generally differs from the captured engine's (and so
+      may the post-restore hit rate, never an answer). *)
 }
 
 val to_snapshot : t -> snapshot
 (** Deep copy; the snapshot does not alias the graph's arrays.
-    [snap_rank] is always [Some _]; [snap_links] is [Some _] iff digests
-    are enabled. *)
+    [snap_rank] and [snap_chains] are always [Some _]; [snap_links] is
+    [Some _] iff digests are enabled. *)
 
 val of_snapshot :
   ?initial_capacity:int -> ?traversal_cache:int -> ?digests:bool ->
-  snapshot -> t
+  ?max_chains:int -> snapshot -> t
 (** Rebuild a graph behaviourally identical to the one captured.  The
     options mirror {!create}; capacity is raised to fit the snapshot.
 
@@ -271,6 +325,25 @@ val rank_pruned_count : t -> int
 val bidir_traversal_count : t -> int
 (** Backward frontier expansions performed by bidirectional searches. *)
 
+val label_hit_count : t -> int
+(** Reachability probes answered by the chain-label compare alone (no
+    traversal, no memo). *)
+
+val label_miss_count : t -> int
+(** Probes that passed the rank filter but found the destination off every
+    chain (cap saturation, or no admitted in-edge) and fell back to the
+    memo/BFS path. *)
+
+val label_rebuild_count : t -> int
+(** Full deterministic label recomputations (snapshot restores, and the
+    defensive out-of-protocol rollback path). *)
+
+val max_chains : t -> int
+(** The chain cap this graph was created with. *)
+
+val chain_count : t -> int
+(** Chains currently holding at least one live event. *)
+
 (** {1 Frozen views}
 
     A {!Frozen.g} is a deeply immutable copy of the query-visible state —
@@ -303,14 +376,20 @@ module Frozen : sig
 
   val query : g -> Event_id.t -> Event_id.t -> (Order.relation, Event_id.t) result
   (** Same contract as the live {!val:query}, evaluated against the frozen
-      state: rank comparison refutes one direction in O(1), the remaining
-      direction runs a rank-pruned bidirectional BFS.  Traversal scratch
-      (sparse visited sets, queues) is kept in domain-local storage and
-      reused, so concurrent queries from different domains share no mutable
-      state and allocate nothing once warm.  Frozen queries update no
-      counters and no caches. *)
+      state: rank comparison refutes one direction in O(1), and the
+      remaining direction is answered by the frozen chain-label compare
+      whenever the destination sits on a chain, falling back to a
+      rank-pruned bidirectional BFS only on label misses.  Traversal
+      scratch (sparse visited sets, queues) is kept in domain-local
+      storage and reused, so concurrent queries from different domains
+      share no mutable state and allocate nothing once warm.  Frozen
+      queries update no counters and no caches. *)
 
   val reachable : g -> Event_id.t -> Event_id.t -> bool
+
+  val label_reachable : g -> Event_id.t -> Event_id.t -> bool option
+  (** The frozen twin of the top-level {!val:label_reachable}: index-only
+      answer, [None] when only a BFS could tell. *)
 
   val commitment : g -> Event_id.t -> string option
   val chain_length : g -> Event_id.t -> int option

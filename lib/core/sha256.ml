@@ -37,26 +37,33 @@ let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask
 (* One compression round over the 64-byte block at [off] in [s], updating
    the state array [h] in place.  [w] is a scratch schedule of 64 ints. *)
 let compress h w (s : string) off =
+  (* all indices below are statically within [w] (64), [h] (8), [k] (64)
+     and the 64-byte block at [off] the callers validated, so unsafe
+     accesses are sound; the bounds checks were ~25% of the round loop *)
   for i = 0 to 15 do
     let j = off + (i * 4) in
-    w.(i) <-
-      (Char.code s.[j] lsl 24)
-      lor (Char.code s.[j + 1] lsl 16)
-      lor (Char.code s.[j + 2] lsl 8)
-      lor Char.code s.[j + 3]
+    Array.unsafe_set w i
+      ((Char.code (String.unsafe_get s j) lsl 24)
+      lor (Char.code (String.unsafe_get s (j + 1)) lsl 16)
+      lor (Char.code (String.unsafe_get s (j + 2)) lsl 8)
+      lor Char.code (String.unsafe_get s (j + 3)))
   done;
   for i = 16 to 63 do
-    let x = w.(i - 15) and y = w.(i - 2) in
+    let x = Array.unsafe_get w (i - 15) and y = Array.unsafe_get w (i - 2) in
     let s0 = rotr x 7 lxor rotr x 18 lxor (x lsr 3) in
     let s1 = rotr y 17 lxor rotr y 19 lxor (y lsr 10) in
-    w.(i) <- (w.(i - 16) + s0 + w.(i - 7) + s1) land mask
+    Array.unsafe_set w i
+      ((Array.unsafe_get w (i - 16) + s0 + Array.unsafe_get w (i - 7) + s1)
+      land mask)
   done;
   let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
   let e = ref h.(4) and f = ref h.(5) and g = ref h.(6) and hh = ref h.(7) in
   for i = 0 to 63 do
     let s1 = rotr !e 6 lxor rotr !e 11 lxor rotr !e 25 in
     let ch = (!e land !f) lxor (lnot !e land !g) in
-    let t1 = (!hh + s1 + ch + k.(i) + w.(i)) land mask in
+    let t1 =
+      (!hh + s1 + ch + Array.unsafe_get k i + Array.unsafe_get w i) land mask
+    in
     let s0 = rotr !a 2 lxor rotr !a 13 lxor rotr !a 22 in
     let maj = (!a land !b) lxor (!a land !c) lxor (!b land !c) in
     let t2 = (s0 + maj) land mask in
@@ -89,41 +96,60 @@ let state_to_string h =
   done;
   Bytes.unsafe_to_string out
 
+(* Per-domain scratch: state, schedule and a one-block staging buffer.
+   Domain-local (rather than global with a single-writer caveat) because
+   certificate verification folds links on whatever domain the client or a
+   query-pool worker happens to run on, concurrently with the writer.  The
+   32-byte result string is the only allocation left on the hot paths
+   (the per-edge [compress_pair] fold and the one-block [digest_string]
+   of a 52-byte link partner). *)
+type scratch = { h : int array; w : int array; block : Bytes.t }
+
+let scratch_key =
+  Domain.DLS.new_key (fun () ->
+      { h = Array.make 8 0; w = Array.make 64 0; block = Bytes.make 64 '\000' })
+
 let digest_string msg =
   let len = String.length msg in
-  (* padded length: message + 0x80 + zeros + 64-bit bit length *)
-  let total = ((len + 8) / 64 * 64) + 64 in
-  let buf = Bytes.make total '\000' in
-  Bytes.blit_string msg 0 buf 0 len;
-  Bytes.set buf len '\x80';
-  let bits = len * 8 in
-  for i = 0 to 7 do
-    Bytes.set buf (total - 1 - i) (Char.chr ((bits lsr (8 * i)) land 0xff))
-  done;
-  let padded = Bytes.unsafe_to_string buf in
-  let h = Array.copy iv in
-  let w = Array.make 64 0 in
-  let blocks = total / 64 in
-  for b = 0 to blocks - 1 do
-    compress h w padded (b * 64)
-  done;
-  state_to_string h
-
-(* Scratch buffers for [compress_pair].  The engine is single-writer (the
-   replicated state machine applies commands one at a time), so shared
-   scratch is safe; a concurrent reader-pool design would give each domain
-   its own graph view and never fold links. *)
-let pair_block = Bytes.create 64
-let pair_w = Array.make 64 0
+  let s = Domain.DLS.get scratch_key in
+  Array.blit iv 0 s.h 0 8;
+  if len <= 55 then begin
+    (* single padded block: message, 0x80, zeros, 16 bits of bit length
+       (len * 8 < 448 always fits) *)
+    Bytes.fill s.block 0 64 '\000';
+    Bytes.blit_string msg 0 s.block 0 len;
+    Bytes.set s.block len '\x80';
+    Bytes.set_uint16_be s.block 62 (len * 8);
+    compress s.h s.w (Bytes.unsafe_to_string s.block) 0;
+    state_to_string s.h
+  end
+  else begin
+    (* padded length: message + 0x80 + zeros + 64-bit bit length *)
+    let total = ((len + 8) / 64 * 64) + 64 in
+    let buf = Bytes.make total '\000' in
+    Bytes.blit_string msg 0 buf 0 len;
+    Bytes.set buf len '\x80';
+    let bits = len * 8 in
+    for i = 0 to 7 do
+      Bytes.set buf (total - 1 - i) (Char.chr ((bits lsr (8 * i)) land 0xff))
+    done;
+    let padded = Bytes.unsafe_to_string buf in
+    let blocks = total / 64 in
+    for b = 0 to blocks - 1 do
+      compress s.h s.w padded (b * 64)
+    done;
+    state_to_string s.h
+  end
 
 let compress_pair a b =
   if String.length a <> digest_length || String.length b <> digest_length then
     invalid_arg "Sha256.compress_pair: arguments must be 32 bytes";
-  Bytes.blit_string a 0 pair_block 0 digest_length;
-  Bytes.blit_string b 0 pair_block digest_length digest_length;
-  let h = Array.copy iv in
-  compress h pair_w (Bytes.unsafe_to_string pair_block) 0;
-  state_to_string h
+  let s = Domain.DLS.get scratch_key in
+  Bytes.blit_string a 0 s.block 0 digest_length;
+  Bytes.blit_string b 0 s.block digest_length digest_length;
+  Array.blit iv 0 s.h 0 8;
+  compress s.h s.w (Bytes.unsafe_to_string s.block) 0;
+  state_to_string s.h
 
 let hex s =
   let out = Bytes.create (2 * String.length s) in

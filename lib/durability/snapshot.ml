@@ -19,8 +19,16 @@ module Codec = Kronos_wire.Codec
    DESIGN.md §14) so epochs continue monotonically across restarts.
    Pre-v4 snapshots surface as [snap_version = 0] and [Graph.of_snapshot]
    seeds the epoch from the rank allocator — deterministic across
-   replicas, though not continuous with the captured engine's epoch. *)
-let version = 4
+   replicas, though not continuous with the captured engine's epoch.
+
+   Version 5 appends the chain-decomposition assignment (DESIGN.md §15):
+   per slot its chain id (biased by one to stay unsigned) and position,
+   per chain its length, and the free-chain stack.  Labels are not
+   persisted — exact labels are a pure function of adjacency + chains and
+   are recomputed on restore.  Pre-v5 snapshots surface as
+   [snap_chains = None] and [Graph.of_snapshot] rebuilds a canonical
+   assignment deterministically, mirroring the v1 rank rebuild. *)
+let version = 5
 
 let oldest_supported_version = 1
 
@@ -82,6 +90,22 @@ let encode ~seq (s : Engine.snapshot) =
    | None -> Codec.put_bool e false);
   (* v4 suffix: graph mutation version (view epoch). *)
   Codec.put_i64 e (Int64.of_int g.Graph.snap_version);
+  (* v5 suffix: chain-decomposition assignment.  Chain ids are small (the
+     cap bounds them) but positions count members ever appended, so they
+     travel as i64 like the ranks; per-slot ids are biased by one so the
+     -1 "unassigned" marker stays unsigned. *)
+  (match g.Graph.snap_chains with
+   | Some cs ->
+     Codec.put_bool e true;
+     Codec.put_u32 e (Array.length cs.Graph.cs_chain_of);
+     Array.iter (fun c -> Codec.put_u32 e (c + 1)) cs.Graph.cs_chain_of;
+     Array.iter (fun p -> Codec.put_i64 e (Int64.of_int p))
+       cs.Graph.cs_chain_pos;
+     Codec.put_u32 e (Array.length cs.Graph.cs_chain_len);
+     Array.iter (fun l -> Codec.put_i64 e (Int64.of_int l))
+       cs.Graph.cs_chain_len;
+     put_int_array e cs.Graph.cs_free_chains
+   | None -> Codec.put_bool e false);
   let body = Codec.to_string e in
   let b = Buffer.create (String.length body + header_bytes) in
   Buffer.add_string b magic;
@@ -162,6 +186,23 @@ let decode data =
     end
   in
   let snap_version = if v < 4 then 0 else get_int64 d in
+  let snap_chains =
+    if v < 5 then None
+    else if not (Codec.get_bool d) then None
+    else begin
+      let nslots = Codec.get_u32 d in
+      if nslots > String.length body then
+        raise (Codec.Decode_error "snapshot: absurd chain table count");
+      let cs_chain_of = Array.init nslots (fun _ -> Codec.get_u32 d - 1) in
+      let cs_chain_pos = Array.init nslots (fun _ -> get_int64 d) in
+      let nchains = Codec.get_u32 d in
+      if nchains > String.length body then
+        raise (Codec.Decode_error "snapshot: absurd chain count");
+      let cs_chain_len = Array.init nchains (fun _ -> get_int64 d) in
+      let cs_free_chains = get_int_array d in
+      Some { Graph.cs_chain_of; cs_chain_pos; cs_chain_len; cs_free_chains }
+    end
+  in
   Codec.expect_end d;
   ( seq,
     {
@@ -178,6 +219,7 @@ let decode data =
           snap_visited_total;
           snap_links;
           snap_version;
+          snap_chains;
         };
       snap_creates;
       snap_queries;

@@ -266,6 +266,65 @@ let test_snapshot_v1_compat () =
       | _ -> Alcotest.fail "live event without rank")
     ()
 
+(* Version-5 snapshots persist the chain decomposition behind the label
+   index.  The restore must install exactly the captured chains (labels are
+   recomputed, never stored), so index-only answers are identical before
+   and after; a chain-less body (what a v4 file decodes to) must rebuild a
+   decomposition deterministically; and a corrupted chain section must be
+   rejected rather than installed as an over-approximating index. *)
+let test_snapshot_v5_chains () =
+  let ids, cmds = workload ~seed:23 ~n:12 ~m:20 in
+  let engine = Engine.create () in
+  List.iter (fun c -> ignore (Kronos_service.Server.apply engine c)) cmds;
+  let bytes = Snapshot.encode ~seq:7 (Engine.to_snapshot engine) in
+  let seq, snap = Snapshot.decode bytes in
+  Alcotest.(check int) "seq" 7 seq;
+  Alcotest.(check bool) "v5 carries chains" true
+    (snap.Engine.snap_graph.Graph.snap_chains <> None);
+  let restored = Engine.of_snapshot snap in
+  check_engines_agree "v5 snapshot" ids engine restored;
+  Alcotest.(check int) "chain count preserved" (Engine.chain_count engine)
+    (Engine.chain_count restored);
+  Alcotest.(check int) "restore recomputed labels once" 1
+    (Engine.label_rebuilds restored);
+  let g0 = Engine.graph engine and g1 = Engine.graph restored in
+  Array.iter
+    (fun u ->
+      Array.iter
+        (fun v ->
+          if not (Event_id.equal u v) then
+            Alcotest.(check (option bool)) "index answers identical"
+              (Graph.label_reachable g0 u v) (Graph.label_reachable g1 u v))
+        ids)
+    ids;
+  (* chain-less restore (the v4 decode surface) rebuilds and still agrees;
+     recapture so the counters reflect the queries just issued above *)
+  let snap2 = Engine.to_snapshot engine in
+  let chainless =
+    { snap2 with
+      Engine.snap_graph =
+        { snap2.Engine.snap_graph with Graph.snap_chains = None } }
+  in
+  check_engines_agree "chainless restore" ids engine
+    (Engine.of_snapshot chainless);
+  (* a corrupt chain section must raise, not load *)
+  (match snap.Engine.snap_graph.Graph.snap_chains with
+   | None -> ()
+   | Some cs ->
+     let bad_of = Array.copy cs.Graph.cs_chain_of in
+     (try
+        ignore bad_of.(0);
+        bad_of.(0) <- 9999;
+        let bad =
+          { snap with
+            Engine.snap_graph =
+              { snap.Engine.snap_graph with
+                Graph.snap_chains = Some { cs with Graph.cs_chain_of = bad_of } } }
+        in
+        ignore (Engine.of_snapshot bad);
+        Alcotest.fail "corrupt chain section accepted"
+      with Invalid_argument _ -> ()))
+
 let test_snapshot_files () =
   let _dir, storage = mem () in
   let ids, cmds = workload ~seed:7 ~n:12 ~m:18 in
@@ -392,6 +451,7 @@ let suites =
         QCheck_alcotest.to_alcotest prop_snapshot_round_trip;
         Alcotest.test_case "snapshot v1 compatibility" `Quick
           test_snapshot_v1_compat;
+        Alcotest.test_case "snapshot v5 chains" `Quick test_snapshot_v5_chains;
         Alcotest.test_case "snapshot files" `Quick test_snapshot_files;
         Alcotest.test_case "recovery at every prefix" `Quick
           test_recovery_every_prefix;

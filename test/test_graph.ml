@@ -173,9 +173,10 @@ let test_introspection () =
    single traversal; each positive query then counts every distinct slot
    inserted into a visited set, endpoints included (the destination used to
    be dropped when the search ended in Found), and rank-refuted queries
-   count nothing at all. *)
+   count nothing at all.  The label index is disabled here so the queries
+   actually pay the BFS whose accounting we are asserting. *)
 let test_visited_accounting () =
-  let g = Graph.create () in
+  let g = Graph.create ~max_chains:0 () in
   let a = Graph.create_event g in
   let b = Graph.create_event g in
   let c = Graph.create_event g in
@@ -223,8 +224,15 @@ let test_visited_accounting () =
    check that liveness, GC counts and pairwise reachability agree with the
    model and that rank u < rank v holds for every live edge — through slot
    reuse, GC cascades, edge rollback and snapshot round-trips (including
-   legacy rank-less snapshots, which force the Kahn rebuild path). *)
-let prop_rank_index_differential =
+   legacy rank-less snapshots, which force the Kahn rebuild path, and
+   chain-less ones, which force the label rebuild path).  The same program
+   also exercises the chain-label index: whenever [Graph.label_reachable]
+   commits to an answer it must bit-match the model — over-approximation
+   is as much a bug as under-approximation.  Instantiated three times:
+   with the default chain cap (labels answer nearly everything), with a
+   cap of 2 (constant saturation, so label answers and BFS fallbacks
+   interleave) and with the index disabled outright. *)
+let make_rank_differential ~max_chains name =
   let open QCheck2 in
   let gen_op =
     Gen.frequency
@@ -235,13 +243,13 @@ let prop_rank_index_differential =
         (1, Gen.return `Rollback);
         (1, Gen.return `Snapshot);
         (1, Gen.return `Legacy_snapshot);
+        (1, Gen.return `Chainless_snapshot);
       ]
   in
-  Test.make ~name:"rank index matches reference model under interleavings"
-    ~count:120
+  Test.make ~name ~count:120
     (Gen.list_size (Gen.int_bound 70) gen_op)
     (fun ops ->
-      let g = ref (Graph.create ~initial_capacity:4 ()) in
+      let g = ref (Graph.create ~initial_capacity:4 ~max_chains ()) in
       let max_n = 20 in
       let ids = Array.make max_n Event_id.none in
       let rc = Array.make max_n 0 in
@@ -296,10 +304,19 @@ let prop_rank_index_differential =
         done;
         for u = 0 to !created - 1 do
           for v = 0 to !created - 1 do
-            if u <> v && live.(u) && live.(v) then
+            if u <> v && live.(u) && live.(v) then begin
               if Graph.reachable !g ids.(u) ids.(v) <> model_reach u v then
                 Test.fail_reportf "step %d: reachability mismatch %d -> %d"
-                  step u v
+                  step u v;
+              match Graph.label_reachable !g ids.(u) ids.(v) with
+              | Some ans ->
+                if max_chains = 0 && ans then
+                  Test.fail_reportf
+                    "step %d: disabled label index claimed %d -> %d" step u v;
+                if ans <> model_reach u v then
+                  Test.fail_reportf "step %d: label mismatch %d -> %d" step u v
+              | None -> ()
+            end
           done
         done
       in
@@ -361,17 +378,38 @@ let prop_rank_index_differential =
                  indeg.(v) <- indeg.(v) - 1;
                  last_edge := None)
            | `Snapshot ->
-             g := Graph.of_snapshot (Graph.to_snapshot !g);
+             g := Graph.of_snapshot ~max_chains (Graph.to_snapshot !g);
              last_edge := None
            | `Legacy_snapshot ->
+             (* v1–v3 on disk: no rank index, no chains — both rebuild *)
              let s = Graph.to_snapshot !g in
              g :=
-               Graph.of_snapshot
-                 { s with Graph.snap_rank = None; snap_next_rank = 0 };
+               Graph.of_snapshot ~max_chains
+                 { s with Graph.snap_rank = None; snap_next_rank = 0;
+                   snap_chains = None };
+             last_edge := None
+           | `Chainless_snapshot ->
+             (* v4 on disk: rank survives, chains rebuilt deterministically *)
+             let s = Graph.to_snapshot !g in
+             g :=
+               Graph.of_snapshot ~max_chains
+                 { s with Graph.snap_chains = None };
              last_edge := None);
           check_agree step)
         ops;
       true)
+
+let prop_rank_index_differential =
+  make_rank_differential ~max_chains:64
+    "rank index matches reference model under interleavings"
+
+let prop_label_saturated_differential =
+  make_rank_differential ~max_chains:2
+    "chain labels stay exact under cap saturation"
+
+let prop_label_disabled_differential =
+  make_rank_differential ~max_chains:0
+    "disabled label index never answers"
 
 (* Model-based property: build a random graph through cycle-checked edge
    additions; the graph must agree with a reference transitive closure and
@@ -471,6 +509,38 @@ let prop_gc_preserves_order =
       done;
       !ok)
 
+(* Chain-cap saturation: with a cap of 1 only the first chain gets label
+   coverage; queries into off-chain events must fall back to the BFS (a
+   label miss), and every answer must stay correct either way. *)
+let test_chain_cap_saturation () =
+  let g = Graph.create ~max_chains:1 () in
+  let a = Graph.create_event g in
+  let b = Graph.create_event g in
+  let c = Graph.create_event g in
+  let d = Graph.create_event g in
+  Graph.add_edge g a b;
+  (* c->d needs a second chain: the cap leaves d unassigned *)
+  Graph.add_edge g c d;
+  Alcotest.(check int) "one chain" 1 (Graph.chain_count g);
+  Alcotest.(check (option bool)) "on-chain pair answered" (Some true)
+    (Graph.label_reachable g a b);
+  Alcotest.(check (option bool)) "off-chain pair undecided" None
+    (Graph.label_reachable g c d);
+  let misses0 = Graph.label_miss_count g in
+  Alcotest.(check bool) "fallback still correct" true (Graph.reachable g c d);
+  Alcotest.(check bool) "fallback counted as miss" true
+    (Graph.label_miss_count g > misses0);
+  Alcotest.(check bool) "negative fallback correct" false
+    (Graph.reachable g d c);
+  (* a disabled index never claims anything and keeps no chains *)
+  let g0 = Graph.create ~max_chains:0 () in
+  let x = Graph.create_event g0 in
+  let y = Graph.create_event g0 in
+  Graph.add_edge g0 x y;
+  Alcotest.(check int) "no chains" 0 (Graph.chain_count g0);
+  Alcotest.(check bool) "bfs answers" true (Graph.reachable g0 x y);
+  Alcotest.(check int) "no label hits" 0 (Graph.label_hit_count g0)
+
 let suites =
   [ ( "graph",
       [
@@ -486,7 +556,10 @@ let suites =
         Alcotest.test_case "growth" `Quick test_growth;
         Alcotest.test_case "introspection" `Quick test_introspection;
         Alcotest.test_case "visited accounting" `Quick test_visited_accounting;
+        Alcotest.test_case "chain cap saturation" `Quick test_chain_cap_saturation;
         QCheck_alcotest.to_alcotest prop_rank_index_differential;
+        QCheck_alcotest.to_alcotest prop_label_saturated_differential;
+        QCheck_alcotest.to_alcotest prop_label_disabled_differential;
         QCheck_alcotest.to_alcotest prop_matches_closure;
         QCheck_alcotest.to_alcotest prop_gc_preserves_order;
       ] );

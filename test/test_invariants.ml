@@ -17,7 +17,7 @@ let test_empty_batches () =
 let test_growth_under_load () =
   (* a tiny initial capacity must be invisible to behaviour *)
   let t =
-    Engine.create ~config:{ Engine.initial_capacity = 2; traversal_cache = 0; digests = true } ()
+    Engine.create ~config:{ Engine.default_config with Engine.initial_capacity = 2 } ()
   in
   let ids = Array.init 500 (fun _ -> Engine.create_event t) in
   for i = 0 to 498 do
@@ -167,7 +167,7 @@ let prop_traversal_cache_transparent =
     Gen.(list_size (int_bound 80) gen_op)
     (fun ops ->
       let cached =
-        Engine.create ~config:{ Engine.initial_capacity = 16; traversal_cache = 64; digests = true } ()
+        Engine.create ~config:{ Engine.default_config with Engine.initial_capacity = 16; traversal_cache = 64 } ()
       in
       let plain = Engine.create () in
       let ids_c = Array.init n (fun _ -> Engine.create_event cached) in
@@ -201,8 +201,12 @@ let prop_traversal_cache_transparent =
         ops)
 
 let test_traversal_cache_hits () =
+  (* the label index would answer these queries before the memo is even
+     consulted, so turn it off to exercise the memo path *)
   let t =
-    Engine.create ~config:{ Engine.initial_capacity = 16; traversal_cache = 128; digests = true } ()
+    Engine.create
+      ~config:{ Engine.default_config with Engine.initial_capacity = 16;
+                traversal_cache = 128; max_chains = 0 } ()
   in
   let a = Engine.create_event t in
   let b = Engine.create_event t in
@@ -213,6 +217,20 @@ let test_traversal_cache_hits () =
   Alcotest.(check bool) "memo hit" true
     (Graph.traversal_cache_hits (Engine.graph t) > 0)
 
+let test_label_hits () =
+  (* with the default config the chain-label compare answers positive
+     queries with zero traversals *)
+  let t = Engine.create () in
+  let a = Engine.create_event t in
+  let b = Engine.create_event t in
+  ignore (ok (Engine.assign_order t [ Order.must_before a b ]));
+  for _ = 1 to 10 do
+    ignore (ok (Engine.query_order t [ (a, b) ]))
+  done;
+  Alcotest.(check bool) "label hits" true (Engine.label_hits t >= 10);
+  Alcotest.(check int) "no traversals" 0 (Engine.stats t).traversals;
+  Alcotest.(check bool) "chains live" true (Engine.chain_count t > 0)
+
 let suites =
   [ ( "invariants",
       [
@@ -221,6 +239,7 @@ let suites =
         Alcotest.test_case "slot reuse has no ghosts" `Quick
           test_slot_reuse_no_ghost_edges;
         Alcotest.test_case "traversal cache hits" `Quick test_traversal_cache_hits;
+        Alcotest.test_case "label hits" `Quick test_label_hits;
         QCheck_alcotest.to_alcotest prop_structural_invariants;
         QCheck_alcotest.to_alcotest prop_refcounts;
         QCheck_alcotest.to_alcotest prop_traversal_cache_transparent;
