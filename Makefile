@@ -1,6 +1,6 @@
 # Tier-1 verification in one command: build every target (libraries,
 # executables, tests, benches) and run the full test suite.
-.PHONY: check build test loopback certify-check query-plane race-smoke bench bench-smoke bench-check fed-determinism clean
+.PHONY: check build test loopback nemesis certify-check query-plane race-smoke bench bench-smoke bench-check fed-determinism clean
 
 check: build test
 
@@ -15,6 +15,14 @@ test:
 loopback: build
 	dune exec test/test_main.exe -- test transport
 	dune exec test/test_main.exe -- test loopback
+
+# Nemesis gate (DESIGN.md §16): the real-TCP fault schedule — partitions
+# through drop proxies, clean kills with planted legacy-format snapshots,
+# machine crashes over a lying/torn disk — under the incremental snapshot
+# policy.  KRONOS_NEMESIS_ITERS scales the schedule (default 3; CI's PR
+# lane uses 2, the nightly lane 12).
+nemesis: build
+	dune exec test/test_main.exe -- test '^nemesis'
 
 # Verifiable-causality gate (DESIGN.md §13): commitment chains,
 # prover/verifier roundtrips, the tamper-injection suite (flipped digest,

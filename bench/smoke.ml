@@ -215,19 +215,32 @@ let certify_smoke () =
         let b = Engine.create_event engine in
         ignore (Engine.assign_order engine [ Order.must_before a b ]))
   in
-  let off = assign_ns ~digests:false in
-  let on = assign_ns ~digests:true in
+  (* Interleave three windows per mode and keep the minimum: a single
+     0.25 s window inherits whatever GC state the preceding benches left
+     behind and was observed swinging by 1.8x between runs, which a ratio
+     of two such numbers amplifies into >100-point pct jumps.  The
+     per-mode minimum is the noise-floor estimate, and interleaving keeps
+     slow drift (the benched engines grow as they run) from biasing one
+     mode. *)
+  let off = ref infinity and on = ref infinity in
+  for _ = 1 to 3 do
+    off := Float.min !off (assign_ns ~digests:false);
+    on := Float.min !on (assign_ns ~digests:true)
+  done;
+  let off = !off and on = !on in
   record "certify.assign_digests_off" off "ns/op";
   record "certify.assign_digests_on" on "ns/op";
   record "certify.assign_overhead_pct" (100. *. (on -. off) /. off) "pct"
 
 (* Documented budget (DESIGN.md §13) for [certify.assign_overhead_pct]:
    the two software SHA-256 compressions a fresh edge folds cost ~2 µs,
-   roughly doubling the fresh-assign path now that the chain-label index
-   collapsed the admission cost itself.  [check] holds the series under
-   this ceiling — generous against scheduler noise, but an extra fold
-   sneaking onto the path (3 compressions ≈ +200 pct) still fails. *)
-let assign_overhead_budget_pct = 150.
+   roughly tripling a fresh-assign path that the chain-label index has
+   collapsed to ~1 µs — so the honest cost of the two mandated folds
+   lands around 200 pct.  [check] holds the series under this ceiling —
+   generous against scheduler noise on the noise-floor estimate above,
+   but an extra fold sneaking onto the path (3 compressions ≈ +100
+   further points) still fails. *)
+let assign_overhead_budget_pct = 250.
 
 let service_closed_loop () =
   M.reset ();
@@ -482,6 +495,115 @@ let write_scaling_smoke () =
   let t4 = scaling_rate ~shards:4 in
   record "fed.write_scaling" (t4 /. t1) "x"
 
+(* Documented budget (DESIGN.md §16) for [durability.recovery_ms]: the
+   snapshot policy bounds the WAL tail a restart replays to one policy
+   window, so cold recovery time is independent of history length.  One
+   window of single-chain commands replays in well under a second on any
+   recent machine; 2000 ms leaves generous slack for loaded CI runners
+   while still failing if recovery ever degrades to replaying history
+   proportional to its length. *)
+let recovery_ms_budget = 2_000.
+
+(* Bounded-time recovery (DESIGN.md §16): build a single-chain history of
+   [events] events through the wire codec into a WAL plus incremental
+   snapshots, driving the same policy loop the server runs — a delta per
+   WAL window, a full re-anchor every [max_chain] windows, segments
+   retired and the directory compacted as it goes — then measure a cold
+   [Recovery.run] over the result.  The replayed tail is bounded by one
+   policy window no matter how long the history grew (that is the point
+   of the subsystem), so [durability.recovery_ms] is held under an
+   absolute budget in [check] rather than ratio-gated against a baseline.
+   [durability.recovery_rss_mb] tracks the resident set right after the
+   restore (Linux /proc/self/statm; skipped elsewhere). *)
+let durability_recovery_smoke () =
+  let module Storage = Kronos_durability.Storage in
+  let module Wal = Kronos_durability.Wal in
+  let module Snapshot = Kronos_durability.Snapshot in
+  let module Recovery = Kronos_durability.Recovery in
+  let module Message = Kronos_wire.Message in
+  let events = if !Bench_util.full_scale then 1_000_000 else 30_000 in
+  let window = if !Bench_util.full_scale then 4 * 1024 * 1024 else 128 * 1024 in
+  let max_chain = 8 and keep = 2 in
+  let wal_config = { Wal.segment_bytes = 1 lsl 20; sync = Wal.Always } in
+  let storage = Storage.Memory.storage (Storage.Memory.create ()) in
+  let wal, _ = Wal.open_ ~config:wal_config storage in
+  let engine = Engine.create () in
+  (* a scratch engine mints the same event ids the real one will *)
+  let scratch = Engine.create () in
+  let ids = Array.init events (fun _ -> Engine.create_event scratch) in
+  let create_cmd = Kronos_wire.Message.encode_request Message.Create_event in
+  let seq = ref 0 in
+  let last_snap = ref 0 and last_full = ref 0 and chain_len = ref 0 in
+  let mark = ref (Wal.logged_bytes wal) in
+  let apply payload =
+    incr seq;
+    ignore (Server.apply engine payload);
+    Wal.append wal ~seq:!seq ~payload;
+    if !seq land 31 = 0 then Wal.flush wal;
+    if Wal.logged_bytes wal - !mark >= window then begin
+      Wal.flush wal;
+      (if !last_full > 0 && !chain_len < max_chain then begin
+         Snapshot.write_delta storage ~base_seq:!last_snap ~seq:!seq engine;
+         incr chain_len
+       end
+       else begin
+         Snapshot.write storage ~seq:!seq engine;
+         last_full := !seq;
+         chain_len := 0
+       end);
+      Engine.snapshot_written engine;
+      last_snap := !seq;
+      mark := Wal.logged_bytes wal;
+      Wal.truncate_before wal ~seq:!seq;
+      ignore (Snapshot.compact storage ~keep)
+    end
+  in
+  for i = 0 to events - 1 do
+    apply create_cmd;
+    if i > 0 then
+      apply
+        (Message.encode_request
+           (Message.Assign_order [ Order.must_before ids.(i - 1) ids.(i) ]))
+  done;
+  Wal.sync wal;
+  if !last_snap = 0 then failwith "smoke: recovery bench never snapshotted";
+  let outcome =
+    Recovery.run ~wal_config
+      ~replay:(fun e (r : Wal.record) -> ignore (Server.apply e r.payload))
+      storage
+  in
+  if outcome.Recovery.next_seq <> !seq + 1 then
+    failwith "smoke: recovery lost acknowledged commands";
+  if outcome.Recovery.wal_bytes_replayed > 2 * window then
+    failwith "smoke: recovery replayed more than one policy window";
+  record "durability.recovery_ms" outcome.Recovery.recovery_ms "ms";
+  record "durability.replay_ms" outcome.Recovery.replay_ms "ms";
+  record "durability.wal_replayed_mb"
+    (float_of_int outcome.Recovery.wal_bytes_replayed /. 1e6)
+    "MB";
+  record "durability.deltas_applied"
+    (float_of_int outcome.Recovery.deltas_applied)
+    "x";
+  match
+    try
+      let ic = open_in "/proc/self/statm" in
+      let line = input_line ic in
+      close_in ic;
+      Some line
+    with Sys_error _ | End_of_file -> None
+  with
+  | None -> ()
+  | Some statm -> (
+    match String.split_on_char ' ' (String.trim statm) with
+    | _ :: resident :: _ -> (
+      match int_of_string_opt resident with
+      | Some pages ->
+        record "durability.recovery_rss_mb"
+          (float_of_int pages *. 4096. /. 1e6)
+          "MB"
+      | None -> ())
+    | _ -> ())
+
 let write_json path =
   let oc = open_out path in
   output_string oc "{\n  \"schema\": \"kronos-bench-smoke/1\",\n";
@@ -546,7 +668,12 @@ let read_file path =
    carries the analogous floor for the multicore query plane — the
    parallel reader domains must beat the single-domain live rate by
    more than 2x — applied only on hosts with at least 4 recommended
-   domains (a single-core machine cannot show parallel speedup). *)
+   domains (a single-core machine cannot show parallel speedup).
+   [durability.recovery_ms] is held under the absolute
+   [recovery_ms_budget] — recovery time measures the bounded WAL tail,
+   not the machine, so a budget is the honest gate; its companion
+   [durability.replay_ms] and [durability.recovery_rss_mb] series are
+   recorded for trend-watching but not gated. *)
 let check () =
   Bench_util.section "Smoke: regression gate vs BENCH_smoke.json";
   let baseline_path =
@@ -566,6 +693,7 @@ let check () =
   certify_smoke ();
   federation_smoke ();
   write_scaling_smoke ();
+  durability_recovery_smoke ();
   let failures = ref 0 in
   List.iter
     (fun (name, value, unit_) ->
@@ -583,6 +711,19 @@ let check () =
         Printf.printf "  %-32s %12.6g %s  below the hard 2x floor  FAIL\n"
           name value unit_
       end
+      else if name = "durability.recovery_ms" then
+        if value > recovery_ms_budget then begin
+          incr failures;
+          Printf.printf "  %-32s %12.6g %s  above the %.0f ms budget  FAIL\n"
+            name value unit_ recovery_ms_budget
+        end
+        else
+          Printf.printf "  %-32s %12.6g %s  (budget %.0f ms)  ok\n" name value
+            unit_ recovery_ms_budget
+      else if name = "durability.replay_ms" || name = "durability.recovery_rss_mb"
+      then
+        Printf.printf "  %-32s %12.6g %s  (recorded, not gated)\n" name value
+          unit_
       else if
         name = "engine.query_parallel_speedup"
         && Domain.recommended_domain_count () >= 4
@@ -633,6 +774,7 @@ let run () =
   service_closed_loop_domains4 ();
   federation_smoke ();
   write_scaling_smoke ();
+  durability_recovery_smoke ();
   let path =
     Option.value ~default:"BENCH_smoke.json" (Sys.getenv_opt "KRONOS_SMOKE_OUT")
   in

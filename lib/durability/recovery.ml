@@ -1,31 +1,67 @@
 open Kronos
 
+module M = struct
+  let scope = Kronos_metrics.scope "recovery"
+  let replay_ms = Kronos_metrics.gauge scope "replay_ms"
+  let recovery_ms = Kronos_metrics.gauge scope "recovery_ms"
+  let wal_bytes = Kronos_metrics.counter scope "wal_bytes_replayed_total"
+  let deltas = Kronos_metrics.counter scope "deltas_applied_total"
+end
+
 type outcome = {
   engine : Engine.t;
   wal : Wal.t;
   snapshot_seq : int;
   next_seq : int;
   replayed : int;
+  deltas_applied : int;
+  replay_ms : float;
+  recovery_ms : float;
+  wal_bytes_replayed : int;
 }
 
+(* One framed record's on-disk footprint, mirroring [Wal.encode_record]. *)
+let record_bytes (r : Wal.record) = 16 + String.length r.payload
+
 let run ?engine_config ?wal_config ~replay storage =
+  let t0 = Unix.gettimeofday () in
   let wal, records = Wal.open_ ?config:wal_config storage in
-  let snapshot_seq, engine =
-    match Snapshot.load_latest ?config:engine_config storage with
-    | Some (seq, engine) -> (seq, engine)
-    | None -> (0, Engine.create ?config:engine_config ())
+  let snapshot_seq, engine, deltas_applied =
+    match Snapshot.load_chain ?config:engine_config storage with
+    | Some (seq, engine, deltas) -> (seq, engine, deltas)
+    | None -> (0, Engine.create ?config:engine_config (), 0)
   in
+  let t1 = Unix.gettimeofday () in
   let next = ref (snapshot_seq + 1) in
   let replayed = ref 0 in
+  let bytes = ref 0 in
   (try
      List.iter
        (fun (r : Wal.record) ->
          if r.seq >= !next then begin
            if r.seq > !next then raise Exit; (* gap: stop replay *)
            replay engine r;
+           bytes := !bytes + record_bytes r;
            incr next;
            incr replayed
          end)
        records
    with Exit -> ());
-  { engine; wal; snapshot_seq; next_seq = !next; replayed = !replayed }
+  let t2 = Unix.gettimeofday () in
+  let replay_ms = (t2 -. t1) *. 1000. in
+  let recovery_ms = (t2 -. t0) *. 1000. in
+  Kronos_metrics.Gauge.set M.replay_ms (int_of_float replay_ms);
+  Kronos_metrics.Gauge.set M.recovery_ms (int_of_float recovery_ms);
+  Kronos_metrics.Counter.add M.wal_bytes !bytes;
+  Kronos_metrics.Counter.add M.deltas deltas_applied;
+  {
+    engine;
+    wal;
+    snapshot_seq;
+    next_seq = !next;
+    replayed = !replayed;
+    deltas_applied;
+    replay_ms;
+    recovery_ms;
+    wal_bytes_replayed = !bytes;
+  }

@@ -1,12 +1,18 @@
 (** Crash-restart recovery: rebuild an engine from local storage.
 
-    [run] opens the directory, loads the newest valid snapshot (or starts
-    from an empty engine), then replays the WAL records that extend it —
-    the contiguous run of sequence numbers starting just after the snapshot.
-    Records at or below the snapshot's sequence number are skipped; a gap
-    ends replay (everything past a gap is unusable, and cannot occur unless
-    storage was tampered with, since segments are only truncated below the
-    snapshot). *)
+    [run] opens the directory, restores the newest recoverable snapshot
+    state — a full snapshot, or a base plus its delta chain
+    (DESIGN.md §16) — or starts from an empty engine, then replays the WAL
+    records that extend it: the contiguous run of sequence numbers
+    starting just after the snapshot.  Records at or below the snapshot's
+    sequence number are skipped; a gap ends replay (everything past a gap
+    is unusable, and cannot occur unless storage was tampered with, since
+    segments are only truncated below the snapshot).
+
+    Recovery observability: [recovery.replay_ms] / [recovery.recovery_ms]
+    gauges, [recovery.wal_bytes_replayed_total] and
+    [recovery.deltas_applied_total] counters are updated on every run and
+    surfaced through [Get_stats] / [kronos_cli stats]. *)
 
 open Kronos
 
@@ -16,6 +22,10 @@ type outcome = {
   snapshot_seq : int;  (** 0 when no snapshot was found *)
   next_seq : int;  (** 1 + the last recovered sequence number *)
   replayed : int;  (** WAL records replayed on top of the snapshot *)
+  deltas_applied : int;  (** delta files composed onto the base snapshot *)
+  replay_ms : float;  (** wall time spent replaying the WAL tail *)
+  recovery_ms : float;  (** total wall time: scan + snapshot + replay *)
+  wal_bytes_replayed : int;  (** framed bytes of the replayed records *)
 }
 
 val run :

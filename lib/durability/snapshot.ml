@@ -42,7 +42,14 @@ let put_int_array e a =
 
 let get_int_array d = Array.of_list (Codec.get_list d Codec.get_u32)
 
-let encode ~seq (s : Engine.snapshot) =
+(* Encoder for any supported format version.  [encode] always emits the
+   newest; older formats exist for the cross-version recovery matrix and
+   the nemesis harness's mixed-version chains — a v[k] file written here
+   is bit-compatible with what a v[k]-era engine wrote (the sections a
+   format lacks are simply absent). *)
+let encode_at ~fmt ~seq (s : Engine.snapshot) =
+  if fmt < oldest_supported_version || fmt > version then
+    invalid_arg (Printf.sprintf "Snapshot.encode_at: unsupported version %d" fmt);
   let e = Codec.encoder () in
   Codec.put_i64 e (Int64.of_int seq);
   let g = s.Engine.snap_graph in
@@ -58,13 +65,15 @@ let encode ~seq (s : Engine.snapshot) =
   Codec.put_i64 e (Int64.of_int g.Graph.snap_visited_total);
   (* v2 suffix: rank index.  Ranks are sparse integers that can exceed the
      u32 range on long-lived engines, so they travel as i64. *)
-  (match g.Graph.snap_rank with
-   | Some ranks ->
-     Codec.put_bool e true;
-     Codec.put_u32 e (Array.length ranks);
-     Array.iter (fun r -> Codec.put_i64 e (Int64.of_int r)) ranks;
-     Codec.put_i64 e (Int64.of_int g.Graph.snap_next_rank)
-   | None -> Codec.put_bool e false);
+  if fmt >= 2 then begin
+    match g.Graph.snap_rank with
+    | Some ranks ->
+      Codec.put_bool e true;
+      Codec.put_u32 e (Array.length ranks);
+      Array.iter (fun r -> Codec.put_i64 e (Int64.of_int r)) ranks;
+      Codec.put_i64 e (Int64.of_int g.Graph.snap_next_rank)
+    | None -> Codec.put_bool e false
+  end;
   Codec.put_i64 e (Int64.of_int s.Engine.snap_creates);
   Codec.put_i64 e (Int64.of_int s.Engine.snap_queries);
   Codec.put_i64 e (Int64.of_int s.Engine.snap_assigns);
@@ -73,46 +82,52 @@ let encode ~seq (s : Engine.snapshot) =
   Codec.put_i64 e (Int64.of_int s.Engine.snap_collected);
   (* v3 suffix: commitment-chain links.  Positions travel as i64 like the
      ranks (chain lengths are unbounded ints in principle). *)
-  (match g.Graph.snap_links with
-   | Some links ->
-     Codec.put_bool e true;
-     Codec.put_u32 e (Array.length links);
-     Array.iter
-       (fun ls ->
-         Codec.put_u32 e (Array.length ls);
-         Array.iter
-           (fun (pred, head, pos) ->
-             Codec.put_i64 e pred;
-             Codec.put_string e head;
-             Codec.put_i64 e (Int64.of_int pos))
-           ls)
-       links
-   | None -> Codec.put_bool e false);
+  if fmt >= 3 then begin
+    match g.Graph.snap_links with
+    | Some links ->
+      Codec.put_bool e true;
+      Codec.put_u32 e (Array.length links);
+      Array.iter
+        (fun ls ->
+          Codec.put_u32 e (Array.length ls);
+          Array.iter
+            (fun (pred, head, pos) ->
+              Codec.put_i64 e pred;
+              Codec.put_string e head;
+              Codec.put_i64 e (Int64.of_int pos))
+            ls)
+        links
+    | None -> Codec.put_bool e false
+  end;
   (* v4 suffix: graph mutation version (view epoch). *)
-  Codec.put_i64 e (Int64.of_int g.Graph.snap_version);
+  if fmt >= 4 then Codec.put_i64 e (Int64.of_int g.Graph.snap_version);
   (* v5 suffix: chain-decomposition assignment.  Chain ids are small (the
      cap bounds them) but positions count members ever appended, so they
      travel as i64 like the ranks; per-slot ids are biased by one so the
      -1 "unassigned" marker stays unsigned. *)
-  (match g.Graph.snap_chains with
-   | Some cs ->
-     Codec.put_bool e true;
-     Codec.put_u32 e (Array.length cs.Graph.cs_chain_of);
-     Array.iter (fun c -> Codec.put_u32 e (c + 1)) cs.Graph.cs_chain_of;
-     Array.iter (fun p -> Codec.put_i64 e (Int64.of_int p))
-       cs.Graph.cs_chain_pos;
-     Codec.put_u32 e (Array.length cs.Graph.cs_chain_len);
-     Array.iter (fun l -> Codec.put_i64 e (Int64.of_int l))
-       cs.Graph.cs_chain_len;
-     put_int_array e cs.Graph.cs_free_chains
-   | None -> Codec.put_bool e false);
+  if fmt >= 5 then begin
+    match g.Graph.snap_chains with
+    | Some cs ->
+      Codec.put_bool e true;
+      Codec.put_u32 e (Array.length cs.Graph.cs_chain_of);
+      Array.iter (fun c -> Codec.put_u32 e (c + 1)) cs.Graph.cs_chain_of;
+      Array.iter (fun p -> Codec.put_i64 e (Int64.of_int p))
+        cs.Graph.cs_chain_pos;
+      Codec.put_u32 e (Array.length cs.Graph.cs_chain_len);
+      Array.iter (fun l -> Codec.put_i64 e (Int64.of_int l))
+        cs.Graph.cs_chain_len;
+      put_int_array e cs.Graph.cs_free_chains
+    | None -> Codec.put_bool e false
+  end;
   let body = Codec.to_string e in
   let b = Buffer.create (String.length body + header_bytes) in
   Buffer.add_string b magic;
-  Buffer.add_uint16_be b version;
+  Buffer.add_uint16_be b fmt;
   Buffer.add_int32_be b (Crc32.string body);
   Buffer.add_string b body;
   Buffer.contents b
+
+let encode ~seq s = encode_at ~fmt:version ~seq s
 
 (* Header check shared by [decode] and [load_latest_bytes]: returns the
    format version and the body on success. *)
@@ -298,3 +313,383 @@ let truncate_old storage ~keep =
             && String.sub n 0 5 = "snap-"
             && Filename.check_suffix n ".tmp"
          then storage.Storage.remove_file n)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental snapshots (DESIGN.md §16).                              *)
+(*                                                                     *)
+(* A delta file ([delta-<seq>.delta], magic KSND) carries an           *)
+(* [Engine.delta] against the snapshot state at [base_seq] — itself a  *)
+(* full file or another delta, forming a chain that terminates in a    *)
+(* full snapshot.  Recovery resolves the newest head whose whole chain *)
+(* is intact; any corrupt or missing link makes the resolver fall back *)
+(* to the next older head, exactly like corrupt full snapshots.        *)
+(* ------------------------------------------------------------------ *)
+
+let delta_version = 1
+let delta_magic = "KSND"
+
+let encode_delta ~base_seq ~seq (d : Engine.delta) =
+  let e = Codec.encoder () in
+  Codec.put_i64 e (Int64.of_int base_seq);
+  Codec.put_i64 e (Int64.of_int seq);
+  let gd = d.Engine.delta_graph in
+  Codec.put_u32 e (Array.length gd.Graph.d_slots);
+  Array.iter
+    (fun sd ->
+      Codec.put_u32 e sd.Graph.sd_slot;
+      Codec.put_u32 e (sd.Graph.sd_refcount + 1);
+      Codec.put_u32 e sd.Graph.sd_gen;
+      Codec.put_i64 e (Int64.of_int sd.Graph.sd_rank);
+      put_int_array e sd.Graph.sd_succ;
+      Codec.put_u32 e (Array.length sd.Graph.sd_links);
+      Array.iter
+        (fun (pred, head, pos) ->
+          Codec.put_i64 e pred;
+          Codec.put_string e head;
+          Codec.put_i64 e (Int64.of_int pos))
+        sd.Graph.sd_links;
+      Codec.put_u32 e (sd.Graph.sd_chain_of + 1);
+      Codec.put_i64 e (Int64.of_int sd.Graph.sd_chain_pos))
+    gd.Graph.d_slots;
+  Codec.put_u32 e gd.Graph.d_next_slot;
+  put_int_array e gd.Graph.d_free;
+  Codec.put_i64 e (Int64.of_int gd.Graph.d_next_rank);
+  Codec.put_i64 e (Int64.of_int gd.Graph.d_traversals);
+  Codec.put_i64 e (Int64.of_int gd.Graph.d_visited_total);
+  Codec.put_i64 e (Int64.of_int gd.Graph.d_version);
+  Codec.put_u32 e (Array.length gd.Graph.d_chain_len);
+  Array.iter (fun l -> Codec.put_i64 e (Int64.of_int l)) gd.Graph.d_chain_len;
+  put_int_array e gd.Graph.d_free_chains;
+  Codec.put_bool e gd.Graph.d_digests;
+  Codec.put_i64 e (Int64.of_int d.Engine.delta_creates);
+  Codec.put_i64 e (Int64.of_int d.Engine.delta_queries);
+  Codec.put_i64 e (Int64.of_int d.Engine.delta_assigns);
+  Codec.put_i64 e (Int64.of_int d.Engine.delta_aborted_batches);
+  Codec.put_i64 e (Int64.of_int d.Engine.delta_reversals);
+  Codec.put_i64 e (Int64.of_int d.Engine.delta_collected);
+  let body = Codec.to_string e in
+  let b = Buffer.create (String.length body + header_bytes) in
+  Buffer.add_string b delta_magic;
+  Buffer.add_uint16_be b delta_version;
+  Buffer.add_int32_be b (Crc32.string body);
+  Buffer.add_string b body;
+  Buffer.contents b
+
+let validate_delta data =
+  if String.length data < header_bytes then
+    raise (Codec.Decode_error "delta: truncated header");
+  if String.sub data 0 4 <> delta_magic then
+    raise (Codec.Decode_error "delta: bad magic");
+  let v = String.get_uint16_be data 4 in
+  if v <> delta_version then
+    raise (Codec.Decode_error (Printf.sprintf "delta: unsupported version %d" v));
+  let crc = String.get_int32_be data 6 in
+  let body = String.sub data header_bytes (String.length data - header_bytes) in
+  if Crc32.string body <> crc then
+    raise (Codec.Decode_error "delta: checksum mismatch");
+  body
+
+let decode_delta data =
+  let body = validate_delta data in
+  let d = Codec.decoder body in
+  let base_seq = get_int64 d in
+  let seq = get_int64 d in
+  let nslots = Codec.get_u32 d in
+  if nslots > String.length body then
+    raise (Codec.Decode_error "delta: absurd slot count");
+  let d_slots =
+    Array.init nslots (fun _ ->
+        let sd_slot = Codec.get_u32 d in
+        let sd_refcount = Codec.get_u32 d - 1 in
+        let sd_gen = Codec.get_u32 d in
+        let sd_rank = get_int64 d in
+        let sd_succ = get_int_array d in
+        let nlinks = Codec.get_u32 d in
+        if nlinks > String.length body then
+          raise (Codec.Decode_error "delta: absurd link count");
+        let sd_links =
+          Array.init nlinks (fun _ ->
+              let pred = Codec.get_i64 d in
+              let head = Codec.get_string d in
+              let pos = get_int64 d in
+              (pred, head, pos))
+        in
+        let sd_chain_of = Codec.get_u32 d - 1 in
+        let sd_chain_pos = get_int64 d in
+        {
+          Graph.sd_slot;
+          sd_refcount;
+          sd_gen;
+          sd_rank;
+          sd_succ;
+          sd_links;
+          sd_chain_of;
+          sd_chain_pos;
+        })
+  in
+  let d_next_slot = Codec.get_u32 d in
+  let d_free = get_int_array d in
+  let d_next_rank = get_int64 d in
+  let d_traversals = get_int64 d in
+  let d_visited_total = get_int64 d in
+  let d_version = get_int64 d in
+  let nchains = Codec.get_u32 d in
+  if nchains > String.length body then
+    raise (Codec.Decode_error "delta: absurd chain count");
+  let d_chain_len = Array.init nchains (fun _ -> get_int64 d) in
+  let d_free_chains = get_int_array d in
+  let d_digests = Codec.get_bool d in
+  let delta_creates = get_int64 d in
+  let delta_queries = get_int64 d in
+  let delta_assigns = get_int64 d in
+  let delta_aborted_batches = get_int64 d in
+  let delta_reversals = get_int64 d in
+  let delta_collected = get_int64 d in
+  Codec.expect_end d;
+  ( base_seq,
+    seq,
+    {
+      Engine.delta_graph =
+        {
+          Graph.d_slots;
+          d_next_slot;
+          d_free;
+          d_next_rank;
+          d_traversals;
+          d_visited_total;
+          d_version;
+          d_chain_len;
+          d_free_chains;
+          d_digests;
+        };
+      delta_creates;
+      delta_queries;
+      delta_assigns;
+      delta_aborted_batches;
+      delta_reversals;
+      delta_collected;
+    } )
+
+let delta_filename ~seq = Printf.sprintf "delta-%010d.delta" seq
+
+let parse_delta_filename name =
+  if String.length name = 22
+     && String.sub name 0 6 = "delta-"
+     && Filename.check_suffix name ".delta"
+  then int_of_string_opt (String.sub name 6 10)
+  else None
+
+let m_delta_writes =
+  Kronos_metrics.counter (Kronos_metrics.scope "snapshot") "delta_writes_total"
+
+let write_delta_bytes storage ~seq data =
+  Kronos_metrics.Counter.incr m_delta_writes;
+  Kronos_metrics.Counter.add m_bytes (String.length data);
+  let final = delta_filename ~seq in
+  let tmp = Printf.sprintf "delta-%010d.tmp" seq in
+  storage.Storage.remove_file tmp;
+  let w = storage.Storage.open_append tmp in
+  w.Storage.append data;
+  w.Storage.sync ();
+  w.Storage.close ();
+  storage.Storage.rename_file tmp final
+
+let write_delta storage ~base_seq ~seq engine =
+  write_delta_bytes storage ~seq
+    (encode_delta ~base_seq ~seq (Engine.to_delta engine))
+
+let list_deltas storage =
+  storage.Storage.list_files ()
+  |> List.filter_map (fun n ->
+         Option.map (fun s -> (s, n)) (parse_delta_filename n))
+  |> List.sort (fun a b -> compare b a) (* newest first *)
+
+(* Fuel for chain resolution: a delta chain longer than this is treated as
+   unresolvable (policies cap chains at a handful of links; only corrupt
+   base_seq values could approach the bound). *)
+let max_chain_depth = 1024
+
+(* Resolve the composed snapshot state at [seq]: a valid full file wins;
+   otherwise a valid delta at [seq] recursively resolves its base and
+   overlays.  Returns the composed snapshot and the number of deltas
+   applied, or [None] when any link of the chain is missing or corrupt. *)
+let rec state_at storage ~fuel seq =
+  let full =
+    match storage.Storage.read_file (filename ~seq) with
+    | None -> None
+    | Some data -> (
+        match decode data with
+        | s, snap when s = seq -> Some (snap, 0)
+        | _ -> None
+        | exception (Codec.Decode_error _ | Invalid_argument _) -> None)
+  in
+  match full with
+  | Some _ -> full
+  | None -> (
+      if fuel <= 0 then None
+      else
+        match storage.Storage.read_file (delta_filename ~seq) with
+        | None -> None
+        | Some data -> (
+            match decode_delta data with
+            | base_seq, s, d when s = seq && base_seq < seq -> (
+                match state_at storage ~fuel:(fuel - 1) base_seq with
+                | None -> None
+                | Some (base, applied) -> (
+                    match Engine.apply_delta base d with
+                    | snap -> Some (snap, applied + 1)
+                    | exception Invalid_argument _ -> None))
+            | _ -> None
+            | exception (Codec.Decode_error _ | Invalid_argument _) -> None))
+
+(* Candidate recovery heads: every sequence number holding a full or delta
+   file, newest first. *)
+let heads storage =
+  let seqs =
+    List.map fst (list_snapshots storage)
+    @ List.map fst (list_deltas storage)
+  in
+  List.sort_uniq (fun a b -> compare b a) seqs
+
+let load_chain ?config storage =
+  List.find_map
+    (fun seq ->
+      match state_at storage ~fuel:max_chain_depth seq with
+      | None -> None
+      | Some (snap, applied) -> (
+          match Engine.of_snapshot ?config snap with
+          | engine -> Some (seq, engine, applied)
+          | exception Invalid_argument _ -> None))
+    (heads storage)
+
+let load_chain_bytes storage =
+  List.find_map
+    (fun seq ->
+      (* fast path: a checksum-valid full file ships as-is *)
+      match storage.Storage.read_file (filename ~seq) with
+      | Some data when (match validate data with
+                        | (_ : int * string) -> true
+                        | exception Codec.Decode_error _ -> false) ->
+        Some (seq, data)
+      | _ -> (
+          match state_at storage ~fuel:max_chain_depth seq with
+          | None -> None
+          | Some (snap, _) -> Some (seq, encode ~seq snap)))
+    (heads storage)
+
+(* ------------------------------------------------------------------ *)
+(* Compaction manifest.                                                *)
+(*                                                                     *)
+(* A small text file naming the current recovery head and the files    *)
+(* compaction decided to keep.  It is a {e hint and audit record}, not *)
+(* an index: recovery always rescans the directory, so a torn or stale *)
+(* manifest can never lose state — the scan-based resolver is the      *)
+(* source of truth and the manifest lets operators (and the nemesis    *)
+(* checker) verify compaction's crash ordering after the fact.         *)
+(* ------------------------------------------------------------------ *)
+
+let manifest_name = "MANIFEST"
+
+let write_manifest storage ~head kept =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "kronos-manifest 1\n";
+  Buffer.add_string b (Printf.sprintf "head %d\n" head);
+  List.iter (fun n -> Buffer.add_string b (n ^ "\n")) kept;
+  let tmp = manifest_name ^ ".tmp" in
+  storage.Storage.remove_file tmp;
+  let w = storage.Storage.open_append tmp in
+  w.Storage.append (Buffer.contents b);
+  w.Storage.sync ();
+  w.Storage.close ();
+  storage.Storage.rename_file tmp manifest_name
+
+let read_manifest storage =
+  match storage.Storage.read_file manifest_name with
+  | None -> None
+  | Some data -> (
+      match String.split_on_char '\n' data with
+      | header :: rest when header = "kronos-manifest 1" -> (
+          match rest with
+          | head_line :: files
+            when String.length head_line > 5
+                 && String.sub head_line 0 5 = "head " -> (
+              match
+                int_of_string_opt
+                  (String.sub head_line 5 (String.length head_line - 5))
+              with
+              | Some head ->
+                Some (head, List.filter (fun l -> l <> "") files)
+              | None -> None)
+          | _ -> None)
+      | _ -> None)
+
+let m_retired =
+  Kronos_metrics.counter
+    (Kronos_metrics.scope "durability")
+    "snapshots_retired_total"
+
+(* Retire snapshot files made redundant by newer durable state: delta
+   files at or below the newest valid full snapshot (the full already
+   covers them), full files beyond the newest [keep], and stray
+   temporaries.  Crash ordering is the caller's: the covering snapshot is
+   written and synced {e before} compact unlinks anything, and unlinking
+   is idempotent — a crash mid-compact leaves extra files that the next
+   compact retires and recovery happily ignores.  Returns the number of
+   files removed. *)
+let compact storage ~keep =
+  let keep = max keep 1 in
+  let removed = ref 0 in
+  let remove name =
+    storage.Storage.remove_file name;
+    incr removed;
+    Kronos_metrics.Counter.incr m_retired
+  in
+  let fulls =
+    List.filter
+      (fun (_, name) ->
+        match storage.Storage.read_file name with
+        | None -> false
+        | Some data -> (
+            match validate data with
+            | (_ : int * string) -> true
+            | exception Codec.Decode_error _ -> false))
+      (list_snapshots storage)
+  in
+  let newest_full = match fulls with (s, _) :: _ -> s | [] -> min_int in
+  List.iter
+    (fun (seq, name) -> if seq <= newest_full then remove name)
+    (list_deltas storage);
+  List.iteri
+    (fun i (_, name) -> if i >= keep then remove name)
+    (list_snapshots storage);
+  (* corrupt fulls older than the newest valid one are unrecoverable
+     anyway once a valid newer head exists; leave newer ones (they may be
+     mid-write by a concurrent path) *)
+  storage.Storage.list_files ()
+  |> List.iter (fun n ->
+         if Filename.check_suffix n ".tmp"
+            && String.length n >= 6
+            && (String.sub n 0 5 = "snap-" || String.sub n 0 6 = "delta-")
+         then remove n);
+  let kept =
+    storage.Storage.list_files ()
+    |> List.filter (fun n ->
+           parse_filename n <> None || parse_delta_filename n <> None)
+  in
+  (* The manifest records the head recovery would actually resolve, not
+     just the newest file name — a torn newest file must not be audited as
+     the head it can never be.  Checksum-valid fulls short-circuit the
+     chain walk. *)
+  let resolvable seq =
+    (match storage.Storage.read_file (filename ~seq) with
+     | Some data -> (
+         match validate data with
+         | (_ : int * string) -> true
+         | exception Codec.Decode_error _ -> false)
+     | None -> false)
+    || state_at storage ~fuel:max_chain_depth seq <> None
+  in
+  (match List.find_opt resolvable (heads storage) with
+   | Some head -> write_manifest storage ~head kept
+   | None -> storage.Storage.remove_file manifest_name);
+  !removed

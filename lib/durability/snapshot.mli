@@ -15,6 +15,13 @@ val version : int
 
 val encode : seq:int -> Engine.snapshot -> string
 
+val encode_at : fmt:int -> seq:int -> Engine.snapshot -> string
+(** Encode in an older format version ([1 <= fmt <= version]) — the
+    sections that format lacks are omitted, so the file is bit-compatible
+    with what a [fmt]-era engine wrote.  Used by the cross-version
+    recovery matrix and the nemesis harness's mixed-version chains.
+    @raise Invalid_argument on an unsupported [fmt]. *)
+
 val decode : string -> int * Engine.snapshot
 (** @raise Kronos_wire.Codec.Decode_error on bad magic, unsupported
     version, checksum mismatch or malformed body. *)
@@ -39,3 +46,53 @@ val load_latest_bytes : Storage.t -> (int * string) option
 val truncate_old : Storage.t -> keep:int -> unit
 (** Delete all but the newest [keep] snapshot files (and stray temporary
     files from interrupted writes). *)
+
+(** {1 Incremental snapshots (DESIGN.md §16)}
+
+    A delta file ([delta-<seq>.delta]) holds an {!Kronos.Engine.delta}
+    against the snapshot state at [base_seq] — itself a full file or
+    another delta, forming a chain terminating in a full snapshot.
+    Recovery resolves the newest head whose entire chain is intact and
+    falls back to older heads otherwise, exactly as it skips corrupt full
+    snapshots. *)
+
+val encode_delta : base_seq:int -> seq:int -> Engine.delta -> string
+
+val decode_delta : string -> int * int * Engine.delta
+(** [(base_seq, seq, delta)].
+    @raise Kronos_wire.Codec.Decode_error on a malformed file. *)
+
+val delta_filename : seq:int -> string
+
+val write_delta : Storage.t -> base_seq:int -> seq:int -> Engine.t -> unit
+(** Capture the engine's dirty-slot delta and persist it atomically
+    (tmp → sync → rename) as the delta for [seq] against [base_seq].
+    Does {e not} clear the engine's dirty set — call
+    {!Kronos.Engine.snapshot_written} after this returns. *)
+
+val load_chain :
+  ?config:Engine.config -> Storage.t -> (int * Engine.t * int) option
+(** Resolve and restore the newest recoverable snapshot state:
+    [(seq, engine, deltas_applied)].  Tries every candidate head newest
+    first; a head resolves when its full file is valid or its delta chain
+    composes onto a valid full.  [deltas_applied = 0] means a full
+    snapshot was used directly. *)
+
+val load_chain_bytes : Storage.t -> (int * string) option
+(** The newest recoverable state as {e full-format} snapshot bytes (state
+    transfer send path): a valid full file ships as-is, a delta head is
+    composed and re-encoded, so the wire format never exposes deltas. *)
+
+val compact : Storage.t -> keep:int -> int
+(** Retire snapshot files made redundant by newer durable state: deltas
+    at or below the newest valid full snapshot, fulls beyond the newest
+    [keep] (min 1), and stray temporaries.  Call {e after} the covering
+    snapshot is durably written — unlinking is idempotent and recovery
+    ignores missing files, so a crash at any point mid-compact is safe.
+    Rewrites the {!read_manifest} audit record.  Returns the number of
+    files removed (counted in [durability.snapshots_retired_total]). *)
+
+val read_manifest : Storage.t -> (int * string list) option
+(** The compaction audit record: [(head seq, kept file names)] as of the
+    last {!compact}.  A hint for operators and checkers only — recovery
+    rescans the directory and never trusts the manifest. *)

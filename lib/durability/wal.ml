@@ -4,6 +4,11 @@ module M = struct
   let fsyncs = Kronos_metrics.counter scope "fsyncs_total"
   let rotations = Kronos_metrics.counter scope "segment_rotations_total"
   let bytes = Kronos_metrics.counter scope "bytes_written_total"
+
+  let retired =
+    Kronos_metrics.counter
+      (Kronos_metrics.scope "durability")
+      "segments_retired_total"
 end
 
 type sync_policy = Always | Every_n of int | Never
@@ -36,6 +41,11 @@ type t = {
   mutable unsynced_records : int;
   mutable appended : int;
   mutable syncs : int;
+  (* cumulative framed bytes accepted by [append] (header + payload),
+     including bytes still in the group-commit buffer — the snapshot
+     policy's WAL-bytes-since-snapshot trigger reads this *)
+  mutable logged_bytes : int;
+  mutable retired_segments : int;
 }
 
 let segment_name seq = Printf.sprintf "wal-%010d.log" seq
@@ -132,6 +142,8 @@ let open_ ?(config = default_config) storage =
       unsynced_records = 0;
       appended = 0;
       syncs = 0;
+      logged_bytes = 0;
+      retired_segments = 0;
     }
   in
   (t, records)
@@ -199,6 +211,7 @@ let append t ~seq ~payload =
   encode_record t.pending ~seq ~payload;
   t.pending_records <- t.pending_records + 1;
   t.appended <- t.appended + 1;
+  t.logged_bytes <- t.logged_bytes + header_bytes + String.length payload;
   Kronos_metrics.Counter.incr M.appends;
   t.last_seq <- seq;
   (* bound the group-commit buffer: a huge burst still hits storage in
@@ -235,6 +248,8 @@ let truncate_before t ~seq =
   let rec drop = function
     | (_, name) :: ((next_first, _) :: _ as rest) when next_first <= seq + 1 ->
       t.storage.Storage.remove_file name;
+      t.retired_segments <- t.retired_segments + 1;
+      Kronos_metrics.Counter.incr M.retired;
       drop rest
     | segments -> segments
   in
@@ -244,3 +259,5 @@ let last_seq t = t.last_seq
 let segment_files t = List.map snd t.segments
 let appended_records t = t.appended
 let sync_count t = t.syncs
+let logged_bytes t = t.logged_bytes
+let retired_segments t = t.retired_segments

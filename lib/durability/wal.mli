@@ -52,7 +52,8 @@ val read_from : t -> since:int -> record list option
 
 val truncate_before : t -> seq:int -> unit
 (** Delete whole segments every record of which has [seq' <= seq]; the
-    active segment is always kept. *)
+    active segment is always kept.  Retired segments are counted in
+    {!retired_segments} and [durability.segments_retired_total]. *)
 
 val last_seq : t -> int
 (** Highest sequence number appended or recovered; 0 for an empty log. *)
@@ -63,3 +64,11 @@ val segment_files : t -> string list
 
 val appended_records : t -> int
 val sync_count : t -> int
+
+val logged_bytes : t -> int
+(** Cumulative framed bytes accepted by {!append} since this handle was
+    opened (header + payload, buffered bytes included).  The snapshot
+    policy's WAL-bytes-since-snapshot trigger diffs this counter. *)
+
+val retired_segments : t -> int
+(** Segments deleted by {!truncate_before} on this handle. *)

@@ -250,6 +250,11 @@ let test_snapshot_v1_compat () =
   Buffer.add_uint16_be b 1;
   Buffer.add_int32_be b (Crc32.string body);
   Buffer.add_string b body;
+  (* [encode_at ~fmt:1] must reproduce this independently constructed v1
+     file bit-for-bit — the cross-version matrix and the nemesis harness
+     rely on it writing genuine old-format files. *)
+  Alcotest.(check bool) "encode_at reproduces the hand-rolled v1 bytes" true
+    (String.equal (Buffer.contents b) (Snapshot.encode_at ~fmt:1 ~seq:42 s));
   let seq, snap = Snapshot.decode (Buffer.contents b) in
   Alcotest.(check int) "v1 seq" 42 seq;
   Alcotest.(check bool) "v1 decodes without ranks" true
@@ -437,6 +442,269 @@ let test_recovery_after_crash_loses_only_unsynced () =
   check_engines_agree "recovered at the fsync boundary" ids reference
     outcome.Recovery.engine
 
+(* {1 Incremental snapshots (DESIGN.md §16)} *)
+
+(* Every supported snapshot format must encode, decode and restore to a
+   behaviourally identical engine, with exactly the sections its era
+   carried; out-of-range formats are refused at encode time. *)
+let test_snapshot_version_matrix () =
+  let ids, cmds = workload ~seed:41 ~n:14 ~m:24 in
+  let engine = Engine.create () in
+  List.iter (fun c -> ignore (Kronos_service.Server.apply engine c)) cmds;
+  for fmt = 1 to Snapshot.version do
+    (* recapture per format: [check_engines_agree] issues queries, so the
+       reference's counters move between iterations *)
+    let snap = Engine.to_snapshot engine in
+    let bytes = Snapshot.encode_at ~fmt ~seq:fmt snap in
+    let seq, decoded = Snapshot.decode bytes in
+    Alcotest.(check int) (Printf.sprintf "v%d seq" fmt) fmt seq;
+    Alcotest.(check bool)
+      (Printf.sprintf "v%d rank section" fmt)
+      (fmt >= 2)
+      (decoded.Engine.snap_graph.Graph.snap_rank <> None);
+    Alcotest.(check bool)
+      (Printf.sprintf "v%d chain section" fmt)
+      (fmt >= 5)
+      (decoded.Engine.snap_graph.Graph.snap_chains <> None);
+    check_engines_agree
+      (Printf.sprintf "v%d restore" fmt)
+      ids engine
+      (Engine.of_snapshot decoded)
+  done;
+  let snap = Engine.to_snapshot engine in
+  (try
+     ignore (Snapshot.encode_at ~fmt:0 ~seq:1 snap);
+     Alcotest.fail "format 0 accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Snapshot.encode_at ~fmt:(Snapshot.version + 1) ~seq:1 snap);
+    Alcotest.fail "future format accepted"
+  with Invalid_argument _ -> ()
+
+(* Files of every vintage coexisting in one directory: recovery resolves
+   the newest head (a delta chained on a current full), and when the
+   newest links are corrupted it falls back across the version boundary
+   to a legacy file — restoring exactly that prefix's state. *)
+let test_mixed_version_recovery () =
+  let ids, cmds = workload ~seed:41 ~n:14 ~m:24 in
+  let cmds = Array.of_list cmds in
+  let total = Array.length cmds in
+  Alcotest.(check int) "workload length" 40 total;
+  let _dir, storage = mem () in
+  let engine = Engine.create () in
+  let legacy = [ (8, 1); (16, 2); (24, 3); (32, 4) ] in
+  Array.iteri
+    (fun i c ->
+      ignore (Kronos_service.Server.apply engine c);
+      let seq = i + 1 in
+      (match List.assoc_opt seq legacy with
+       | Some fmt ->
+         Snapshot.write_bytes storage ~seq
+           (Snapshot.encode_at ~fmt ~seq (Engine.to_snapshot engine))
+       | None -> ());
+      if seq = 36 then begin
+        Snapshot.write storage ~seq engine;
+        Engine.snapshot_written engine
+      end)
+    cmds;
+  Snapshot.write_delta storage ~base_seq:36 ~seq:total engine;
+  Engine.snapshot_written engine;
+  (match Snapshot.load_chain storage with
+   | Some (seq, restored, applied) ->
+     Alcotest.(check int) "newest head wins over legacy files" total seq;
+     Alcotest.(check int) "one delta composed" 1 applied;
+     check_engines_agree "mixed directory restore" ids engine restored
+   | None -> Alcotest.fail "mixed directory did not resolve");
+  (* corrupt the delta head and its full base: the resolver must cross
+     back into the legacy files and land on the v4 state at 32 *)
+  List.iter
+    (fun name ->
+      storage.Storage.remove_file name;
+      let w = storage.Storage.open_append name in
+      w.Storage.append "KSNPbitrot";
+      w.Storage.sync ();
+      w.Storage.close ())
+    [ Snapshot.delta_filename ~seq:total; Snapshot.filename ~seq:36 ];
+  let reference = Engine.create () in
+  for i = 0 to 31 do
+    ignore (Kronos_service.Server.apply reference cmds.(i))
+  done;
+  match Snapshot.load_chain storage with
+  | Some (seq, restored, applied) ->
+    Alcotest.(check int) "fell back to the v4 file" 32 seq;
+    Alcotest.(check int) "no deltas on the legacy path" 0 applied;
+    check_engines_agree "legacy fallback restore" ids reference restored
+  | None -> Alcotest.fail "legacy fallback did not resolve"
+
+(* A delta captures exactly the slots dirtied since the base was written:
+   composing it back onto the base reproduces the live engine, the wire
+   encoding round-trips, and bases missing the sections deltas overlay
+   (legacy decodes) are refused rather than silently mis-composed. *)
+let test_delta_round_trip () =
+  let ids, cmds = workload ~seed:29 ~n:12 ~m:18 in
+  let cmds = Array.of_list cmds in
+  let half = Array.length cmds / 2 in
+  let engine = Engine.create () in
+  for i = 0 to half - 1 do
+    ignore (Kronos_service.Server.apply engine cmds.(i))
+  done;
+  let base = Engine.to_snapshot engine in
+  Engine.snapshot_written engine;
+  Alcotest.(check int) "dirty set cleared after capture" 0
+    (Engine.dirty_slot_count engine);
+  for i = half to Array.length cmds - 1 do
+    ignore (Kronos_service.Server.apply engine cmds.(i))
+  done;
+  Alcotest.(check bool) "mutations re-dirty the engine" true
+    (Engine.dirty_slot_count engine > 0);
+  let d = Engine.to_delta engine in
+  let bytes = Snapshot.encode_delta ~base_seq:half ~seq:(Array.length cmds) d in
+  let base_seq, seq, decoded = Snapshot.decode_delta bytes in
+  Alcotest.(check int) "delta base seq" half base_seq;
+  Alcotest.(check int) "delta seq" (Array.length cmds) seq;
+  let composed = Engine.of_snapshot (Engine.apply_delta base decoded) in
+  check_engines_agree "base + delta equals live engine" ids engine composed;
+  (* a base that decoded without ranks (a legacy file) cannot anchor a
+     delta chain *)
+  let crippled =
+    { base with
+      Engine.snap_graph =
+        { base.Engine.snap_graph with Graph.snap_rank = None } }
+  in
+  (try
+     ignore (Engine.apply_delta crippled decoded);
+     Alcotest.fail "delta composed onto a rank-less base"
+   with Invalid_argument _ -> ());
+  (* corrupting the encoding must be detected by the checksum *)
+  let flipped = Bytes.of_string bytes in
+  Bytes.set flipped (Bytes.length flipped - 1)
+    (Char.chr (Char.code (Bytes.get flipped (Bytes.length flipped - 1)) lxor 1));
+  try
+    ignore (Snapshot.decode_delta (Bytes.to_string flipped));
+    Alcotest.fail "corrupt delta decoded"
+  with Kronos_wire.Codec.Decode_error _ -> ()
+
+(* Restart over a full + delta-chain + WAL-tail directory: recovery walks
+   the chain, replays exactly the uncovered suffix, and reports how much
+   work that took through the outcome and the recovery metrics. *)
+let test_delta_chain_recovery () =
+  let ids, cmds = workload ~seed:31 ~n:14 ~m:22 in
+  let cmds = Array.of_list cmds in
+  let total = Array.length cmds in
+  Alcotest.(check int) "workload length" 38 total;
+  let wal_config = { Wal.segment_bytes = 256; sync = Wal.Always } in
+  let _dir, storage = mem () in
+  let wal, _ = Wal.open_ ~config:wal_config storage in
+  let engine = Engine.create () in
+  let last_snap = ref 0 in
+  Array.iteri
+    (fun i c ->
+      let seq = i + 1 in
+      ignore (Kronos_service.Server.apply engine c);
+      Wal.append wal ~seq ~payload:c;
+      Wal.flush wal;
+      if seq mod 6 = 0 then begin
+        (if !last_snap = 0 then Snapshot.write storage ~seq engine
+         else Snapshot.write_delta storage ~base_seq:!last_snap ~seq engine);
+        Engine.snapshot_written engine;
+        last_snap := seq;
+        Wal.truncate_before wal ~seq
+      end)
+    cmds;
+  Wal.sync wal;
+  let outcome =
+    Recovery.run ~wal_config
+      ~replay:(fun e (r : Wal.record) ->
+        ignore (Kronos_service.Server.apply e r.payload))
+      storage
+  in
+  (* full at 6, deltas at 12..36 chained on it, records 37-38 replayed *)
+  Alcotest.(check int) "recovered head" 36 outcome.Recovery.snapshot_seq;
+  Alcotest.(check int) "deltas composed" 5 outcome.Recovery.deltas_applied;
+  Alcotest.(check int) "next seq" (total + 1) outcome.Recovery.next_seq;
+  Alcotest.(check int) "bounded tail replayed" 2 outcome.Recovery.replayed;
+  Alcotest.(check bool) "replayed bytes accounted" true
+    (outcome.Recovery.wal_bytes_replayed > 0);
+  Alcotest.(check bool) "timings are sane" true
+    (outcome.Recovery.replay_ms >= 0.
+     && outcome.Recovery.recovery_ms >= outcome.Recovery.replay_ms);
+  check_engines_agree "delta chain recovery" ids engine
+    outcome.Recovery.engine;
+  (* the run is visible through the metrics registry *)
+  let cval scope name =
+    Kronos_metrics.Counter.value
+      (Kronos_metrics.counter (Kronos_metrics.scope scope) name)
+  in
+  Alcotest.(check bool) "wal bytes counter advanced" true
+    (cval "recovery" "wal_bytes_replayed_total" > 0);
+  Alcotest.(check bool) "deltas counter advanced" true
+    (cval "recovery" "deltas_applied_total" >= 5)
+
+(* A torn delta write at the head of the chain: recovery falls back to
+   the previous link, and compaction retires strays while auditing the
+   head it can actually resolve — never the torn file's. *)
+let test_delta_torn_write_compaction () =
+  let ids, cmds = workload ~seed:43 ~n:12 ~m:18 in
+  let cmds = Array.of_list cmds in
+  let total = Array.length cmds in
+  Alcotest.(check int) "workload length" 32 total;
+  let _dir, storage = mem () in
+  let engine = Engine.create () in
+  let last_snap = ref 0 in
+  Array.iteri
+    (fun i c ->
+      ignore (Kronos_service.Server.apply engine c);
+      let seq = i + 1 in
+      if seq mod 8 = 0 then begin
+        (if !last_snap = 0 then Snapshot.write storage ~seq engine
+         else Snapshot.write_delta storage ~base_seq:!last_snap ~seq engine);
+        Engine.snapshot_written engine;
+        last_snap := seq
+      end)
+    cmds;
+  (* full at 8; deltas at 16, 24, 32.  Tear the head delta and leave the
+     stray tmp of the interrupted write behind. *)
+  let torn = Snapshot.delta_filename ~seq:32 in
+  storage.Storage.remove_file torn;
+  let w = storage.Storage.open_append torn in
+  w.Storage.append "KSNDtorn";
+  w.Storage.sync ();
+  w.Storage.close ();
+  let w = storage.Storage.open_append "delta-0000000032.tmp" in
+  w.Storage.append "interrupted";
+  w.Storage.sync ();
+  w.Storage.close ();
+  let reference = Engine.create () in
+  for i = 0 to 23 do
+    ignore (Kronos_service.Server.apply reference cmds.(i))
+  done;
+  (match Snapshot.load_chain storage with
+   | Some (seq, restored, applied) ->
+     Alcotest.(check int) "fell back past the torn head" 24 seq;
+     Alcotest.(check int) "surviving chain composed" 2 applied;
+     check_engines_agree "torn-head fallback" ids reference restored
+   | None -> Alcotest.fail "torn head destroyed the chain");
+  let removed = Snapshot.compact storage ~keep:2 in
+  Alcotest.(check bool) "stray tmp retired" true (removed >= 1);
+  Alcotest.(check bool) "tmp really gone" true
+    (not (List.mem "delta-0000000032.tmp" (storage.Storage.list_files ())));
+  (match Snapshot.read_manifest storage with
+   | None -> Alcotest.fail "compaction wrote no manifest"
+   | Some (head, kept) ->
+     Alcotest.(check int) "manifest audits the resolvable head" 24 head;
+     let files = storage.Storage.list_files () in
+     List.iter
+       (fun n ->
+         Alcotest.(check bool)
+           (Printf.sprintf "manifest entry %s exists" n)
+           true (List.mem n files))
+       kept);
+  (* compaction must not have hurt recoverability *)
+  match Snapshot.load_chain storage with
+  | Some (seq, _, _) ->
+    Alcotest.(check int) "head unchanged by compaction" 24 seq
+  | None -> Alcotest.fail "compaction destroyed the chain"
+
 let suites =
   [ ( "durability",
       [
@@ -457,5 +725,14 @@ let suites =
           test_recovery_every_prefix;
         Alcotest.test_case "recovery after crash" `Quick
           test_recovery_after_crash_loses_only_unsynced;
+        Alcotest.test_case "snapshot version matrix" `Quick
+          test_snapshot_version_matrix;
+        Alcotest.test_case "mixed-version recovery" `Quick
+          test_mixed_version_recovery;
+        Alcotest.test_case "delta round trip" `Quick test_delta_round_trip;
+        Alcotest.test_case "delta chain recovery" `Quick
+          test_delta_chain_recovery;
+        Alcotest.test_case "torn delta write + compaction" `Quick
+          test_delta_torn_write_compaction;
       ] );
   ]
